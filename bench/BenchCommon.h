@@ -1,0 +1,74 @@
+//===- BenchCommon.h - shared benchmark harness support --------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table/figure reproduction binaries: loading a
+/// benchmark (generate → parse → prepare), the jar-family baseline
+/// sizes, raw code-stream extraction, and table formatting.
+///
+/// All benches honour CJPACK_SCALE (default 1.0) to shrink the corpora
+/// for quick runs; the paper-shape conclusions hold at reduced scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_BENCH_BENCHCOMMON_H
+#define CJPACK_BENCH_BENCHCOMMON_H
+
+#include "classfile/ClassFile.h"
+#include "corpus/Corpus.h"
+#include "pack/Packer.h"
+#include "zip/Jar.h"
+#include <string>
+#include <vector>
+
+namespace cjpack {
+
+/// One benchmark, fully materialized.
+struct BenchData {
+  CorpusSpec Spec;
+  /// As "distributed": debug info present, per-member deflate.
+  std::vector<NamedClass> RawClasses;
+  /// Stripped + canonicalized models (pack input).
+  std::vector<ClassFile> Prepared;
+  /// Bytes of Prepared.
+  std::vector<NamedClass> StrippedBytes;
+};
+
+/// CJPACK_SCALE env (default 1.0).
+double benchScale();
+
+/// Generates and prepares one benchmark.
+BenchData loadBench(const CorpusSpec &Spec);
+
+/// Generates and prepares all Table 1 benchmarks at benchScale().
+std::vector<BenchData> loadAllBenches();
+
+/// The paper's jar-family baseline sizes for one benchmark.
+struct BaselineSizes {
+  size_t Sj0r = 0;   ///< stripped classfile bytes, uncompressed
+  size_t Jar = 0;    ///< as-distributed jar (debug info kept)
+  size_t Sjar = 0;   ///< stripped jar
+  size_t Sj0rGz = 0; ///< stored archive gzip'd as a whole
+};
+BaselineSizes baselineSizes(const BenchData &B);
+
+/// Raw per-component code streams extracted straight from classfiles
+/// (for Table 4 and the custom-opcode ablation).
+struct RawCodeStreams {
+  std::vector<uint8_t> Bytestream; ///< concatenated code arrays
+  std::vector<uint8_t> Opcodes;    ///< opcode bytes (incl. wide prefixes)
+};
+RawCodeStreams extractRawCodeStreams(const std::vector<ClassFile> &Classes);
+
+/// Formats N as "12,345".
+std::string withCommas(size_t N);
+
+/// Formats A/B as a percentage string like "61%".
+std::string pct(size_t A, size_t B);
+
+} // namespace cjpack
+
+#endif // CJPACK_BENCH_BENCHCOMMON_H

@@ -1,0 +1,60 @@
+//===- bench_ablation_custom_ops.cpp - §7.2 custom opcode ablation --------===//
+//
+// Part of cjpack. MIT license.
+//
+// The §7.2 experiment in full: derive custom digram opcodes for the
+// opcode stream (including skip-pairs), then compare zlib on the raw
+// stream against zlib on the rewritten stream. The paper found the
+// rewrite shrinks the symbol count substantially but barely helps after
+// zlib — which is why it was left out of the shipping format — while
+// remaining attractive when zlib is unavailable on the client.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "pack/CustomOpcodes.h"
+#include "zip/Zlib.h"
+#include <cstdio>
+
+using namespace cjpack;
+
+int main() {
+  printf("Ablation (par. 7.2): custom opcodes\n");
+  printf("scale=%.2f\n\n", benchScale());
+  printf("%-16s %9s %9s %7s | %9s %10s %9s | %9s %9s\n", "Benchmark",
+         "opcodes", "rewritten", "newops", "est(KB)", "est'(KB)",
+         "raw-gain", "zlib(B)", "zlib'(B)");
+  for (const char *Name :
+       {"javac", "mpegaudio", "jess", "swingall", "tools"}) {
+    BenchData B = loadBench(paperBenchmark(Name, benchScale()));
+    RawCodeStreams Raw = extractRawCodeStreams(B.Prepared);
+    CustomOpcodeResult R =
+        buildCustomOpcodes(Raw.Opcodes, /*MaxNewOps=*/54,
+                           /*FirstNewSymbol=*/202);
+
+    // Verify the rewrite inverts exactly.
+    std::vector<uint8_t> Expanded =
+        expandCustomOpcodes(R.Stream, R.Codebook, 202);
+    if (Expanded != Raw.Opcodes) {
+      fprintf(stderr, "%s: custom-opcode expansion mismatch!\n", Name);
+      return 1;
+    }
+
+    std::vector<uint8_t> Rewritten;
+    Rewritten.reserve(R.Stream.size());
+    for (uint16_t S : R.Stream)
+      Rewritten.push_back(static_cast<uint8_t>(S));
+    size_t Plain = deflateBytes(Raw.Opcodes).size();
+    size_t Custom = deflateBytes(Rewritten).size();
+    printf("%-16s %9zu %9zu %7zu | %9.0f %10.0f %8s | %9zu %9zu\n", Name,
+           Raw.Opcodes.size(), R.Stream.size(), R.Codebook.size(),
+           R.EstimatedBitsBefore / 8192.0, R.EstimatedBitsAfter / 8192.0,
+           pct(R.Stream.size(), Raw.Opcodes.size()).c_str(), Plain,
+           Custom);
+    fflush(stdout);
+  }
+  printf("\nPaper shape: the opcode count drops substantially, but after\n"
+         "zlib the custom-opcode stream is only about the same as (or\n"
+         "slightly better/worse than) zlib on the original opcodes.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- bench_ablation_intcodec.cpp - §6 integer encoding ablation ---------===//
+//
+// Part of cjpack. MIT license.
+//
+// Compares the §6 integer encodings on integer streams extracted from a
+// real benchmark: fixed two-byte values, 7-bit varints, and the
+// range-aware bounded codec (when both sides know the bound), each raw
+// and after zlib.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "bytecode/Instruction.h"
+#include "support/VarInt.h"
+#include "zip/Zlib.h"
+#include <cstdio>
+
+using namespace cjpack;
+
+namespace {
+
+struct IntStream {
+  const char *Label;
+  std::vector<uint32_t> Values;
+  uint32_t Bound; ///< known exclusive upper bound (0: unbounded)
+};
+
+void report(const IntStream &S) {
+  ByteWriter Fixed, Var, Bounded;
+  for (uint32_t V : S.Values) {
+    Fixed.writeU2(static_cast<uint16_t>(V));
+    writeVarUInt(Var, V);
+    if (S.Bound)
+      writeBounded(Bounded, V, S.Bound);
+  }
+  printf("%-22s %9zu | %8zu %8zu | %8zu %8zu |", S.Label,
+         S.Values.size(), Fixed.size(),
+         deflateBytes(Fixed.data()).size(), Var.size(),
+         deflateBytes(Var.data()).size());
+  if (S.Bound)
+    printf(" %8zu %8zu (n=%u)\n", Bounded.size(),
+           deflateBytes(Bounded.data()).size(), S.Bound);
+  else
+    printf(" %8s %8s\n", "-", "-");
+}
+
+} // namespace
+
+int main() {
+  printf("Ablation (par. 6): integer encodings\n");
+  printf("scale=%.2f\n\n", benchScale());
+  BenchData B = loadBench(paperBenchmark("javac", benchScale()));
+
+  IntStream Registers{"register numbers", {}, 0};
+  IntStream MaxStacks{"max stack sizes", {}, 0};
+  IntStream StringLens{"utf8 lengths", {}, 0};
+  IntStream BranchMags{"branch magnitudes", {}, 0};
+  uint32_t MaxReg = 0;
+
+  for (const ClassFile &CF : B.Prepared) {
+    for (uint16_t I = 1; I < CF.CP.count(); ++I)
+      if (CF.CP.isValidIndex(I) && CF.CP.entry(I).Tag == CpTag::Utf8)
+        StringLens.Values.push_back(
+            static_cast<uint32_t>(CF.CP.utf8(I).size()));
+    for (const MemberInfo &M : CF.Methods) {
+      const AttributeInfo *A = findAttribute(M.Attributes, "Code");
+      if (!A)
+        continue;
+      auto Code = parseCodeAttribute(*A, CF.CP);
+      if (!Code)
+        continue;
+      MaxStacks.Values.push_back(Code->MaxStack);
+      auto Insns = decodeCode(Code->Code);
+      if (!Insns)
+        continue;
+      for (const Insn &I : *Insns) {
+        if (opInfo(I.Opcode).Format == OpFormat::LocalU1 ||
+            opInfo(I.Opcode).Format == OpFormat::Iinc) {
+          Registers.Values.push_back(I.LocalIndex);
+          MaxReg = std::max(MaxReg, I.LocalIndex);
+        }
+        if (I.isBranch())
+          BranchMags.Values.push_back(static_cast<uint32_t>(
+              std::abs(I.BranchTarget - static_cast<int32_t>(I.Offset))));
+      }
+    }
+  }
+  Registers.Bound = MaxReg + 1; // both sides know max_locals
+
+  printf("%-22s %9s | %17s | %17s | %s\n", "stream", "count",
+         "fixed-u2  +zlib", "varint  +zlib", "bounded  +zlib");
+  report(Registers);
+  report(MaxStacks);
+  report(StringLens);
+  report(BranchMags);
+  printf("\nPaper shape: varints beat fixed-width before zlib and stay\n"
+         "competitive after; the bounded codec matches varints in one\n"
+         "byte per value whenever the range is known and small.\n");
+  return 0;
+}

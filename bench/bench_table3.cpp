@@ -1,0 +1,73 @@
+//===- bench_table3.cpp - Table 3: compressed reference sizes -------------===//
+//
+// Part of cjpack. MIT license.
+//
+// Reproduces Table 3: the zlib-compressed size of the reference streams
+// under each §5.1 encoding scheme, for every benchmark. The packed
+// archive is built once per (benchmark, scheme); the Refs category of
+// the per-stream accounting is exactly "the size of compressed
+// references".
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include <cstdio>
+
+using namespace cjpack;
+
+int main() {
+  static const RefScheme Schemes[] = {
+      RefScheme::Simple,        RefScheme::Basic,
+      RefScheme::Freq,          RefScheme::Cache,
+      RefScheme::MtfBasic,      RefScheme::MtfTransients,
+      RefScheme::MtfContext,    RefScheme::MtfTransientsContext,
+  };
+  printf("Table 3: size (in bytes) of compressed references\n");
+  printf("scale=%.2f\n\n", benchScale());
+  printf("%-16s", "Benchmark");
+  for (RefScheme S : Schemes)
+    printf(" %13s", refSchemeName(S));
+  printf("\n");
+  std::vector<std::string> RawRows;
+  for (const CorpusSpec &Spec : paperBenchmarks(benchScale())) {
+    BenchData B = loadBench(Spec);
+    printf("%-16s", Spec.Name.c_str());
+    char RawRow[512];
+    int RawAt = snprintf(RawRow, sizeof(RawRow), "%-16s",
+                         Spec.Name.c_str());
+    for (RefScheme S : Schemes) {
+      PackOptions O;
+      O.Scheme = S;
+      auto P = packClasses(B.Prepared, O);
+      if (!P) {
+        printf(" %13s", "error");
+        continue;
+      }
+      size_t Raw = 0;
+      for (unsigned I = 0; I < NumStreams; ++I)
+        if (streamCategory(static_cast<StreamId>(I)) ==
+            StreamCategory::Refs)
+          Raw += P->Sizes.Raw[I];
+      printf(" %13s",
+             withCommas(P->Sizes.packedOf(StreamCategory::Refs)).c_str());
+      RawAt += snprintf(RawRow + RawAt, sizeof(RawRow) - RawAt,
+                        " %13s", withCommas(Raw).c_str());
+      fflush(stdout);
+    }
+    printf("\n");
+    RawRows.push_back(RawRow);
+  }
+  printf("\nUncompressed reference bytes (before zlib), same schemes:\n");
+  printf("%-16s", "Benchmark");
+  for (RefScheme S : Schemes)
+    printf(" %13s", refSchemeName(S));
+  printf("\n");
+  for (const std::string &Row : RawRows)
+    printf("%s\n", Row.c_str());
+  printf("\nPaper shape: Simple > Basic > Freq > Cache > MTF family. In\n"
+         "this reproduction the pre-zlib table shows that ordering\n"
+         "cleanly; after zlib, Freq's globally-ranked ids lose to\n"
+         "Basic's locality-correlated ids (the same compress-vs-pattern\n"
+         "tension §5 discusses for MTF and arithmetic coding).\n");
+  return 0;
+}

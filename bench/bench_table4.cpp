@@ -1,0 +1,96 @@
+//===- bench_table4.cpp - Table 4: bytecode component compression ---------===//
+//
+// Part of cjpack. MIT license.
+//
+// Reproduces Table 4: compression factors for bytecode split into
+// streams (§7) on javac and mpegaudio — the undivided bytestream, the
+// opcode stream alone, opcodes collapsed under the approximate stack
+// state (§7.1), opcodes after the custom-opcode digram pass (§7.2), and
+// the register / branch-offset / method-reference streams.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "pack/CustomOpcodes.h"
+#include "zip/Zlib.h"
+#include <cstdio>
+
+using namespace cjpack;
+
+namespace {
+
+struct Row {
+  size_t Raw = 0;
+  size_t Packed = 0;
+};
+
+void printRow(const char *Label, Row A, Row B) {
+  printf("%-24s %8s %8s\n", Label, pct(A.Packed, A.Raw).c_str(),
+         pct(B.Packed, B.Raw).c_str());
+}
+
+struct BenchRows {
+  Row Bytestream, Opcodes, StackState, CustomOps, Registers, Branches,
+      MethodRefs;
+};
+
+BenchRows analyze(const BenchData &B) {
+  BenchRows R;
+  RawCodeStreams Raw = extractRawCodeStreams(B.Prepared);
+  R.Bytestream = {Raw.Bytestream.size(),
+                  deflateBytes(Raw.Bytestream).size()};
+
+  PackOptions Plain;
+  Plain.CollapseOpcodes = false;
+  auto PPlain = packClasses(B.Prepared, Plain);
+  PackOptions Collapse;
+  auto PColl = packClasses(B.Prepared, Collapse);
+  if (!PPlain || !PColl) {
+    fprintf(stderr, "pack failed\n");
+    exit(1);
+  }
+  unsigned Ops = static_cast<unsigned>(StreamId::Opcodes);
+  unsigned Regs = static_cast<unsigned>(StreamId::Registers);
+  unsigned Br = static_cast<unsigned>(StreamId::BranchOffsets);
+  unsigned MR = static_cast<unsigned>(StreamId::MethodRefs);
+  R.Opcodes = {PPlain->Sizes.Raw[Ops], PPlain->Sizes.Packed[Ops]};
+  // Collapsed-opcode ratio is reported against the same (uncollapsed)
+  // opcode byte count so the rows compare like the paper's.
+  R.StackState = {PPlain->Sizes.Raw[Ops], PColl->Sizes.Packed[Ops]};
+
+  CustomOpcodeResult Custom =
+      buildCustomOpcodes(Raw.Opcodes, /*MaxNewOps=*/54,
+                         /*FirstNewSymbol=*/202);
+  std::vector<uint8_t> CustomBytes;
+  CustomBytes.reserve(Custom.Stream.size());
+  for (uint16_t S : Custom.Stream)
+    CustomBytes.push_back(static_cast<uint8_t>(S));
+  R.CustomOps = {Raw.Opcodes.size(), deflateBytes(CustomBytes).size()};
+
+  R.Registers = {PPlain->Sizes.Raw[Regs], PPlain->Sizes.Packed[Regs]};
+  R.Branches = {PPlain->Sizes.Raw[Br], PPlain->Sizes.Packed[Br]};
+  R.MethodRefs = {PPlain->Sizes.Raw[MR], PPlain->Sizes.Packed[MR]};
+  return R;
+}
+
+} // namespace
+
+int main() {
+  printf("Table 4: compression for bytecode components\n");
+  printf("scale=%.2f\n\n", benchScale());
+  BenchRows Javac = analyze(loadBench(paperBenchmark("javac", benchScale())));
+  BenchRows Mpeg =
+      analyze(loadBench(paperBenchmark("mpegaudio", benchScale())));
+  printf("%-24s %8s %8s\n", "Compression for", "javac", "mpegaudio");
+  printRow("Bytestream", Javac.Bytestream, Mpeg.Bytestream);
+  printRow("Opcodes", Javac.Opcodes, Mpeg.Opcodes);
+  printRow("  using Stack State", Javac.StackState, Mpeg.StackState);
+  printRow("  using Custom opcodes", Javac.CustomOps, Mpeg.CustomOps);
+  printRow("Register numbers", Javac.Registers, Mpeg.Registers);
+  printRow("Branch offsets", Javac.Branches, Mpeg.Branches);
+  printRow("Method references", Javac.MethodRefs, Mpeg.MethodRefs);
+  printf("\nPaper shape: the opcode stream compresses far better than\n"
+         "the undivided bytestream; stack-state collapsing gains a\n"
+         "little more; custom opcodes are roughly a wash after zlib.\n");
+  return 0;
+}

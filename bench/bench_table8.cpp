@@ -1,0 +1,57 @@
+//===- bench_table8.cpp - Table 8: related-work comparison ----------------===//
+//
+// Part of cjpack. MIT license.
+//
+// Reproduces Table 8: quoted wire-code compression results from related
+// work (constants from the paper's survey) next to this implementation's
+// measured range, as a percentage of individually gzip'd classfiles
+// (the sjar), over programs larger than 10K bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "jazz/Jazz.h"
+#include <algorithm>
+#include <cstdio>
+
+using namespace cjpack;
+
+int main() {
+  printf("Table 8: results on wire-code program compression\n");
+  printf("scale=%.2f\n\n", benchScale());
+  printf("%-44s %14s\n", "System", "%% of gzip'd classfiles");
+  // Quoted from the paper's survey (Table 8) — literature constants.
+  printf("%-44s %14s\n", "Slim Binaries [KF97, KF, Fra97]", "59");
+  printf("%-44s %14s\n", "JShrink, DashO, and Jax", "65 - 83");
+  printf("%-44s %14s\n", "jar.gz format (par. 2.1)", "55 - 85");
+  printf("%-44s %14s\n", "Clazz format [HC98]", "52 - 90");
+  printf("%-44s %14s\n", "Jazz format [BHV98]", "40 - 70");
+  printf("%-44s %14s\n", "This paper, quoted (programs > 10K)",
+         "17 - 41");
+
+  size_t MinPct = 1000, MaxPct = 0;
+  size_t JazzMin = 1000, JazzMax = 0;
+  for (const CorpusSpec &Spec : paperBenchmarks(benchScale())) {
+    BenchData B = loadBench(Spec);
+    size_t Sjar = buildJar(B.StrippedBytes).size();
+    if (Sjar <= 10 * 1024)
+      continue; // the paper restricts to programs > 10K
+    auto Packed = packClasses(B.Prepared, PackOptions());
+    auto Jazz = jazzPack(B.Prepared);
+    if (!Packed || !Jazz)
+      continue;
+    size_t P = (Packed->Archive.size() * 100 + Sjar / 2) / Sjar;
+    size_t J = (Jazz->size() * 100 + Sjar / 2) / Sjar;
+    MinPct = std::min(MinPct, P);
+    MaxPct = std::max(MaxPct, P);
+    JazzMin = std::min(JazzMin, J);
+    JazzMax = std::max(JazzMax, J);
+  }
+  printf("%-44s %8zu - %zu\n", "Jazz reimplementation, measured", JazzMin,
+         JazzMax);
+  printf("%-44s %8zu - %zu\n", "This reproduction, measured", MinPct,
+         MaxPct);
+  printf("\nPaper shape: the packed format's range sits well below every\n"
+         "prior system's quoted range.\n");
+  return 0;
+}

@@ -1,0 +1,184 @@
+//===- packtool.cpp - a command-line pack/unpack tool ----------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+// A small production-style CLI over the library:
+//
+//   packtool pack <in.jar|in.zip> <out.cjp>   pack a jar's classfiles
+//   packtool unpack <in.cjp> <out.jar>        unpack to a stored jar
+//   packtool info <in.cjp|in.jar>             describe an archive
+//   packtool selftest <out-dir>               write a demo jar + archive
+//
+// Non-class members of the input jar are carried in a side jar, as §12
+// prescribes (the packed format handles classfiles only).
+//
+//===----------------------------------------------------------------------===//
+
+#include "classfile/Reader.h"
+#include "corpus/Corpus.h"
+#include "pack/Packer.h"
+#include "zip/Jar.h"
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+using namespace cjpack;
+
+namespace {
+
+bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool writeFile(const std::string &Path, const std::vector<uint8_t> &Data) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out.write(reinterpret_cast<const char *>(Data.data()),
+            static_cast<std::streamsize>(Data.size()));
+  return static_cast<bool>(Out);
+}
+
+bool isClassName(const std::string &Name) {
+  return Name.size() > 6 &&
+         Name.compare(Name.size() - 6, 6, ".class") == 0;
+}
+
+int cmdPack(const std::string &InPath, const std::string &OutPath) {
+  std::vector<uint8_t> Bytes;
+  if (!readFile(InPath, Bytes)) {
+    fprintf(stderr, "packtool: cannot read %s\n", InPath.c_str());
+    return 1;
+  }
+  auto Entries = readZip(Bytes);
+  if (!Entries) {
+    fprintf(stderr, "packtool: %s: %s\n", InPath.c_str(),
+            Entries.message().c_str());
+    return 1;
+  }
+  std::vector<NamedClass> Classes;
+  std::vector<ZipEntry> Others;
+  for (ZipEntry &E : *Entries) {
+    if (isClassName(E.Name))
+      Classes.push_back(std::move(E));
+    else
+      Others.push_back(std::move(E));
+  }
+  auto Packed = packClassBytes(Classes, PackOptions());
+  if (!Packed) {
+    fprintf(stderr, "packtool: %s\n", Packed.message().c_str());
+    return 1;
+  }
+  if (!writeFile(OutPath, Packed->Archive)) {
+    fprintf(stderr, "packtool: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  printf("%s: %zu classes, %zu -> %zu bytes (%.0f%%)\n", OutPath.c_str(),
+         Classes.size(), Bytes.size(), Packed->Archive.size(),
+         100.0 * Packed->Archive.size() / Bytes.size());
+  if (!Others.empty()) {
+    std::string SidePath = OutPath + ".resources.jar";
+    writeFile(SidePath, writeZip(Others, ZipMethod::Deflated));
+    printf("%zu non-class members written to %s\n", Others.size(),
+           SidePath.c_str());
+  }
+  return 0;
+}
+
+int cmdUnpack(const std::string &InPath, const std::string &OutPath) {
+  std::vector<uint8_t> Bytes;
+  if (!readFile(InPath, Bytes)) {
+    fprintf(stderr, "packtool: cannot read %s\n", InPath.c_str());
+    return 1;
+  }
+  auto Classes = unpackArchive(Bytes);
+  if (!Classes) {
+    fprintf(stderr, "packtool: %s\n", Classes.message().c_str());
+    return 1;
+  }
+  if (!writeFile(OutPath, writeZip(*Classes, ZipMethod::Deflated))) {
+    fprintf(stderr, "packtool: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  printf("%s: %zu classes, %zu bytes\n", OutPath.c_str(),
+         Classes->size(), totalClassBytes(*Classes));
+  return 0;
+}
+
+int cmdInfo(const std::string &InPath) {
+  std::vector<uint8_t> Bytes;
+  if (!readFile(InPath, Bytes)) {
+    fprintf(stderr, "packtool: cannot read %s\n", InPath.c_str());
+    return 1;
+  }
+  if (Bytes.size() >= 4 && Bytes[0] == 'C' && Bytes[1] == 'J') {
+    auto Classes = unpackArchive(Bytes);
+    if (!Classes) {
+      fprintf(stderr, "packtool: %s\n", Classes.message().c_str());
+      return 1;
+    }
+    printf("%s: packed archive, %zu bytes, %zu classes\n",
+           InPath.c_str(), Bytes.size(), Classes->size());
+    for (const NamedClass &C : *Classes)
+      printf("  %8zu  %s\n", C.Data.size(), C.Name.c_str());
+    return 0;
+  }
+  auto Entries = readZip(Bytes);
+  if (!Entries) {
+    fprintf(stderr, "packtool: %s is neither a packed archive nor a "
+                    "zip\n",
+            InPath.c_str());
+    return 1;
+  }
+  printf("%s: zip archive, %zu bytes, %zu members\n", InPath.c_str(),
+         Bytes.size(), Entries->size());
+  for (const ZipEntry &E : *Entries)
+    printf("  %8zu  %s\n", E.Data.size(), E.Name.c_str());
+  return 0;
+}
+
+int cmdSelftest(const std::string &Dir) {
+  CorpusSpec Spec;
+  Spec.Name = "selftest";
+  Spec.Seed = 7;
+  Spec.NumClasses = 30;
+  Spec.NumPackages = 3;
+  std::vector<NamedClass> Classes = generateCorpus(Spec);
+  std::string JarPath = Dir + "/demo.jar";
+  if (!writeFile(JarPath, buildJar(Classes))) {
+    fprintf(stderr, "packtool: cannot write %s\n", JarPath.c_str());
+    return 1;
+  }
+  printf("wrote %s (%zu classes)\n", JarPath.c_str(), Classes.size());
+  if (int Rc = cmdPack(JarPath, Dir + "/demo.cjp"))
+    return Rc;
+  if (int Rc = cmdUnpack(Dir + "/demo.cjp", Dir + "/demo-restored.jar"))
+    return Rc;
+  return cmdInfo(Dir + "/demo.cjp");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc >= 4 && std::strcmp(Argv[1], "pack") == 0)
+    return cmdPack(Argv[2], Argv[3]);
+  if (Argc >= 4 && std::strcmp(Argv[1], "unpack") == 0)
+    return cmdUnpack(Argv[2], Argv[3]);
+  if (Argc >= 3 && std::strcmp(Argv[1], "info") == 0)
+    return cmdInfo(Argv[2]);
+  if (Argc >= 3 && std::strcmp(Argv[1], "selftest") == 0)
+    return cmdSelftest(Argv[2]);
+  if (Argc == 1)
+    return cmdSelftest("."); // run the demo when invoked bare
+  fprintf(stderr,
+          "usage: packtool pack <in.jar> <out.cjp>\n"
+          "       packtool unpack <in.cjp> <out.jar>\n"
+          "       packtool info <archive>\n"
+          "       packtool selftest <dir>\n");
+  return 2;
+}

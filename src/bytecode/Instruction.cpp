@@ -1,0 +1,301 @@
+//===- Instruction.cpp - JVM instruction decoder/encoder ------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Instruction.h"
+#include <string>
+
+using namespace cjpack;
+
+namespace {
+
+/// Cursor over a code array with signed reads and error tracking.
+class CodeCursor {
+public:
+  explicit CodeCursor(const std::vector<uint8_t> &Code) : R(Code) {}
+
+  uint8_t u1() { return R.readU1(); }
+  int8_t s1() { return static_cast<int8_t>(R.readU1()); }
+  uint16_t u2() { return R.readU2(); }
+  int16_t s2() { return static_cast<int16_t>(R.readU2()); }
+  int32_t s4() { return static_cast<int32_t>(R.readU4()); }
+
+  size_t position() const { return R.position(); }
+  bool atEnd() const { return R.atEnd(); }
+  bool hasError() const { return R.hasError(); }
+
+  bool alignTo4() {
+    while (R.position() % 4 != 0) {
+      R.readU1();
+      if (R.hasError())
+        return false;
+    }
+    return true;
+  }
+
+private:
+  ByteReader R;
+};
+
+} // namespace
+
+Expected<std::vector<Insn>> cjpack::decodeCode(
+    const std::vector<uint8_t> &Code) {
+  std::vector<Insn> Out;
+  CodeCursor C(Code);
+  while (!C.atEnd()) {
+    Insn I;
+    I.Offset = static_cast<uint32_t>(C.position());
+    uint8_t Raw = C.u1();
+    if (!isValidOpcode(Raw))
+      return Error::failure("decodeCode: undefined opcode " +
+                            std::to_string(Raw) + " at offset " +
+                            std::to_string(I.Offset));
+    I.Opcode = static_cast<Op>(Raw);
+
+    // Fold a wide prefix into the modified instruction.
+    if (I.Opcode == Op::Wide) {
+      I.IsWide = true;
+      uint8_t Mod = C.u1();
+      if (!isValidOpcode(Mod))
+        return Error::failure("decodeCode: bad wide-modified opcode");
+      I.Opcode = static_cast<Op>(Mod);
+      if (I.Opcode == Op::IInc) {
+        I.LocalIndex = C.u2();
+        I.Const = C.s2();
+      } else if (opInfo(I.Opcode).Format == OpFormat::LocalU1) {
+        I.LocalIndex = C.u2();
+      } else {
+        return Error::failure("decodeCode: wide prefix on non-local opcode");
+      }
+      I.Length = static_cast<uint32_t>(C.position()) - I.Offset;
+      if (C.hasError())
+        return Error::failure("decodeCode: truncated wide instruction");
+      Out.push_back(std::move(I));
+      continue;
+    }
+
+    switch (opInfo(I.Opcode).Format) {
+    case OpFormat::None:
+      break;
+    case OpFormat::S1:
+      I.Const = C.s1();
+      break;
+    case OpFormat::S2:
+      I.Const = C.s2();
+      break;
+    case OpFormat::LocalU1:
+      I.LocalIndex = C.u1();
+      break;
+    case OpFormat::CpU1:
+      I.CpIndex = C.u1();
+      break;
+    case OpFormat::CpU2:
+      I.CpIndex = C.u2();
+      break;
+    case OpFormat::Branch2:
+      I.BranchTarget = static_cast<int32_t>(I.Offset) + C.s2();
+      break;
+    case OpFormat::Branch4:
+      I.BranchTarget = static_cast<int32_t>(I.Offset) + C.s4();
+      break;
+    case OpFormat::Iinc:
+      I.LocalIndex = C.u1();
+      I.Const = C.s1();
+      break;
+    case OpFormat::NewArrayType:
+      I.Const = C.u1();
+      break;
+    case OpFormat::InvokeInterface:
+      I.CpIndex = C.u2();
+      I.InvokeCount = C.u1();
+      C.u1(); // mandated zero byte
+      break;
+    case OpFormat::InvokeDynamic:
+      I.CpIndex = C.u2();
+      C.u1();
+      C.u1();
+      break;
+    case OpFormat::MultiANewArray:
+      I.CpIndex = C.u2();
+      I.Const = C.u1(); // dimensions
+      break;
+    case OpFormat::TableSwitch: {
+      if (!C.alignTo4())
+        return Error::failure("decodeCode: truncated tableswitch pad");
+      I.SwitchDefault = static_cast<int32_t>(I.Offset) + C.s4();
+      I.SwitchLow = C.s4();
+      I.SwitchHigh = C.s4();
+      if (C.hasError() || I.SwitchHigh < I.SwitchLow)
+        return Error::failure("decodeCode: malformed tableswitch");
+      int64_t N = static_cast<int64_t>(I.SwitchHigh) - I.SwitchLow + 1;
+      if (N > static_cast<int64_t>(Code.size()))
+        return Error::failure("decodeCode: oversized tableswitch");
+      I.SwitchTargets.reserve(static_cast<size_t>(N));
+      for (int64_t K = 0; K < N; ++K)
+        I.SwitchTargets.push_back(static_cast<int32_t>(I.Offset) + C.s4());
+      break;
+    }
+    case OpFormat::LookupSwitch: {
+      if (!C.alignTo4())
+        return Error::failure("decodeCode: truncated lookupswitch pad");
+      I.SwitchDefault = static_cast<int32_t>(I.Offset) + C.s4();
+      int32_t N = C.s4();
+      if (C.hasError() || N < 0 ||
+          static_cast<size_t>(N) > Code.size())
+        return Error::failure("decodeCode: malformed lookupswitch");
+      I.SwitchMatches.reserve(static_cast<size_t>(N));
+      I.SwitchTargets.reserve(static_cast<size_t>(N));
+      for (int32_t K = 0; K < N; ++K) {
+        I.SwitchMatches.push_back(C.s4());
+        I.SwitchTargets.push_back(static_cast<int32_t>(I.Offset) + C.s4());
+      }
+      break;
+    }
+    case OpFormat::Wide:
+      return Error::failure("decodeCode: unreachable wide format");
+    }
+
+    if (C.hasError())
+      return Error::failure("decodeCode: truncated instruction at offset " +
+                            std::to_string(I.Offset));
+    I.Length = static_cast<uint32_t>(C.position()) - I.Offset;
+    Out.push_back(std::move(I));
+  }
+  return Out;
+}
+
+uint32_t cjpack::encodedLength(const Insn &I, uint32_t Offset) {
+  if (I.IsWide)
+    return I.Opcode == Op::IInc ? 6u : 4u;
+  switch (opInfo(I.Opcode).Format) {
+  case OpFormat::None:
+    return 1;
+  case OpFormat::S1:
+  case OpFormat::LocalU1:
+  case OpFormat::CpU1:
+  case OpFormat::NewArrayType:
+    return 2;
+  case OpFormat::S2:
+  case OpFormat::CpU2:
+  case OpFormat::Branch2:
+  case OpFormat::Iinc:
+    return 3;
+  case OpFormat::MultiANewArray:
+    return 4;
+  case OpFormat::Branch4:
+  case OpFormat::InvokeInterface:
+  case OpFormat::InvokeDynamic:
+    return 5;
+  case OpFormat::TableSwitch: {
+    uint32_t Pad = (4 - (Offset + 1) % 4) % 4;
+    return 1 + Pad + 12 +
+           4 * static_cast<uint32_t>(I.SwitchTargets.size());
+  }
+  case OpFormat::LookupSwitch: {
+    uint32_t Pad = (4 - (Offset + 1) % 4) % 4;
+    return 1 + Pad + 8 +
+           8 * static_cast<uint32_t>(I.SwitchTargets.size());
+  }
+  case OpFormat::Wide:
+    break;
+  }
+  assert(false && "unreachable opcode format");
+  return 1;
+}
+
+std::vector<uint8_t> cjpack::encodeCode(const std::vector<Insn> &Insns) {
+  ByteWriter W;
+  for (const Insn &I : Insns) {
+    uint32_t Offset = static_cast<uint32_t>(W.size());
+    assert(Offset == I.Offset && "instruction offsets out of sync");
+    if (I.IsWide) {
+      W.writeU1(static_cast<uint8_t>(Op::Wide));
+      W.writeU1(static_cast<uint8_t>(I.Opcode));
+      W.writeU2(static_cast<uint16_t>(I.LocalIndex));
+      if (I.Opcode == Op::IInc)
+        W.writeU2(static_cast<uint16_t>(I.Const));
+      continue;
+    }
+    W.writeU1(static_cast<uint8_t>(I.Opcode));
+    switch (opInfo(I.Opcode).Format) {
+    case OpFormat::None:
+      break;
+    case OpFormat::S1:
+      W.writeU1(static_cast<uint8_t>(I.Const));
+      break;
+    case OpFormat::S2:
+      W.writeU2(static_cast<uint16_t>(I.Const));
+      break;
+    case OpFormat::LocalU1:
+      W.writeU1(static_cast<uint8_t>(I.LocalIndex));
+      break;
+    case OpFormat::CpU1:
+      assert(I.CpIndex <= 0xFF && "ldc index must fit one byte");
+      W.writeU1(static_cast<uint8_t>(I.CpIndex));
+      break;
+    case OpFormat::CpU2:
+      W.writeU2(I.CpIndex);
+      break;
+    case OpFormat::Branch2:
+      W.writeU2(static_cast<uint16_t>(I.BranchTarget -
+                                      static_cast<int32_t>(Offset)));
+      break;
+    case OpFormat::Branch4:
+      W.writeU4(static_cast<uint32_t>(I.BranchTarget -
+                                      static_cast<int32_t>(Offset)));
+      break;
+    case OpFormat::Iinc:
+      W.writeU1(static_cast<uint8_t>(I.LocalIndex));
+      W.writeU1(static_cast<uint8_t>(I.Const));
+      break;
+    case OpFormat::NewArrayType:
+      W.writeU1(static_cast<uint8_t>(I.Const));
+      break;
+    case OpFormat::InvokeInterface:
+      W.writeU2(I.CpIndex);
+      W.writeU1(I.InvokeCount);
+      W.writeU1(0);
+      break;
+    case OpFormat::InvokeDynamic:
+      W.writeU2(I.CpIndex);
+      W.writeU1(0);
+      W.writeU1(0);
+      break;
+    case OpFormat::MultiANewArray:
+      W.writeU2(I.CpIndex);
+      W.writeU1(static_cast<uint8_t>(I.Const));
+      break;
+    case OpFormat::TableSwitch: {
+      while (W.size() % 4 != 0)
+        W.writeU1(0);
+      W.writeU4(static_cast<uint32_t>(I.SwitchDefault -
+                                      static_cast<int32_t>(Offset)));
+      W.writeU4(static_cast<uint32_t>(I.SwitchLow));
+      W.writeU4(static_cast<uint32_t>(I.SwitchHigh));
+      for (int32_t T : I.SwitchTargets)
+        W.writeU4(static_cast<uint32_t>(T - static_cast<int32_t>(Offset)));
+      break;
+    }
+    case OpFormat::LookupSwitch: {
+      while (W.size() % 4 != 0)
+        W.writeU1(0);
+      W.writeU4(static_cast<uint32_t>(I.SwitchDefault -
+                                      static_cast<int32_t>(Offset)));
+      W.writeU4(static_cast<uint32_t>(I.SwitchMatches.size()));
+      for (size_t K = 0; K < I.SwitchMatches.size(); ++K) {
+        W.writeU4(static_cast<uint32_t>(I.SwitchMatches[K]));
+        W.writeU4(static_cast<uint32_t>(I.SwitchTargets[K] -
+                                        static_cast<int32_t>(Offset)));
+      }
+      break;
+    }
+    case OpFormat::Wide:
+      assert(false && "wide handled above");
+      break;
+    }
+  }
+  return W.take();
+}

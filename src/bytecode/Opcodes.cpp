@@ -1,0 +1,68 @@
+//===- Opcodes.cpp - JVM opcode table -------------------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Opcodes.h"
+#include <cassert>
+
+using namespace cjpack;
+
+static const OpInfo OpTable[] = {
+#define CJPACK_OPCODE(NUM, ENUM, MNEMONIC, FORMAT, POPS, PUSHES)              \
+  {MNEMONIC, OpFormat::FORMAT, POPS, PUSHES},
+#include "bytecode/Opcodes.def"
+};
+
+const OpInfo &cjpack::opInfo(uint8_t Opcode) {
+  assert(isValidOpcode(Opcode) && "undefined JVM opcode");
+  return OpTable[Opcode];
+}
+
+CpRefKind cjpack::cpRefKind(Op O) {
+  switch (O) {
+  case Op::GetField:
+  case Op::PutField:
+    return CpRefKind::FieldInstance;
+  case Op::GetStatic:
+  case Op::PutStatic:
+    return CpRefKind::FieldStatic;
+  case Op::InvokeVirtual:
+    return CpRefKind::MethodVirtual;
+  case Op::InvokeSpecial:
+    return CpRefKind::MethodSpecial;
+  case Op::InvokeStatic:
+    return CpRefKind::MethodStatic;
+  case Op::InvokeInterface:
+    return CpRefKind::MethodInterface;
+  case Op::New:
+  case Op::ANewArray:
+  case Op::CheckCast:
+  case Op::InstanceOf:
+  case Op::MultiANewArray:
+    return CpRefKind::ClassRef;
+  case Op::Ldc:
+  case Op::LdcW:
+    return CpRefKind::LoadConst;
+  case Op::Ldc2W:
+    return CpRefKind::LoadConst2;
+  default:
+    return CpRefKind::None;
+  }
+}
+
+bool cjpack::implicitLocalIndex(Op O, uint32_t &Index) {
+  uint8_t N = static_cast<uint8_t>(O);
+  // iload_0 (26) .. aload_3 (45): five type groups of four.
+  if (N >= 26 && N <= 45) {
+    Index = (N - 26u) % 4u;
+    return true;
+  }
+  // istore_0 (59) .. astore_3 (78).
+  if (N >= 59 && N <= 78) {
+    Index = (N - 59u) % 4u;
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,443 @@
+//===- StackState.cpp - Approximate JVM stack state (§7.1) ----------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/StackState.h"
+#include <cassert>
+
+using namespace cjpack;
+
+OpFamily cjpack::familyOf(Op O) {
+  switch (O) {
+  case Op::IAdd: case Op::LAdd: case Op::FAdd: case Op::DAdd:
+    return OpFamily::Add;
+  case Op::ISub: case Op::LSub: case Op::FSub: case Op::DSub:
+    return OpFamily::Sub;
+  case Op::IMul: case Op::LMul: case Op::FMul: case Op::DMul:
+    return OpFamily::Mul;
+  case Op::IDiv: case Op::LDiv: case Op::FDiv: case Op::DDiv:
+    return OpFamily::Div;
+  case Op::IRem: case Op::LRem: case Op::FRem: case Op::DRem:
+    return OpFamily::Rem;
+  case Op::INeg: case Op::LNeg: case Op::FNeg: case Op::DNeg:
+    return OpFamily::Neg;
+  case Op::IShl: case Op::LShl:
+    return OpFamily::Shl;
+  case Op::IShr: case Op::LShr:
+    return OpFamily::Shr;
+  case Op::IUShr: case Op::LUShr:
+    return OpFamily::UShr;
+  case Op::IAnd: case Op::LAnd:
+    return OpFamily::And;
+  case Op::IOr: case Op::LOr:
+    return OpFamily::Or;
+  case Op::IXor: case Op::LXor:
+    return OpFamily::Xor;
+  case Op::IStore: case Op::LStore: case Op::FStore: case Op::DStore:
+  case Op::AStore:
+    return OpFamily::Store;
+  case Op::IStore0: case Op::LStore0: case Op::FStore0: case Op::DStore0:
+  case Op::AStore0:
+    return OpFamily::Store0;
+  case Op::IStore1: case Op::LStore1: case Op::FStore1: case Op::DStore1:
+  case Op::AStore1:
+    return OpFamily::Store1;
+  case Op::IStore2: case Op::LStore2: case Op::FStore2: case Op::DStore2:
+  case Op::AStore2:
+    return OpFamily::Store2;
+  case Op::IStore3: case Op::LStore3: case Op::FStore3: case Op::DStore3:
+  case Op::AStore3:
+    return OpFamily::Store3;
+  case Op::IReturn: case Op::LReturn: case Op::FReturn: case Op::DReturn:
+  case Op::AReturn:
+    return OpFamily::TypedReturn;
+  default:
+    return OpFamily::None;
+  }
+}
+
+unsigned cjpack::familyKeyDepth(OpFamily F) {
+  switch (F) {
+  case OpFamily::Shl:
+  case OpFamily::Shr:
+  case OpFamily::UShr:
+    return 1; // shift amount (always int) sits on top; the value selects
+  default:
+    return 0;
+  }
+}
+
+std::optional<Op> cjpack::variantFor(OpFamily F, VType T) {
+  // The i/l/f/d families are laid out contiguously in the opcode space in
+  // that order; the store/return families in i/l/f/d/a order.
+  auto Numeric4 = [&](Op Base) -> std::optional<Op> {
+    switch (T) {
+    case VType::Int:
+      return Base;
+    case VType::Long:
+      return static_cast<Op>(static_cast<uint8_t>(Base) + 1);
+    case VType::Float:
+      return static_cast<Op>(static_cast<uint8_t>(Base) + 2);
+    case VType::Double:
+      return static_cast<Op>(static_cast<uint8_t>(Base) + 3);
+    default:
+      return std::nullopt;
+    }
+  };
+  auto IntLong = [&](Op IVariant, Op LVariant) -> std::optional<Op> {
+    if (T == VType::Int)
+      return IVariant;
+    if (T == VType::Long)
+      return LVariant;
+    return std::nullopt;
+  };
+  auto Typed5 = [&](Op Base, unsigned Stride) -> std::optional<Op> {
+    unsigned K;
+    switch (T) {
+    case VType::Int: K = 0; break;
+    case VType::Long: K = 1; break;
+    case VType::Float: K = 2; break;
+    case VType::Double: K = 3; break;
+    case VType::Ref: K = 4; break;
+    default:
+      return std::nullopt;
+    }
+    return static_cast<Op>(static_cast<uint8_t>(Base) + K * Stride);
+  };
+
+  switch (F) {
+  case OpFamily::None:
+    return std::nullopt;
+  case OpFamily::Add: return Numeric4(Op::IAdd);
+  case OpFamily::Sub: return Numeric4(Op::ISub);
+  case OpFamily::Mul: return Numeric4(Op::IMul);
+  case OpFamily::Div: return Numeric4(Op::IDiv);
+  case OpFamily::Rem: return Numeric4(Op::IRem);
+  case OpFamily::Neg: return Numeric4(Op::INeg);
+  case OpFamily::Shl: return IntLong(Op::IShl, Op::LShl);
+  case OpFamily::Shr: return IntLong(Op::IShr, Op::LShr);
+  case OpFamily::UShr: return IntLong(Op::IUShr, Op::LUShr);
+  case OpFamily::And: return IntLong(Op::IAnd, Op::LAnd);
+  case OpFamily::Or: return IntLong(Op::IOr, Op::LOr);
+  case OpFamily::Xor: return IntLong(Op::IXor, Op::LXor);
+  case OpFamily::Store: return Typed5(Op::IStore, 1);
+  case OpFamily::Store0: return Typed5(Op::IStore0, 4);
+  case OpFamily::Store1: return Typed5(Op::IStore1, 4);
+  case OpFamily::Store2: return Typed5(Op::IStore2, 4);
+  case OpFamily::Store3: return Typed5(Op::IStore3, 4);
+  case OpFamily::TypedReturn: return Typed5(Op::IReturn, 1);
+  }
+  return std::nullopt;
+}
+
+void StackState::startMethod() {
+  Stack.clear();
+  Known = true;
+  Pending.reset();
+}
+
+void StackState::setUnknown() {
+  Stack.clear();
+  Known = false;
+}
+
+VType StackState::top(unsigned Depth) const {
+  if (!Known || Stack.size() <= Depth)
+    return VType::Unknown;
+  return Stack[Stack.size() - 1 - Depth];
+}
+
+unsigned StackState::contextId() const {
+  if (!Known)
+    return NumContexts - 1;
+  unsigned T1 = static_cast<unsigned>(top(0));
+  unsigned T2 = static_cast<unsigned>(top(1));
+  return T1 * 7 + T2;
+}
+
+static bool isCat2(VType T) { return T == VType::Long || T == VType::Double; }
+
+bool StackState::popAny(VType &Out) {
+  if (Stack.empty()) {
+    setUnknown();
+    return false;
+  }
+  Out = Stack.back();
+  Stack.pop_back();
+  return true;
+}
+
+bool StackState::popType(VType Expected) {
+  VType T;
+  if (!popAny(T))
+    return false;
+  // A mismatch means our approximation diverged from the real types
+  // (e.g. an exception handler we do not model); degrade to unknown.
+  if (T != Expected && T != VType::Unknown) {
+    setUnknown();
+    return false;
+  }
+  return true;
+}
+
+void StackState::push(VType T) { Stack.push_back(T); }
+
+static VType charType(char C) {
+  switch (C) {
+  case 'I': return VType::Int;
+  case 'J': return VType::Long;
+  case 'F': return VType::Float;
+  case 'D': return VType::Double;
+  case 'A': return VType::Ref;
+  default:
+    assert(false && "bad stack-effect character");
+    return VType::Unknown;
+  }
+}
+
+void StackState::applySpecial(const Insn &I, const InsnTypes *Types) {
+  // Pops N stack units (cat2 values count as two units); fails when the
+  // unit boundary falls inside a cat2 value. Unknown counts as one unit.
+  auto PopUnits = [&](unsigned Units, std::vector<VType> &Out) -> bool {
+    while (Units > 0) {
+      VType T;
+      if (!popAny(T))
+        return false;
+      unsigned W = isCat2(T) ? 2 : 1;
+      if (W > Units) {
+        setUnknown();
+        return false;
+      }
+      Units -= W;
+      Out.push_back(T);
+    }
+    return true;
+  };
+  auto PushGroup = [&](const std::vector<VType> &G) {
+    for (auto It = G.rbegin(); It != G.rend(); ++It)
+      push(*It);
+  };
+
+  switch (I.Opcode) {
+  case Op::Ldc:
+  case Op::LdcW:
+  case Op::Ldc2W:
+    push(Types ? Types->ConstType : VType::Unknown);
+    break;
+  case Op::Pop: {
+    VType T;
+    if (popAny(T) && isCat2(T))
+      setUnknown();
+    break;
+  }
+  case Op::Pop2: {
+    std::vector<VType> G;
+    PopUnits(2, G);
+    break;
+  }
+  case Op::Dup: {
+    VType T;
+    if (!popAny(T))
+      break;
+    if (isCat2(T)) {
+      setUnknown();
+      break;
+    }
+    push(T);
+    push(T);
+    break;
+  }
+  case Op::DupX1: {
+    VType V1, V2;
+    if (!popAny(V1) || !popAny(V2))
+      break;
+    if (isCat2(V1) || isCat2(V2)) {
+      setUnknown();
+      break;
+    }
+    push(V1);
+    push(V2);
+    push(V1);
+    break;
+  }
+  case Op::DupX2: {
+    VType V1;
+    if (!popAny(V1))
+      break;
+    if (isCat2(V1)) {
+      setUnknown();
+      break;
+    }
+    std::vector<VType> G;
+    if (!PopUnits(2, G))
+      break;
+    push(V1);
+    PushGroup(G);
+    push(V1);
+    break;
+  }
+  case Op::Dup2: {
+    std::vector<VType> G;
+    if (!PopUnits(2, G))
+      break;
+    PushGroup(G);
+    PushGroup(G);
+    break;
+  }
+  case Op::Dup2X1: {
+    std::vector<VType> G;
+    VType V;
+    if (!PopUnits(2, G) || !popAny(V))
+      break;
+    if (isCat2(V)) {
+      setUnknown();
+      break;
+    }
+    PushGroup(G);
+    push(V);
+    PushGroup(G);
+    break;
+  }
+  case Op::Dup2X2: {
+    std::vector<VType> G1, G2;
+    if (!PopUnits(2, G1) || !PopUnits(2, G2))
+      break;
+    PushGroup(G1);
+    PushGroup(G2);
+    PushGroup(G1);
+    break;
+  }
+  case Op::Swap: {
+    VType V1, V2;
+    if (!popAny(V1) || !popAny(V2))
+      break;
+    if (isCat2(V1) || isCat2(V2)) {
+      setUnknown();
+      break;
+    }
+    push(V1);
+    push(V2);
+    break;
+  }
+  case Op::GetField:
+  case Op::GetStatic: {
+    if (I.Opcode == Op::GetField && !popType(VType::Ref))
+      break;
+    if (!Types || Types->FieldType == VType::Unknown) {
+      setUnknown();
+      break;
+    }
+    push(Types->FieldType);
+    break;
+  }
+  case Op::PutField:
+  case Op::PutStatic: {
+    if (!Types || Types->FieldType == VType::Unknown) {
+      setUnknown();
+      break;
+    }
+    if (!popType(Types->FieldType))
+      break;
+    if (I.Opcode == Op::PutField)
+      popType(VType::Ref);
+    break;
+  }
+  case Op::InvokeVirtual:
+  case Op::InvokeSpecial:
+  case Op::InvokeStatic:
+  case Op::InvokeInterface:
+  case Op::InvokeDynamic: {
+    if (!Types) {
+      setUnknown();
+      break;
+    }
+    bool Ok = true;
+    for (auto It = Types->ArgTypes.rbegin();
+         Ok && It != Types->ArgTypes.rend(); ++It)
+      Ok = popType(*It);
+    if (Ok && I.Opcode != Op::InvokeStatic &&
+        I.Opcode != Op::InvokeDynamic)
+      Ok = popType(VType::Ref);
+    if (Ok && Types->RetType != VType::Void)
+      push(Types->RetType);
+    break;
+  }
+  case Op::MultiANewArray: {
+    bool Ok = true;
+    for (int32_t K = 0; Ok && K < I.Const; ++K)
+      Ok = popType(VType::Int);
+    if (Ok)
+      push(VType::Ref);
+    break;
+  }
+  case Op::AThrow:
+  case Op::Jsr:
+  case Op::JsrW:
+    setUnknown();
+    break;
+  default:
+    assert(false && "applySpecial on a table-driven opcode");
+    setUnknown();
+    break;
+  }
+}
+
+void StackState::noteBranch(const Insn &I) {
+  uint8_t N = static_cast<uint8_t>(I.Opcode);
+  bool Conditional = (N >= 153 && N <= 166) || I.Opcode == Op::IfNull ||
+                     I.Opcode == Op::IfNonNull;
+  bool UncondGoto = I.Opcode == Op::Goto || I.Opcode == Op::GotoW;
+  if ((Conditional || UncondGoto) && Known && !Pending &&
+      I.BranchTarget > static_cast<int32_t>(I.Offset))
+    Pending = {static_cast<uint32_t>(I.BranchTarget), Stack};
+  if (UncondGoto || I.isSwitch() || I.Opcode == Op::Ret)
+    setUnknown();
+  switch (I.Opcode) {
+  case Op::IReturn: case Op::LReturn: case Op::FReturn: case Op::DReturn:
+  case Op::AReturn: case Op::Return:
+    setUnknown();
+    break;
+  default:
+    break;
+  }
+}
+
+void StackState::apply(const Insn &I, const InsnTypes *Types) {
+  // Recover a saved forward-branch state when we arrive at its target.
+  if (Pending) {
+    if (Pending->first == I.Offset) {
+      if (!Known) {
+        Stack = Pending->second;
+        Known = true;
+      }
+      Pending.reset();
+    } else if (Pending->first < I.Offset) {
+      Pending.reset();
+    }
+  }
+
+  const OpInfo &Info = opInfo(I.Opcode);
+  bool Special = Info.Pops[0] == '*' || Info.Pushes[0] == '*';
+
+  if (Known) {
+    if (Special) {
+      applySpecial(I, Types);
+    } else {
+      // Pop the declared types, top of stack last in the string.
+      const char *P = Info.Pops;
+      size_t L = 0;
+      while (P[L])
+        ++L;
+      bool Ok = true;
+      for (size_t K = L; Ok && K > 0; --K)
+        Ok = popType(charType(P[K - 1]));
+      if (Ok)
+        for (const char *Q = Info.Pushes; *Q; ++Q)
+          push(charType(*Q));
+    }
+  }
+
+  noteBranch(I);
+}

@@ -1,0 +1,133 @@
+//===- ConstantPool.h - JVM classfile constant pool ------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classfile constant pool: entries for every JVM constant kind, with
+/// deduplicating builders and lookup helpers. Long and Double entries
+/// occupy two slots, the second slot holding a None placeholder, exactly
+/// as the classfile format numbers them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_CLASSFILE_CONSTANTPOOL_H
+#define CJPACK_CLASSFILE_CONSTANTPOOL_H
+
+#include "support/Error.h"
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cjpack {
+
+/// Constant-pool entry tags, numbered as in the classfile format.
+enum class CpTag : uint8_t {
+  None = 0, ///< unusable slot (index 0, or the shadow of a Long/Double)
+  Utf8 = 1,
+  Integer = 3,
+  Float = 4,
+  Long = 5,
+  Double = 6,
+  Class = 7,
+  String = 8,
+  FieldRef = 9,
+  MethodRef = 10,
+  InterfaceMethodRef = 11,
+  NameAndType = 12,
+  MethodHandle = 15,
+  MethodType = 16,
+  Dynamic = 17,
+  InvokeDynamic = 18,
+  Module = 19,
+  Package = 20,
+};
+
+/// Human-readable tag name (for diagnostics).
+const char *cpTagName(CpTag Tag);
+
+/// One constant-pool entry. Which fields are meaningful depends on Tag:
+///  * Utf8: Text
+///  * Integer/Float/Long/Double: Bits (raw IEEE/two's-complement bits)
+///  * Class/String/MethodType/Module/Package: Ref1 (a Utf8 index)
+///  * FieldRef/MethodRef/InterfaceMethodRef: Ref1 = Class, Ref2 = N&T
+///  * NameAndType: Ref1 = name Utf8, Ref2 = descriptor Utf8
+///  * MethodHandle: RefKind + Ref1 (a member ref)
+///  * Dynamic/InvokeDynamic: Ref1 = bootstrap index, Ref2 = N&T
+struct CpEntry {
+  CpTag Tag = CpTag::None;
+  uint16_t Ref1 = 0;
+  uint16_t Ref2 = 0;
+  uint64_t Bits = 0;
+  uint8_t RefKind = 0;
+  std::string Text;
+
+  bool isWide() const { return Tag == CpTag::Long || Tag == CpTag::Double; }
+};
+
+/// A classfile constant pool. Index 0 is reserved and unusable.
+class ConstantPool {
+public:
+  ConstantPool() { Entries.emplace_back(); }
+
+  /// The classfile constant_pool_count (number of slots including slot 0).
+  uint16_t count() const { return static_cast<uint16_t>(Entries.size()); }
+
+  /// True if \p Index names a usable entry.
+  bool isValidIndex(uint16_t Index) const {
+    return Index >= 1 && Index < count() &&
+           Entries[Index].Tag != CpTag::None;
+  }
+
+  const CpEntry &entry(uint16_t Index) const {
+    assert(Index >= 1 && Index < count() && "constant pool index range");
+    return Entries[Index];
+  }
+
+  CpEntry &entry(uint16_t Index) {
+    assert(Index >= 1 && Index < count() && "constant pool index range");
+    return Entries[Index];
+  }
+
+  /// Appends \p E without deduplication (parser path). Long/Double consume
+  /// the following slot too. Returns the entry's index.
+  uint16_t appendRaw(CpEntry E);
+
+  /// \name Deduplicating builders
+  /// Each returns the index of an existing equal entry or appends one.
+  /// @{
+  uint16_t addUtf8(const std::string &Text);
+  uint16_t addInteger(int32_t Value);
+  uint16_t addFloat(uint32_t RawBits);
+  uint16_t addLong(int64_t Value);
+  uint16_t addDouble(uint64_t RawBits);
+  uint16_t addClass(const std::string &InternalName);
+  uint16_t addString(const std::string &Value);
+  uint16_t addNameAndType(const std::string &Name, const std::string &Desc);
+  uint16_t addRef(CpTag Kind, const std::string &ClassName,
+                  const std::string &Name, const std::string &Desc);
+  /// @}
+
+  /// Text of the Utf8 entry at \p Index (asserts tag).
+  const std::string &utf8(uint16_t Index) const;
+
+  /// Internal name (e.g. "java/lang/String") of the Class entry at
+  /// \p Index.
+  const std::string &className(uint16_t Index) const;
+
+  /// Rebuilds the dedup maps after entries are replaced wholesale.
+  void rebuildIndex();
+
+private:
+  uint16_t addKeyed(CpEntry E);
+  std::string keyOf(const CpEntry &E) const;
+
+  std::vector<CpEntry> Entries;
+  std::unordered_map<std::string, uint16_t> Dedup;
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_CLASSFILE_CONSTANTPOOL_H

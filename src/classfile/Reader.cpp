@@ -1,0 +1,154 @@
+//===- Reader.cpp - JVM classfile parser ----------------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classfile/Reader.h"
+#include "support/ByteBuffer.h"
+#include <string>
+
+using namespace cjpack;
+
+namespace {
+
+class ClassParser {
+public:
+  explicit ClassParser(const std::vector<uint8_t> &Bytes) : R(Bytes) {}
+
+  Expected<ClassFile> parse() {
+    if (R.readU4() != 0xCAFEBABEu)
+      return Error::failure("classfile: bad magic");
+    CF.MinorVersion = R.readU2();
+    CF.MajorVersion = R.readU2();
+
+    if (auto E = parseConstantPool())
+      return E;
+
+    CF.AccessFlags = R.readU2();
+    CF.ThisClass = R.readU2();
+    CF.SuperClass = R.readU2();
+    uint16_t IfaceCount = R.readU2();
+    for (uint16_t I = 0; I < IfaceCount; ++I)
+      CF.Interfaces.push_back(R.readU2());
+
+    if (auto E = parseMembers(CF.Fields))
+      return E;
+    if (auto E = parseMembers(CF.Methods))
+      return E;
+    if (auto E = parseAttributes(CF.Attributes))
+      return E;
+
+    if (auto E = R.takeError("classfile"))
+      return E;
+    if (!R.atEnd())
+      return Error::failure("classfile: trailing bytes after attributes");
+    if (!CF.CP.isValidIndex(CF.ThisClass) ||
+        CF.CP.entry(CF.ThisClass).Tag != CpTag::Class)
+      return Error::failure("classfile: this_class is not a Class entry");
+    return std::move(CF);
+  }
+
+private:
+  Error parseConstantPool() {
+    uint16_t Count = R.readU2();
+    if (R.hasError() || Count == 0)
+      return makeError("classfile: bad constant pool count");
+    uint16_t Index = 1;
+    while (Index < Count) {
+      CpEntry E;
+      uint8_t Tag = R.readU1();
+      E.Tag = static_cast<CpTag>(Tag);
+      switch (E.Tag) {
+      case CpTag::Utf8: {
+        uint16_t Len = R.readU2();
+        E.Text = R.readString(Len);
+        break;
+      }
+      case CpTag::Integer:
+      case CpTag::Float:
+        E.Bits = R.readU4();
+        break;
+      case CpTag::Long:
+      case CpTag::Double:
+        E.Bits = R.readU8();
+        break;
+      case CpTag::Class:
+      case CpTag::String:
+      case CpTag::MethodType:
+      case CpTag::Module:
+      case CpTag::Package:
+        E.Ref1 = R.readU2();
+        break;
+      case CpTag::FieldRef:
+      case CpTag::MethodRef:
+      case CpTag::InterfaceMethodRef:
+      case CpTag::NameAndType:
+      case CpTag::Dynamic:
+      case CpTag::InvokeDynamic:
+        E.Ref1 = R.readU2();
+        E.Ref2 = R.readU2();
+        break;
+      case CpTag::MethodHandle:
+        E.RefKind = R.readU1();
+        E.Ref1 = R.readU2();
+        break;
+      case CpTag::None:
+      default:
+        return makeError("classfile: unknown constant tag " +
+                         std::to_string(Tag) + " at cp index " +
+                         std::to_string(Index));
+      }
+      bool Wide = E.isWide();
+      CF.CP.appendRaw(std::move(E));
+      Index += Wide ? 2 : 1;
+    }
+    if (Index != Count)
+      return makeError("classfile: wide constant overruns pool");
+    CF.CP.rebuildIndex();
+    return R.takeError("classfile constant pool");
+  }
+
+  Error parseAttributes(std::vector<AttributeInfo> &Out) {
+    uint16_t Count = R.readU2();
+    for (uint16_t I = 0; I < Count; ++I) {
+      uint16_t NameIdx = R.readU2();
+      uint32_t Len = R.readU4();
+      if (R.hasError())
+        return makeError("classfile: truncated attribute header");
+      if (!CF.CP.isValidIndex(NameIdx) ||
+          CF.CP.entry(NameIdx).Tag != CpTag::Utf8)
+        return makeError("classfile: attribute name index " +
+                         std::to_string(NameIdx) + " is not Utf8");
+      AttributeInfo A;
+      A.Name = CF.CP.utf8(NameIdx);
+      A.Bytes = R.readBytes(Len);
+      Out.push_back(std::move(A));
+    }
+    return R.takeError("classfile attributes");
+  }
+
+  Error parseMembers(std::vector<MemberInfo> &Out) {
+    uint16_t Count = R.readU2();
+    for (uint16_t I = 0; I < Count; ++I) {
+      MemberInfo M;
+      M.AccessFlags = R.readU2();
+      M.NameIndex = R.readU2();
+      M.DescriptorIndex = R.readU2();
+      if (auto E = parseAttributes(M.Attributes))
+        return E;
+      Out.push_back(std::move(M));
+    }
+    return R.takeError("classfile members");
+  }
+
+  ByteReader R;
+  ClassFile CF;
+};
+
+} // namespace
+
+Expected<ClassFile>
+cjpack::parseClassFile(const std::vector<uint8_t> &Bytes) {
+  return ClassParser(Bytes).parse();
+}

@@ -1,0 +1,28 @@
+//===- Reader.h - JVM classfile parser -------------------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses standard .class bytes into the ClassFile model. Fails with a
+/// descriptive error on truncated or structurally invalid input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_CLASSFILE_READER_H
+#define CJPACK_CLASSFILE_READER_H
+
+#include "classfile/ClassFile.h"
+#include "support/Error.h"
+#include <cstdint>
+#include <vector>
+
+namespace cjpack {
+
+/// Parses \p Bytes as a classfile.
+Expected<ClassFile> parseClassFile(const std::vector<uint8_t> &Bytes);
+
+} // namespace cjpack
+
+#endif // CJPACK_CLASSFILE_READER_H

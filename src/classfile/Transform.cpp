@@ -1,0 +1,481 @@
+//===- Transform.cpp - Classfile preprocessing (§2, §9) -------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classfile/Transform.h"
+#include "bytecode/Instruction.h"
+#include "support/ByteBuffer.h"
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace cjpack;
+
+bool cjpack::isRecognizedAttribute(const std::string &Name) {
+  return Name == "Code" || Name == "ConstantValue" || Name == "Exceptions" ||
+         Name == "Synthetic" || Name == "Deprecated";
+}
+
+static bool isDebugAttribute(const std::string &Name) {
+  return Name == "LineNumberTable" || Name == "LocalVariableTable" ||
+         Name == "SourceFile";
+}
+
+static void filterAttributes(std::vector<AttributeInfo> &Attrs,
+                             bool DropUnrecognized) {
+  std::erase_if(Attrs, [&](const AttributeInfo &A) {
+    if (isDebugAttribute(A.Name))
+      return true;
+    return DropUnrecognized && !isRecognizedAttribute(A.Name);
+  });
+}
+
+void cjpack::stripDebugInfo(ClassFile &CF, bool DropUnrecognized) {
+  filterAttributes(CF.Attributes, DropUnrecognized);
+  for (MemberInfo &F : CF.Fields)
+    filterAttributes(F.Attributes, DropUnrecognized);
+  for (MemberInfo &M : CF.Methods) {
+    filterAttributes(M.Attributes, DropUnrecognized);
+    for (AttributeInfo &A : M.Attributes) {
+      if (A.Name != "Code")
+        continue;
+      // Rewrite the Code attribute with all nested attributes removed.
+      auto Code = parseCodeAttribute(A, CF.CP);
+      if (!Code)
+        continue; // malformed code is caught later by canonicalize
+      Code->Attributes.clear();
+      A = encodeCodeAttribute(*Code, CF.CP);
+    }
+  }
+}
+
+namespace {
+
+/// One method's decoded Code attribute, kept so bytecode constant-pool
+/// operands can be renumbered and the attribute re-encoded.
+struct DecodedMethod {
+  MemberInfo *Member = nullptr;
+  AttributeInfo *Attr = nullptr;
+  CodeAttribute Code;
+  std::vector<Insn> Insns;
+};
+
+/// Sort keys placing entries in the canonical §2/§9 order.
+enum class CpGroup : uint8_t {
+  LdcConst,   ///< int/float/string referenced by a one-byte ldc
+  OtherConst, ///< remaining int/float/string
+  WideConst,  ///< long/double
+  ClassEntry,
+  MemberRef,
+  NameType,
+  Text,       ///< Utf8, sorted by content
+  Other,
+};
+
+class PoolCanonicalizer {
+public:
+  explicit PoolCanonicalizer(ClassFile &CF) : CF(CF) {}
+
+  Error run() {
+    if (auto E = decodeMethods())
+      return E;
+    markRoots();
+    closeOverReferences();
+    if (auto E = assignNewIndices())
+      return E;
+    rebuildPool();
+    remapStructure();
+    return Error::success();
+  }
+
+private:
+  Error decodeMethods() {
+    for (MemberInfo &M : CF.Methods) {
+      for (AttributeInfo &A : M.Attributes) {
+        if (A.Name != "Code")
+          continue;
+        auto Code = parseCodeAttribute(A, CF.CP);
+        if (!Code)
+          return Code.takeError();
+        auto Insns = decodeCode(Code->Code);
+        if (!Insns)
+          return Insns.takeError();
+        DecodedMethod D;
+        D.Member = &M;
+        D.Attr = &A;
+        D.Code = std::move(*Code);
+        D.Insns = std::move(*Insns);
+        Methods.push_back(std::move(D));
+      }
+    }
+    return Error::success();
+  }
+
+  void mark(uint16_t Index) {
+    if (Index != 0)
+      Reachable.insert(Index);
+  }
+
+  void markRoots() {
+    mark(CF.ThisClass);
+    mark(CF.SuperClass);
+    for (uint16_t I : CF.Interfaces)
+      mark(I);
+    auto MarkMember = [&](const MemberInfo &M) {
+      mark(M.NameIndex);
+      mark(M.DescriptorIndex);
+      for (const AttributeInfo &A : M.Attributes) {
+        if (A.Name == "ConstantValue" && A.Bytes.size() == 2) {
+          ByteReader R(A.Bytes);
+          mark(R.readU2());
+        } else if (A.Name == "Exceptions") {
+          ByteReader R(A.Bytes);
+          uint16_t N = R.readU2();
+          for (uint16_t K = 0; K < N; ++K)
+            mark(R.readU2());
+        }
+      }
+    };
+    for (const MemberInfo &F : CF.Fields)
+      MarkMember(F);
+    for (const MemberInfo &M : CF.Methods)
+      MarkMember(M);
+    for (const DecodedMethod &D : Methods) {
+      for (const ExceptionTableEntry &E : D.Code.ExceptionTable)
+        mark(E.CatchType);
+      for (const Insn &I : D.Insns) {
+        if (I.hasCpOperand()) {
+          mark(I.CpIndex);
+          if (I.Opcode == Op::Ldc)
+            LdcReferenced.insert(I.CpIndex);
+        }
+      }
+    }
+  }
+
+  void closeOverReferences() {
+    std::vector<uint16_t> Work(Reachable.begin(), Reachable.end());
+    while (!Work.empty()) {
+      uint16_t Index = Work.back();
+      Work.pop_back();
+      if (!CF.CP.isValidIndex(Index))
+        continue;
+      const CpEntry &E = CF.CP.entry(Index);
+      auto Visit = [&](uint16_t Ref) {
+        if (Ref != 0 && Reachable.insert(Ref).second)
+          Work.push_back(Ref);
+      };
+      switch (E.Tag) {
+      case CpTag::Class:
+      case CpTag::String:
+      case CpTag::MethodType:
+      case CpTag::Module:
+      case CpTag::Package:
+      case CpTag::MethodHandle:
+        Visit(E.Ref1);
+        break;
+      case CpTag::FieldRef:
+      case CpTag::MethodRef:
+      case CpTag::InterfaceMethodRef:
+      case CpTag::NameAndType:
+      case CpTag::Dynamic:
+      case CpTag::InvokeDynamic:
+        Visit(E.Ref1);
+        Visit(E.Ref2);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  CpGroup groupOf(uint16_t Index, const CpEntry &E) const {
+    switch (E.Tag) {
+    case CpTag::Integer:
+    case CpTag::Float:
+    case CpTag::String:
+      return LdcReferenced.count(Index) ? CpGroup::LdcConst
+                                        : CpGroup::OtherConst;
+    case CpTag::Long:
+    case CpTag::Double:
+      return CpGroup::WideConst;
+    case CpTag::Class:
+      return CpGroup::ClassEntry;
+    case CpTag::FieldRef:
+    case CpTag::MethodRef:
+    case CpTag::InterfaceMethodRef:
+      return CpGroup::MemberRef;
+    case CpTag::NameAndType:
+      return CpGroup::NameType;
+    case CpTag::Utf8:
+      return CpGroup::Text;
+    default:
+      return CpGroup::Other;
+    }
+  }
+
+  /// A within-group sort key: tag first, then content. References sort
+  /// by the *content* they denote so equal pools sort identically
+  /// regardless of original numbering.
+  std::string sortKey(const CpEntry &E) const {
+    std::string Key;
+    Key.push_back(static_cast<char>(E.Tag));
+    auto AppendU64 = [&](uint64_t V) {
+      for (int Shift = 56; Shift >= 0; Shift -= 8)
+        Key.push_back(static_cast<char>(V >> Shift));
+    };
+    auto Utf8At = [&](uint16_t Ref) -> const std::string & {
+      static const std::string Empty;
+      if (!CF.CP.isValidIndex(Ref) || CF.CP.entry(Ref).Tag != CpTag::Utf8)
+        return Empty;
+      return CF.CP.utf8(Ref);
+    };
+    switch (E.Tag) {
+    case CpTag::Utf8:
+      Key += E.Text;
+      break;
+    case CpTag::Integer:
+    case CpTag::Float:
+    case CpTag::Long:
+    case CpTag::Double:
+      AppendU64(E.Bits);
+      break;
+    case CpTag::Class:
+    case CpTag::MethodType:
+    case CpTag::Module:
+    case CpTag::Package:
+      Key += Utf8At(E.Ref1);
+      break;
+    case CpTag::String:
+      Key += Utf8At(E.Ref1);
+      break;
+    case CpTag::NameAndType:
+      Key += Utf8At(E.Ref1);
+      Key.push_back('\0');
+      Key += Utf8At(E.Ref2);
+      break;
+    case CpTag::FieldRef:
+    case CpTag::MethodRef:
+    case CpTag::InterfaceMethodRef: {
+      const CpEntry &C = CF.CP.entry(E.Ref1);
+      if (C.Tag == CpTag::Class)
+        Key += Utf8At(C.Ref1);
+      Key.push_back('\0');
+      const CpEntry &NT = CF.CP.entry(E.Ref2);
+      if (NT.Tag == CpTag::NameAndType) {
+        Key += Utf8At(NT.Ref1);
+        Key.push_back('\0');
+        Key += Utf8At(NT.Ref2);
+      }
+      break;
+    }
+    default:
+      AppendU64(E.Ref1);
+      AppendU64(E.Ref2);
+      break;
+    }
+    return Key;
+  }
+
+  Error assignNewIndices() {
+    // Attribute names must live in the pool; synthesize Utf8 entries for
+    // any not already reachable so they participate in the sorted block.
+    std::set<std::string> AttrNames;
+    auto Collect = [&](const std::vector<AttributeInfo> &Attrs) {
+      for (const AttributeInfo &A : Attrs)
+        AttrNames.insert(A.Name);
+    };
+    Collect(CF.Attributes);
+    for (const MemberInfo &F : CF.Fields)
+      Collect(F.Attributes);
+    for (const MemberInfo &M : CF.Methods)
+      Collect(M.Attributes);
+    for (const DecodedMethod &D : Methods)
+      Collect(D.Code.Attributes);
+    std::set<std::string> ReachableTexts;
+    for (uint16_t I : Reachable)
+      if (CF.CP.isValidIndex(I) && CF.CP.entry(I).Tag == CpTag::Utf8)
+        ReachableTexts.insert(CF.CP.utf8(I));
+    for (const std::string &Name : AttrNames)
+      if (!ReachableTexts.count(Name))
+        SynthesizedTexts.push_back(Name);
+
+    struct Item {
+      CpGroup Group;
+      std::string Key;
+      uint16_t OldIndex; ///< 0 for synthesized Utf8 entries
+      const std::string *SynthText = nullptr;
+    };
+    std::vector<Item> Items;
+    for (uint16_t I : Reachable) {
+      if (!CF.CP.isValidIndex(I))
+        return makeError("canonicalize: dangling constant pool index " +
+                         std::to_string(I));
+      const CpEntry &E = CF.CP.entry(I);
+      Items.push_back({groupOf(I, E), sortKey(E), I, nullptr});
+    }
+    for (const std::string &Text : SynthesizedTexts) {
+      std::string Key;
+      Key.push_back(static_cast<char>(CpTag::Utf8));
+      Key += Text;
+      Items.push_back({CpGroup::Text, std::move(Key), 0, &Text});
+    }
+
+    std::sort(Items.begin(), Items.end(), [](const Item &A, const Item &B) {
+      if (A.Group != B.Group)
+        return A.Group < B.Group;
+      if (A.Key != B.Key)
+        return A.Key < B.Key;
+      return A.OldIndex < B.OldIndex;
+    });
+
+    uint16_t Next = 1;
+    for (const Item &It : Items) {
+      bool Wide =
+          It.OldIndex != 0 && CF.CP.entry(It.OldIndex).isWide();
+      if (It.OldIndex != 0)
+        OldToNew[It.OldIndex] = Next;
+      else
+        SynthIndex[*It.SynthText] = Next;
+      NewOrder.push_back(It.OldIndex == 0
+                             ? std::pair<uint16_t, const std::string *>(
+                                   0, It.SynthText)
+                             : std::pair<uint16_t, const std::string *>(
+                                   It.OldIndex, nullptr));
+      Next = static_cast<uint16_t>(Next + (Wide ? 2 : 1));
+      if (Next == 0)
+        return makeError("canonicalize: constant pool overflow");
+    }
+
+    for (uint16_t I : LdcReferenced)
+      if (OldToNew[I] > 255)
+        return makeError("canonicalize: cannot keep ldc constant below "
+                         "index 256");
+    return Error::success();
+  }
+
+  uint16_t remap(uint16_t Old) const {
+    if (Old == 0)
+      return 0;
+    auto It = OldToNew.find(Old);
+    assert(It != OldToNew.end() && "remapping an unreachable cp index");
+    return It->second;
+  }
+
+  void rebuildPool() {
+    ConstantPool NewCP;
+    for (const auto &[OldIndex, SynthText] : NewOrder) {
+      if (SynthText) {
+        CpEntry E;
+        E.Tag = CpTag::Utf8;
+        E.Text = *SynthText;
+        NewCP.appendRaw(std::move(E));
+        continue;
+      }
+      CpEntry E = CF.CP.entry(OldIndex);
+      switch (E.Tag) {
+      case CpTag::Class:
+      case CpTag::String:
+      case CpTag::MethodType:
+      case CpTag::Module:
+      case CpTag::Package:
+      case CpTag::MethodHandle:
+        E.Ref1 = remap(E.Ref1);
+        break;
+      case CpTag::FieldRef:
+      case CpTag::MethodRef:
+      case CpTag::InterfaceMethodRef:
+      case CpTag::NameAndType:
+      case CpTag::Dynamic:
+      case CpTag::InvokeDynamic:
+        E.Ref1 = remap(E.Ref1);
+        E.Ref2 = remap(E.Ref2);
+        break;
+      default:
+        break;
+      }
+      NewCP.appendRaw(std::move(E));
+    }
+    NewCP.rebuildIndex();
+    CF.CP = std::move(NewCP);
+  }
+
+  void remapStructure() {
+    CF.ThisClass = remap(CF.ThisClass);
+    CF.SuperClass = remap(CF.SuperClass);
+    for (uint16_t &I : CF.Interfaces)
+      I = remap(I);
+    auto RemapMember = [&](MemberInfo &M) {
+      M.NameIndex = remap(M.NameIndex);
+      M.DescriptorIndex = remap(M.DescriptorIndex);
+      for (AttributeInfo &A : M.Attributes) {
+        if (A.Name == "ConstantValue" && A.Bytes.size() == 2) {
+          ByteReader R(A.Bytes);
+          uint16_t V = remap(R.readU2());
+          ByteWriter W;
+          W.writeU2(V);
+          A.Bytes = W.take();
+        } else if (A.Name == "Exceptions") {
+          ByteReader R(A.Bytes);
+          uint16_t N = R.readU2();
+          ByteWriter W;
+          W.writeU2(N);
+          for (uint16_t K = 0; K < N; ++K)
+            W.writeU2(remap(R.readU2()));
+          A.Bytes = W.take();
+        }
+      }
+    };
+    for (MemberInfo &F : CF.Fields)
+      RemapMember(F);
+    for (MemberInfo &M : CF.Methods)
+      RemapMember(M);
+    for (DecodedMethod &D : Methods) {
+      for (ExceptionTableEntry &E : D.Code.ExceptionTable)
+        E.CatchType = remap(E.CatchType);
+      for (Insn &I : D.Insns)
+        if (I.hasCpOperand())
+          I.CpIndex = remap(I.CpIndex);
+      D.Code.Code = encodeCode(D.Insns);
+      *D.Attr = encodeCodeAttribute(D.Code, CF.CP);
+    }
+  }
+
+  ClassFile &CF;
+  std::vector<DecodedMethod> Methods;
+  std::set<uint16_t> Reachable;
+  std::set<uint16_t> LdcReferenced;
+  std::vector<std::string> SynthesizedTexts;
+  std::map<uint16_t, uint16_t> OldToNew;
+  std::map<std::string, uint16_t> SynthIndex;
+  std::vector<std::pair<uint16_t, const std::string *>> NewOrder;
+};
+
+} // namespace
+
+Error cjpack::canonicalizeConstantPool(ClassFile &CF) {
+  auto CheckRecognized =
+      [&](const std::vector<AttributeInfo> &Attrs) -> Error {
+    for (const AttributeInfo &A : Attrs)
+      if (!isRecognizedAttribute(A.Name))
+        return makeError("canonicalize: unrecognized attribute '" + A.Name +
+                         "' (strip first)");
+    return Error::success();
+  };
+  if (auto E = CheckRecognized(CF.Attributes))
+    return E;
+  for (const MemberInfo &F : CF.Fields)
+    if (auto E = CheckRecognized(F.Attributes))
+      return E;
+  for (const MemberInfo &M : CF.Methods)
+    if (auto E = CheckRecognized(M.Attributes))
+      return E;
+  return PoolCanonicalizer(CF).run();
+}
+
+Error cjpack::prepareForPacking(ClassFile &CF) {
+  stripDebugInfo(CF);
+  return canonicalizeConstantPool(CF);
+}

@@ -1,0 +1,101 @@
+//===- Writer.cpp - JVM classfile serializer ------------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classfile/Writer.h"
+#include "support/ByteBuffer.h"
+
+using namespace cjpack;
+
+static void writeAttributes(ByteWriter &W, ConstantPool &CP,
+                            const std::vector<AttributeInfo> &Attrs) {
+  W.writeU2(static_cast<uint16_t>(Attrs.size()));
+  for (const AttributeInfo &A : Attrs) {
+    W.writeU2(CP.addUtf8(A.Name));
+    W.writeU4(static_cast<uint32_t>(A.Bytes.size()));
+    W.writeBytes(A.Bytes);
+  }
+}
+
+static void writeMembers(ByteWriter &W, ConstantPool &CP,
+                         const std::vector<MemberInfo> &Members) {
+  W.writeU2(static_cast<uint16_t>(Members.size()));
+  for (const MemberInfo &M : Members) {
+    W.writeU2(M.AccessFlags);
+    W.writeU2(M.NameIndex);
+    W.writeU2(M.DescriptorIndex);
+    writeAttributes(W, CP, M.Attributes);
+  }
+}
+
+static void writeConstantPool(ByteWriter &W, const ConstantPool &CP) {
+  W.writeU2(CP.count());
+  for (uint16_t I = 1; I < CP.count(); ++I) {
+    const CpEntry &E = CP.entry(I);
+    if (E.Tag == CpTag::None)
+      continue; // shadow slot of a Long/Double
+    W.writeU1(static_cast<uint8_t>(E.Tag));
+    switch (E.Tag) {
+    case CpTag::Utf8:
+      W.writeU2(static_cast<uint16_t>(E.Text.size()));
+      W.writeString(E.Text);
+      break;
+    case CpTag::Integer:
+    case CpTag::Float:
+      W.writeU4(static_cast<uint32_t>(E.Bits));
+      break;
+    case CpTag::Long:
+    case CpTag::Double:
+      W.writeU8(E.Bits);
+      break;
+    case CpTag::Class:
+    case CpTag::String:
+    case CpTag::MethodType:
+    case CpTag::Module:
+    case CpTag::Package:
+      W.writeU2(E.Ref1);
+      break;
+    case CpTag::FieldRef:
+    case CpTag::MethodRef:
+    case CpTag::InterfaceMethodRef:
+    case CpTag::NameAndType:
+    case CpTag::Dynamic:
+    case CpTag::InvokeDynamic:
+      W.writeU2(E.Ref1);
+      W.writeU2(E.Ref2);
+      break;
+    case CpTag::MethodHandle:
+      W.writeU1(E.RefKind);
+      W.writeU2(E.Ref1);
+      break;
+    case CpTag::None:
+      break;
+    }
+  }
+}
+
+std::vector<uint8_t> cjpack::writeClassFile(const ClassFile &CF) {
+  // Serialize the body first so attribute-name interning lands in the
+  // pool copy before the pool is emitted.
+  ConstantPool CP = CF.CP;
+  ByteWriter Body;
+  Body.writeU2(CF.AccessFlags);
+  Body.writeU2(CF.ThisClass);
+  Body.writeU2(CF.SuperClass);
+  Body.writeU2(static_cast<uint16_t>(CF.Interfaces.size()));
+  for (uint16_t I : CF.Interfaces)
+    Body.writeU2(I);
+  writeMembers(Body, CP, CF.Fields);
+  writeMembers(Body, CP, CF.Methods);
+  writeAttributes(Body, CP, CF.Attributes);
+
+  ByteWriter W;
+  W.writeU4(0xCAFEBABEu);
+  W.writeU2(CF.MinorVersion);
+  W.writeU2(CF.MajorVersion);
+  writeConstantPool(W, CP);
+  W.writeBytes(Body.data());
+  return W.take();
+}

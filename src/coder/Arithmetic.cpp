@@ -1,0 +1,168 @@
+//===- Arithmetic.cpp - adaptive arithmetic coding ------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coder/Arithmetic.h"
+#include <cassert>
+
+using namespace cjpack;
+
+//===----------------------------------------------------------------------===//
+// AdaptiveModel
+//===----------------------------------------------------------------------===//
+
+AdaptiveModel::AdaptiveModel(uint32_t AlphabetSize)
+    : Size(AlphabetSize), Counts(AlphabetSize, 1) {
+  assert(AlphabetSize >= 1 && "empty alphabet");
+  rebuildFromCounts();
+}
+
+void AdaptiveModel::rebuildFromCounts() {
+  Tree.assign(Size + 1, 0);
+  Total = 0;
+  for (uint32_t S = 0; S < Size; ++S) {
+    // Fenwick point-update, linearized.
+    for (uint32_t I = S + 1; I <= Size; I += I & (~I + 1))
+      Tree[I] += Counts[S];
+    Total += Counts[S];
+  }
+}
+
+uint64_t AdaptiveModel::cumBelow(uint32_t Symbol) const {
+  assert(Symbol <= Size);
+  uint64_t Sum = 0;
+  for (uint32_t I = Symbol; I > 0; I -= I & (~I + 1))
+    Sum += Tree[I];
+  return Sum;
+}
+
+uint64_t AdaptiveModel::countOf(uint32_t Symbol) const {
+  assert(Symbol < Size);
+  return Counts[Symbol];
+}
+
+uint32_t AdaptiveModel::symbolFor(uint64_t Target) const {
+  // Fenwick descent: find the largest prefix with cumulative <= Target.
+  uint32_t Pos = 0;
+  uint64_t Remaining = Target;
+  uint32_t Mask = 1;
+  while (Mask * 2 <= Size)
+    Mask *= 2;
+  for (; Mask != 0; Mask /= 2) {
+    uint32_t Next = Pos + Mask;
+    if (Next <= Size && Tree[Next] <= Remaining) {
+      Pos = Next;
+      Remaining -= Tree[Next];
+    }
+  }
+  assert(Pos < Size && "target beyond model total");
+  return Pos;
+}
+
+void AdaptiveModel::update(uint32_t Symbol) {
+  assert(Symbol < Size);
+  Counts[Symbol] += 32; // fast adaptation
+  for (uint32_t I = Symbol + 1; I <= Size; I += I & (~I + 1))
+    Tree[I] += 32;
+  Total += 32;
+  if (Total >= MaxTotal) {
+    for (uint32_t S = 0; S < Size; ++S)
+      Counts[S] = Counts[S] / 2 + 1;
+    rebuildFromCounts();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ArithmeticEncoder
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr uint64_t TopValue = 0xFFFFFFFFull;
+constexpr uint64_t FirstQuarter = 0x40000000ull;
+constexpr uint64_t Half = 0x80000000ull;
+constexpr uint64_t ThirdQuarter = 0xC0000000ull;
+} // namespace
+
+void ArithmeticEncoder::outputBit(bool Bit) {
+  Bits.writeBit(Bit);
+  while (Pending > 0) {
+    Bits.writeBit(!Bit);
+    --Pending;
+  }
+}
+
+void ArithmeticEncoder::encode(AdaptiveModel &Model, uint32_t Symbol) {
+  uint64_t Range = High - Low + 1;
+  uint64_t Total = Model.total();
+  uint64_t CumLo = Model.cumBelow(Symbol);
+  uint64_t CumHi = CumLo + Model.countOf(Symbol);
+  High = Low + Range * CumHi / Total - 1;
+  Low = Low + Range * CumLo / Total;
+  while (true) {
+    if (High < Half) {
+      outputBit(false);
+    } else if (Low >= Half) {
+      outputBit(true);
+      Low -= Half;
+      High -= Half;
+    } else if (Low >= FirstQuarter && High < ThirdQuarter) {
+      ++Pending;
+      Low -= FirstQuarter;
+      High -= FirstQuarter;
+    } else {
+      break;
+    }
+    Low = Low * 2;
+    High = High * 2 + 1;
+  }
+  Model.update(Symbol);
+}
+
+std::vector<uint8_t> ArithmeticEncoder::finish() {
+  ++Pending;
+  outputBit(Low >= FirstQuarter);
+  return Bits.finish();
+}
+
+//===----------------------------------------------------------------------===//
+// ArithmeticDecoder
+//===----------------------------------------------------------------------===//
+
+ArithmeticDecoder::ArithmeticDecoder(const std::vector<uint8_t> &Bytes)
+    : Bits(Bytes) {
+  for (int I = 0; I < 32; ++I)
+    Code = Code << 1 | (Bits.readBit() ? 1 : 0);
+}
+
+uint32_t ArithmeticDecoder::decode(AdaptiveModel &Model) {
+  uint64_t Range = High - Low + 1;
+  uint64_t Total = Model.total();
+  uint64_t Target = ((Code - Low + 1) * Total - 1) / Range;
+  uint32_t Symbol = Model.symbolFor(Target);
+  uint64_t CumLo = Model.cumBelow(Symbol);
+  uint64_t CumHi = CumLo + Model.countOf(Symbol);
+  High = Low + Range * CumHi / Total - 1;
+  Low = Low + Range * CumLo / Total;
+  while (true) {
+    if (High < Half) {
+      // nothing
+    } else if (Low >= Half) {
+      Low -= Half;
+      High -= Half;
+      Code -= Half;
+    } else if (Low >= FirstQuarter && High < ThirdQuarter) {
+      Low -= FirstQuarter;
+      High -= FirstQuarter;
+      Code -= FirstQuarter;
+    } else {
+      break;
+    }
+    Low = Low * 2;
+    High = High * 2 + 1;
+    Code = Code * 2 + (Bits.readBit() ? 1 : 0);
+  }
+  Model.update(Symbol);
+  return Symbol;
+}

@@ -1,0 +1,96 @@
+//===- Arithmetic.h - adaptive arithmetic coding ---------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An adaptive order-0 arithmetic coder. §5 of the paper compares
+/// zlib-compressed MTF indices against arithmetic-coded MTF indices (the
+/// hypothesis being that move-to-front destroys repeating patterns and
+/// leaves only a skewed symbol distribution, which arithmetic coding
+/// captures optimally). This module exists for that ablation
+/// (bench_ablation_mtf); the shipping format uses zlib.
+///
+/// Implementation: 32-bit renormalizing range coder in the classic
+/// CACM-87 style with an adaptive Fenwick-tree frequency model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_CODER_ARITHMETIC_H
+#define CJPACK_CODER_ARITHMETIC_H
+
+#include "support/BitStream.h"
+#include "support/Error.h"
+#include <cstdint>
+#include <vector>
+
+namespace cjpack {
+
+/// Adaptive frequency model over symbols 0..AlphabetSize-1, all counts
+/// initialized to one. Counts halve when the total reaches MaxTotal.
+class AdaptiveModel {
+public:
+  explicit AdaptiveModel(uint32_t AlphabetSize);
+
+  uint32_t alphabetSize() const { return Size; }
+  uint64_t total() const { return Total; }
+
+  /// Cumulative count of symbols strictly below \p Symbol.
+  uint64_t cumBelow(uint32_t Symbol) const;
+
+  /// Count of \p Symbol itself.
+  uint64_t countOf(uint32_t Symbol) const;
+
+  /// Symbol whose cumulative interval contains \p Target.
+  uint32_t symbolFor(uint64_t Target) const;
+
+  /// Records one occurrence of \p Symbol.
+  void update(uint32_t Symbol);
+
+private:
+  void rebuildFromCounts();
+
+  static constexpr uint64_t MaxTotal = 1u << 16;
+  uint32_t Size;
+  std::vector<uint64_t> Tree; ///< Fenwick tree over counts
+  std::vector<uint32_t> Counts;
+  uint64_t Total = 0;
+};
+
+/// Arithmetic encoder writing to a BitWriter.
+class ArithmeticEncoder {
+public:
+  /// Encodes \p Symbol under \p Model (which is updated).
+  void encode(AdaptiveModel &Model, uint32_t Symbol);
+
+  /// Flushes the final interval; returns the bit stream as bytes.
+  std::vector<uint8_t> finish();
+
+private:
+  void outputBit(bool Bit);
+
+  BitWriter Bits;
+  uint64_t Low = 0;
+  uint64_t High = 0xFFFFFFFFull;
+  uint64_t Pending = 0;
+};
+
+/// Arithmetic decoder reading from a byte buffer.
+class ArithmeticDecoder {
+public:
+  explicit ArithmeticDecoder(const std::vector<uint8_t> &Bytes);
+
+  /// Decodes one symbol under \p Model (which is updated).
+  uint32_t decode(AdaptiveModel &Model);
+
+private:
+  BitReader Bits;
+  uint64_t Low = 0;
+  uint64_t High = 0xFFFFFFFFull;
+  uint64_t Code = 0;
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_CODER_ARITHMETIC_H

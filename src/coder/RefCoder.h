@@ -1,0 +1,141 @@
+//===- RefCoder.h - reference-encoding schemes (§5.1) ----------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eight reference-encoding schemes of §5.1 behind a common
+/// encoder/decoder interface. A reference names an object that may have
+/// been seen before; the encoding either says "new" (the caller then
+/// encodes the object's definition) or identifies the previous object.
+///
+/// Sites are addressed by (Pool, Sub): Pool is the object universe (one
+/// per reference kind — virtual methods, static fields, class refs, ...)
+/// and Sub the context within it (the §5.1.6 context variants key method
+/// pools by the top two approximate stack types). Schemes without
+/// context ignore Sub. Callers that want the §5.1.1 "single pool for all
+/// method references" behaviour of the Simple baseline pass coarser Pool
+/// ids.
+///
+/// Index streams produced here are byte streams (varints, §6) meant to
+/// be further compressed with zlib.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_CODER_REFCODER_H
+#define CJPACK_CODER_REFCODER_H
+
+#include "support/ByteBuffer.h"
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+namespace cjpack {
+
+/// The schemes evaluated in Table 3.
+enum class RefScheme : uint8_t {
+  Simple,               ///< fixed ids, two bytes each (baseline)
+  Basic,                ///< fixed ids, varint encoded (baseline)
+  Freq,                 ///< ids by frequency rank; shared transient id
+  Cache,                ///< Freq + 16-entry move-to-front cache
+  MtfBasic,             ///< one move-to-front queue per pool
+  MtfTransients,        ///< MTF; once-only objects bypass the queue
+  MtfContext,           ///< MTF with per-Sub context queues
+  MtfTransientsContext, ///< both refinements (the shipping scheme)
+};
+
+/// Printable scheme name (bench tables).
+const char *refSchemeName(RefScheme S);
+
+/// Whether \p S needs a counting pre-pass (RefStats) on the encoder.
+bool refSchemeNeedsStats(RefScheme S);
+
+/// Per-pool occurrence counts from a pre-pass over the reference stream;
+/// required by Freq, Cache, and the transient variants (an object is a
+/// transient iff it occurs exactly once in its pool).
+class RefStats {
+public:
+  void note(uint32_t Pool, uint32_t Object) { ++Counts[{Pool, Object}]; }
+
+  uint32_t countOf(uint32_t Pool, uint32_t Object) const {
+    auto It = Counts.find({Pool, Object});
+    return It == Counts.end() ? 0 : It->second;
+  }
+
+  bool isTransient(uint32_t Pool, uint32_t Object) const {
+    return countOf(Pool, Object) == 1;
+  }
+
+  /// Frequency rank of \p Object within \p Pool among recurring objects:
+  /// 1 for the most frequent. 0 for transients.
+  uint32_t rankOf(uint32_t Pool, uint32_t Object) const;
+
+private:
+  void buildRanks() const;
+
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> Counts;
+  mutable std::map<std::pair<uint32_t, uint32_t>, uint32_t> Ranks;
+  mutable bool RanksBuilt = false;
+};
+
+/// Encoder half of a scheme.
+class RefEncoder {
+public:
+  virtual ~RefEncoder() = default;
+
+  /// Encodes a reference to \p Object at site (\p Pool, \p Sub) into
+  /// \p W. Returns true when this is the object's first occurrence and
+  /// the caller must encode its definition next.
+  virtual bool encode(uint32_t Pool, uint32_t Sub, uint32_t Object,
+                      ByteWriter &W) = 0;
+
+  /// Marks \p Object as already-known in \p Pool without emitting
+  /// anything — the §14 "standard set of preloaded references"
+  /// extension. Must be mirrored on the decoder in the same order.
+  /// Supported by the fixed-id and MTF families; returns false when the
+  /// scheme cannot preload (Freq/Cache, whose ids come from a stats
+  /// pass).
+  virtual bool preload(uint32_t Pool, uint32_t Object) {
+    (void)Pool;
+    (void)Object;
+    return false;
+  }
+};
+
+/// Decoder half of a scheme.
+class RefDecoder {
+public:
+  virtual ~RefDecoder() = default;
+
+  /// Decodes a reference at site (\p Pool, \p Sub). Returns the object
+  /// id, or nullopt for a first occurrence — the caller must then decode
+  /// the definition, assign the object an id, and call registerNew.
+  virtual std::optional<uint32_t> decode(uint32_t Pool, uint32_t Sub,
+                                         ByteReader &R) = 0;
+
+  /// Completes a first occurrence reported by decode.
+  virtual void registerNew(uint32_t Pool, uint32_t Sub,
+                           uint32_t Object) = 0;
+
+  /// Decoder-side mirror of RefEncoder::preload.
+  virtual bool preload(uint32_t Pool, uint32_t Object) {
+    (void)Pool;
+    (void)Object;
+    return false;
+  }
+};
+
+/// Creates the encoder for \p S. \p Stats must outlive the encoder and be
+/// non-null when refSchemeNeedsStats(S).
+std::unique_ptr<RefEncoder> makeRefEncoder(RefScheme S,
+                                           const RefStats *Stats);
+
+/// Creates the decoder for \p S. Freq/Cache decoders do not need stats;
+/// all bindings are learned from the stream.
+std::unique_ptr<RefDecoder> makeRefDecoder(RefScheme S);
+
+} // namespace cjpack
+
+#endif // CJPACK_CODER_REFCODER_H

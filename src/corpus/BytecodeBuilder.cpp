@@ -1,0 +1,433 @@
+//===- BytecodeBuilder.cpp - typed JVM bytecode assembler -----------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/BytecodeBuilder.h"
+#include <cassert>
+#include <cstring>
+
+using namespace cjpack;
+
+BytecodeBuilder::BytecodeBuilder(ConstantPool &CP, unsigned ParamSlots)
+    : CP(CP), MaxLocals(ParamSlots) {}
+
+void BytecodeBuilder::adjust(int Delta) {
+  assert(Delta >= 0 || Depth >= static_cast<unsigned>(-Delta));
+  Depth = static_cast<unsigned>(static_cast<int>(Depth) + Delta);
+  if (Depth > MaxStack)
+    MaxStack = Depth;
+}
+
+static unsigned slotsOf(VType T) {
+  return (T == VType::Long || T == VType::Double) ? 2 : 1;
+}
+
+static unsigned stackSlots(const char *Effect) {
+  unsigned Slots = 0;
+  for (const char *P = Effect; *P; ++P)
+    Slots += (*P == 'J' || *P == 'D') ? 2 : 1;
+  return Slots;
+}
+
+//===----------------------------------------------------------------------===//
+// Constants
+//===----------------------------------------------------------------------===//
+
+void BytecodeBuilder::pushInt(int32_t V) {
+  if (V >= -1 && V <= 5) {
+    Code.writeU1(static_cast<uint8_t>(3 + V)); // iconst_<V>
+  } else if (V >= -128 && V <= 127) {
+    Code.writeU1(static_cast<uint8_t>(Op::BiPush));
+    Code.writeU1(static_cast<uint8_t>(V));
+  } else if (V >= -32768 && V <= 32767) {
+    Code.writeU1(static_cast<uint8_t>(Op::SiPush));
+    Code.writeU2(static_cast<uint16_t>(V));
+  } else {
+    uint16_t Index = CP.addInteger(V);
+    if (Index <= 0xFF) {
+      Code.writeU1(static_cast<uint8_t>(Op::Ldc));
+      Code.writeU1(static_cast<uint8_t>(Index));
+    } else {
+      Code.writeU1(static_cast<uint8_t>(Op::LdcW));
+      Code.writeU2(Index);
+    }
+  }
+  adjust(+1);
+}
+
+void BytecodeBuilder::pushLong(int64_t V) {
+  if (V == 0 || V == 1) {
+    Code.writeU1(static_cast<uint8_t>(V == 0 ? Op::LConst0 : Op::LConst1));
+  } else {
+    Code.writeU1(static_cast<uint8_t>(Op::Ldc2W));
+    Code.writeU2(CP.addLong(V));
+  }
+  adjust(+2);
+}
+
+void BytecodeBuilder::pushFloat(float V) {
+  if (V == 0.0f || V == 1.0f || V == 2.0f) {
+    Code.writeU1(static_cast<uint8_t>(
+        V == 0.0f ? Op::FConst0 : (V == 1.0f ? Op::FConst1 : Op::FConst2)));
+  } else {
+    uint32_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    uint16_t Index = CP.addFloat(Bits);
+    if (Index <= 0xFF) {
+      Code.writeU1(static_cast<uint8_t>(Op::Ldc));
+      Code.writeU1(static_cast<uint8_t>(Index));
+    } else {
+      Code.writeU1(static_cast<uint8_t>(Op::LdcW));
+      Code.writeU2(Index);
+    }
+  }
+  adjust(+1);
+}
+
+void BytecodeBuilder::pushDouble(double V) {
+  if (V == 0.0 || V == 1.0) {
+    Code.writeU1(static_cast<uint8_t>(V == 0.0 ? Op::DConst0 : Op::DConst1));
+  } else {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    Code.writeU1(static_cast<uint8_t>(Op::Ldc2W));
+    Code.writeU2(CP.addDouble(Bits));
+  }
+  adjust(+2);
+}
+
+void BytecodeBuilder::pushString(const std::string &S) {
+  uint16_t Index = CP.addString(S);
+  if (Index <= 0xFF) {
+    Code.writeU1(static_cast<uint8_t>(Op::Ldc));
+    Code.writeU1(static_cast<uint8_t>(Index));
+  } else {
+    Code.writeU1(static_cast<uint8_t>(Op::LdcW));
+    Code.writeU2(Index);
+  }
+  adjust(+1);
+}
+
+void BytecodeBuilder::pushNull() {
+  Code.writeU1(static_cast<uint8_t>(Op::AConstNull));
+  adjust(+1);
+}
+
+//===----------------------------------------------------------------------===//
+// Locals
+//===----------------------------------------------------------------------===//
+
+unsigned BytecodeBuilder::newLocal(VType T) {
+  unsigned Index = MaxLocals;
+  MaxLocals += slotsOf(T);
+  return Index;
+}
+
+void BytecodeBuilder::loadLocal(VType T, unsigned Index) {
+  static const uint8_t Base[] = {21, 22, 23, 24, 25}; // iload..aload
+  unsigned K;
+  switch (T) {
+  case VType::Int: K = 0; break;
+  case VType::Long: K = 1; break;
+  case VType::Float: K = 2; break;
+  case VType::Double: K = 3; break;
+  default: K = 4; break;
+  }
+  if (Index <= 3) {
+    Code.writeU1(static_cast<uint8_t>(26 + K * 4 + Index)); // iload_<n>...
+  } else if (Index <= 0xFF) {
+    Code.writeU1(Base[K]);
+    Code.writeU1(static_cast<uint8_t>(Index));
+  } else {
+    Code.writeU1(static_cast<uint8_t>(Op::Wide));
+    Code.writeU1(Base[K]);
+    Code.writeU2(static_cast<uint16_t>(Index));
+  }
+  adjust(static_cast<int>(slotsOf(T)));
+}
+
+void BytecodeBuilder::storeLocal(VType T, unsigned Index) {
+  static const uint8_t Base[] = {54, 55, 56, 57, 58}; // istore..astore
+  unsigned K;
+  switch (T) {
+  case VType::Int: K = 0; break;
+  case VType::Long: K = 1; break;
+  case VType::Float: K = 2; break;
+  case VType::Double: K = 3; break;
+  default: K = 4; break;
+  }
+  if (Index <= 3) {
+    Code.writeU1(static_cast<uint8_t>(59 + K * 4 + Index)); // istore_<n>...
+  } else if (Index <= 0xFF) {
+    Code.writeU1(Base[K]);
+    Code.writeU1(static_cast<uint8_t>(Index));
+  } else {
+    Code.writeU1(static_cast<uint8_t>(Op::Wide));
+    Code.writeU1(Base[K]);
+    Code.writeU2(static_cast<uint16_t>(Index));
+  }
+  adjust(-static_cast<int>(slotsOf(T)));
+}
+
+void BytecodeBuilder::iinc(unsigned Index, int8_t Delta) {
+  assert(Index <= 0xFF);
+  Code.writeU1(static_cast<uint8_t>(Op::IInc));
+  Code.writeU1(static_cast<uint8_t>(Index));
+  Code.writeU1(static_cast<uint8_t>(Delta));
+}
+
+//===----------------------------------------------------------------------===//
+// Operators
+//===----------------------------------------------------------------------===//
+
+void BytecodeBuilder::op(Op O) {
+  const OpInfo &Info = opInfo(O);
+  Code.writeU1(static_cast<uint8_t>(O));
+  if (Info.Pops[0] != '*' && Info.Pushes[0] != '*') {
+    adjust(-static_cast<int>(stackSlots(Info.Pops)));
+    adjust(static_cast<int>(stackSlots(Info.Pushes)));
+    return;
+  }
+  // Stack-shuffling and other special cases the table marks '*'.
+  switch (O) {
+  case Op::Dup:
+    adjust(+1);
+    break;
+  case Op::Dup2:
+  case Op::DupX1:
+    adjust(O == Op::Dup2 ? +2 : +1);
+    break;
+  case Op::Pop:
+    adjust(-1);
+    break;
+  case Op::Pop2:
+    adjust(-2);
+    break;
+  case Op::Swap:
+    break;
+  case Op::AThrow:
+    adjust(-1);
+    break;
+  default:
+    assert(false && "op() does not support this opcode");
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fields and methods
+//===----------------------------------------------------------------------===//
+
+uint16_t BytecodeBuilder::classIndex(const std::string &Cls) {
+  return CP.addClass(Cls);
+}
+
+void BytecodeBuilder::getField(const std::string &Cls,
+                               const std::string &Name,
+                               const std::string &Desc, bool IsStatic) {
+  Code.writeU1(static_cast<uint8_t>(IsStatic ? Op::GetStatic
+                                             : Op::GetField));
+  Code.writeU2(CP.addRef(CpTag::FieldRef, Cls, Name, Desc));
+  if (!IsStatic)
+    adjust(-1);
+  adjust(static_cast<int>(slotsOf(vtypeOfFieldDescriptor(Desc))));
+}
+
+void BytecodeBuilder::putField(const std::string &Cls,
+                               const std::string &Name,
+                               const std::string &Desc, bool IsStatic) {
+  Code.writeU1(static_cast<uint8_t>(IsStatic ? Op::PutStatic
+                                             : Op::PutField));
+  Code.writeU2(CP.addRef(CpTag::FieldRef, Cls, Name, Desc));
+  adjust(-static_cast<int>(slotsOf(vtypeOfFieldDescriptor(Desc))));
+  if (!IsStatic)
+    adjust(-1);
+}
+
+void BytecodeBuilder::invoke(Op Kind, const std::string &Cls,
+                             const std::string &Name,
+                             const std::string &Desc) {
+  std::vector<VType> Args;
+  VType Ret = VType::Void;
+  [[maybe_unused]] bool Ok = vtypesOfMethodDescriptor(Desc, Args, Ret);
+  assert(Ok && "invoke with malformed descriptor");
+  CpTag Tag = Kind == Op::InvokeInterface ? CpTag::InterfaceMethodRef
+                                          : CpTag::MethodRef;
+  Code.writeU1(static_cast<uint8_t>(Kind));
+  Code.writeU2(CP.addRef(Tag, Cls, Name, Desc));
+  unsigned ArgSlots = 0;
+  for (VType T : Args)
+    ArgSlots += slotsOf(T);
+  if (Kind == Op::InvokeInterface) {
+    Code.writeU1(static_cast<uint8_t>(ArgSlots + 1));
+    Code.writeU1(0);
+  }
+  adjust(-static_cast<int>(ArgSlots));
+  if (Kind != Op::InvokeStatic)
+    adjust(-1);
+  if (Ret != VType::Void)
+    adjust(static_cast<int>(slotsOf(Ret)));
+}
+
+void BytecodeBuilder::newObject(const std::string &Cls) {
+  Code.writeU1(static_cast<uint8_t>(Op::New));
+  Code.writeU2(classIndex(Cls));
+  adjust(+1);
+}
+
+void BytecodeBuilder::newArray(char ElemType) {
+  static const struct { char C; uint8_t AType; } Map[] = {
+      {'Z', 4}, {'C', 5}, {'F', 6}, {'D', 7},
+      {'B', 8}, {'S', 9}, {'I', 10}, {'J', 11}};
+  uint8_t AType = 10;
+  for (const auto &M : Map)
+    if (M.C == ElemType)
+      AType = M.AType;
+  Code.writeU1(static_cast<uint8_t>(Op::NewArray));
+  Code.writeU1(AType);
+  // pops the count, pushes the array: net zero slots
+}
+
+void BytecodeBuilder::anewArray(const std::string &Cls) {
+  Code.writeU1(static_cast<uint8_t>(Op::ANewArray));
+  Code.writeU2(classIndex(Cls));
+}
+
+void BytecodeBuilder::checkCast(const std::string &Cls) {
+  Code.writeU1(static_cast<uint8_t>(Op::CheckCast));
+  Code.writeU2(classIndex(Cls));
+}
+
+void BytecodeBuilder::instanceOf(const std::string &Cls) {
+  Code.writeU1(static_cast<uint8_t>(Op::InstanceOf));
+  Code.writeU2(classIndex(Cls));
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+BytecodeBuilder::Label BytecodeBuilder::newLabel() {
+  LabelOffsets.push_back(-1);
+  return LabelOffsets.size() - 1;
+}
+
+void BytecodeBuilder::placeLabel(Label L) {
+  assert(LabelOffsets[L] == -1 && "label placed twice");
+  LabelOffsets[L] = static_cast<int32_t>(Code.size());
+}
+
+void BytecodeBuilder::branch(Op O, Label L) {
+  const OpInfo &Info = opInfo(O);
+  assert(Info.Format == OpFormat::Branch2 && "branch() takes 16-bit ops");
+  size_t InsnAt = Code.size();
+  Code.writeU1(static_cast<uint8_t>(O));
+  size_t OperandAt = Code.size();
+  Code.writeU2(0);
+  Fixups.push_back({OperandAt, InsnAt, L, false});
+  adjust(-static_cast<int>(stackSlots(Info.Pops)));
+}
+
+void BytecodeBuilder::tableSwitch(int32_t Low,
+                                  const std::vector<Label> &Cases,
+                                  Label Default) {
+  size_t InsnAt = Code.size();
+  Code.writeU1(static_cast<uint8_t>(Op::TableSwitch));
+  while (Code.size() % 4 != 0)
+    Code.writeU1(0);
+  Fixups.push_back({Code.size(), InsnAt, Default, true});
+  Code.writeU4(0);
+  Code.writeU4(static_cast<uint32_t>(Low));
+  Code.writeU4(static_cast<uint32_t>(Low + static_cast<int32_t>(Cases.size()) - 1));
+  for (Label L : Cases) {
+    Fixups.push_back({Code.size(), InsnAt, L, true});
+    Code.writeU4(0);
+  }
+  adjust(-1);
+}
+
+void BytecodeBuilder::lookupSwitch(const std::vector<int32_t> &Keys,
+                                   const std::vector<Label> &Cases,
+                                   Label Default) {
+  assert(Keys.size() == Cases.size());
+  size_t InsnAt = Code.size();
+  Code.writeU1(static_cast<uint8_t>(Op::LookupSwitch));
+  while (Code.size() % 4 != 0)
+    Code.writeU1(0);
+  Fixups.push_back({Code.size(), InsnAt, Default, true});
+  Code.writeU4(0);
+  Code.writeU4(static_cast<uint32_t>(Keys.size()));
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    Code.writeU4(static_cast<uint32_t>(Keys[I]));
+    Fixups.push_back({Code.size(), InsnAt, Cases[I], true});
+    Code.writeU4(0);
+  }
+  adjust(-1);
+}
+
+void BytecodeBuilder::ret(VType T) {
+  switch (T) {
+  case VType::Void:
+    Code.writeU1(static_cast<uint8_t>(Op::Return));
+    break;
+  case VType::Int:
+    Code.writeU1(static_cast<uint8_t>(Op::IReturn));
+    adjust(-1);
+    break;
+  case VType::Long:
+    Code.writeU1(static_cast<uint8_t>(Op::LReturn));
+    adjust(-2);
+    break;
+  case VType::Float:
+    Code.writeU1(static_cast<uint8_t>(Op::FReturn));
+    adjust(-1);
+    break;
+  case VType::Double:
+    Code.writeU1(static_cast<uint8_t>(Op::DReturn));
+    adjust(-2);
+    break;
+  default:
+    Code.writeU1(static_cast<uint8_t>(Op::AReturn));
+    adjust(-1);
+    break;
+  }
+}
+
+void BytecodeBuilder::addExceptionRegion(Label Start, Label End,
+                                         Label Handler,
+                                         const std::string &CatchClass) {
+  Regions.push_back({Start, End, Handler, CatchClass});
+}
+
+void BytecodeBuilder::beginHandler() {
+  Depth = 1; // the thrown reference
+  if (Depth > MaxStack)
+    MaxStack = Depth;
+}
+
+CodeAttribute BytecodeBuilder::finish() {
+  for (const Fixup &F : Fixups) {
+    int32_t Target = LabelOffsets[F.Target];
+    assert(Target >= 0 && "branch to unplaced label");
+    int32_t Delta = Target - static_cast<int32_t>(F.InsnAt);
+    if (F.Wide4)
+      Code.patchU4(F.At, static_cast<uint32_t>(Delta));
+    else
+      Code.patchU2(F.At, static_cast<uint16_t>(Delta));
+  }
+  CodeAttribute Out;
+  Out.MaxStack = static_cast<uint16_t>(MaxStack);
+  Out.MaxLocals = static_cast<uint16_t>(MaxLocals);
+  Out.Code = Code.take();
+  for (const Region &R : Regions) {
+    ExceptionTableEntry E;
+    E.StartPc = static_cast<uint16_t>(LabelOffsets[R.Start]);
+    E.EndPc = static_cast<uint16_t>(LabelOffsets[R.End]);
+    E.HandlerPc = static_cast<uint16_t>(LabelOffsets[R.Handler]);
+    E.CatchType = R.CatchClass.empty() ? 0 : CP.addClass(R.CatchClass);
+    Out.ExceptionTable.push_back(E);
+  }
+  return Out;
+}

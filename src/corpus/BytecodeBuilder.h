@@ -1,0 +1,135 @@
+//===- BytecodeBuilder.h - typed JVM bytecode assembler --------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small assembler for JVM method bodies: typed push/load/store/invoke
+/// primitives with operand-stack depth tracking, label-based branches
+/// with fixups, and exception-table regions. This is the code-generation
+/// backend of the synthetic corpus's mini compiler; it guarantees the
+/// emitted code is structurally valid (balanced stack, in-range locals,
+/// resolvable branches) so the packer exercises the same invariants real
+/// javac output would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_CORPUS_BYTECODEBUILDER_H
+#define CJPACK_CORPUS_BYTECODEBUILDER_H
+
+#include "bytecode/Opcodes.h"
+#include "classfile/ClassFile.h"
+#include "classfile/Descriptor.h"
+#include "support/ByteBuffer.h"
+#include <string>
+#include <vector>
+
+namespace cjpack {
+
+/// Assembles one method body.
+class BytecodeBuilder {
+public:
+  /// \p CP is the pool of the classfile under construction; \p NumParams
+  /// is the number of local slots occupied by the receiver (if any) and
+  /// parameters.
+  BytecodeBuilder(ConstantPool &CP, unsigned ParamSlots);
+
+  /// \name Constants
+  /// @{
+  void pushInt(int32_t V);
+  void pushLong(int64_t V);
+  void pushFloat(float V);
+  void pushDouble(double V);
+  void pushString(const std::string &S);
+  void pushNull();
+  /// @}
+
+  /// \name Locals
+  /// @{
+  /// Reserves a fresh local slot (two for long/double).
+  unsigned newLocal(VType T);
+  void loadLocal(VType T, unsigned Index);
+  void storeLocal(VType T, unsigned Index);
+  void iinc(unsigned Index, int8_t Delta);
+  unsigned maxLocals() const { return MaxLocals; }
+  /// @}
+
+  /// \name Operators
+  /// @{
+  /// Emits a no-operand opcode with stack delta derived from its table
+  /// entry (arithmetic, conversion, comparison, array access, dup/pop,
+  /// monitors, arraylength, athrow).
+  void op(Op O);
+  /// @}
+
+  /// \name Fields and methods
+  /// @{
+  void getField(const std::string &Cls, const std::string &Name,
+                const std::string &Desc, bool IsStatic);
+  void putField(const std::string &Cls, const std::string &Name,
+                const std::string &Desc, bool IsStatic);
+  void invoke(Op Kind, const std::string &Cls, const std::string &Name,
+              const std::string &Desc);
+  void newObject(const std::string &Cls);
+  void newArray(char ElemType); ///< primitive newarray
+  void anewArray(const std::string &Cls);
+  void checkCast(const std::string &Cls);
+  void instanceOf(const std::string &Cls);
+  /// @}
+
+  /// \name Control flow
+  /// @{
+  using Label = size_t;
+  Label newLabel();
+  void placeLabel(Label L);
+  /// Conditional/unconditional branch to \p L (forward or backward).
+  void branch(Op O, Label L);
+  void tableSwitch(int32_t Low, const std::vector<Label> &Cases,
+                   Label Default);
+  void lookupSwitch(const std::vector<int32_t> &Keys,
+                    const std::vector<Label> &Cases, Label Default);
+  void ret(VType T); ///< typed return ('Void' emits return)
+  /// Registers a try-region: [Start, End) with handler at \p Handler.
+  /// Pass empty \p CatchClass for a catch-all.
+  void addExceptionRegion(Label Start, Label End, Label Handler,
+                          const std::string &CatchClass);
+  /// Marks the current position as an exception-handler entry (stack
+  /// becomes [throwable]).
+  void beginHandler();
+  /// @}
+
+  /// Current operand stack depth in slots.
+  unsigned stackDepth() const { return Depth; }
+
+  /// Finalizes: patches branches, builds the Code attribute.
+  CodeAttribute finish();
+
+private:
+  void adjust(int Delta);
+  void emitBranchPlaceholder(Op O, Label L);
+  uint16_t classIndex(const std::string &Cls);
+
+  ConstantPool &CP;
+  ByteWriter Code;
+  unsigned Depth = 0;
+  unsigned MaxStack = 0;
+  unsigned MaxLocals;
+  std::vector<int32_t> LabelOffsets; ///< -1 until placed
+  struct Fixup {
+    size_t At;      ///< offset of the 2-byte operand
+    size_t InsnAt;  ///< offset of the opcode (branch base)
+    Label Target;
+    bool Wide4;     ///< 4-byte operand (switch entries)
+  };
+  std::vector<Fixup> Fixups;
+  struct Region {
+    Label Start, End, Handler;
+    std::string CatchClass;
+  };
+  std::vector<Region> Regions;
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_CORPUS_BYTECODEBUILDER_H

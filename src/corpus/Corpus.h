@@ -1,0 +1,74 @@
+//===- Corpus.h - synthetic benchmark corpora ------------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates synthetic Java classfile collections standing in for the
+/// paper's Table 1 benchmarks (SPEC JVM98, the JDK runtime, Swing, ...),
+/// which we cannot redistribute. Each benchmark is a deterministic
+/// function of its spec: package structure, class hierarchy, fields,
+/// method signatures, and bytecode bodies are synthesized with the
+/// statistical shape of real classfiles (Utf8-dominant constant pools,
+/// ~20% bytecode, skewed identifier reuse, aload_0/getfield idioms).
+///
+/// Scale note: specs are sized so generated sj0r totals land near the
+/// paper's Table 1 numbers at Scale = 1.0; benches accept a scale factor
+/// to trade fidelity for runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_CORPUS_CORPUS_H
+#define CJPACK_CORPUS_CORPUS_H
+
+#include "classfile/ClassFile.h"
+#include "corpus/Names.h"
+#include "zip/Jar.h"
+#include <string>
+#include <vector>
+
+namespace cjpack {
+
+/// Statistical flavour of generated method bodies.
+enum class CodeStyle : uint8_t {
+  Balanced,    ///< a mix of calls, branches, field traffic
+  Numeric,     ///< arithmetic-loop heavy, few strings (mpegaudio-like)
+  StringHeavy, ///< many string constants and calls (jess/db-like)
+};
+
+/// Parameters of one synthetic benchmark.
+struct CorpusSpec {
+  std::string Name;
+  std::string Description;
+  uint64_t Seed = 1;
+  unsigned NumClasses = 10;
+  unsigned NumPackages = 2;
+  unsigned MeanMethods = 8;
+  unsigned MeanFields = 5;
+  unsigned MeanStatements = 12;
+  unsigned PctInterfaces = 8;
+  NameStyle Style = NameStyle::Normal;
+  CodeStyle Code = CodeStyle::Balanced;
+  std::string Vendor = "com/example";
+  /// Emit SourceFile, LineNumberTable, and LocalVariableTable attributes,
+  /// as compilers do by default — the debug information §2 strips.
+  bool EmitDebugInfo = true;
+};
+
+/// Generates the classfiles of \p Spec (parsed model form).
+std::vector<ClassFile> generateCorpusClasses(const CorpusSpec &Spec);
+
+/// Generates the classfiles of \p Spec as named raw bytes.
+std::vector<NamedClass> generateCorpus(const CorpusSpec &Spec);
+
+/// The 19 benchmarks of Table 1, sized to approximate the paper's sj0r
+/// column scaled by \p Scale (class counts, not bytes, are scaled).
+std::vector<CorpusSpec> paperBenchmarks(double Scale = 1.0);
+
+/// Looks up one paper benchmark by name (e.g. "javac", "rt").
+CorpusSpec paperBenchmark(const std::string &Name, double Scale = 1.0);
+
+} // namespace cjpack
+
+#endif // CJPACK_CORPUS_CORPUS_H

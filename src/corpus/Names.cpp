@@ -1,0 +1,162 @@
+//===- Names.cpp - identifier and string synthesis ------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Names.h"
+
+using namespace cjpack;
+
+namespace {
+
+// Vocabulary skewed toward systems/GUI/compiler vocabulary, mirroring
+// the domains of the paper's benchmarks (runtime library, Swing, javac,
+// parser generators, codecs, ...).
+const char *const Words[] = {
+    "stream",  "buffer",   "event",    "handler", "node",    "tree",
+    "table",   "index",    "value",    "name",    "type",    "state",
+    "frame",   "panel",    "widget",   "layout",  "border",  "image",
+    "pixel",   "color",    "font",     "glyph",   "text",    "label",
+    "input",   "output",   "file",     "path",    "entry",   "cache",
+    "pool",    "queue",    "stack",    "list",    "map",     "set",
+    "key",     "token",    "parser",   "lexer",   "symbol",  "scope",
+    "method",  "field",    "class",    "member",  "access",  "modifier",
+    "sample",  "rate",     "channel",  "filter",  "codec",   "decoder",
+    "encoder", "packet",   "header",   "block",   "segment", "offset",
+    "length",  "count",    "total",    "limit",   "bound",   "range",
+    "window",  "view",     "model",    "control", "action",  "command",
+    "result",  "status",   "error",    "message", "reason",  "context",
+    "session", "request",  "response", "client",  "server",  "socket",
+    "thread",  "monitor",  "lock",     "task",    "job",     "worker",
+    "timer",   "clock",    "tick",     "delay",   "period",  "phase",
+    "graph",   "edge",     "vertex",   "weight",  "cost",    "score",
+    "matrix",  "vector",   "point",    "rect",    "shape",   "curve",
+    "audio",   "video",    "media",    "track",   "mixer",   "volume",
+    "user",    "group",    "owner",    "policy",  "rule",    "grammar",
+};
+constexpr size_t NumWords = sizeof(Words) / sizeof(Words[0]);
+
+const char *const ClassSuffixes[] = {
+    "Manager", "Factory", "Impl",    "Event",   "Listener", "Adapter",
+    "Handler", "Stream",  "Reader",  "Writer",  "Buffer",   "Util",
+    "Info",    "Entry",   "Context", "Support", "Model",    "View",
+    "Panel",   "Layout",  "Editor",  "Parser",  "Visitor",  "Builder",
+    "Filter",  "Cache",   "Table",   "Set",     "Map",      "Exception",
+};
+constexpr size_t NumClassSuffixes =
+    sizeof(ClassSuffixes) / sizeof(ClassSuffixes[0]);
+
+const char *const MethodVerbs[] = {
+    "get",    "set",    "is",     "has",    "add",     "remove",
+    "create", "build",  "make",   "find",   "lookup",  "resolve",
+    "read",   "write",  "open",   "close",  "flush",   "reset",
+    "init",   "update", "notify", "fire",   "dispatch", "handle",
+    "parse",  "scan",   "emit",   "encode", "decode",  "process",
+    "compute","apply",  "check",  "verify", "validate", "compare",
+};
+constexpr size_t NumMethodVerbs =
+    sizeof(MethodVerbs) / sizeof(MethodVerbs[0]);
+
+const char *const PackageRoots[] = {
+    "util", "io", "net", "awt", "swing", "text", "media", "codec",
+    "event", "image", "parser", "tools", "lang", "sql", "beans",
+    "security", "rmi", "applet", "accessibility", "naming",
+};
+constexpr size_t NumPackageRoots =
+    sizeof(PackageRoots) / sizeof(PackageRoots[0]);
+
+std::string capitalize(std::string S) {
+  if (!S.empty() && S[0] >= 'a' && S[0] <= 'z')
+    S[0] = static_cast<char>(S[0] - 'a' + 'A');
+  return S;
+}
+
+} // namespace
+
+std::string NameGen::word() { return Words[R.zipf(NumWords)]; }
+
+std::string NameGen::capWord() { return capitalize(word()); }
+
+// Uniformly drawn words give real code's long tail of one-off
+// identifiers; zipf-drawn words give the reused hot set.
+std::string NameGen::uniformWord() { return Words[R.below(NumWords)]; }
+
+std::string NameGen::capUniformWord() { return capitalize(uniformWord()); }
+
+std::string NameGen::shortName() {
+  // Obfuscators assign names in sequence: a, b, ..., z, aa, ab, ...
+  unsigned N = ObfCounter++;
+  std::string Out;
+  do {
+    Out.insert(Out.begin(), static_cast<char>('a' + N % 26));
+    N /= 26;
+  } while (N != 0);
+  return Out;
+}
+
+std::string NameGen::packageName(const std::string &RootVendor) {
+  std::string Out = RootVendor;
+  Out += '/';
+  Out += PackageRoots[R.zipf(NumPackageRoots)];
+  if (R.chance(40)) {
+    Out += '/';
+    Out += word();
+  }
+  return Out;
+}
+
+std::string NameGen::className() {
+  if (Style == NameStyle::Obfuscated)
+    return shortName();
+  std::string Out = capWord();
+  if (R.chance(75))
+    Out += capUniformWord();
+  if (R.chance(70))
+    Out += ClassSuffixes[R.zipf(NumClassSuffixes)];
+  return Out;
+}
+
+std::string NameGen::methodName() {
+  if (Style == NameStyle::Obfuscated)
+    return shortName();
+  std::string Out = MethodVerbs[R.zipf(NumMethodVerbs)];
+  // A zipf-hot head (accessors reused everywhere) over a long uniform
+  // tail of method names that appear in a single class.
+  if (R.chance(30)) {
+    Out += capWord();
+  } else {
+    Out += capUniformWord();
+    if (R.chance(55))
+      Out += capUniformWord();
+  }
+  return Out;
+}
+
+std::string NameGen::fieldName() {
+  if (Style == NameStyle::Obfuscated)
+    return shortName();
+  std::string Out = word();
+  if (R.chance(60))
+    Out += capUniformWord();
+  return Out;
+}
+
+std::string NameGen::stringLiteral() {
+  // Short natural-language fragments and property keys, as classfile
+  // string constants tend to be.
+  if (R.chance(25)) {
+    std::string Out = word();
+    Out += '.';
+    Out += word();
+    return Out;
+  }
+  unsigned N = static_cast<unsigned>(R.range(2, 10));
+  std::string Out;
+  for (unsigned I = 0; I < N; ++I) {
+    if (I)
+      Out += ' ';
+    Out += word();
+  }
+  return Out;
+}

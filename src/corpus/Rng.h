@@ -1,0 +1,69 @@
+//===- Rng.h - deterministic random source for corpus generation -*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (splitmix64) so every generated benchmark
+/// corpus is reproducible from its seed across platforms and runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_CORPUS_RNG_H
+#define CJPACK_CORPUS_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace cjpack {
+
+/// splitmix64-based deterministic generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0);
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi);
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability \p Percent / 100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+  /// Zipf-flavoured index in [0, N): small indices strongly preferred.
+  /// Matches the skewed reuse patterns of real identifier/constant use.
+  size_t zipf(size_t N) {
+    assert(N > 0);
+    // Repeatedly halve the range with probability 1/2.
+    size_t Hi = N;
+    while (Hi > 1 && chance(55))
+      Hi = (Hi + 1) / 2;
+    return below(Hi);
+  }
+
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_CORPUS_RNG_H

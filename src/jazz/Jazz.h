@@ -1,0 +1,48 @@
+//===- Jazz.h - the Jazz comparator format (§13.1) -------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reimplementation of the Jazz archive format [BHV98] as §13.1
+/// describes it, used as the comparator in Table 6 / Figure 2:
+///
+///  * a single global constant pool shared by every classfile — the
+///    "sharing" idea without the paper's factoring (package names stay
+///    inside class names, class names stay inside descriptors);
+///  * standard constant-pool entry kinds are retained;
+///  * references use fixed per-kind ids (first-seen order), with no
+///    locality adaptation (no move-to-front);
+///  * everything is serialized into one stream and zlib-compressed.
+///
+/// Like the packed format, decompression deterministically reproduces
+/// the prepareForPacking-canonical classfiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_JAZZ_JAZZ_H
+#define CJPACK_JAZZ_JAZZ_H
+
+#include "classfile/ClassFile.h"
+#include "support/Error.h"
+#include "zip/Jar.h"
+#include <vector>
+
+namespace cjpack {
+
+/// Packs prepared classfiles into a Jazz archive.
+Expected<std::vector<uint8_t>>
+jazzPack(const std::vector<ClassFile> &Classes, bool Compress = true);
+
+/// Unpacks a Jazz archive.
+Expected<std::vector<ClassFile>>
+jazzUnpack(const std::vector<uint8_t> &Archive);
+
+/// Parses + prepares raw classfiles, then packs them.
+Expected<std::vector<uint8_t>>
+jazzPackBytes(const std::vector<NamedClass> &Classes);
+
+} // namespace cjpack
+
+#endif // CJPACK_JAZZ_JAZZ_H

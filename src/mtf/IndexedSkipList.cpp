@@ -1,0 +1,149 @@
+//===- IndexedSkipList.cpp - order-statistic skiplist ---------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mtf/IndexedSkipList.h"
+#include <cassert>
+
+using namespace cjpack;
+
+IndexedSkipList::IndexedSkipList() : RngState(0x9E3779B97F4A7C15ull) {
+  Head.Height = MaxLevel;
+  Head.Links.resize(MaxLevel);
+}
+
+IndexedSkipList::~IndexedSkipList() { clear(); }
+
+void IndexedSkipList::clear() {
+  Node *N = Head.Links[0].Next;
+  while (N) {
+    Node *Next = N->Links[0].Next;
+    delete N;
+    N = Next;
+  }
+  for (auto &L : Head.Links)
+    L = {};
+  Size = 0;
+}
+
+uint8_t IndexedSkipList::randomHeight() {
+  // xorshift64*; geometric heights with p = 1/2.
+  RngState ^= RngState >> 12;
+  RngState ^= RngState << 25;
+  RngState ^= RngState >> 27;
+  uint64_t R = RngState * 0x2545F4914F6CDD1Dull;
+  uint8_t H = 1;
+  while ((R & 1) && H < MaxLevel) {
+    ++H;
+    R >>= 1;
+  }
+  return H;
+}
+
+void IndexedSkipList::attachFront(Node *N) {
+  assert(N->Height >= 1 && N->Links.size() == N->Height);
+  for (int L = 0; L < N->Height; ++L) {
+    N->Links[L] = Head.Links[L];
+    Head.Links[L].Next = N;
+    Head.Links[L].Width = 1;
+  }
+  // Links from the head that skip over the new front element lengthen
+  // by one.
+  for (int L = N->Height; L < MaxLevel; ++L)
+    if (Head.Links[L].Next)
+      ++Head.Links[L].Width;
+  ++Size;
+}
+
+IndexedSkipList::Node *IndexedSkipList::insertFront(uint32_t Value) {
+  Node *N = new Node;
+  N->Value = Value;
+  N->Height = randomHeight();
+  N->Links.resize(N->Height);
+  attachFront(N);
+  return N;
+}
+
+uint32_t IndexedSkipList::valueAt(size_t Pos) const {
+  assert(Pos < Size && "skiplist position out of range");
+  // 1-based rank search: advance while the link does not overshoot.
+  size_t Rank = Pos + 1;
+  size_t At = 0;
+  const Node *N = &Head;
+  for (int L = MaxLevel - 1; L >= 0; --L) {
+    while (N->Links[L].Next && At + N->Links[L].Width <= Rank) {
+      At += N->Links[L].Width;
+      N = N->Links[L].Next;
+    }
+    if (At == Rank)
+      return N->Value;
+  }
+  assert(false && "rank search failed");
+  return N->Value;
+}
+
+IndexedSkipList::Node *IndexedSkipList::detachAt(size_t Pos) {
+  assert(Pos < Size && "skiplist position out of range");
+  size_t Rank = Pos + 1;
+  // Collect, per level, the last node strictly before Rank.
+  Node *Preds[MaxLevel];
+  size_t At = 0;
+  Node *N = &Head;
+  for (int L = MaxLevel - 1; L >= 0; --L) {
+    while (N->Links[L].Next && At + N->Links[L].Width < Rank) {
+      At += N->Links[L].Width;
+      N = N->Links[L].Next;
+    }
+    Preds[L] = N;
+  }
+  Node *Target = Preds[0]->Links[0].Next;
+  assert(Target && "detach target missing");
+  for (int L = 0; L < MaxLevel; ++L) {
+    if (L < Target->Height) {
+      Preds[L]->Links[L].Width += Target->Links[L].Width - 1;
+      Preds[L]->Links[L].Next = Target->Links[L].Next;
+      if (!Preds[L]->Links[L].Next)
+        Preds[L]->Links[L].Width = 0;
+    } else if (Preds[L]->Links[L].Next) {
+      --Preds[L]->Links[L].Width;
+    }
+  }
+  --Size;
+  return Target;
+}
+
+void IndexedSkipList::eraseAt(size_t Pos) { delete detachAt(Pos); }
+
+IndexedSkipList::Node *IndexedSkipList::moveToFront(size_t Pos) {
+  if (Pos == 0) {
+    Node *Front = Head.Links[0].Next;
+    assert(Front && "moveToFront on empty list");
+    return Front;
+  }
+  Node *N = detachAt(Pos);
+  attachFront(N);
+  return N;
+}
+
+size_t IndexedSkipList::positionOf(const Node *N) const {
+  // Walk to the end following each node's highest non-null link,
+  // accumulating the distance; position = size - distance-to-end.
+  size_t Dist = 0;
+  const Node *Cur = N;
+  while (true) {
+    int L = Cur->Height - 1;
+    while (L >= 0 && !Cur->Links[L].Next)
+      --L;
+    if (L < 0)
+      break;
+    Dist += Cur->Links[L].Width;
+    Cur = Cur->Links[L].Next;
+  }
+  assert(Dist < Size || (Dist == Size && N != &Head));
+  return Size - 1 - Dist;
+}
+
+// Position math: the last element has distance-to-end 0 and position
+// Size-1, hence the Size - 1 - Dist above.

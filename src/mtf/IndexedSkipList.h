@@ -1,0 +1,85 @@
+//===- IndexedSkipList.h - order-statistic skiplist ------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A skiplist [Pug90] modified so every link records the distance it
+/// travels forward in the list, giving O(log n) expected access by
+/// position and O(log k) expected move-to-front of the element at
+/// position k — the structure §5 of the paper uses to implement its
+/// move-to-front queues.
+///
+/// The list stores uint32_t element ids (reference coders map objects to
+/// dense ids). Nodes are stable: moveToFront detaches and re-attaches
+/// the same node, so external pointers into the list stay valid — the
+/// compressor's value→node hashtable depends on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_MTF_INDEXEDSKIPLIST_H
+#define CJPACK_MTF_INDEXEDSKIPLIST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cjpack {
+
+/// Skiplist with positional access; front of the list is position 0.
+class IndexedSkipList {
+public:
+  static constexpr int MaxLevel = 32;
+
+  struct Node {
+    struct Link {
+      Node *Next = nullptr;
+      size_t Width = 0; ///< positions skipped by following this link
+    };
+    uint32_t Value = 0;
+    uint8_t Height = 0;
+    std::vector<Link> Links; ///< Height entries, level 0 first
+  };
+
+  IndexedSkipList();
+  ~IndexedSkipList();
+  IndexedSkipList(const IndexedSkipList &) = delete;
+  IndexedSkipList &operator=(const IndexedSkipList &) = delete;
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  /// Inserts \p Value at the front; returns its (stable) node.
+  Node *insertFront(uint32_t Value);
+
+  /// Value at position \p Pos (0-based).
+  uint32_t valueAt(size_t Pos) const;
+
+  /// Detaches and frees the node at \p Pos.
+  void eraseAt(size_t Pos);
+
+  /// Moves the element at \p Pos to the front; returns its node.
+  Node *moveToFront(size_t Pos);
+
+  /// Position of \p N, computed by walking the highest outgoing link of
+  /// each node to the end of the list and subtracting from the size —
+  /// the compressor-side operation described in §5.
+  size_t positionOf(const Node *N) const;
+
+  /// Removes every element.
+  void clear();
+
+private:
+  uint8_t randomHeight();
+  Node *detachAt(size_t Pos);
+  void attachFront(Node *N);
+
+  Node Head;
+  size_t Size = 0;
+  uint64_t RngState;
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_MTF_INDEXEDSKIPLIST_H

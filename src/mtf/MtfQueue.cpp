@@ -1,0 +1,44 @@
+//===- MtfQueue.cpp - move-to-front queue over a skiplist -----------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mtf/MtfQueue.h"
+#include <cassert>
+
+using namespace cjpack;
+
+std::optional<size_t> MtfQueue::use(uint32_t Value, bool InsertIfNew) {
+  auto It = Index.find(Value);
+  if (It == Index.end()) {
+    if (InsertIfNew)
+      Index.emplace(Value, List.insertFront(Value));
+    return std::nullopt;
+  }
+  size_t Pos = List.positionOf(It->second);
+  List.moveToFront(Pos);
+  return Pos;
+}
+
+std::optional<size_t> MtfQueue::find(uint32_t Value) const {
+  auto It = Index.find(Value);
+  if (It == Index.end())
+    return std::nullopt;
+  return List.positionOf(It->second);
+}
+
+void MtfQueue::pushFront(uint32_t Value) {
+  if (Index.count(Value))
+    return;
+  Index.emplace(Value, List.insertFront(Value));
+}
+
+uint32_t MtfQueue::useAt(size_t Pos) {
+  // Out-of-range positions only arise from corrupt wire input; recover
+  // safely (the caller's structural checks will reject the result).
+  if (Pos >= List.size())
+    return 0;
+  IndexedSkipList::Node *N = List.moveToFront(Pos);
+  return N->Value;
+}

@@ -1,0 +1,55 @@
+//===- MtfQueue.h - move-to-front queue over a skiplist --------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The move-to-front queue of §5. The compressor side pairs the indexed
+/// skiplist with a hashtable from element ids to skiplist nodes, so that
+/// "have we seen this element, and where is it now?" is O(log n)
+/// expected. The decompressor side only ever accesses by position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_MTF_MTFQUEUE_H
+#define CJPACK_MTF_MTFQUEUE_H
+
+#include "mtf/IndexedSkipList.h"
+#include <optional>
+#include <unordered_map>
+
+namespace cjpack {
+
+/// Move-to-front queue of element ids.
+class MtfQueue {
+public:
+  size_t size() const { return List.size(); }
+  bool contains(uint32_t Value) const { return Index.count(Value) != 0; }
+
+  /// Compressor: if \p Value is present, returns its current position
+  /// and moves it to the front. If absent, returns nullopt and inserts
+  /// it at the front when \p InsertIfNew (the transients variant keeps
+  /// once-only objects out of the queue).
+  std::optional<size_t> use(uint32_t Value, bool InsertIfNew = true);
+
+  /// Compressor: position of \p Value without mutating, if present.
+  std::optional<size_t> find(uint32_t Value) const;
+
+  /// Inserts \p Value at the front (decoder's "new object" action; also
+  /// used when a method reference must be seeded into several queues,
+  /// §5.1.6). No-op if already present.
+  void pushFront(uint32_t Value);
+
+  /// Decompressor: returns the value at \p Pos and moves it to the
+  /// front.
+  uint32_t useAt(size_t Pos);
+
+private:
+  IndexedSkipList List;
+  std::unordered_map<uint32_t, IndexedSkipList::Node *> Index;
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_MTF_MTFQUEUE_H

@@ -1,0 +1,75 @@
+//===- ClassOrder.cpp - eager-loading class order (§11) -------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pack/ClassOrder.h"
+#include <map>
+#include <string>
+
+using namespace cjpack;
+
+namespace {
+
+struct OrderBuilder {
+  const std::vector<ClassFile> &Classes;
+  std::map<std::string, size_t> ByName;
+  std::vector<uint8_t> State; ///< 0 unvisited, 1 on stack, 2 done
+  std::vector<size_t> Order;
+
+  explicit OrderBuilder(const std::vector<ClassFile> &Classes)
+      : Classes(Classes), State(Classes.size(), 0) {
+    for (size_t I = 0; I < Classes.size(); ++I)
+      ByName.emplace(Classes[I].thisClassName(), I);
+  }
+
+  void visitName(const std::string &Name) {
+    auto It = ByName.find(Name);
+    if (It != ByName.end())
+      visit(It->second);
+  }
+
+  void visit(size_t I) {
+    if (State[I] != 0)
+      return; // done, or an inheritance cycle (malformed input): skip
+    State[I] = 1;
+    const ClassFile &CF = Classes[I];
+    if (CF.SuperClass != 0)
+      visitName(CF.CP.className(CF.SuperClass));
+    for (uint16_t Iface : CF.Interfaces)
+      visitName(CF.CP.className(Iface));
+    State[I] = 2;
+    Order.push_back(I);
+  }
+};
+
+} // namespace
+
+std::vector<size_t>
+cjpack::eagerLoadOrder(const std::vector<ClassFile> &Classes) {
+  OrderBuilder B(Classes);
+  for (size_t I = 0; I < Classes.size(); ++I)
+    B.visit(I);
+  return B.Order;
+}
+
+bool cjpack::isEagerLoadable(const std::vector<ClassFile> &Classes) {
+  std::map<std::string, size_t> ByName;
+  for (size_t I = 0; I < Classes.size(); ++I)
+    ByName.emplace(Classes[I].thisClassName(), I);
+  auto DefinedBefore = [&](const std::string &Name, size_t I) {
+    auto It = ByName.find(Name);
+    return It == ByName.end() || It->second < I;
+  };
+  for (size_t I = 0; I < Classes.size(); ++I) {
+    const ClassFile &CF = Classes[I];
+    if (CF.SuperClass != 0 &&
+        !DefinedBefore(CF.CP.className(CF.SuperClass), I))
+      return false;
+    for (uint16_t Iface : CF.Interfaces)
+      if (!DefinedBefore(CF.CP.className(Iface), I))
+        return false;
+  }
+  return true;
+}

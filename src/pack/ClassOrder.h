@@ -1,0 +1,32 @@
+//===- ClassOrder.h - eager-loading class order (§11) ----------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Orders classes so that each class's superclass and interfaces appear
+/// before it when they are in the same archive — the property §11 needs
+/// for eager class loading (defineClass as bytes arrive, no buffering).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_PACK_CLASSORDER_H
+#define CJPACK_PACK_CLASSORDER_H
+
+#include "classfile/ClassFile.h"
+#include <cstddef>
+#include <vector>
+
+namespace cjpack {
+
+/// Returns indices into \p Classes in a supertype-first topological
+/// order, stable with respect to the input order.
+std::vector<size_t> eagerLoadOrder(const std::vector<ClassFile> &Classes);
+
+/// True if every class is preceded by its in-archive supertypes.
+bool isEagerLoadable(const std::vector<ClassFile> &Classes);
+
+} // namespace cjpack
+
+#endif // CJPACK_PACK_CLASSORDER_H

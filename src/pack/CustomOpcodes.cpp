@@ -1,0 +1,161 @@
+//===- CustomOpcodes.cpp - digram custom opcodes (§7.2) -------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pack/CustomOpcodes.h"
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace cjpack;
+
+namespace {
+
+/// Shannon-entropy estimate of the whole stream in bits: each symbol of
+/// frequency p is charged log2(1/p).
+double estimateBits(const std::vector<uint16_t> &Stream) {
+  std::map<uint16_t, size_t> Counts;
+  for (uint16_t S : Stream)
+    ++Counts[S];
+  double Total = static_cast<double>(Stream.size());
+  double Bits = 0;
+  for (const auto &[Sym, N] : Counts)
+    Bits += static_cast<double>(N) *
+            std::log2(Total / static_cast<double>(N));
+  return Bits;
+}
+
+struct Candidate {
+  uint16_t First = 0;
+  uint16_t Second = 0;
+  bool Skip = false;
+  size_t Count = 0;
+  double Savings = 0;
+};
+
+/// Finds the adjacent pair or skip-pair with the best estimated savings.
+Candidate bestCandidate(const std::vector<uint16_t> &Stream) {
+  std::map<uint16_t, size_t> Counts;
+  for (uint16_t S : Stream)
+    ++Counts[S];
+  double Total = static_cast<double>(Stream.size());
+  auto BitsOf = [&](uint16_t S) {
+    return std::log2(Total / static_cast<double>(Counts[S]));
+  };
+
+  // Non-overlapping occurrence counts, scanned left to right the same
+  // way the rewrite pass will consume them.
+  std::map<std::pair<uint16_t, uint16_t>, size_t> Pairs;
+  for (size_t I = 0; I + 1 < Stream.size();) {
+    auto Key = std::make_pair(Stream[I], Stream[I + 1]);
+    ++Pairs[Key];
+    I += 1; // approximate: exact non-overlap is recomputed on rewrite
+  }
+  std::map<std::pair<uint16_t, uint16_t>, size_t> SkipPairs;
+  for (size_t I = 0; I + 2 < Stream.size(); ++I)
+    ++SkipPairs[{Stream[I], Stream[I + 2]}];
+
+  Candidate Best;
+  auto Consider = [&](uint16_t A, uint16_t B, bool Skip, size_t Count) {
+    if (Count < 2)
+      return;
+    // Replacing Count occurrences of (A, B) by a fresh opcode: the pair
+    // cost BitsOf(A)+BitsOf(B) each; the new opcode will occur with
+    // frequency Count/Total and cost about log2(Total/Count).
+    double NewBits = std::log2(Total / static_cast<double>(Count));
+    double Savings =
+        static_cast<double>(Count) * (BitsOf(A) + BitsOf(B) - NewBits);
+    if (Savings > Best.Savings) {
+      Best = {A, B, Skip, Count, Savings};
+    }
+  };
+  for (const auto &[Key, Count] : Pairs)
+    Consider(Key.first, Key.second, false, Count);
+  for (const auto &[Key, Count] : SkipPairs)
+    Consider(Key.first, Key.second, true, Count);
+  return Best;
+}
+
+/// Rewrites non-overlapping occurrences of the candidate with \p Code.
+std::vector<uint16_t> rewrite(const std::vector<uint16_t> &Stream,
+                              const Candidate &C, uint16_t Code) {
+  std::vector<uint16_t> Out;
+  Out.reserve(Stream.size());
+  size_t I = 0;
+  while (I < Stream.size()) {
+    if (!C.Skip && I + 1 < Stream.size() && Stream[I] == C.First &&
+        Stream[I + 1] == C.Second) {
+      Out.push_back(Code);
+      I += 2;
+    } else if (C.Skip && I + 2 < Stream.size() && Stream[I] == C.First &&
+               Stream[I + 2] == C.Second) {
+      Out.push_back(Code);
+      Out.push_back(Stream[I + 1]);
+      I += 3;
+    } else {
+      Out.push_back(Stream[I]);
+      I += 1;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+CustomOpcodeResult
+cjpack::buildCustomOpcodes(const std::vector<uint8_t> &Opcodes,
+                           unsigned MaxNewOps, uint16_t FirstNewSymbol) {
+  CustomOpcodeResult Result;
+  Result.Stream.assign(Opcodes.begin(), Opcodes.end());
+  Result.EstimatedBitsBefore = estimateBits(Result.Stream);
+  for (unsigned K = 0; K < MaxNewOps; ++K) {
+    if (Result.Stream.size() < 4)
+      break;
+    Candidate C = bestCandidate(Result.Stream);
+    if (C.Savings <= 0)
+      break;
+    uint16_t Code = static_cast<uint16_t>(FirstNewSymbol + K);
+    Result.Stream = rewrite(Result.Stream, C, Code);
+    Result.Codebook.push_back({Code, C.First, C.Second, C.Skip});
+  }
+  Result.EstimatedBitsAfter = estimateBits(Result.Stream);
+  return Result;
+}
+
+std::vector<uint8_t> cjpack::expandCustomOpcodes(
+    const std::vector<uint16_t> &Stream,
+    const std::vector<CustomOp> &Codebook, uint16_t FirstNewSymbol) {
+  // Undo the introductions newest-first; each is a stream-level inverse
+  // of rewrite().
+  std::vector<uint16_t> Cur = Stream;
+  for (auto It = Codebook.rbegin(); It != Codebook.rend(); ++It) {
+    std::vector<uint16_t> Next;
+    Next.reserve(Cur.size() * 2);
+    for (size_t I = 0; I < Cur.size();) {
+      if (Cur[I] == It->Code) {
+        Next.push_back(It->First);
+        if (It->Skip) {
+          assert(I + 1 < Cur.size() && "skip-pair missing middle symbol");
+          Next.push_back(Cur[I + 1]);
+          ++I;
+        }
+        Next.push_back(It->Second);
+        ++I;
+      } else {
+        Next.push_back(Cur[I]);
+        ++I;
+      }
+    }
+    Cur = std::move(Next);
+  }
+  std::vector<uint8_t> Out;
+  Out.reserve(Cur.size());
+  for (uint16_t S : Cur) {
+    assert(S < FirstNewSymbol && "unexpanded custom opcode");
+    (void)FirstNewSymbol;
+    Out.push_back(static_cast<uint8_t>(S));
+  }
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===- CustomOpcodes.h - digram custom opcodes (§7.2) ----------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §7.2 experiment: derive custom opcodes for frequent pairs of
+/// adjacent opcodes — including skip-pairs, which leave a one-opcode
+/// slot between the combined pair — choosing at each step the pair that
+/// most reduces the estimated entropy of the stream (an opcode occurring
+/// with frequency p is charged log2(1/p) bits). The paper found the
+/// gzip'd result only slightly better than gzip on the raw opcode
+/// stream and left the technique out of the shipping format; we keep it
+/// as an ablation (bench_ablation_custom_ops).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_PACK_CUSTOMOPCODES_H
+#define CJPACK_PACK_CUSTOMOPCODES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cjpack {
+
+/// One derived opcode: the pair (First, Second) it replaces, with
+/// \p Skip set when one original opcode sits between them (the skipped
+/// opcode stays in the stream, after the new opcode).
+struct CustomOp {
+  uint16_t Code;   ///< symbol value of the new opcode
+  uint16_t First;  ///< symbol it begins with (may itself be custom)
+  uint16_t Second; ///< symbol it ends with (may itself be custom)
+  bool Skip;       ///< skip-pair: First ? Second with a one-symbol gap
+};
+
+/// Result of the digram pass over a symbol stream.
+struct CustomOpcodeResult {
+  std::vector<uint16_t> Stream;    ///< rewritten symbol stream
+  std::vector<CustomOp> Codebook;  ///< introduced opcodes, in order
+  double EstimatedBitsBefore = 0;  ///< entropy estimate of the input
+  double EstimatedBitsAfter = 0;   ///< entropy estimate of the output
+};
+
+/// Greedily introduces up to \p MaxNewOps custom opcodes (symbols
+/// starting at \p FirstNewSymbol) into \p Opcodes, recalculating
+/// frequencies after each introduction.
+CustomOpcodeResult buildCustomOpcodes(const std::vector<uint8_t> &Opcodes,
+                                      unsigned MaxNewOps,
+                                      uint16_t FirstNewSymbol = 256);
+
+/// Expands a rewritten stream back to the original opcodes (inverse of
+/// buildCustomOpcodes; cheap, as the paper notes decompression is).
+std::vector<uint8_t> expandCustomOpcodes(
+    const std::vector<uint16_t> &Stream,
+    const std::vector<CustomOp> &Codebook, uint16_t FirstNewSymbol = 256);
+
+} // namespace cjpack
+
+#endif // CJPACK_PACK_CUSTOMOPCODES_H

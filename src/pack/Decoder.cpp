@@ -1,0 +1,833 @@
+//===- Decoder.cpp - packed archive decoder -------------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The decoder mirrors the encoder's preorder traversal exactly: the same
+// streams are read in the same order, the same approximate stack state
+// machine resolves collapsed pseudo-opcodes, and the reference decoder's
+// queues evolve in lock step with the encoder's. Classfile
+// reconstruction assigns int/float/string constants the smallest
+// constant-pool indices so every ldc operand fits in one byte (§9), then
+// canonicalizes the pool, making decompression deterministic (§12).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Instruction.h"
+#include "classfile/Transform.h"
+#include "classfile/Writer.h"
+#include "pack/CodeCommon.h"
+#include "pack/Packer.h"
+#include "pack/Preload.h"
+#include "zip/Manifest.h"
+#include "support/VarInt.h"
+#include <optional>
+
+using namespace cjpack;
+
+namespace {
+
+struct DecodedConst {
+  ConstKind Kind = ConstKind::None;
+  int64_t IntValue = 0;
+  uint64_t RawBits = 0;
+  uint32_t Id = 0;
+};
+
+struct DecodedCode {
+  uint32_t MaxStack = 0;
+  uint32_t MaxLocals = 0;
+  struct Exc {
+    uint32_t StartPc, EndPc, HandlerPc;
+    bool HasCatch = false;
+    uint32_t CatchClass = 0;
+  };
+  std::vector<Exc> Table;
+  std::vector<Insn> Insns;
+  std::vector<CodeOperand> Operands; ///< parallel to Insns
+};
+
+struct DecodedField {
+  uint32_t Flags = 0;
+  uint32_t RefId = 0;
+  DecodedConst Const;
+};
+
+struct DecodedMethod {
+  uint32_t Flags = 0;
+  uint32_t RefId = 0;
+  std::vector<uint32_t> Exceptions;
+  std::optional<DecodedCode> Code;
+};
+
+struct DecodedClass {
+  uint32_t MinorVersion = 0, MajorVersion = 0;
+  uint32_t Flags = 0;
+  uint32_t ThisId = 0;
+  bool HasSuper = false;
+  uint32_t SuperId = 0;
+  std::vector<uint32_t> Interfaces;
+  std::vector<DecodedField> Fields;
+  std::vector<DecodedMethod> Methods;
+};
+
+class ArchiveReader {
+public:
+  ArchiveReader(Model &M, RefDecoder &Dec, StreamSet &S,
+                RefScheme Scheme)
+      : M(M), Dec(Dec), S(S), Scheme(Scheme) {}
+
+  Expected<std::vector<DecodedClass>> decodeArchive() {
+    size_t Count =
+        static_cast<size_t>(readVarUInt(S.in(StreamId::Counts)));
+    if (S.in(StreamId::Counts).hasError() || Count > (1u << 24))
+      return Error::failure("unpack: implausible class count");
+    std::vector<DecodedClass> Out;
+    Out.reserve(Count);
+    for (size_t I = 0; I < Count; ++I) {
+      auto DC = decodeClass();
+      if (!DC)
+        return DC.takeError();
+      Out.push_back(std::move(*DC));
+    }
+    return Out;
+  }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Reference decoding with inline definitions
+  //===--------------------------------------------------------------===//
+
+  std::string readString(StreamId Chars) {
+    size_t Len =
+        static_cast<size_t>(readVarUInt(S.in(StreamId::StringLengths)));
+    return S.in(Chars).readString(Len);
+  }
+
+  uint32_t readPackage() {
+    auto Existing = Dec.decode(poolId(PoolKind::Package), 0,
+                               S.in(StreamId::PackageRefs));
+    if (Existing)
+      return *Existing;
+    uint32_t Id = M.appendPackage(readString(StreamId::ClassNameChars));
+    Dec.registerNew(poolId(PoolKind::Package), 0, Id);
+    return Id;
+  }
+
+  uint32_t readSimpleName() {
+    auto Existing = Dec.decode(poolId(PoolKind::SimpleName), 0,
+                               S.in(StreamId::SimpleNameRefs));
+    if (Existing)
+      return *Existing;
+    uint32_t Id = M.appendSimpleName(readString(StreamId::ClassNameChars));
+    Dec.registerNew(poolId(PoolKind::SimpleName), 0, Id);
+    return Id;
+  }
+
+  uint32_t readFieldName() {
+    auto Existing = Dec.decode(poolId(PoolKind::FieldName), 0,
+                               S.in(StreamId::FieldNameRefs));
+    if (Existing)
+      return *Existing;
+    uint32_t Id = M.appendFieldName(readString(StreamId::NameChars));
+    Dec.registerNew(poolId(PoolKind::FieldName), 0, Id);
+    return Id;
+  }
+
+  uint32_t readMethodName() {
+    auto Existing = Dec.decode(poolId(PoolKind::MethodName), 0,
+                               S.in(StreamId::MethodNameRefs));
+    if (Existing)
+      return *Existing;
+    uint32_t Id = M.appendMethodName(readString(StreamId::NameChars));
+    Dec.registerNew(poolId(PoolKind::MethodName), 0, Id);
+    return Id;
+  }
+
+  uint32_t readStringConst() {
+    auto Existing = Dec.decode(poolId(PoolKind::StringConst), 0,
+                               S.in(StreamId::StringConstRefs));
+    if (Existing)
+      return *Existing;
+    uint32_t Id =
+        M.appendStringConst(readString(StreamId::StringConstChars));
+    Dec.registerNew(poolId(PoolKind::StringConst), 0, Id);
+    return Id;
+  }
+
+  uint32_t readClass() {
+    auto Existing = Dec.decode(poolId(PoolKind::ClassRefPool), 0,
+                               S.in(StreamId::ClassRefs));
+    if (Existing)
+      return *Existing;
+    MClassRef R;
+    R.Dims =
+        static_cast<uint8_t>(readVarUInt(S.in(StreamId::Counts)));
+    R.Base = static_cast<char>(S.in(StreamId::Counts).readU1());
+    if (R.Base == 'L') {
+      R.Package = readPackage();
+      R.Simple = readSimpleName();
+    }
+    uint32_t Id = M.appendClassRef(R);
+    Dec.registerNew(poolId(PoolKind::ClassRefPool), 0, Id);
+    return Id;
+  }
+
+  uint32_t readFieldRef(PoolKind Pool) {
+    Pool = effectivePool(Pool, Scheme);
+    auto Existing =
+        Dec.decode(poolId(Pool), 0, S.in(StreamId::FieldRefs));
+    if (Existing)
+      return *Existing;
+    MFieldRef R;
+    R.Owner = readClass();
+    R.Name = readFieldName();
+    R.Type = readClass();
+    uint32_t Id = M.appendFieldRef(R);
+    Dec.registerNew(poolId(Pool), 0, Id);
+    return Id;
+  }
+
+  uint32_t readMethodRef(PoolKind Pool, uint32_t Sub) {
+    Pool = effectivePool(Pool, Scheme);
+    auto Existing =
+        Dec.decode(poolId(Pool), Sub, S.in(StreamId::MethodRefs));
+    if (Existing)
+      return *Existing;
+    MMethodRef R;
+    R.Owner = readClass();
+    R.Name = readMethodName();
+    size_t SigLen =
+        static_cast<size_t>(readVarUInt(S.in(StreamId::Counts)));
+    // A method has at most 255 parameter slots plus the return type;
+    // anything larger is corrupt input. Clamp so a garbage varint
+    // cannot drive an unbounded loop; a too-short signature gets a
+    // void return so later lookups stay in bounds.
+    if (SigLen > 257)
+      SigLen = 257;
+    R.Sig.reserve(SigLen);
+    for (size_t K = 0; K < SigLen; ++K)
+      R.Sig.push_back(readClass());
+    if (R.Sig.empty()) {
+      MClassRef Void;
+      Void.Base = 'V';
+      R.Sig.push_back(M.appendClassRef(Void));
+    }
+    uint32_t Id = M.appendMethodRef(std::move(R));
+    Dec.registerNew(poolId(Pool), Sub, Id);
+    return Id;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Structure
+  //===--------------------------------------------------------------===//
+
+  static PoolKind methodDefPool(uint32_t MethodFlags,
+                                uint32_t ClassFlags) {
+    if (ClassFlags & AccInterface)
+      return PoolKind::MethodInterface;
+    if (MethodFlags & AccStatic)
+      return PoolKind::MethodStatic;
+    if (MethodFlags & AccPrivate)
+      return PoolKind::MethodSpecial;
+    return PoolKind::MethodVirtual;
+  }
+
+  Expected<DecodedClass> decodeClass() {
+    ByteReader &Counts = S.in(StreamId::Counts);
+    DecodedClass DC;
+    DC.MinorVersion = static_cast<uint32_t>(readVarUInt(Counts));
+    DC.MajorVersion = static_cast<uint32_t>(readVarUInt(Counts));
+    DC.Flags =
+        static_cast<uint32_t>(readVarUInt(S.in(StreamId::Flags)));
+    DC.ThisId = readClass();
+    DC.HasSuper = (DC.Flags & PackedFlagAux0) != 0;
+    if (DC.HasSuper)
+      DC.SuperId = readClass();
+    size_t IfaceCount = static_cast<size_t>(readVarUInt(Counts));
+    if (Counts.hasError() || IfaceCount > 0xFFFF)
+      return Error::failure("unpack: truncated class header");
+    for (size_t K = 0; K < IfaceCount; ++K)
+      DC.Interfaces.push_back(readClass());
+
+    size_t FieldCount = static_cast<size_t>(readVarUInt(Counts));
+    if (Counts.hasError() || FieldCount > 0xFFFF)
+      return Error::failure("unpack: implausible field count");
+    for (size_t K = 0; K < FieldCount; ++K) {
+      auto F = decodeField();
+      if (!F)
+        return F.takeError();
+      DC.Fields.push_back(std::move(*F));
+    }
+    size_t MethodCount = static_cast<size_t>(readVarUInt(Counts));
+    if (Counts.hasError() || MethodCount > 0xFFFF)
+      return Error::failure("unpack: implausible method count");
+    for (size_t K = 0; K < MethodCount; ++K) {
+      auto Mth = decodeMethod(DC.Flags);
+      if (!Mth)
+        return Mth.takeError();
+      DC.Methods.push_back(std::move(*Mth));
+    }
+    if (Counts.hasError())
+      return Error::failure("unpack: truncated class body");
+    return DC;
+  }
+
+  Expected<DecodedField> decodeField() {
+    DecodedField F;
+    F.Flags = static_cast<uint32_t>(readVarUInt(S.in(StreamId::Flags)));
+    PoolKind Pool = (F.Flags & AccStatic) ? PoolKind::FieldStatic
+                                          : PoolKind::FieldInstance;
+    F.RefId = readFieldRef(Pool);
+    if (F.Flags & PackedFlagAux0) {
+      VType T = M.classRefVType(M.fieldRef(F.RefId).Type);
+      switch (T) {
+      case VType::Int:
+        F.Const.Kind = ConstKind::Int;
+        F.Const.IntValue = readVarInt(S.in(StreamId::IntConsts));
+        break;
+      case VType::Float:
+        F.Const.Kind = ConstKind::Float;
+        F.Const.RawBits = S.in(StreamId::FloatConsts).readU4();
+        break;
+      case VType::Long:
+        F.Const.Kind = ConstKind::Long;
+        F.Const.RawBits = S.in(StreamId::LongConsts).readU8();
+        break;
+      case VType::Double:
+        F.Const.Kind = ConstKind::Double;
+        F.Const.RawBits = S.in(StreamId::DoubleConsts).readU8();
+        break;
+      case VType::Ref:
+        F.Const.Kind = ConstKind::String;
+        F.Const.Id = readStringConst();
+        break;
+      default:
+        return Error::failure("unpack: constant on untyped field");
+      }
+    }
+    return F;
+  }
+
+  Expected<DecodedMethod> decodeMethod(uint32_t ClassFlags) {
+    DecodedMethod DM;
+    DM.Flags = static_cast<uint32_t>(readVarUInt(S.in(StreamId::Flags)));
+    DM.RefId = readMethodRef(methodDefPool(DM.Flags, ClassFlags), 0);
+    if (DM.Flags & PackedFlagAux1) {
+      size_t N =
+          static_cast<size_t>(readVarUInt(S.in(StreamId::Counts)));
+      if (S.in(StreamId::Counts).hasError() || N > 0xFFFF)
+        return Error::failure("unpack: truncated Exceptions");
+      for (size_t K = 0; K < N; ++K)
+        DM.Exceptions.push_back(readClass());
+    }
+    if (DM.Flags & PackedFlagAux0) {
+      auto Code = decodeCodeBlock();
+      if (!Code)
+        return Code.takeError();
+      DM.Code = std::move(*Code);
+    }
+    return DM;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Bytecode (§7)
+  //===--------------------------------------------------------------===//
+
+  Expected<DecodedCode> decodeCodeBlock() {
+    ByteReader &Counts = S.in(StreamId::Counts);
+    DecodedCode DC;
+    DC.MaxStack = static_cast<uint32_t>(readVarUInt(Counts));
+    DC.MaxLocals = static_cast<uint32_t>(readVarUInt(Counts));
+    size_t ExcCount = static_cast<size_t>(readVarUInt(Counts));
+    size_t InsnCount = static_cast<size_t>(readVarUInt(Counts));
+    // A code array is capped at 65535 bytes, so instruction and handler
+    // counts beyond that are corrupt.
+    if (Counts.hasError() || ExcCount > 0xFFFF || InsnCount > 0xFFFF)
+      return Error::failure("unpack: truncated code header");
+    for (size_t K = 0; K < ExcCount; ++K) {
+      DecodedCode::Exc E;
+      ByteReader &B = S.in(StreamId::BranchOffsets);
+      E.StartPc = static_cast<uint32_t>(readVarUInt(B));
+      E.EndPc = E.StartPc + static_cast<uint32_t>(readVarUInt(B));
+      E.HandlerPc = static_cast<uint32_t>(readVarUInt(B));
+      E.HasCatch = Counts.readU1() != 0;
+      if (E.HasCatch)
+        E.CatchClass = readClass();
+      DC.Table.push_back(E);
+    }
+
+    StackState State;
+    State.startMethod();
+    uint32_t Offset = 0;
+    DC.Insns.reserve(InsnCount);
+    DC.Operands.reserve(InsnCount);
+    for (size_t K = 0; K < InsnCount; ++K) {
+      auto R = decodeInsn(Offset, State);
+      if (!R)
+        return R.takeError();
+      Insn &I = R->first;
+      I.Offset = Offset;
+      I.Length = encodedLength(I, Offset);
+      Offset += I.Length;
+      InsnTypes Types = insnTypesFor(M, I, R->second);
+      static const bool Trace = getenv("CJPACK_TRACE") != nullptr;
+      if (Trace)
+        fprintf(stderr, "D %u %s known=%d top=%d ctx=%u\n", I.Offset,
+                opInfo(I.Opcode).Mnemonic, State.isKnown(),
+                (int)State.top(), State.contextId());
+      State.apply(I, &Types);
+      DC.Insns.push_back(std::move(R->first));
+      DC.Operands.push_back(R->second);
+    }
+    return DC;
+  }
+
+  Expected<std::pair<Insn, CodeOperand>> decodeInsn(uint32_t Offset,
+                                                    StackState &State) {
+    ByteReader &Ops = S.in(StreamId::Opcodes);
+    Insn I;
+    CodeOperand Operand;
+    uint8_t Code = Ops.readU1();
+    if (Code == static_cast<uint8_t>(Op::Wide)) {
+      I.IsWide = true;
+      Code = Ops.readU1();
+    }
+    if (Ops.hasError())
+      return Error::failure("unpack: truncated opcode stream");
+
+    // Resolve pseudo-opcodes.
+    bool LdcShort = false;
+    switch (Code) {
+    case PseudoLdcInt:
+    case PseudoLdcWInt:
+      Operand.Kind = ConstKind::Int;
+      LdcShort = Code == PseudoLdcInt;
+      I.Opcode = LdcShort ? Op::Ldc : Op::LdcW;
+      break;
+    case PseudoLdcFloat:
+    case PseudoLdcWFloat:
+      Operand.Kind = ConstKind::Float;
+      LdcShort = Code == PseudoLdcFloat;
+      I.Opcode = LdcShort ? Op::Ldc : Op::LdcW;
+      break;
+    case PseudoLdcString:
+    case PseudoLdcWString:
+      Operand.Kind = ConstKind::String;
+      LdcShort = Code == PseudoLdcString;
+      I.Opcode = LdcShort ? Op::Ldc : Op::LdcW;
+      break;
+    case PseudoLdc2Long:
+      Operand.Kind = ConstKind::Long;
+      I.Opcode = Op::Ldc2W;
+      break;
+    case PseudoLdc2Double:
+      Operand.Kind = ConstKind::Double;
+      I.Opcode = Op::Ldc2W;
+      break;
+    default:
+      if (isFamilyPseudo(Code)) {
+        OpFamily F = familyOfPseudo(Code);
+        auto Variant = variantFor(F, State.top(familyKeyDepth(F)));
+        if (!Variant)
+          return Error::failure(
+              "unpack: collapsed opcode with unknown stack state");
+        I.Opcode = *Variant;
+      } else if (isValidOpcode(Code)) {
+        I.Opcode = static_cast<Op>(Code);
+      } else {
+        return Error::failure("unpack: undefined wire opcode " +
+                              std::to_string(Code));
+      }
+      break;
+    }
+
+    switch (opInfo(I.Opcode).Format) {
+    case OpFormat::None:
+      break;
+    case OpFormat::S1:
+    case OpFormat::S2:
+    case OpFormat::NewArrayType:
+      I.Const =
+          static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts)));
+      break;
+    case OpFormat::LocalU1:
+      I.LocalIndex =
+          static_cast<uint32_t>(readVarUInt(S.in(StreamId::Registers)));
+      break;
+    case OpFormat::Iinc:
+      I.LocalIndex =
+          static_cast<uint32_t>(readVarUInt(S.in(StreamId::Registers)));
+      I.Const =
+          static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts)));
+      break;
+    case OpFormat::CpU1:
+    case OpFormat::CpU2:
+    case OpFormat::InvokeInterface:
+      if (auto E = decodeCpOperand(I, Operand, State))
+        return E;
+      break;
+    case OpFormat::Branch2:
+    case OpFormat::Branch4:
+      I.BranchTarget =
+          static_cast<int32_t>(Offset) +
+          static_cast<int32_t>(readVarInt(S.in(StreamId::BranchOffsets)));
+      break;
+    case OpFormat::MultiANewArray:
+      Operand.Kind = ConstKind::ClassTarget;
+      Operand.Id = readClass();
+      I.Const = static_cast<int32_t>(readVarUInt(S.in(StreamId::Counts)));
+      break;
+    case OpFormat::TableSwitch: {
+      I.SwitchLow =
+          static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts)));
+      I.SwitchHigh =
+          static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts)));
+      if (I.SwitchHigh < I.SwitchLow ||
+          static_cast<int64_t>(I.SwitchHigh) - I.SwitchLow >= (1 << 24))
+        return Error::failure("unpack: malformed tableswitch bounds");
+      ByteReader &B = S.in(StreamId::BranchOffsets);
+      I.SwitchDefault = static_cast<int32_t>(Offset) +
+                        static_cast<int32_t>(readVarInt(B));
+      int64_t N = static_cast<int64_t>(I.SwitchHigh) - I.SwitchLow + 1;
+      for (int64_t K = 0; K < N; ++K)
+        I.SwitchTargets.push_back(static_cast<int32_t>(Offset) +
+                                  static_cast<int32_t>(readVarInt(B)));
+      break;
+    }
+    case OpFormat::LookupSwitch: {
+      size_t N =
+          static_cast<size_t>(readVarUInt(S.in(StreamId::Counts)));
+      if (N >= (1u << 24))
+        return Error::failure("unpack: malformed lookupswitch count");
+      ByteReader &B = S.in(StreamId::BranchOffsets);
+      I.SwitchDefault = static_cast<int32_t>(Offset) +
+                        static_cast<int32_t>(readVarInt(B));
+      for (size_t K = 0; K < N; ++K) {
+        I.SwitchMatches.push_back(
+            static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts))));
+        I.SwitchTargets.push_back(static_cast<int32_t>(Offset) +
+                                  static_cast<int32_t>(readVarInt(B)));
+      }
+      break;
+    }
+    case OpFormat::InvokeDynamic:
+    case OpFormat::Wide:
+      return Error::failure("unpack: unexpected opcode format");
+    }
+
+    if (I.Opcode == Op::InvokeInterface)
+      I.InvokeCount = static_cast<uint8_t>(
+          invokeInterfaceCount(M, M.methodRef(Operand.Id).Sig));
+    return std::make_pair(std::move(I), Operand);
+  }
+
+  Error decodeCpOperand(Insn &I, CodeOperand &Operand,
+                        StackState &State) {
+    switch (cpRefKind(I.Opcode)) {
+    case CpRefKind::LoadConst:
+    case CpRefKind::LoadConst2:
+      switch (Operand.Kind) {
+      case ConstKind::Int:
+        Operand.IntValue = readVarInt(S.in(StreamId::IntConsts));
+        break;
+      case ConstKind::Float:
+        Operand.RawBits = S.in(StreamId::FloatConsts).readU4();
+        break;
+      case ConstKind::Long:
+        Operand.RawBits = S.in(StreamId::LongConsts).readU8();
+        break;
+      case ConstKind::Double:
+        Operand.RawBits = S.in(StreamId::DoubleConsts).readU8();
+        break;
+      case ConstKind::String:
+        Operand.Id = readStringConst();
+        break;
+      default:
+        return makeError("unpack: ldc pseudo-op without constant kind");
+      }
+      return Error::success();
+    case CpRefKind::ClassRef:
+      Operand.Kind = ConstKind::ClassTarget;
+      Operand.Id = readClass();
+      return Error::success();
+    case CpRefKind::FieldInstance:
+    case CpRefKind::FieldStatic:
+      Operand.Kind = ConstKind::Field;
+      Operand.Id = readFieldRef(fieldPoolFor(I.Opcode));
+      return Error::success();
+    case CpRefKind::MethodVirtual:
+    case CpRefKind::MethodSpecial:
+    case CpRefKind::MethodStatic:
+    case CpRefKind::MethodInterface:
+      Operand.Kind = ConstKind::Method;
+      Operand.Id = readMethodRef(methodPoolFor(I.Opcode),
+                                 State.contextId());
+      return Error::success();
+    case CpRefKind::None:
+      return makeError("unpack: cp operand on non-cp opcode");
+    }
+    return Error::success();
+  }
+
+  Model &M;
+  RefDecoder &Dec;
+  StreamSet &S;
+  RefScheme Scheme;
+};
+
+//===----------------------------------------------------------------------===//
+// Classfile materialization
+//===----------------------------------------------------------------------===//
+
+class Materializer {
+public:
+  explicit Materializer(const Model &M) : M(M) {}
+
+  Expected<ClassFile> run(const DecodedClass &DC) {
+    ClassFile CF;
+    CF.MinorVersion = static_cast<uint16_t>(DC.MinorVersion);
+    CF.MajorVersion = static_cast<uint16_t>(DC.MajorVersion);
+    CF.AccessFlags = static_cast<uint16_t>(DC.Flags & 0xFFFF);
+
+    // §9: materialize constants referenced by one-byte ldc first so
+    // they land at the smallest constant-pool indices.
+    for (const DecodedMethod &DM : DC.Methods) {
+      if (!DM.Code)
+        continue;
+      for (size_t K = 0; K < DM.Code->Insns.size(); ++K)
+        if (DM.Code->Insns[K].Opcode == Op::Ldc)
+          addConst(CF, DM.Code->Operands[K]);
+    }
+
+    CF.ThisClass = CF.CP.addClass(M.classRefInternalName(DC.ThisId));
+    CF.SuperClass =
+        DC.HasSuper ? CF.CP.addClass(M.classRefInternalName(DC.SuperId))
+                    : 0;
+    for (uint32_t Iface : DC.Interfaces)
+      CF.Interfaces.push_back(
+          CF.CP.addClass(M.classRefInternalName(Iface)));
+    if (DC.Flags & PackedFlagSynthetic)
+      CF.Attributes.push_back({"Synthetic", {}});
+    if (DC.Flags & PackedFlagDeprecated)
+      CF.Attributes.push_back({"Deprecated", {}});
+
+    for (const DecodedField &F : DC.Fields) {
+      auto MI = materializeField(CF, F);
+      if (!MI)
+        return MI.takeError();
+      CF.Fields.push_back(std::move(*MI));
+    }
+    for (const DecodedMethod &DM : DC.Methods) {
+      auto MI = materializeMethod(CF, DM);
+      if (!MI)
+        return MI.takeError();
+      CF.Methods.push_back(std::move(*MI));
+    }
+
+    if (auto E = canonicalizeConstantPool(CF))
+      return E;
+    return CF;
+  }
+
+private:
+  uint16_t addConst(ClassFile &CF, const CodeOperand &C) {
+    switch (C.Kind) {
+    case ConstKind::Int:
+      return CF.CP.addInteger(static_cast<int32_t>(C.IntValue));
+    case ConstKind::Float:
+      return CF.CP.addFloat(static_cast<uint32_t>(C.RawBits));
+    case ConstKind::Long:
+      return CF.CP.addLong(static_cast<int64_t>(C.RawBits));
+    case ConstKind::Double:
+      return CF.CP.addDouble(C.RawBits);
+    case ConstKind::String:
+      return CF.CP.addString(M.stringConst(C.Id));
+    default:
+      assert(false && "not a loadable constant");
+      return 0;
+    }
+  }
+
+  void addMemberMarkers(MemberInfo &MI, uint32_t Flags) {
+    if (Flags & PackedFlagSynthetic)
+      MI.Attributes.push_back({"Synthetic", {}});
+    if (Flags & PackedFlagDeprecated)
+      MI.Attributes.push_back({"Deprecated", {}});
+  }
+
+  Expected<MemberInfo> materializeField(ClassFile &CF,
+                                        const DecodedField &F) {
+    const MFieldRef &Ref = M.fieldRef(F.RefId);
+    MemberInfo MI;
+    MI.AccessFlags = static_cast<uint16_t>(F.Flags & 0xFFFF);
+    MI.NameIndex = CF.CP.addUtf8(M.fieldName(Ref.Name));
+    MI.DescriptorIndex =
+        CF.CP.addUtf8(printTypeDesc(M.classRefTypeDesc(Ref.Type)));
+    if (F.Flags & PackedFlagAux0) {
+      uint16_t CpIdx = addConst(CF, {F.Const.Kind, F.Const.IntValue,
+                                     F.Const.RawBits, F.Const.Id});
+      ByteWriter W;
+      W.writeU2(CpIdx);
+      MI.Attributes.push_back({"ConstantValue", W.take()});
+    }
+    addMemberMarkers(MI, F.Flags);
+    return MI;
+  }
+
+  Expected<MemberInfo> materializeMethod(ClassFile &CF,
+                                         const DecodedMethod &DM) {
+    const MMethodRef &Ref = M.methodRef(DM.RefId);
+    MemberInfo MI;
+    MI.AccessFlags = static_cast<uint16_t>(DM.Flags & 0xFFFF);
+    MI.NameIndex = CF.CP.addUtf8(M.methodName(Ref.Name));
+    MI.DescriptorIndex = CF.CP.addUtf8(M.signatureDescriptor(Ref.Sig));
+    if (DM.Code) {
+      auto Attr = materializeCode(CF, *DM.Code);
+      if (!Attr)
+        return Attr.takeError();
+      MI.Attributes.push_back(std::move(*Attr));
+    }
+    if (DM.Flags & PackedFlagAux1) {
+      ByteWriter W;
+      W.writeU2(static_cast<uint16_t>(DM.Exceptions.size()));
+      for (uint32_t C : DM.Exceptions)
+        W.writeU2(CF.CP.addClass(M.classRefInternalName(C)));
+      MI.Attributes.push_back({"Exceptions", W.take()});
+    }
+    addMemberMarkers(MI, DM.Flags);
+    return MI;
+  }
+
+  Expected<AttributeInfo> materializeCode(ClassFile &CF,
+                                          const DecodedCode &DC) {
+    CodeAttribute Code;
+    Code.MaxStack = static_cast<uint16_t>(DC.MaxStack);
+    Code.MaxLocals = static_cast<uint16_t>(DC.MaxLocals);
+
+    std::vector<Insn> Insns = DC.Insns;
+    for (size_t K = 0; K < Insns.size(); ++K) {
+      Insn &I = Insns[K];
+      const CodeOperand &C = DC.Operands[K];
+      switch (C.Kind) {
+      case ConstKind::None:
+        break;
+      case ConstKind::Int:
+      case ConstKind::Float:
+      case ConstKind::Long:
+      case ConstKind::Double:
+      case ConstKind::String:
+        I.CpIndex = addConst(CF, C);
+        break;
+      case ConstKind::ClassTarget:
+        I.CpIndex = CF.CP.addClass(M.classRefInternalName(C.Id));
+        break;
+      case ConstKind::Field: {
+        const MFieldRef &R = M.fieldRef(C.Id);
+        I.CpIndex = CF.CP.addRef(
+            CpTag::FieldRef, M.classRefInternalName(R.Owner),
+            M.fieldName(R.Name),
+            printTypeDesc(M.classRefTypeDesc(R.Type)));
+        break;
+      }
+      case ConstKind::Method: {
+        const MMethodRef &R = M.methodRef(C.Id);
+        CpTag Tag = I.Opcode == Op::InvokeInterface
+                        ? CpTag::InterfaceMethodRef
+                        : CpTag::MethodRef;
+        I.CpIndex = CF.CP.addRef(Tag, M.classRefInternalName(R.Owner),
+                                 M.methodName(R.Name),
+                                 M.signatureDescriptor(R.Sig));
+        break;
+      }
+      }
+      if (I.Opcode == Op::Ldc && I.CpIndex > 0xFF)
+        return Error::failure("unpack: ldc constant escaped the low "
+                              "constant-pool indices");
+    }
+    Code.Code = encodeCode(Insns);
+
+    for (const DecodedCode::Exc &E : DC.Table) {
+      ExceptionTableEntry T;
+      T.StartPc = static_cast<uint16_t>(E.StartPc);
+      T.EndPc = static_cast<uint16_t>(E.EndPc);
+      T.HandlerPc = static_cast<uint16_t>(E.HandlerPc);
+      T.CatchType =
+          E.HasCatch
+              ? CF.CP.addClass(M.classRefInternalName(E.CatchClass))
+              : 0;
+      Code.ExceptionTable.push_back(T);
+    }
+    return encodeCodeAttribute(Code, CF.CP);
+  }
+
+  const Model &M;
+};
+
+} // namespace
+
+Expected<std::vector<ClassFile>>
+cjpack::unpackClasses(const std::vector<uint8_t> &Archive) {
+  ByteReader R(Archive);
+  if (R.readU4() != 0x434A504Bu)
+    return Error::failure("unpack: bad magic");
+  uint8_t Version = R.readU1();
+  if (Version != 1)
+    return Error::failure("unpack: unsupported format version");
+  uint8_t Scheme = R.readU1();
+  if (Scheme > static_cast<uint8_t>(RefScheme::MtfTransientsContext))
+    return Error::failure("unpack: unknown reference scheme");
+  uint8_t Flags = R.readU1();
+
+  StreamSet S;
+  if (auto E = S.deserialize(R))
+    return E;
+
+  auto Dec = makeRefDecoder(static_cast<RefScheme>(Scheme));
+  Model M;
+  if (Flags & 4) {
+    if (!preloadStandardRefs(M, *Dec, static_cast<RefScheme>(Scheme)))
+      return Error::failure("unpack: archive needs preloaded references "
+                            "the scheme cannot provide");
+  }
+  ArchiveReader AR(M, *Dec, S, static_cast<RefScheme>(Scheme));
+  auto Decoded = AR.decodeArchive();
+  if (!Decoded)
+    return Decoded.takeError();
+
+  Materializer Mat(M);
+  std::vector<ClassFile> Out;
+  Out.reserve(Decoded->size());
+  for (const DecodedClass &DC : *Decoded) {
+    auto CF = Mat.run(DC);
+    if (!CF)
+      return CF.takeError();
+    Out.push_back(std::move(*CF));
+  }
+  return Out;
+}
+
+Expected<Manifest>
+cjpack::manifestForPackedArchive(const std::vector<uint8_t> &Archive) {
+  auto Classes = unpackArchive(Archive);
+  if (!Classes)
+    return Classes.takeError();
+  return buildManifest(*Classes);
+}
+
+Expected<std::vector<NamedClass>>
+cjpack::unpackArchive(const std::vector<uint8_t> &Archive) {
+  auto Classes = unpackClasses(Archive);
+  if (!Classes)
+    return Classes.takeError();
+  std::vector<NamedClass> Out;
+  Out.reserve(Classes->size());
+  for (const ClassFile &CF : *Classes) {
+    NamedClass C;
+    C.Name = CF.thisClassName() + ".class";
+    C.Data = writeClassFile(CF);
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}

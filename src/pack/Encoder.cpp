@@ -1,0 +1,693 @@
+//===- Encoder.cpp - packed archive encoder -------------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Packing runs the same preorder traversal of the restructured model
+// twice: a counting pass that gathers the reference statistics the
+// transient/frequency schemes need, then the emitting pass. Both passes
+// share the Model (interning is idempotent) so object ids are stable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Instruction.h"
+#include "classfile/Transform.h"
+#include "pack/ClassOrder.h"
+#include "pack/CodeCommon.h"
+#include "pack/Packer.h"
+#include "pack/Preload.h"
+#include "classfile/Reader.h"
+#include "support/VarInt.h"
+#include <set>
+
+using namespace cjpack;
+
+namespace {
+
+/// RefEncoder that only counts (pass one). Writes nothing.
+class CountingRefEncoder final : public RefEncoder {
+public:
+  explicit CountingRefEncoder(RefStats &Stats) : Stats(Stats) {}
+
+  bool encode(uint32_t Pool, uint32_t, uint32_t Object,
+              ByteWriter &) override {
+    Stats.note(Pool, Object);
+    return Seen[Pool].insert(Object).second;
+  }
+
+  bool preload(uint32_t Pool, uint32_t Object) override {
+    Seen[Pool].insert(Object);
+    return true;
+  }
+
+private:
+  RefStats &Stats;
+  std::map<uint32_t, std::set<uint32_t>> Seen;
+};
+
+/// One traversal of the archive, writing refs through \p Enc and
+/// primitives into \p S.
+class ArchiveWriter {
+public:
+  ArchiveWriter(Model &M, RefEncoder &Enc, StreamSet &S,
+                const PackOptions &Options)
+      : M(M), Enc(Enc), S(S), Options(Options) {}
+
+  Error encodeArchive(const std::vector<const ClassFile *> &Classes) {
+    writeVarUInt(S.out(StreamId::Counts), Classes.size());
+    for (const ClassFile *CF : Classes)
+      if (auto E = encodeClass(*CF))
+        return E;
+    return Error::success();
+  }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Reference emission with inline definitions
+  //===--------------------------------------------------------------===//
+
+  void emitString(const std::string &Str, StreamId Chars) {
+    writeVarUInt(S.out(StreamId::StringLengths), Str.size());
+    S.out(Chars).writeString(Str);
+  }
+
+  void refPackage(uint32_t Id) {
+    if (Enc.encode(poolId(PoolKind::Package), 0, Id,
+                   S.out(StreamId::PackageRefs)))
+      emitString(M.package(Id), StreamId::ClassNameChars);
+  }
+
+  void refSimpleName(uint32_t Id) {
+    if (Enc.encode(poolId(PoolKind::SimpleName), 0, Id,
+                   S.out(StreamId::SimpleNameRefs)))
+      emitString(M.simpleName(Id), StreamId::ClassNameChars);
+  }
+
+  void refFieldName(uint32_t Id) {
+    if (Enc.encode(poolId(PoolKind::FieldName), 0, Id,
+                   S.out(StreamId::FieldNameRefs)))
+      emitString(M.fieldName(Id), StreamId::NameChars);
+  }
+
+  void refMethodName(uint32_t Id) {
+    if (Enc.encode(poolId(PoolKind::MethodName), 0, Id,
+                   S.out(StreamId::MethodNameRefs)))
+      emitString(M.methodName(Id), StreamId::NameChars);
+  }
+
+  void refStringConst(uint32_t Id) {
+    if (Enc.encode(poolId(PoolKind::StringConst), 0, Id,
+                   S.out(StreamId::StringConstRefs)))
+      emitString(M.stringConst(Id), StreamId::StringConstChars);
+  }
+
+  void refClass(uint32_t Id) {
+    if (!Enc.encode(poolId(PoolKind::ClassRefPool), 0, Id,
+                    S.out(StreamId::ClassRefs)))
+      return;
+    const MClassRef &R = M.classRef(Id);
+    writeVarUInt(S.out(StreamId::Counts), R.Dims);
+    S.out(StreamId::Counts).writeU1(static_cast<uint8_t>(R.Base));
+    if (R.Base == 'L') {
+      refPackage(R.Package);
+      refSimpleName(R.Simple);
+    }
+  }
+
+  void refFieldRef(PoolKind Pool, uint32_t Id) {
+    Pool = effectivePool(Pool, Options.Scheme);
+    if (!Enc.encode(poolId(Pool), 0, Id, S.out(StreamId::FieldRefs)))
+      return;
+    const MFieldRef &R = M.fieldRef(Id);
+    refClass(R.Owner);
+    refFieldName(R.Name);
+    refClass(R.Type);
+  }
+
+  void refMethodRef(PoolKind Pool, uint32_t Sub, uint32_t Id) {
+    Pool = effectivePool(Pool, Options.Scheme);
+    if (!Enc.encode(poolId(Pool), Sub, Id, S.out(StreamId::MethodRefs)))
+      return;
+    const MMethodRef &R = M.methodRef(Id);
+    refClass(R.Owner);
+    refMethodName(R.Name);
+    writeVarUInt(S.out(StreamId::Counts), R.Sig.size());
+    for (uint32_t C : R.Sig)
+      refClass(C);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Structure
+  //===--------------------------------------------------------------===//
+
+  /// The pool a method definition's reference is encoded in, derived
+  /// from information the decoder has before reading the reference.
+  static PoolKind methodDefPool(uint32_t MethodFlags,
+                                uint32_t ClassFlags) {
+    if (ClassFlags & AccInterface)
+      return PoolKind::MethodInterface;
+    if (MethodFlags & AccStatic)
+      return PoolKind::MethodStatic;
+    if (MethodFlags & AccPrivate)
+      return PoolKind::MethodSpecial;
+    return PoolKind::MethodVirtual;
+  }
+
+  static uint32_t packedMemberFlags(const MemberInfo &MI) {
+    uint32_t Flags = MI.AccessFlags;
+    if (findAttribute(MI.Attributes, "Synthetic"))
+      Flags |= PackedFlagSynthetic;
+    if (findAttribute(MI.Attributes, "Deprecated"))
+      Flags |= PackedFlagDeprecated;
+    return Flags;
+  }
+
+  Error encodeClass(const ClassFile &CF) {
+    ByteWriter &Counts = S.out(StreamId::Counts);
+    ByteWriter &Flags = S.out(StreamId::Flags);
+
+    writeVarUInt(Counts, CF.MinorVersion);
+    writeVarUInt(Counts, CF.MajorVersion);
+
+    uint32_t ClassFlags = CF.AccessFlags;
+    if (CF.SuperClass != 0)
+      ClassFlags |= PackedFlagAux0;
+    if (findAttribute(CF.Attributes, "Synthetic"))
+      ClassFlags |= PackedFlagSynthetic;
+    if (findAttribute(CF.Attributes, "Deprecated"))
+      ClassFlags |= PackedFlagDeprecated;
+    writeVarUInt(Flags, ClassFlags);
+
+    auto This = M.internClassByInternalName(CF.thisClassName());
+    if (!This)
+      return This.takeError();
+    refClass(*This);
+    if (CF.SuperClass != 0) {
+      auto Super = M.internClassByInternalName(CF.superClassName());
+      if (!Super)
+        return Super.takeError();
+      refClass(*Super);
+    }
+    writeVarUInt(Counts, CF.Interfaces.size());
+    for (uint16_t Iface : CF.Interfaces) {
+      auto Id = M.internClassByInternalName(CF.CP.className(Iface));
+      if (!Id)
+        return Id.takeError();
+      refClass(*Id);
+    }
+
+    writeVarUInt(Counts, CF.Fields.size());
+    for (const MemberInfo &F : CF.Fields)
+      if (auto E = encodeField(CF, *This, F))
+        return E;
+
+    writeVarUInt(Counts, CF.Methods.size());
+    for (const MemberInfo &Mth : CF.Methods)
+      if (auto E = encodeMethod(CF, *This, Mth))
+        return E;
+    return Error::success();
+  }
+
+  Error encodeField(const ClassFile &CF, uint32_t ThisId,
+                    const MemberInfo &F) {
+    const AttributeInfo *Const =
+        findAttribute(F.Attributes, "ConstantValue");
+    uint32_t Flags = packedMemberFlags(F);
+    if (Const)
+      Flags |= PackedFlagAux0;
+    writeVarUInt(S.out(StreamId::Flags), Flags);
+
+    auto Type = parseFieldDescriptor(CF.CP.utf8(F.DescriptorIndex));
+    if (!Type)
+      return Type.takeError();
+    MFieldRef Ref;
+    Ref.Owner = ThisId;
+    Ref.Name = M.internFieldName(CF.CP.utf8(F.NameIndex));
+    Ref.Type = M.internTypeDesc(*Type);
+    uint32_t Id = M.internFieldRef(Ref);
+    PoolKind Pool = (F.AccessFlags & AccStatic) ? PoolKind::FieldStatic
+                                                : PoolKind::FieldInstance;
+    refFieldRef(Pool, Id);
+
+    if (Const) {
+      if (Const->Bytes.size() != 2)
+        return makeError("pack: malformed ConstantValue");
+      ByteReader CR(Const->Bytes);
+      uint16_t CpIdx = CR.readU2();
+      if (!CF.CP.isValidIndex(CpIdx))
+        return makeError("pack: dangling ConstantValue index");
+      const CpEntry &E = CF.CP.entry(CpIdx);
+      VType FieldType = M.classRefVType(Ref.Type);
+      switch (E.Tag) {
+      case CpTag::Integer:
+        if (FieldType != VType::Int)
+          return makeError("pack: ConstantValue type mismatch");
+        writeVarInt(S.out(StreamId::IntConsts),
+                    static_cast<int32_t>(E.Bits));
+        break;
+      case CpTag::Float:
+        if (FieldType != VType::Float)
+          return makeError("pack: ConstantValue type mismatch");
+        S.out(StreamId::FloatConsts).writeU4(static_cast<uint32_t>(E.Bits));
+        break;
+      case CpTag::Long:
+        if (FieldType != VType::Long)
+          return makeError("pack: ConstantValue type mismatch");
+        S.out(StreamId::LongConsts).writeU8(E.Bits);
+        break;
+      case CpTag::Double:
+        if (FieldType != VType::Double)
+          return makeError("pack: ConstantValue type mismatch");
+        S.out(StreamId::DoubleConsts).writeU8(E.Bits);
+        break;
+      case CpTag::String: {
+        if (FieldType != VType::Ref)
+          return makeError("pack: ConstantValue type mismatch");
+        uint32_t SId = M.internStringConst(CF.CP.utf8(E.Ref1));
+        refStringConst(SId);
+        break;
+      }
+      default:
+        return makeError("pack: unsupported ConstantValue tag");
+      }
+    }
+    return Error::success();
+  }
+
+  Error encodeMethod(const ClassFile &CF, uint32_t ThisId,
+                     const MemberInfo &Mth) {
+    const AttributeInfo *Code = findAttribute(Mth.Attributes, "Code");
+    const AttributeInfo *Exceptions =
+        findAttribute(Mth.Attributes, "Exceptions");
+    uint32_t Flags = packedMemberFlags(Mth);
+    if (Code)
+      Flags |= PackedFlagAux0;
+    if (Exceptions)
+      Flags |= PackedFlagAux1;
+    writeVarUInt(S.out(StreamId::Flags), Flags);
+
+    MMethodRef Ref;
+    Ref.Owner = ThisId;
+    Ref.Name = M.internMethodName(CF.CP.utf8(Mth.NameIndex));
+    auto Sig = M.internSignature(CF.CP.utf8(Mth.DescriptorIndex));
+    if (!Sig)
+      return Sig.takeError();
+    Ref.Sig = std::move(*Sig);
+    uint32_t Id = M.internMethodRef(Ref);
+    refMethodRef(methodDefPool(Mth.AccessFlags, CF.AccessFlags), 0, Id);
+
+    if (Exceptions) {
+      ByteReader ER(Exceptions->Bytes);
+      uint16_t N = ER.readU2();
+      writeVarUInt(S.out(StreamId::Counts), N);
+      for (uint16_t K = 0; K < N; ++K) {
+        uint16_t CpIdx = ER.readU2();
+        if (ER.hasError() || !CF.CP.isValidIndex(CpIdx))
+          return makeError("pack: malformed Exceptions attribute");
+        auto CId = M.internClassByInternalName(CF.CP.className(CpIdx));
+        if (!CId)
+          return CId.takeError();
+        refClass(*CId);
+      }
+    }
+
+    if (Code)
+      return encodeCode(CF, *Code);
+    return Error::success();
+  }
+
+  //===--------------------------------------------------------------===//
+  // Bytecode (§7)
+  //===--------------------------------------------------------------===//
+
+  Expected<CodeOperand> makeOperand(const ClassFile &CF, const Insn &I) {
+    CodeOperand Out;
+    switch (cpRefKind(I.Opcode)) {
+    case CpRefKind::None:
+      return Out;
+    case CpRefKind::LoadConst:
+    case CpRefKind::LoadConst2: {
+      if (!CF.CP.isValidIndex(I.CpIndex))
+        return Error::failure("pack: dangling ldc operand");
+      const CpEntry &E = CF.CP.entry(I.CpIndex);
+      switch (E.Tag) {
+      case CpTag::Integer:
+        Out.Kind = ConstKind::Int;
+        Out.IntValue = static_cast<int32_t>(E.Bits);
+        return Out;
+      case CpTag::Float:
+        Out.Kind = ConstKind::Float;
+        Out.RawBits = E.Bits;
+        return Out;
+      case CpTag::Long:
+        Out.Kind = ConstKind::Long;
+        Out.RawBits = E.Bits;
+        return Out;
+      case CpTag::Double:
+        Out.Kind = ConstKind::Double;
+        Out.RawBits = E.Bits;
+        return Out;
+      case CpTag::String:
+        Out.Kind = ConstKind::String;
+        Out.Id = M.internStringConst(CF.CP.utf8(E.Ref1));
+        return Out;
+      default:
+        return Error::failure("pack: unsupported ldc constant kind " +
+                              std::string(cpTagName(E.Tag)));
+      }
+    }
+    case CpRefKind::ClassRef: {
+      auto Id = M.internClassByInternalName(CF.CP.className(I.CpIndex));
+      if (!Id)
+        return Id.takeError();
+      Out.Kind = ConstKind::ClassTarget;
+      Out.Id = *Id;
+      return Out;
+    }
+    case CpRefKind::FieldInstance:
+    case CpRefKind::FieldStatic: {
+      const CpEntry &E = CF.CP.entry(I.CpIndex);
+      if (E.Tag != CpTag::FieldRef)
+        return Error::failure("pack: field opcode on non-FieldRef");
+      const CpEntry &NT = CF.CP.entry(E.Ref2);
+      MFieldRef Ref;
+      auto Owner =
+          M.internClassByInternalName(CF.CP.className(E.Ref1));
+      if (!Owner)
+        return Owner.takeError();
+      Ref.Owner = *Owner;
+      Ref.Name = M.internFieldName(CF.CP.utf8(NT.Ref1));
+      auto Type = parseFieldDescriptor(CF.CP.utf8(NT.Ref2));
+      if (!Type)
+        return Type.takeError();
+      Ref.Type = M.internTypeDesc(*Type);
+      Out.Kind = ConstKind::Field;
+      Out.Id = M.internFieldRef(Ref);
+      return Out;
+    }
+    case CpRefKind::MethodVirtual:
+    case CpRefKind::MethodSpecial:
+    case CpRefKind::MethodStatic:
+    case CpRefKind::MethodInterface: {
+      const CpEntry &E = CF.CP.entry(I.CpIndex);
+      if (E.Tag != CpTag::MethodRef &&
+          E.Tag != CpTag::InterfaceMethodRef)
+        return Error::failure("pack: invoke opcode on non-method entry");
+      const CpEntry &NT = CF.CP.entry(E.Ref2);
+      MMethodRef Ref;
+      auto Owner =
+          M.internClassByInternalName(CF.CP.className(E.Ref1));
+      if (!Owner)
+        return Owner.takeError();
+      Ref.Owner = *Owner;
+      Ref.Name = M.internMethodName(CF.CP.utf8(NT.Ref1));
+      auto Sig = M.internSignature(CF.CP.utf8(NT.Ref2));
+      if (!Sig)
+        return Sig.takeError();
+      Ref.Sig = std::move(*Sig);
+      Out.Kind = ConstKind::Method;
+      Out.Id = M.internMethodRef(Ref);
+      return Out;
+    }
+    }
+    return Out;
+  }
+
+  /// The wire code point for \p I given the current stack state.
+  uint8_t wireOpcode(const Insn &I, const CodeOperand &Operand,
+                     const StackState &State) {
+    if (I.Opcode == Op::Ldc || I.Opcode == Op::LdcW) {
+      bool Short = I.Opcode == Op::Ldc;
+      switch (Operand.Kind) {
+      case ConstKind::Int:
+        return Short ? PseudoLdcInt : PseudoLdcWInt;
+      case ConstKind::Float:
+        return Short ? PseudoLdcFloat : PseudoLdcWFloat;
+      case ConstKind::String:
+        return Short ? PseudoLdcString : PseudoLdcWString;
+      default:
+        assert(false && "bad ldc constant kind");
+        return PseudoLdcInt;
+      }
+    }
+    if (I.Opcode == Op::Ldc2W)
+      return Operand.Kind == ConstKind::Long ? PseudoLdc2Long
+                                             : PseudoLdc2Double;
+    if (Options.CollapseOpcodes && !I.IsWide) {
+      OpFamily F = familyOf(I.Opcode);
+      if (F != OpFamily::None) {
+        auto Predicted = variantFor(F, State.top(familyKeyDepth(F)));
+        if (Predicted && *Predicted == I.Opcode)
+          return pseudoOfFamily(F);
+      }
+    }
+    return static_cast<uint8_t>(I.Opcode);
+  }
+
+  Error encodeCode(const ClassFile &CF, const AttributeInfo &Attr) {
+    auto Code = parseCodeAttribute(Attr, CF.CP);
+    if (!Code)
+      return Code.takeError();
+    auto Insns = decodeCode(Code->Code);
+    if (!Insns)
+      return Insns.takeError();
+
+    ByteWriter &Counts = S.out(StreamId::Counts);
+    writeVarUInt(Counts, Code->MaxStack);
+    writeVarUInt(Counts, Code->MaxLocals);
+    writeVarUInt(Counts, Code->ExceptionTable.size());
+    writeVarUInt(Counts, Insns->size());
+    for (const ExceptionTableEntry &E : Code->ExceptionTable) {
+      ByteWriter &B = S.out(StreamId::BranchOffsets);
+      writeVarUInt(B, E.StartPc);
+      writeVarUInt(B, E.EndPc - E.StartPc);
+      writeVarUInt(B, E.HandlerPc);
+      if (E.CatchType == 0) {
+        S.out(StreamId::Counts).writeU1(0);
+      } else {
+        S.out(StreamId::Counts).writeU1(1);
+        auto CId =
+            M.internClassByInternalName(CF.CP.className(E.CatchType));
+        if (!CId)
+          return CId.takeError();
+        refClass(*CId);
+      }
+    }
+
+    StackState State;
+    State.startMethod();
+    for (const Insn &I : *Insns) {
+      auto Operand = makeOperand(CF, I);
+      if (!Operand)
+        return Operand.takeError();
+      if (auto E = encodeInsn(I, *Operand, State))
+        return E;
+      InsnTypes Types = insnTypesFor(M, I, *Operand);
+      // Debug aid: CJPACK_TRACE=1 dumps the per-instruction stack state
+      // on both sides so encoder/decoder divergence is diffable.
+      static const bool Trace = getenv("CJPACK_TRACE") != nullptr;
+      if (Trace)
+        fprintf(stderr, "E %u %s known=%d top=%d ctx=%u\n", I.Offset,
+                opInfo(I.Opcode).Mnemonic, State.isKnown(),
+                (int)State.top(), State.contextId());
+      State.apply(I, &Types);
+    }
+    return Error::success();
+  }
+
+  Error encodeInsn(const Insn &I, const CodeOperand &Operand,
+                   StackState &State) {
+    ByteWriter &Ops = S.out(StreamId::Opcodes);
+    if (I.IsWide)
+      Ops.writeU1(static_cast<uint8_t>(Op::Wide));
+    Ops.writeU1(wireOpcode(I, Operand, State));
+
+    switch (opInfo(I.Opcode).Format) {
+    case OpFormat::None:
+      break;
+    case OpFormat::S1:
+    case OpFormat::S2:
+    case OpFormat::NewArrayType:
+      writeVarInt(S.out(StreamId::IntConsts), I.Const);
+      break;
+    case OpFormat::LocalU1:
+      writeVarUInt(S.out(StreamId::Registers), I.LocalIndex);
+      break;
+    case OpFormat::Iinc:
+      writeVarUInt(S.out(StreamId::Registers), I.LocalIndex);
+      writeVarInt(S.out(StreamId::IntConsts), I.Const);
+      break;
+    case OpFormat::CpU1:
+    case OpFormat::CpU2:
+    case OpFormat::InvokeInterface:
+      switch (Operand.Kind) {
+      case ConstKind::Int:
+        writeVarInt(S.out(StreamId::IntConsts), Operand.IntValue);
+        break;
+      case ConstKind::Float:
+        S.out(StreamId::FloatConsts)
+            .writeU4(static_cast<uint32_t>(Operand.RawBits));
+        break;
+      case ConstKind::Long:
+        S.out(StreamId::LongConsts).writeU8(Operand.RawBits);
+        break;
+      case ConstKind::Double:
+        S.out(StreamId::DoubleConsts).writeU8(Operand.RawBits);
+        break;
+      case ConstKind::String:
+        refStringConst(Operand.Id);
+        break;
+      case ConstKind::ClassTarget:
+        refClass(Operand.Id);
+        break;
+      case ConstKind::Field:
+        refFieldRef(I.Opcode == Op::GetStatic || I.Opcode == Op::PutStatic
+                        ? PoolKind::FieldStatic
+                        : PoolKind::FieldInstance,
+                    Operand.Id);
+        break;
+      case ConstKind::Method:
+        refMethodRef(methodPoolFor(I.Opcode), State.contextId(),
+                     Operand.Id);
+        break;
+      case ConstKind::None:
+        return makeError("pack: cp opcode without operand record");
+      }
+      break;
+    case OpFormat::Branch2:
+    case OpFormat::Branch4:
+      writeVarInt(S.out(StreamId::BranchOffsets),
+                  I.BranchTarget - static_cast<int32_t>(I.Offset));
+      break;
+    case OpFormat::MultiANewArray:
+      refClass(Operand.Id);
+      writeVarUInt(S.out(StreamId::Counts),
+                   static_cast<uint32_t>(I.Const));
+      break;
+    case OpFormat::TableSwitch: {
+      writeVarInt(S.out(StreamId::IntConsts), I.SwitchLow);
+      writeVarInt(S.out(StreamId::IntConsts), I.SwitchHigh);
+      ByteWriter &B = S.out(StreamId::BranchOffsets);
+      writeVarInt(B, I.SwitchDefault - static_cast<int32_t>(I.Offset));
+      for (int32_t T : I.SwitchTargets)
+        writeVarInt(B, T - static_cast<int32_t>(I.Offset));
+      break;
+    }
+    case OpFormat::LookupSwitch: {
+      writeVarUInt(S.out(StreamId::Counts), I.SwitchMatches.size());
+      ByteWriter &B = S.out(StreamId::BranchOffsets);
+      writeVarInt(B, I.SwitchDefault - static_cast<int32_t>(I.Offset));
+      for (size_t K = 0; K < I.SwitchMatches.size(); ++K) {
+        writeVarInt(S.out(StreamId::IntConsts), I.SwitchMatches[K]);
+        writeVarInt(B, I.SwitchTargets[K] - static_cast<int32_t>(I.Offset));
+      }
+      break;
+    }
+    case OpFormat::InvokeDynamic:
+      return makeError("pack: invokedynamic is not supported (post-1999)");
+    case OpFormat::Wide:
+      return makeError("pack: unexpected wide format");
+    }
+    return Error::success();
+  }
+
+  Model &M;
+  RefEncoder &Enc;
+  StreamSet &S;
+  const PackOptions &Options;
+};
+
+} // namespace
+
+Expected<PackResult>
+cjpack::packClasses(const std::vector<ClassFile> &Classes,
+                    const PackOptions &Options) {
+  // Validate attribute sets up front.
+  for (const ClassFile &CF : Classes) {
+    auto Check = [&](const std::vector<AttributeInfo> &Attrs) -> Error {
+      for (const AttributeInfo &A : Attrs)
+        if (!isRecognizedAttribute(A.Name))
+          return makeError("pack: unrecognized attribute '" + A.Name +
+                           "' (run prepareForPacking first)");
+      return Error::success();
+    };
+    if (auto E = Check(CF.Attributes))
+      return E;
+    for (const MemberInfo &F : CF.Fields)
+      if (auto E = Check(F.Attributes))
+        return E;
+    for (const MemberInfo &Mth : CF.Methods)
+      if (auto E = Check(Mth.Attributes))
+        return E;
+  }
+
+  std::vector<const ClassFile *> Ordered;
+  if (Options.OrderForEagerLoading) {
+    for (size_t I : eagerLoadOrder(Classes))
+      Ordered.push_back(&Classes[I]);
+  } else {
+    for (const ClassFile &CF : Classes)
+      Ordered.push_back(&CF);
+  }
+
+  Model M;
+  RefStats Stats;
+  {
+    CountingRefEncoder Counting(Stats);
+    if (Options.PreloadStandardRefs)
+      preloadStandardRefs(M, Counting, Options.Scheme);
+    StreamSet Scratch;
+    ArchiveWriter Pass1(M, Counting, Scratch, Options);
+    if (auto E = Pass1.encodeArchive(Ordered))
+      return E;
+  }
+
+  auto Enc = makeRefEncoder(Options.Scheme, &Stats);
+  if (Options.PreloadStandardRefs &&
+      !preloadStandardRefs(M, *Enc, Options.Scheme))
+    return Error::failure("pack: the " +
+                          std::string(refSchemeName(Options.Scheme)) +
+                          " scheme does not support preloaded "
+                          "references");
+  StreamSet S;
+  ArchiveWriter Pass2(M, *Enc, S, Options);
+  if (auto E = Pass2.encodeArchive(Ordered))
+    return E;
+
+  PackResult Result;
+  Result.ClassCount = Classes.size();
+  ByteWriter W;
+  W.writeU4(0x434A504Bu); // "CJPK"
+  W.writeU1(1);           // format version
+  W.writeU1(static_cast<uint8_t>(Options.Scheme));
+  uint8_t Flags = 0;
+  if (Options.CollapseOpcodes)
+    Flags |= 1;
+  if (Options.CompressStreams)
+    Flags |= 2;
+  if (Options.PreloadStandardRefs)
+    Flags |= 4;
+  W.writeU1(Flags);
+  std::vector<uint8_t> Streams =
+      S.serialize(Options.CompressStreams, &Result.Sizes);
+  W.writeBytes(Streams);
+  Result.Archive = W.take();
+  return Result;
+}
+
+Expected<PackResult>
+cjpack::packClassBytes(const std::vector<NamedClass> &Classes,
+                       const PackOptions &Options) {
+  std::vector<ClassFile> Parsed;
+  Parsed.reserve(Classes.size());
+  for (const NamedClass &C : Classes) {
+    auto CF = parseClassFile(C.Data);
+    if (!CF)
+      return Error::failure(C.Name + ": " + CF.message());
+    if (auto E = prepareForPacking(*CF))
+      return Error::failure(C.Name + ": " + E.message());
+    Parsed.push_back(std::move(*CF));
+  }
+  return packClasses(Parsed, Options);
+}

@@ -1,0 +1,179 @@
+//===- Model.h - the restructured classfile model (Fig. 1) -----*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's restructured in-memory format (§4, Figure 1). Classnames
+/// become (package name, simple class name) pairs; method and field
+/// types become arrays of class references; primitive and array types
+/// are special class references. Objects live in interned pools with
+/// dense ids — the unit the reference coders (§5) operate on.
+///
+/// The same Model type serves the compressor (interning while
+/// traversing classfiles) and the decompressor (pools filled in decode
+/// order); ids correspond across the two sides because both perform the
+/// identical traversal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_PACK_MODEL_H
+#define CJPACK_PACK_MODEL_H
+
+#include "classfile/ClassFile.h"
+#include "classfile/Descriptor.h"
+#include "support/Error.h"
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cjpack {
+
+/// The object pools of the packed format; doubles as the RefCoder pool
+/// id space. Method pools are per invocation kind (§5.1).
+enum class PoolKind : uint8_t {
+  Package,
+  SimpleName,
+  ClassRefPool,
+  FieldName,
+  MethodName,
+  FieldInstance,
+  FieldStatic,
+  MethodVirtual,
+  MethodSpecial,
+  MethodStatic,
+  MethodInterface,
+  StringConst,
+};
+
+inline uint32_t poolId(PoolKind K) { return static_cast<uint32_t>(K); }
+
+/// A class reference: \p Dims array dimensions over either a primitive
+/// base or a (package, simple-name) class.
+struct MClassRef {
+  uint8_t Dims = 0;
+  char Base = 'L'; ///< 'L' or a primitive descriptor letter
+  uint32_t Package = 0;
+  uint32_t Simple = 0;
+
+  bool operator<(const MClassRef &O) const {
+    return std::tie(Dims, Base, Package, Simple) <
+           std::tie(O.Dims, O.Base, O.Package, O.Simple);
+  }
+};
+
+/// A field reference: owner class, field name, field type.
+struct MFieldRef {
+  uint32_t Owner = 0;
+  uint32_t Name = 0;
+  uint32_t Type = 0;
+
+  bool operator<(const MFieldRef &O) const {
+    return std::tie(Owner, Name, Type) < std::tie(O.Owner, O.Name, O.Type);
+  }
+};
+
+/// A method reference: owner class, method name, signature as class
+/// references (return type first, then arguments).
+struct MMethodRef {
+  uint32_t Owner = 0;
+  uint32_t Name = 0;
+  std::vector<uint32_t> Sig;
+
+  bool operator<(const MMethodRef &O) const {
+    return std::tie(Owner, Name, Sig) < std::tie(O.Owner, O.Name, O.Sig);
+  }
+};
+
+/// Interned pools for the restructured format.
+class Model {
+public:
+  /// \name Interning (compressor side; idempotent)
+  /// @{
+  uint32_t internPackage(const std::string &Name);
+  uint32_t internSimpleName(const std::string &Name);
+  uint32_t internFieldName(const std::string &Name);
+  uint32_t internMethodName(const std::string &Name);
+  uint32_t internStringConst(const std::string &Value);
+  uint32_t internClassRef(const MClassRef &Ref);
+  uint32_t internFieldRef(const MFieldRef &Ref);
+  uint32_t internMethodRef(const MMethodRef &Ref);
+
+  /// Interns the class named by a Class constant-pool entry's name,
+  /// which may be a plain internal name or an array descriptor.
+  Expected<uint32_t> internClassByInternalName(const std::string &Name);
+
+  /// Interns the class reference for a field/parameter type.
+  uint32_t internTypeDesc(const TypeDesc &T);
+
+  /// Interns a method descriptor as [return, args...] class refs.
+  Expected<std::vector<uint32_t>> internSignature(const std::string &Desc);
+  /// @}
+
+  /// \name Appending (decompressor side: ids assigned in decode order)
+  /// @{
+  uint32_t appendPackage(std::string Name);
+  uint32_t appendSimpleName(std::string Name);
+  uint32_t appendFieldName(std::string Name);
+  uint32_t appendMethodName(std::string Name);
+  uint32_t appendStringConst(std::string Value);
+  uint32_t appendClassRef(const MClassRef &Ref);
+  uint32_t appendFieldRef(MFieldRef Ref);
+  uint32_t appendMethodRef(MMethodRef Ref);
+  /// @}
+
+  /// \name Lookup
+  /// @{
+  const std::string &package(uint32_t Id) const { return Packages[Id]; }
+  const std::string &simpleName(uint32_t Id) const { return Simples[Id]; }
+  const std::string &fieldName(uint32_t Id) const { return FieldNames[Id]; }
+  const std::string &methodName(uint32_t Id) const {
+    return MethodNames[Id];
+  }
+  const std::string &stringConst(uint32_t Id) const { return Strings[Id]; }
+  const MClassRef &classRef(uint32_t Id) const { return ClassRefs[Id]; }
+  const MFieldRef &fieldRef(uint32_t Id) const { return FieldRefs[Id]; }
+  const MMethodRef &methodRef(uint32_t Id) const { return MethodRefs[Id]; }
+  /// @}
+
+  /// Internal name of \p Id as a Class constant-pool entry would spell
+  /// it ("java/util/Map", or "[I" / "[Lfoo/Bar;" for arrays).
+  std::string classRefInternalName(uint32_t Id) const;
+
+  /// \p Id as a field-descriptor TypeDesc.
+  TypeDesc classRefTypeDesc(uint32_t Id) const;
+
+  /// Descriptor string of the signature [ret, args...] in \p Sig.
+  std::string signatureDescriptor(const std::vector<uint32_t> &Sig) const;
+
+  /// Stack-machine types of \p Sig (arguments and return).
+  void signatureVTypes(const std::vector<uint32_t> &Sig,
+                       std::vector<VType> &Args, VType &Ret) const;
+
+  /// Stack-machine type of the value of class ref \p Id.
+  VType classRefVType(uint32_t Id) const;
+
+private:
+  std::vector<std::string> Packages, Simples, FieldNames, MethodNames,
+      Strings;
+  std::vector<MClassRef> ClassRefs;
+  std::vector<MFieldRef> FieldRefs;
+  std::vector<MMethodRef> MethodRefs;
+
+  std::map<std::string, uint32_t> PackageIds, SimpleIds, FieldNameIds,
+      MethodNameIds, StringIds;
+  std::map<MClassRef, uint32_t> ClassRefIds;
+  std::map<MFieldRef, uint32_t> FieldRefIds;
+  std::map<MMethodRef, uint32_t> MethodRefIds;
+};
+
+/// Splits an internal class name into package and simple name ("" for
+/// the default package).
+void splitClassName(const std::string &Internal, std::string &Package,
+                    std::string &Simple);
+
+} // namespace cjpack
+
+#endif // CJPACK_PACK_MODEL_H

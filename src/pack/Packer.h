@@ -1,0 +1,95 @@
+//===- Packer.h - the packed archive public API ----------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Public API of the paper's contribution: packing a collection of Java
+/// classfiles into the compressed wire format, and unpacking it back
+/// into standard classfiles.
+///
+/// Typical use:
+/// \code
+///   std::vector<NamedClass> Classes = ...;           // name + bytes
+///   auto Packed = packClassBytes(Classes, PackOptions());
+///   auto Restored = unpackArchive(Packed->Archive);  // NamedClass list
+/// \endcode
+///
+/// Unpacking is deterministic: the same archive always reproduces the
+/// identical classfiles (§12), which are the prepareForPacking-canonical
+/// form of the inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_PACK_PACKER_H
+#define CJPACK_PACK_PACKER_H
+
+#include "classfile/ClassFile.h"
+#include "coder/RefCoder.h"
+#include "pack/Streams.h"
+#include "support/Error.h"
+#include "zip/Jar.h"
+#include "zip/Manifest.h"
+#include <cstdint>
+#include <vector>
+
+namespace cjpack {
+
+/// Knobs for the packed format; defaults are the paper's shipping
+/// configuration (move-to-front with transients and context, stack-state
+/// opcode collapsing, per-stream zlib).
+struct PackOptions {
+  /// Reference-encoding scheme (§5.1). Every scheme both packs and
+  /// unpacks; non-default schemes exist for the Table 3 experiment.
+  RefScheme Scheme = RefScheme::MtfTransientsContext;
+  /// Collapse typed opcode families under the approximate stack state
+  /// (§7.1).
+  bool CollapseOpcodes = true;
+  /// zlib-compress the output streams; off reproduces the "not gzip'd"
+  /// rows of Table 5.
+  bool CompressStreams = true;
+  /// Reorder classes so superclasses/interfaces precede their
+  /// subclasses, enabling eager class loading (§11).
+  bool OrderForEagerLoading = true;
+  /// Seed both sides with the §14 standard reference table (package
+  /// names, java/lang classes, common method refs) so small archives
+  /// never pay to define them. Unsupported with the Freq/Cache schemes.
+  bool PreloadStandardRefs = false;
+};
+
+/// Result of packing: the archive plus per-stream accounting.
+struct PackResult {
+  std::vector<uint8_t> Archive;
+  StreamSizes Sizes;
+  size_t ClassCount = 0;
+};
+
+/// Packs already-parsed classfiles. Inputs must have been run through
+/// prepareForPacking (unrecognized attributes are a hard error).
+Expected<PackResult> packClasses(const std::vector<ClassFile> &Classes,
+                                 const PackOptions &Options);
+
+/// Parses, prepares (strip + canonicalize), and packs raw classfiles.
+Expected<PackResult> packClassBytes(const std::vector<NamedClass> &Classes,
+                                    const PackOptions &Options);
+
+/// Unpacks an archive into classfile models, in archive order.
+Expected<std::vector<ClassFile>>
+unpackClasses(const std::vector<uint8_t> &Archive);
+
+/// Unpacks an archive into named classfile bytes ("pkg/Name.class").
+Expected<std::vector<NamedClass>>
+unpackArchive(const std::vector<uint8_t> &Archive);
+
+/// The §12 signing workflow: decompresses \p Archive and digests the
+/// resulting classfiles into a manifest. The sender runs this right
+/// after packing and signs/ships the manifest; the receiver runs the
+/// same function and compares — deterministic decompression makes the
+/// digests reproducible even though packing renumbered constant pools.
+Expected<Manifest>
+manifestForPackedArchive(const std::vector<uint8_t> &Archive);
+
+} // namespace cjpack
+
+#endif // CJPACK_PACK_PACKER_H

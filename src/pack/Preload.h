@@ -1,0 +1,38 @@
+//===- Preload.h - preloaded standard references (§14) ---------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §14 extension: "assume a standard set of preloaded
+/// references to frequently used package names, classes, method
+/// references and so on". Both the compressor and the decompressor seed
+/// their object pools and MTF queues with the same built-in table
+/// before any class is encoded, so references to java/lang/Object,
+/// <init>()V, StringBuffer.append and friends never pay for a
+/// definition on the wire. The paper predicts this helps small archives
+/// most; bench_ablation_preload measures exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_PACK_PRELOAD_H
+#define CJPACK_PACK_PRELOAD_H
+
+#include "coder/RefCoder.h"
+#include "pack/Model.h"
+
+namespace cjpack {
+
+/// Seeds \p M and \p Enc with the standard reference table, in a fixed
+/// order. \p Scheme selects the pool layout (the Simple baseline merges
+/// method/field pools). Returns false if the scheme cannot preload
+/// (Freq/Cache).
+bool preloadStandardRefs(Model &M, RefEncoder &Enc, RefScheme Scheme);
+
+/// Decoder-side mirror; must be called before decoding any class.
+bool preloadStandardRefs(Model &M, RefDecoder &Dec, RefScheme Scheme);
+
+} // namespace cjpack
+
+#endif // CJPACK_PACK_PRELOAD_H

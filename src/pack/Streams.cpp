@@ -1,0 +1,159 @@
+//===- Streams.cpp - separated wire streams (§4, §7) ----------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pack/Streams.h"
+#include "support/VarInt.h"
+#include "zip/Zlib.h"
+
+using namespace cjpack;
+
+StreamCategory cjpack::streamCategory(StreamId Id) {
+  switch (Id) {
+  case StreamId::StringLengths:
+  case StreamId::NameChars:
+  case StreamId::ClassNameChars:
+  case StreamId::StringConstChars:
+    return StreamCategory::Strings;
+  case StreamId::Opcodes:
+    return StreamCategory::Opcodes;
+  case StreamId::IntConsts:
+    return StreamCategory::Ints;
+  case StreamId::PackageRefs:
+  case StreamId::SimpleNameRefs:
+  case StreamId::ClassRefs:
+  case StreamId::FieldNameRefs:
+  case StreamId::MethodNameRefs:
+  case StreamId::FieldRefs:
+  case StreamId::MethodRefs:
+  case StreamId::StringConstRefs:
+    return StreamCategory::Refs;
+  default:
+    return StreamCategory::Misc;
+  }
+}
+
+const char *cjpack::streamName(StreamId Id) {
+  switch (Id) {
+  case StreamId::Counts: return "Counts";
+  case StreamId::Flags: return "Flags";
+  case StreamId::Registers: return "Registers";
+  case StreamId::BranchOffsets: return "BranchOffsets";
+  case StreamId::IntConsts: return "IntConsts";
+  case StreamId::FloatConsts: return "FloatConsts";
+  case StreamId::LongConsts: return "LongConsts";
+  case StreamId::DoubleConsts: return "DoubleConsts";
+  case StreamId::Opcodes: return "Opcodes";
+  case StreamId::PackageRefs: return "PackageRefs";
+  case StreamId::SimpleNameRefs: return "SimpleNameRefs";
+  case StreamId::ClassRefs: return "ClassRefs";
+  case StreamId::FieldNameRefs: return "FieldNameRefs";
+  case StreamId::MethodNameRefs: return "MethodNameRefs";
+  case StreamId::FieldRefs: return "FieldRefs";
+  case StreamId::MethodRefs: return "MethodRefs";
+  case StreamId::StringConstRefs: return "StringConstRefs";
+  case StreamId::StringLengths: return "StringLengths";
+  case StreamId::NameChars: return "NameChars";
+  case StreamId::ClassNameChars: return "ClassNameChars";
+  case StreamId::StringConstChars: return "StringConstChars";
+  }
+  return "?";
+}
+
+const char *cjpack::streamCategoryName(StreamCategory C) {
+  switch (C) {
+  case StreamCategory::Strings: return "Strings";
+  case StreamCategory::Opcodes: return "Opcodes";
+  case StreamCategory::Ints: return "Ints";
+  case StreamCategory::Refs: return "Refs";
+  case StreamCategory::Misc: return "Misc";
+  }
+  return "?";
+}
+
+size_t StreamSizes::totalRaw() const {
+  size_t Total = 0;
+  for (size_t S : Raw)
+    Total += S;
+  return Total;
+}
+
+size_t StreamSizes::totalPacked() const {
+  size_t Total = 0;
+  for (size_t S : Packed)
+    Total += S;
+  return Total;
+}
+
+size_t StreamSizes::packedOf(StreamCategory C) const {
+  size_t Total = 0;
+  for (unsigned I = 0; I < NumStreams; ++I)
+    if (streamCategory(static_cast<StreamId>(I)) == C)
+      Total += Packed[I];
+  return Total;
+}
+
+std::vector<uint8_t> StreamSet::serialize(bool Compress,
+                                          StreamSizes *Sizes) const {
+  ByteWriter W;
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    const std::vector<uint8_t> &Raw = Writers[I].data();
+    std::vector<uint8_t> Stored;
+    uint8_t Method = 0;
+    if (Compress && !Raw.empty()) {
+      Stored = deflateBytes(Raw);
+      if (Stored.size() < Raw.size())
+        Method = 1;
+      else
+        Stored.clear();
+    }
+    if (Method == 0)
+      Stored = Raw;
+    size_t HeaderStart = W.size();
+    W.writeU1(static_cast<uint8_t>(I));
+    W.writeU1(Method);
+    writeVarUInt(W, Raw.size());
+    writeVarUInt(W, Stored.size());
+    size_t HeaderLen = W.size() - HeaderStart;
+    W.writeBytes(Stored);
+    if (Sizes) {
+      Sizes->Raw[I] = Raw.size();
+      // Charge each stream its directory header too, so per-category
+      // sums add up to the archive size.
+      Sizes->Packed[I] = HeaderLen + Stored.size();
+    }
+  }
+  return W.take();
+}
+
+Error StreamSet::deserialize(ByteReader &R) {
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    uint8_t Id = R.readU1();
+    uint8_t Method = R.readU1();
+    size_t RawLen = static_cast<size_t>(readVarUInt(R));
+    size_t StoredLen = static_cast<size_t>(readVarUInt(R));
+    if (R.hasError() || Id >= NumStreams)
+      return makeError("streams: corrupt stream header");
+    std::vector<uint8_t> Stored = R.readBytes(StoredLen);
+    if (R.hasError())
+      return makeError("streams: truncated stream data");
+    if (Method == 1) {
+      auto Raw = inflateBytes(Stored, RawLen);
+      if (!Raw)
+        return Raw.takeError();
+      if (Raw->size() != RawLen)
+        return makeError("streams: stream size mismatch");
+      Buffers[Id] = std::move(*Raw);
+    } else if (Method == 0) {
+      if (Stored.size() != RawLen)
+        return makeError("streams: stored size mismatch");
+      Buffers[Id] = std::move(Stored);
+    } else {
+      return makeError("streams: unknown stream method");
+    }
+    Readers[Id] = std::make_unique<ByteReader>(Buffers[Id]);
+  }
+  return Error::success();
+}

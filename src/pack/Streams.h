@@ -1,0 +1,109 @@
+//===- Streams.h - separated wire streams (§4, §7) -------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The packed format separates dissimilar data into independent byte
+/// streams — opcodes, register numbers, integer constants, each kind of
+/// reference, string lengths, string characters — and compresses each
+/// with zlib (§4, §7, [EEF+97]). StreamSet is that container plus its
+/// serialization. Every stream carries a reporting category so the
+/// Table 6 composition columns (Strings/Opcodes/Ints/Refs/Misc) fall out
+/// of the per-stream packed sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_PACK_STREAMS_H
+#define CJPACK_PACK_STREAMS_H
+
+#include "support/ByteBuffer.h"
+#include "support/Error.h"
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cjpack {
+
+/// The separated streams of the packed format.
+enum class StreamId : uint8_t {
+  Counts,           ///< structure counts, versions, lengths, misc headers
+  Flags,            ///< access flags (with attribute-presence bits, §4)
+  Registers,        ///< local-variable numbers from bytecode
+  BranchOffsets,    ///< relative branch/switch targets
+  IntConsts,        ///< bipush/sipush/iinc/ldc-int/switch keys/const fields
+  FloatConsts,      ///< float constant raw bits
+  LongConsts,       ///< long constant raw bits
+  DoubleConsts,     ///< double constant raw bits
+  Opcodes,          ///< opcode stream (with collapse/ldc pseudo-opcodes)
+  PackageRefs,      ///< references to package names
+  SimpleNameRefs,   ///< references to simple class names
+  ClassRefs,        ///< references to ClassRef objects
+  FieldNameRefs,    ///< references to field names
+  MethodNameRefs,   ///< references to method names
+  FieldRefs,        ///< references to FieldRef objects
+  MethodRefs,       ///< references to MethodRef objects
+  StringConstRefs,  ///< references to string constants
+  StringLengths,    ///< lengths of all newly defined strings
+  NameChars,        ///< characters of member names
+  ClassNameChars,   ///< characters of package + simple class names
+  StringConstChars, ///< characters of string constants
+};
+
+inline constexpr unsigned NumStreams =
+    static_cast<unsigned>(StreamId::StringConstChars) + 1;
+
+/// Reporting categories for Table 6's composition columns.
+enum class StreamCategory : uint8_t { Strings, Opcodes, Ints, Refs, Misc };
+
+/// Category of \p Id.
+StreamCategory streamCategory(StreamId Id);
+
+/// Printable names.
+const char *streamName(StreamId Id);
+const char *streamCategoryName(StreamCategory C);
+
+/// Per-stream raw and packed byte counts, filled in by serialization.
+struct StreamSizes {
+  std::array<size_t, NumStreams> Raw{};
+  std::array<size_t, NumStreams> Packed{};
+
+  size_t totalRaw() const;
+  size_t totalPacked() const;
+  size_t packedOf(StreamCategory C) const;
+};
+
+/// A set of named byte streams being written or read.
+class StreamSet {
+public:
+  /// Writer side: the sink for \p Id.
+  ByteWriter &out(StreamId Id) {
+    return Writers[static_cast<unsigned>(Id)];
+  }
+
+  /// Reader side: the source for \p Id (valid after deserialize).
+  ByteReader &in(StreamId Id) {
+    auto &Slot = Readers[static_cast<unsigned>(Id)];
+    assert(Slot && "stream not deserialized");
+    return *Slot;
+  }
+
+  /// Serializes all written streams: per stream a header (id, raw size,
+  /// stored size, method) followed by the deflate-compressed (or, when
+  /// \p Compress is false, raw) bytes. \p Sizes receives the accounting.
+  std::vector<uint8_t> serialize(bool Compress, StreamSizes *Sizes) const;
+
+  /// Parses bytes produced by serialize.
+  Error deserialize(ByteReader &R);
+
+private:
+  std::array<ByteWriter, NumStreams> Writers;
+  std::array<std::vector<uint8_t>, NumStreams> Buffers;
+  std::array<std::unique_ptr<ByteReader>, NumStreams> Readers;
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_PACK_STREAMS_H

@@ -1,0 +1,70 @@
+//===- BitStream.h - MSB-first bit I/O -------------------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MSB-first bit writer/reader used by the arithmetic coder (§5's
+/// MTF-vs-arithmetic ablation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_SUPPORT_BITSTREAM_H
+#define CJPACK_SUPPORT_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cjpack {
+
+/// Accumulates bits MSB-first into a byte vector.
+class BitWriter {
+public:
+  void writeBit(bool Bit) {
+    Acc = static_cast<uint8_t>(Acc << 1 | (Bit ? 1 : 0));
+    if (++Filled == 8) {
+      Bytes.push_back(Acc);
+      Acc = 0;
+      Filled = 0;
+    }
+  }
+
+  /// Pads the final partial byte with zero bits and returns the buffer.
+  std::vector<uint8_t> finish() {
+    while (Filled != 0)
+      writeBit(false);
+    return std::move(Bytes);
+  }
+
+  size_t bitCount() const { return Bytes.size() * 8 + Filled; }
+
+private:
+  std::vector<uint8_t> Bytes;
+  uint8_t Acc = 0;
+  unsigned Filled = 0;
+};
+
+/// Reads bits MSB-first; reads past the end return zero bits (matching
+/// the arithmetic decoder's convention).
+class BitReader {
+public:
+  explicit BitReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool readBit() {
+    if (At >= Bytes.size() * 8)
+      return false;
+    bool Bit = (Bytes[At / 8] >> (7 - At % 8)) & 1;
+    ++At;
+    return Bit;
+  }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t At = 0;
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_SUPPORT_BITSTREAM_H

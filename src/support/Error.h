@@ -1,0 +1,111 @@
+//===- Error.h - Lightweight error handling for cjpack ---------*- C++ -*-===//
+//
+// Part of cjpack, a reproduction of "Compressing Java Class Files"
+// (Pugh, PLDI 1999). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight Error / Expected<T> pair in the spirit of LLVM's error
+/// handling, without exceptions or RTTI. Errors carry a message string;
+/// Expected<T> carries either a value or an error message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_SUPPORT_ERROR_H
+#define CJPACK_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cjpack {
+
+/// A recoverable error: either success (empty) or a failure message.
+///
+/// Unlike LLVM's Error this is not checked-on-destruction; it is a plain
+/// value type, cheap to construct and move.
+class Error {
+public:
+  /// Constructs a success value.
+  Error() = default;
+
+  /// Constructs a failure carrying \p Msg.
+  static Error failure(std::string Msg) {
+    Error E;
+    E.Msg = std::move(Msg);
+    return E;
+  }
+
+  /// Constructs a success value (symmetry with LLVM's Error::success()).
+  static Error success() { return Error(); }
+
+  /// True if this represents a failure.
+  explicit operator bool() const { return Msg.has_value(); }
+
+  /// Returns the failure message; only valid on failures.
+  const std::string &message() const {
+    assert(Msg && "message() on a success Error");
+    return *Msg;
+  }
+
+private:
+  std::optional<std::string> Msg;
+};
+
+/// Either a T or an error message, for fallible functions returning values.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure from an Error (which must be a failure).
+  Expected(Error E) : Err(std::move(E)) {
+    assert(Err && "Expected constructed from a success Error");
+  }
+
+  /// True on success.
+  explicit operator bool() const { return Value.has_value(); }
+
+  /// Accessors for the success value; only valid on success.
+  T &operator*() {
+    assert(Value && "dereferencing failed Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing failed Expected");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing failed Expected");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing failed Expected");
+    return &*Value;
+  }
+
+  /// Moves the error out; returns success() if this holds a value.
+  Error takeError() {
+    if (Value)
+      return Error::success();
+    return std::move(Err);
+  }
+
+  /// Returns the failure message; only valid on failures.
+  const std::string &message() const { return Err.message(); }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Builds a failure Error from a message.
+inline Error makeError(std::string Msg) {
+  return Error::failure(std::move(Msg));
+}
+
+} // namespace cjpack
+
+#endif // CJPACK_SUPPORT_ERROR_H

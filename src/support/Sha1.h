@@ -1,0 +1,58 @@
+//===- Sha1.h - SHA-1 digest -----------------------------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A standalone SHA-1 implementation (FIPS 180-1), the digest 1990s jar
+/// manifests used for member signatures. Used by the §12 signing
+/// workflow: sign the decompressed classfiles, ship the manifest with
+/// the packed archive, and rely on deterministic decompression to make
+/// the digests reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_SUPPORT_SHA1_H
+#define CJPACK_SUPPORT_SHA1_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cjpack {
+
+/// Incremental SHA-1.
+class Sha1 {
+public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(const uint8_t *Data, size_t Len);
+  void update(const std::vector<uint8_t> &Data) {
+    update(Data.data(), Data.size());
+  }
+
+  /// Finalizes and returns the 20-byte digest. The object must be
+  /// reset() before reuse.
+  std::array<uint8_t, 20> finish();
+
+private:
+  void processBlock(const uint8_t *Block);
+
+  uint32_t H[5];
+  uint8_t Buffer[64];
+  size_t BufferLen = 0;
+  uint64_t TotalBits = 0;
+};
+
+/// One-shot digest of \p Data.
+std::array<uint8_t, 20> sha1Of(const std::vector<uint8_t> &Data);
+
+/// Digest as lowercase hex.
+std::string sha1Hex(const std::vector<uint8_t> &Data);
+
+} // namespace cjpack
+
+#endif // CJPACK_SUPPORT_SHA1_H

@@ -1,0 +1,110 @@
+//===- VarInt.h - Integer codecs from Pugh §6 ------------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three integer encodings of §6 of the paper:
+///
+///  * unsigned varint: low seven bits per byte, high bit set when more
+///    bytes follow — good for unbounded skewed-small distributions;
+///  * zigzag signed mapping: x >= 0 ? 2x : -2x-1, moving the sign into
+///    the least significant bit so small negatives stay small;
+///  * bounded codec: when both sides know the value lies in 0..n-1
+///    (n <= 2^16), reserve the top r = floor((n-2)/255) patterns of the
+///    first byte to flag a two-byte encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_SUPPORT_VARINT_H
+#define CJPACK_SUPPORT_VARINT_H
+
+#include "support/ByteBuffer.h"
+#include <cstdint>
+
+namespace cjpack {
+
+/// Writes \p V as a 7-bits-per-byte varint, least significant group first.
+inline void writeVarUInt(ByteWriter &W, uint64_t V) {
+  while (V >= 0x80) {
+    W.writeU1(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  W.writeU1(static_cast<uint8_t>(V));
+}
+
+/// Reads a varint written by writeVarUInt.
+inline uint64_t readVarUInt(ByteReader &R) {
+  uint64_t V = 0;
+  unsigned Shift = 0;
+  while (true) {
+    uint8_t B = R.readU1();
+    V |= static_cast<uint64_t>(B & 0x7F) << Shift;
+    if (!(B & 0x80) || R.hasError())
+      return V;
+    Shift += 7;
+    if (Shift >= 64)
+      return V;
+  }
+}
+
+/// Maps a signed value onto the unsigned line: {-3..3} -> {5,3,1,0,2,4,6}.
+inline uint64_t zigzagEncode(int64_t V) {
+  return V >= 0 ? static_cast<uint64_t>(V) * 2
+                : static_cast<uint64_t>(-(V + 1)) * 2 + 1;
+}
+
+/// Inverse of zigzagEncode.
+inline int64_t zigzagDecode(uint64_t V) {
+  return (V & 1) ? -static_cast<int64_t>(V / 2) - 1
+                 : static_cast<int64_t>(V / 2);
+}
+
+/// Writes a signed varint via the zigzag mapping.
+inline void writeVarInt(ByteWriter &W, int64_t V) {
+  writeVarUInt(W, zigzagEncode(V));
+}
+
+/// Reads a signed varint written by writeVarInt.
+inline int64_t readVarInt(ByteReader &R) { return zigzagDecode(readVarUInt(R)); }
+
+/// Number of two-byte escape patterns for the bounded codec with range
+/// 0..n-1. Zero when n <= 256 (every value fits in one byte).
+inline uint32_t boundedEscapeCount(uint32_t N) {
+  if (N <= 256)
+    return 0;
+  return (N - 2) / 255;
+}
+
+/// Writes \p X, known by both sides to lie in 0..N-1 with N <= 2^16, in
+/// one byte where possible and two bytes otherwise (§6).
+inline void writeBounded(ByteWriter &W, uint32_t X, uint32_t N) {
+  assert(N >= 1 && N <= 65536 && "bounded codec requires 1 <= N <= 2^16");
+  assert(X < N && "value out of declared range");
+  uint32_t R = boundedEscapeCount(N);
+  uint32_t Base = 256 - R;
+  if (X < Base) {
+    W.writeU1(static_cast<uint8_t>(X));
+    return;
+  }
+  uint32_t Rem = X - Base;
+  W.writeU1(static_cast<uint8_t>(Rem % R + Base));
+  W.writeU1(static_cast<uint8_t>(Rem / R));
+}
+
+/// Reads a value written by writeBounded with the same \p N.
+inline uint32_t readBounded(ByteReader &R0, uint32_t N) {
+  assert(N >= 1 && N <= 65536 && "bounded codec requires 1 <= N <= 2^16");
+  uint32_t R = boundedEscapeCount(N);
+  uint32_t Base = 256 - R;
+  uint32_t B = R0.readU1();
+  if (B < Base)
+    return B;
+  uint32_t B2 = R0.readU1();
+  return Base + (B - Base) + B2 * R;
+}
+
+} // namespace cjpack
+
+#endif // CJPACK_SUPPORT_VARINT_H

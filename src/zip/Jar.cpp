@@ -1,0 +1,31 @@
+//===- Jar.cpp - the paper's jar-family baselines -------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "zip/Jar.h"
+
+using namespace cjpack;
+
+std::vector<uint8_t>
+cjpack::buildJar(const std::vector<NamedClass> &Classes) {
+  return writeZip(Classes, ZipMethod::Deflated);
+}
+
+std::vector<uint8_t>
+cjpack::buildJ0r(const std::vector<NamedClass> &Classes) {
+  return writeZip(Classes, ZipMethod::Stored);
+}
+
+std::vector<uint8_t>
+cjpack::buildJ0rGz(const std::vector<NamedClass> &Classes) {
+  return gzipBytes(buildJ0r(Classes));
+}
+
+size_t cjpack::totalClassBytes(const std::vector<NamedClass> &Classes) {
+  size_t Total = 0;
+  for (const NamedClass &C : Classes)
+    Total += C.Data.size();
+  return Total;
+}

@@ -1,0 +1,42 @@
+//===- Jar.h - the paper's jar-family baselines ----------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the archive baselines of §2 / Table 1:
+///
+///  * jar / sjar — ZIP of individually deflated classfiles (sjar is the
+///    same after debug stripping + constant-pool canonicalization);
+///  * sj0r — ZIP of stored (uncompressed) classfiles;
+///  * sj0r.gz — an sj0r gzip'd as a whole, which lets the compressor see
+///    across member boundaries (§2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_ZIP_JAR_H
+#define CJPACK_ZIP_JAR_H
+
+#include "zip/ZipFile.h"
+
+namespace cjpack {
+
+/// A named classfile (raw bytes).
+using NamedClass = ZipEntry;
+
+/// jar: each member individually deflated.
+std::vector<uint8_t> buildJar(const std::vector<NamedClass> &Classes);
+
+/// j0r: members stored uncompressed.
+std::vector<uint8_t> buildJ0r(const std::vector<NamedClass> &Classes);
+
+/// j0r.gz: a stored archive gzip'd as a whole.
+std::vector<uint8_t> buildJ0rGz(const std::vector<NamedClass> &Classes);
+
+/// Sum of member sizes (the "individual files not compressed" column).
+size_t totalClassBytes(const std::vector<NamedClass> &Classes);
+
+} // namespace cjpack
+
+#endif // CJPACK_ZIP_JAR_H

@@ -1,0 +1,85 @@
+//===- Manifest.cpp - jar manifests and the §12 signing workflow ----------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "zip/Manifest.h"
+#include "support/Sha1.h"
+
+using namespace cjpack;
+
+const ManifestEntry *Manifest::find(const std::string &Name) const {
+  for (const ManifestEntry &E : Entries)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+Manifest cjpack::buildManifest(const std::vector<NamedClass> &Classes) {
+  Manifest M;
+  M.Entries.reserve(Classes.size());
+  for (const NamedClass &C : Classes)
+    M.Entries.push_back({C.Name, sha1Hex(C.Data)});
+  return M;
+}
+
+std::string cjpack::writeManifest(const Manifest &M) {
+  std::string Out = "Manifest-Version: " + M.Version + "\n\n";
+  for (const ManifestEntry &E : M.Entries) {
+    Out += "Name: " + E.Name + "\n";
+    Out += "SHA1-Digest: " + E.Sha1Digest + "\n\n";
+  }
+  return Out;
+}
+
+Expected<Manifest> cjpack::parseManifest(const std::string &Text) {
+  Manifest M;
+  std::string PendingName;
+  size_t At = 0;
+  auto NextLine = [&](std::string &Line) {
+    if (At >= Text.size())
+      return false;
+    size_t End = Text.find('\n', At);
+    if (End == std::string::npos)
+      End = Text.size();
+    Line = Text.substr(At, End - At);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    At = End + 1;
+    return true;
+  };
+  std::string Line;
+  while (NextLine(Line)) {
+    if (Line.empty())
+      continue;
+    size_t Colon = Line.find(": ");
+    if (Colon == std::string::npos)
+      return Error::failure("manifest: malformed line '" + Line + "'");
+    std::string Key = Line.substr(0, Colon);
+    std::string Value = Line.substr(Colon + 2);
+    if (Key == "Manifest-Version") {
+      M.Version = Value;
+    } else if (Key == "Name") {
+      PendingName = Value;
+    } else if (Key == "SHA1-Digest") {
+      if (PendingName.empty())
+        return Error::failure("manifest: digest without a Name");
+      M.Entries.push_back({PendingName, Value});
+      PendingName.clear();
+    } else {
+      // Unknown attributes are legal in manifests; skip them.
+    }
+  }
+  return M;
+}
+
+bool cjpack::verifyManifest(const Manifest &M,
+                            const std::vector<NamedClass> &Classes) {
+  for (const NamedClass &C : Classes) {
+    const ManifestEntry *E = M.find(C.Name);
+    if (!E || E->Sha1Digest != sha1Hex(C.Data))
+      return false;
+  }
+  return true;
+}

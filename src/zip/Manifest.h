@@ -1,0 +1,58 @@
+//===- Manifest.h - jar manifests and the §12 signing workflow -*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Jar manifests with per-entry digests, and the §12 workflow: packing
+/// renumbers constant pools, so signatures over the *original*
+/// classfiles would not verify after decompression. The paper's fix:
+/// compress, then decompress, sign the decompressed classfiles, and
+/// ship that manifest with the packed archive — deterministic
+/// decompression (§12) guarantees the receiver reproduces the exact
+/// bytes the digests cover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_ZIP_MANIFEST_H
+#define CJPACK_ZIP_MANIFEST_H
+
+#include "support/Error.h"
+#include "zip/Jar.h"
+#include <string>
+#include <vector>
+
+namespace cjpack {
+
+/// One manifest entry: a member name and its SHA-1 digest (hex).
+struct ManifestEntry {
+  std::string Name;
+  std::string Sha1Digest;
+};
+
+/// A minimal jar manifest.
+struct Manifest {
+  std::string Version = "1.0";
+  std::vector<ManifestEntry> Entries;
+
+  const ManifestEntry *find(const std::string &Name) const;
+};
+
+/// Digests every member of \p Classes.
+Manifest buildManifest(const std::vector<NamedClass> &Classes);
+
+/// Serializes in MANIFEST.MF style (Name/SHA1-Digest attribute pairs).
+std::string writeManifest(const Manifest &M);
+
+/// Parses text produced by writeManifest (tolerates \r\n).
+Expected<Manifest> parseManifest(const std::string &Text);
+
+/// True if every class matches its manifest digest and no class is
+/// missing from the manifest.
+bool verifyManifest(const Manifest &M,
+                    const std::vector<NamedClass> &Classes);
+
+} // namespace cjpack
+
+#endif // CJPACK_ZIP_MANIFEST_H

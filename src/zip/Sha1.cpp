@@ -1,0 +1,120 @@
+//===- Sha1.cpp - SHA-1 digest ---------------------------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sha1.h"
+#include <cstring>
+
+using namespace cjpack;
+
+void Sha1::reset() {
+  H[0] = 0x67452301;
+  H[1] = 0xEFCDAB89;
+  H[2] = 0x98BADCFE;
+  H[3] = 0x10325476;
+  H[4] = 0xC3D2E1F0;
+  BufferLen = 0;
+  TotalBits = 0;
+}
+
+static uint32_t rotl(uint32_t V, unsigned N) {
+  return V << N | V >> (32 - N);
+}
+
+void Sha1::processBlock(const uint8_t *Block) {
+  uint32_t W[80];
+  for (int T = 0; T < 16; ++T)
+    W[T] = static_cast<uint32_t>(Block[T * 4]) << 24 |
+           static_cast<uint32_t>(Block[T * 4 + 1]) << 16 |
+           static_cast<uint32_t>(Block[T * 4 + 2]) << 8 |
+           static_cast<uint32_t>(Block[T * 4 + 3]);
+  for (int T = 16; T < 80; ++T)
+    W[T] = rotl(W[T - 3] ^ W[T - 8] ^ W[T - 14] ^ W[T - 16], 1);
+
+  uint32_t A = H[0], B = H[1], C = H[2], D = H[3], E = H[4];
+  for (int T = 0; T < 80; ++T) {
+    uint32_t F, K;
+    if (T < 20) {
+      F = (B & C) | (~B & D);
+      K = 0x5A827999;
+    } else if (T < 40) {
+      F = B ^ C ^ D;
+      K = 0x6ED9EBA1;
+    } else if (T < 60) {
+      F = (B & C) | (B & D) | (C & D);
+      K = 0x8F1BBCDC;
+    } else {
+      F = B ^ C ^ D;
+      K = 0xCA62C1D6;
+    }
+    uint32_t Temp = rotl(A, 5) + F + E + W[T] + K;
+    E = D;
+    D = C;
+    C = rotl(B, 30);
+    B = A;
+    A = Temp;
+  }
+  H[0] += A;
+  H[1] += B;
+  H[2] += C;
+  H[3] += D;
+  H[4] += E;
+}
+
+void Sha1::update(const uint8_t *Data, size_t Len) {
+  TotalBits += static_cast<uint64_t>(Len) * 8;
+  while (Len > 0) {
+    size_t Take = std::min(Len, sizeof(Buffer) - BufferLen);
+    std::memcpy(Buffer + BufferLen, Data, Take);
+    BufferLen += Take;
+    Data += Take;
+    Len -= Take;
+    if (BufferLen == sizeof(Buffer)) {
+      processBlock(Buffer);
+      BufferLen = 0;
+    }
+  }
+}
+
+std::array<uint8_t, 20> Sha1::finish() {
+  uint64_t Bits = TotalBits;
+  uint8_t Pad = 0x80;
+  update(&Pad, 1);
+  uint8_t Zero = 0;
+  while (BufferLen != 56)
+    update(&Zero, 1);
+  uint8_t LenBytes[8];
+  for (int I = 0; I < 8; ++I)
+    LenBytes[I] = static_cast<uint8_t>(Bits >> (56 - I * 8));
+  // Bypass update()'s bit counting for the length field.
+  std::memcpy(Buffer + 56, LenBytes, 8);
+  processBlock(Buffer);
+  BufferLen = 0;
+
+  std::array<uint8_t, 20> Out;
+  for (int I = 0; I < 5; ++I)
+    for (int J = 0; J < 4; ++J)
+      Out[static_cast<size_t>(I * 4 + J)] =
+          static_cast<uint8_t>(H[I] >> (24 - J * 8));
+  return Out;
+}
+
+std::array<uint8_t, 20> cjpack::sha1Of(const std::vector<uint8_t> &Data) {
+  Sha1 S;
+  S.update(Data);
+  return S.finish();
+}
+
+std::string cjpack::sha1Hex(const std::vector<uint8_t> &Data) {
+  static const char *Hex = "0123456789abcdef";
+  std::array<uint8_t, 20> Digest = sha1Of(Data);
+  std::string Out;
+  Out.reserve(40);
+  for (uint8_t B : Digest) {
+    Out.push_back(Hex[B >> 4]);
+    Out.push_back(Hex[B & 0xF]);
+  }
+  return Out;
+}

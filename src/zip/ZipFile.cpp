@@ -1,0 +1,217 @@
+//===- ZipFile.cpp - minimal ZIP (jar) reader/writer ----------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "zip/ZipFile.h"
+#include "zip/Zlib.h"
+#include <cstring>
+
+using namespace cjpack;
+
+// ZIP structures are little-endian, unlike everything else in this
+// project; keep dedicated helpers here.
+namespace {
+
+void putU2(std::vector<uint8_t> &B, uint16_t V) {
+  B.push_back(static_cast<uint8_t>(V));
+  B.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+void putU4(std::vector<uint8_t> &B, uint32_t V) {
+  putU2(B, static_cast<uint16_t>(V));
+  putU2(B, static_cast<uint16_t>(V >> 16));
+}
+
+uint16_t getU2(const std::vector<uint8_t> &B, size_t At) {
+  return static_cast<uint16_t>(B[At] | B[At + 1] << 8);
+}
+
+uint32_t getU4(const std::vector<uint8_t> &B, size_t At) {
+  return static_cast<uint32_t>(B[At]) |
+         static_cast<uint32_t>(B[At + 1]) << 8 |
+         static_cast<uint32_t>(B[At + 2]) << 16 |
+         static_cast<uint32_t>(B[At + 3]) << 24;
+}
+
+constexpr uint32_t LocalHeaderSig = 0x04034b50;
+constexpr uint32_t CentralHeaderSig = 0x02014b50;
+constexpr uint32_t EndOfCentralSig = 0x06054b50;
+
+} // namespace
+
+std::vector<uint8_t> cjpack::writeZip(const std::vector<ZipEntry> &Entries,
+                                      ZipMethod Method) {
+  std::vector<uint8_t> Out;
+  struct CentralRecord {
+    std::string Name;
+    uint32_t Crc, CompSize, RawSize, Offset;
+    uint16_t Method;
+  };
+  std::vector<CentralRecord> Central;
+
+  for (const ZipEntry &E : Entries) {
+    uint32_t Crc = crc32Of(E.Data);
+    std::vector<uint8_t> Comp;
+    uint16_t UseMethod = static_cast<uint16_t>(Method);
+    if (Method == ZipMethod::Deflated) {
+      Comp = deflateBytes(E.Data);
+      if (Comp.size() >= E.Data.size()) {
+        // A real jar tool stores incompressible members.
+        Comp = E.Data;
+        UseMethod = static_cast<uint16_t>(ZipMethod::Stored);
+      }
+    } else {
+      Comp = E.Data;
+    }
+
+    uint32_t Offset = static_cast<uint32_t>(Out.size());
+    putU4(Out, LocalHeaderSig);
+    putU2(Out, 20);        // version needed
+    putU2(Out, 0);         // flags
+    putU2(Out, UseMethod);
+    putU2(Out, 0);         // mod time
+    putU2(Out, 0);         // mod date
+    putU4(Out, Crc);
+    putU4(Out, static_cast<uint32_t>(Comp.size()));
+    putU4(Out, static_cast<uint32_t>(E.Data.size()));
+    putU2(Out, static_cast<uint16_t>(E.Name.size()));
+    putU2(Out, 0); // extra length
+    Out.insert(Out.end(), E.Name.begin(), E.Name.end());
+    Out.insert(Out.end(), Comp.begin(), Comp.end());
+
+    Central.push_back({E.Name, Crc, static_cast<uint32_t>(Comp.size()),
+                       static_cast<uint32_t>(E.Data.size()), Offset,
+                       UseMethod});
+  }
+
+  uint32_t CentralStart = static_cast<uint32_t>(Out.size());
+  for (const CentralRecord &C : Central) {
+    putU4(Out, CentralHeaderSig);
+    putU2(Out, 20); // version made by
+    putU2(Out, 20); // version needed
+    putU2(Out, 0);  // flags
+    putU2(Out, C.Method);
+    putU2(Out, 0); // time
+    putU2(Out, 0); // date
+    putU4(Out, C.Crc);
+    putU4(Out, C.CompSize);
+    putU4(Out, C.RawSize);
+    putU2(Out, static_cast<uint16_t>(C.Name.size()));
+    putU2(Out, 0); // extra
+    putU2(Out, 0); // comment
+    putU2(Out, 0); // disk number
+    putU2(Out, 0); // internal attrs
+    putU4(Out, 0); // external attrs
+    putU4(Out, C.Offset);
+    Out.insert(Out.end(), C.Name.begin(), C.Name.end());
+  }
+  uint32_t CentralSize = static_cast<uint32_t>(Out.size()) - CentralStart;
+
+  putU4(Out, EndOfCentralSig);
+  putU2(Out, 0); // disk number
+  putU2(Out, 0); // central dir disk
+  putU2(Out, static_cast<uint16_t>(Central.size()));
+  putU2(Out, static_cast<uint16_t>(Central.size()));
+  putU4(Out, CentralSize);
+  putU4(Out, CentralStart);
+  putU2(Out, 0); // comment length
+  return Out;
+}
+
+Expected<std::vector<ZipEntry>>
+cjpack::readZip(const std::vector<uint8_t> &Bytes) {
+  // Find the end-of-central-directory record (no comment support needed
+  // for archives we produce, but scan backwards anyway to be tolerant).
+  if (Bytes.size() < 22)
+    return Error::failure("zip: too small");
+  size_t EocdAt = Bytes.size();
+  for (size_t At = Bytes.size() - 22; ; --At) {
+    if (getU4(Bytes, At) == EndOfCentralSig) {
+      EocdAt = At;
+      break;
+    }
+    if (At == 0)
+      break;
+  }
+  if (EocdAt == Bytes.size())
+    return Error::failure("zip: missing end-of-central-directory");
+
+  uint16_t Count = getU2(Bytes, EocdAt + 10);
+  uint32_t CentralStart = getU4(Bytes, EocdAt + 16);
+  std::vector<ZipEntry> Entries;
+  size_t At = CentralStart;
+  for (uint16_t I = 0; I < Count; ++I) {
+    if (At + 46 > Bytes.size() || getU4(Bytes, At) != CentralHeaderSig)
+      return Error::failure("zip: corrupt central directory");
+    uint16_t Method = getU2(Bytes, At + 10);
+    uint32_t Crc = getU4(Bytes, At + 16);
+    uint32_t CompSize = getU4(Bytes, At + 20);
+    uint32_t RawSize = getU4(Bytes, At + 24);
+    uint16_t NameLen = getU2(Bytes, At + 28);
+    uint16_t ExtraLen = getU2(Bytes, At + 30);
+    uint16_t CommentLen = getU2(Bytes, At + 32);
+    uint32_t LocalOffset = getU4(Bytes, At + 42);
+    if (At + 46 + NameLen > Bytes.size())
+      return Error::failure("zip: truncated central entry name");
+    std::string Name(reinterpret_cast<const char *>(&Bytes[At + 46]),
+                     NameLen);
+    At += 46u + NameLen + ExtraLen + CommentLen;
+
+    // Local header: skip its (possibly different) name/extra lengths.
+    if (LocalOffset + 30 > Bytes.size() ||
+        getU4(Bytes, LocalOffset) != LocalHeaderSig)
+      return Error::failure("zip: corrupt local header for " + Name);
+    uint16_t LocalNameLen = getU2(Bytes, LocalOffset + 26);
+    uint16_t LocalExtraLen = getU2(Bytes, LocalOffset + 28);
+    size_t DataAt = LocalOffset + 30u + LocalNameLen + LocalExtraLen;
+    if (DataAt + CompSize > Bytes.size())
+      return Error::failure("zip: truncated member data for " + Name);
+
+    std::vector<uint8_t> Comp(Bytes.begin() + DataAt,
+                              Bytes.begin() + DataAt + CompSize);
+    ZipEntry E;
+    E.Name = std::move(Name);
+    if (Method == static_cast<uint16_t>(ZipMethod::Stored)) {
+      E.Data = std::move(Comp);
+    } else if (Method == static_cast<uint16_t>(ZipMethod::Deflated)) {
+      auto Raw = inflateBytes(Comp, RawSize);
+      if (!Raw)
+        return Raw.takeError();
+      E.Data = std::move(*Raw);
+    } else {
+      return Error::failure("zip: unsupported method for " + E.Name);
+    }
+    if (crc32Of(E.Data) != Crc)
+      return Error::failure("zip: crc mismatch for " + E.Name);
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}
+
+std::vector<uint8_t> cjpack::gzipBytes(const std::vector<uint8_t> &Data) {
+  std::vector<uint8_t> Out = {0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 255};
+  std::vector<uint8_t> Comp = deflateBytes(Data);
+  Out.insert(Out.end(), Comp.begin(), Comp.end());
+  putU4(Out, crc32Of(Data));
+  putU4(Out, static_cast<uint32_t>(Data.size()));
+  return Out;
+}
+
+Expected<std::vector<uint8_t>>
+cjpack::gunzipBytes(const std::vector<uint8_t> &Data) {
+  if (Data.size() < 18 || Data[0] != 0x1f || Data[1] != 0x8b || Data[2] != 8)
+    return Error::failure("gzip: bad header");
+  if (Data[3] != 0)
+    return Error::failure("gzip: flags not supported");
+  std::vector<uint8_t> Comp(Data.begin() + 10, Data.end() - 8);
+  auto Raw = inflateBytes(Comp);
+  if (!Raw)
+    return Raw.takeError();
+  uint32_t Crc = getU4(Data, Data.size() - 8);
+  uint32_t Size = getU4(Data, Data.size() - 4);
+  if (Raw->size() != Size || crc32Of(*Raw) != Crc)
+    return Error::failure("gzip: trailer mismatch");
+  return Raw;
+}

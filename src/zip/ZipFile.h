@@ -1,0 +1,54 @@
+//===- ZipFile.h - minimal ZIP (jar) reader/writer -------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal but standards-conforming ZIP archive layer: local file
+/// headers, central directory, end-of-central-directory record, with
+/// stored and deflate member compression. This is the substrate for the
+/// paper's baselines: a jar file is a ZIP of individually deflated
+/// classfiles; a "j0r" is a ZIP of stored (uncompressed) members.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_ZIP_ZIPFILE_H
+#define CJPACK_ZIP_ZIPFILE_H
+
+#include "support/Error.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cjpack {
+
+/// One member of an archive.
+struct ZipEntry {
+  std::string Name;
+  std::vector<uint8_t> Data; ///< uncompressed contents
+};
+
+/// How members are stored in a zip.
+enum class ZipMethod : uint16_t {
+  Stored = 0,
+  Deflated = 8,
+};
+
+/// Builds a ZIP archive of \p Entries, compressing every member with
+/// \p Method.
+std::vector<uint8_t> writeZip(const std::vector<ZipEntry> &Entries,
+                              ZipMethod Method);
+
+/// Parses a ZIP archive into entries (via the central directory).
+Expected<std::vector<ZipEntry>> readZip(const std::vector<uint8_t> &Bytes);
+
+/// Wraps \p Data in a gzip frame (header + deflate + crc/size trailer).
+std::vector<uint8_t> gzipBytes(const std::vector<uint8_t> &Data);
+
+/// Unwraps a gzip frame, validating magic and crc.
+Expected<std::vector<uint8_t>> gunzipBytes(const std::vector<uint8_t> &Data);
+
+} // namespace cjpack
+
+#endif // CJPACK_ZIP_ZIPFILE_H

@@ -1,0 +1,68 @@
+//===- Zlib.cpp - deflate/inflate wrappers --------------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "zip/Zlib.h"
+#include <zlib.h>
+
+using namespace cjpack;
+
+std::vector<uint8_t> cjpack::deflateBytes(const std::vector<uint8_t> &Data,
+                                          int Level) {
+  z_stream S{};
+  // windowBits = -15 selects raw deflate (no zlib header/trailer).
+  [[maybe_unused]] int Rc =
+      deflateInit2(&S, Level, Z_DEFLATED, -15, 9, Z_DEFAULT_STRATEGY);
+  assert(Rc == Z_OK && "deflateInit2 failed");
+  std::vector<uint8_t> Out(deflateBound(&S, Data.size()));
+  S.next_in = const_cast<Bytef *>(Data.data());
+  S.avail_in = static_cast<uInt>(Data.size());
+  S.next_out = Out.data();
+  S.avail_out = static_cast<uInt>(Out.size());
+  Rc = deflate(&S, Z_FINISH);
+  assert(Rc == Z_STREAM_END && "deflate did not finish in one pass");
+  Out.resize(S.total_out);
+  deflateEnd(&S);
+  return Out;
+}
+
+Expected<std::vector<uint8_t>>
+cjpack::inflateBytes(const std::vector<uint8_t> &Data, size_t ExpectedSize) {
+  z_stream S{};
+  if (inflateInit2(&S, -15) != Z_OK)
+    return Error::failure("inflate: init failed");
+  std::vector<uint8_t> Out;
+  Out.resize(ExpectedSize ? ExpectedSize : (Data.size() * 4 + 64));
+  S.next_in = const_cast<Bytef *>(Data.data());
+  S.avail_in = static_cast<uInt>(Data.size());
+  size_t Written = 0;
+  int Rc = Z_OK;
+  while (true) {
+    S.next_out = Out.data() + Written;
+    S.avail_out = static_cast<uInt>(Out.size() - Written);
+    Rc = inflate(&S, Z_NO_FLUSH);
+    Written = Out.size() - S.avail_out;
+    if (Rc == Z_STREAM_END)
+      break;
+    if (Rc == Z_OK || Rc == Z_BUF_ERROR) {
+      if (S.avail_in == 0 && Rc == Z_BUF_ERROR) {
+        inflateEnd(&S);
+        return Error::failure("inflate: truncated deflate stream");
+      }
+      Out.resize(Out.size() * 2 + 64);
+      continue;
+    }
+    inflateEnd(&S);
+    return Error::failure("inflate: corrupt deflate stream");
+  }
+  inflateEnd(&S);
+  Out.resize(Written);
+  return Out;
+}
+
+uint32_t cjpack::crc32Of(const std::vector<uint8_t> &Data) {
+  return static_cast<uint32_t>(
+      crc32(0L, Data.data(), static_cast<uInt>(Data.size())));
+}

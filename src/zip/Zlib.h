@@ -1,0 +1,38 @@
+//===- Zlib.h - deflate/inflate wrappers -----------------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin wrappers over zlib: raw deflate (no zlib/gzip framing, as used
+/// inside zip members and the packed archive), inflate, and crc32. The
+/// paper uses gzip and zlib interchangeably and excludes framing bytes
+/// from its size accounting; raw deflate matches that accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_ZIP_ZLIB_H
+#define CJPACK_ZIP_ZLIB_H
+
+#include "support/Error.h"
+#include <cstdint>
+#include <vector>
+
+namespace cjpack {
+
+/// Compresses \p Data with raw deflate at \p Level (1..9).
+std::vector<uint8_t> deflateBytes(const std::vector<uint8_t> &Data,
+                                  int Level = 9);
+
+/// Decompresses raw-deflate \p Data; \p ExpectedSize is a sizing hint
+/// (0 when unknown).
+Expected<std::vector<uint8_t>> inflateBytes(const std::vector<uint8_t> &Data,
+                                            size_t ExpectedSize = 0);
+
+/// CRC-32 of \p Data (the zip/gzip polynomial).
+uint32_t crc32Of(const std::vector<uint8_t> &Data);
+
+} // namespace cjpack
+
+#endif // CJPACK_ZIP_ZLIB_H

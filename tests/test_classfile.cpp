@@ -1,0 +1,244 @@
+//===- test_classfile.cpp - classfile model/parser/writer/transform tests -===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classfile/Descriptor.h"
+#include "classfile/Reader.h"
+#include "classfile/Transform.h"
+#include "classfile/Writer.h"
+#include "corpus/BytecodeBuilder.h"
+#include <gtest/gtest.h>
+
+using namespace cjpack;
+
+namespace {
+
+/// Builds a small but representative classfile by hand.
+ClassFile makeSampleClass() {
+  ClassFile CF;
+  CF.AccessFlags = AccPublic | AccSuper;
+  CF.ThisClass = CF.CP.addClass("com/example/Sample");
+  CF.SuperClass = CF.CP.addClass("java/lang/Object");
+  CF.Interfaces.push_back(CF.CP.addClass("java/lang/Runnable"));
+
+  MemberInfo Field;
+  Field.AccessFlags = AccPrivate | AccStatic | AccFinal;
+  Field.NameIndex = CF.CP.addUtf8("LIMIT");
+  Field.DescriptorIndex = CF.CP.addUtf8("I");
+  {
+    ByteWriter W;
+    W.writeU2(CF.CP.addInteger(1000000));
+    Field.Attributes.push_back({"ConstantValue", W.take()});
+  }
+  CF.Fields.push_back(std::move(Field));
+
+  MemberInfo Ctor;
+  Ctor.AccessFlags = AccPublic;
+  Ctor.NameIndex = CF.CP.addUtf8("<init>");
+  Ctor.DescriptorIndex = CF.CP.addUtf8("()V");
+  BytecodeBuilder B(CF.CP, 1);
+  B.loadLocal(VType::Ref, 0);
+  B.invoke(Op::InvokeSpecial, "java/lang/Object", "<init>", "()V");
+  B.ret(VType::Void);
+  Ctor.Attributes.push_back(encodeCodeAttribute(B.finish(), CF.CP));
+  CF.Methods.push_back(std::move(Ctor));
+
+  MemberInfo Run;
+  Run.AccessFlags = AccPublic;
+  Run.NameIndex = CF.CP.addUtf8("run");
+  Run.DescriptorIndex = CF.CP.addUtf8("()V");
+  BytecodeBuilder B2(CF.CP, 1);
+  B2.pushString("hello world");
+  B2.op(Op::Pop);
+  B2.pushInt(123456); // forces an ldc of an Integer entry
+  B2.op(Op::Pop);
+  B2.ret(VType::Void);
+  Run.Attributes.push_back(encodeCodeAttribute(B2.finish(), CF.CP));
+  CF.Methods.push_back(std::move(Run));
+  return CF;
+}
+
+} // namespace
+
+TEST(ClassFileIO, WriteParseRoundTrip) {
+  ClassFile CF = makeSampleClass();
+  std::vector<uint8_t> Bytes = writeClassFile(CF);
+  auto Parsed = parseClassFile(Bytes);
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+  EXPECT_EQ(Parsed->thisClassName(), "com/example/Sample");
+  EXPECT_EQ(Parsed->superClassName(), "java/lang/Object");
+  ASSERT_EQ(Parsed->Interfaces.size(), 1u);
+  EXPECT_EQ(Parsed->CP.className(Parsed->Interfaces[0]),
+            "java/lang/Runnable");
+  ASSERT_EQ(Parsed->Fields.size(), 1u);
+  ASSERT_EQ(Parsed->Methods.size(), 2u);
+  // Re-serialize: byte-identical.
+  EXPECT_EQ(writeClassFile(*Parsed), Bytes);
+}
+
+TEST(ClassFileIO, RejectsBadMagic) {
+  std::vector<uint8_t> Bytes = writeClassFile(makeSampleClass());
+  Bytes[0] = 0x00;
+  auto Parsed = parseClassFile(Bytes);
+  EXPECT_FALSE(static_cast<bool>(Parsed));
+}
+
+TEST(ClassFileIO, RejectsTruncation) {
+  std::vector<uint8_t> Bytes = writeClassFile(makeSampleClass());
+  for (size_t Cut : std::initializer_list<size_t>{
+           4, 10, 20, Bytes.size() / 2, Bytes.size() - 1}) {
+    std::vector<uint8_t> Short(Bytes.begin(), Bytes.begin() + Cut);
+    EXPECT_FALSE(static_cast<bool>(parseClassFile(Short))) << Cut;
+  }
+}
+
+TEST(ClassFileIO, RejectsTrailingGarbage) {
+  std::vector<uint8_t> Bytes = writeClassFile(makeSampleClass());
+  Bytes.push_back(0);
+  EXPECT_FALSE(static_cast<bool>(parseClassFile(Bytes)));
+}
+
+TEST(ConstantPool, DedupAndWideSlots) {
+  ConstantPool CP;
+  uint16_t A = CP.addUtf8("abc");
+  EXPECT_EQ(CP.addUtf8("abc"), A);
+  uint16_t L = CP.addLong(7);
+  uint16_t Next = CP.addUtf8("after-long");
+  EXPECT_EQ(Next, L + 2) << "Long must occupy two slots";
+  EXPECT_EQ(CP.addLong(7), L);
+  EXPECT_FALSE(CP.isValidIndex(L + 1)) << "shadow slot is unusable";
+}
+
+TEST(ConstantPool, RefBuildersShareSubparts) {
+  ConstantPool CP;
+  uint16_t F1 = CP.addRef(CpTag::FieldRef, "A", "x", "I");
+  uint16_t F2 = CP.addRef(CpTag::FieldRef, "A", "y", "I");
+  EXPECT_NE(F1, F2);
+  // Class and descriptor Utf8 entries are shared.
+  EXPECT_EQ(CP.entry(F1).Ref1, CP.entry(F2).Ref1);
+  const CpEntry &N1 = CP.entry(CP.entry(F1).Ref2);
+  const CpEntry &N2 = CP.entry(CP.entry(F2).Ref2);
+  EXPECT_EQ(N1.Ref2, N2.Ref2) << "descriptor Utf8 shared";
+}
+
+TEST(Descriptor, ParsesFieldDescriptors) {
+  auto T = parseFieldDescriptor("[[Ljava/lang/String;");
+  ASSERT_TRUE(static_cast<bool>(T));
+  EXPECT_EQ(T->Dims, 2);
+  EXPECT_EQ(T->Base, 'L');
+  EXPECT_EQ(T->ClassName, "java/lang/String");
+  EXPECT_EQ(printTypeDesc(*T), "[[Ljava/lang/String;");
+
+  auto P = parseFieldDescriptor("I");
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_EQ(P->Base, 'I');
+  EXPECT_EQ(vtypeOf(*P), VType::Int);
+}
+
+TEST(Descriptor, ParsesMethodDescriptors) {
+  auto M = parseMethodDescriptor("(I[JLjava/lang/String;)Ljava/lang/Object;");
+  ASSERT_TRUE(static_cast<bool>(M));
+  ASSERT_EQ(M->Params.size(), 3u);
+  EXPECT_EQ(M->Params[0].Base, 'I');
+  EXPECT_EQ(M->Params[1].Dims, 1);
+  EXPECT_EQ(M->Params[1].Base, 'J');
+  EXPECT_EQ(M->Params[2].ClassName, "java/lang/String");
+  EXPECT_EQ(M->Ret.ClassName, "java/lang/Object");
+  EXPECT_EQ(printMethodDesc(*M),
+            "(I[JLjava/lang/String;)Ljava/lang/Object;");
+}
+
+TEST(Descriptor, RejectsMalformed) {
+  EXPECT_FALSE(static_cast<bool>(parseFieldDescriptor("")));
+  EXPECT_FALSE(static_cast<bool>(parseFieldDescriptor("Q")));
+  EXPECT_FALSE(static_cast<bool>(parseFieldDescriptor("Labc")));
+  EXPECT_FALSE(static_cast<bool>(parseFieldDescriptor("II")));
+  EXPECT_FALSE(static_cast<bool>(parseFieldDescriptor("V")));
+  EXPECT_FALSE(static_cast<bool>(parseMethodDescriptor("()")));
+  EXPECT_FALSE(static_cast<bool>(parseMethodDescriptor("(V)V")));
+  EXPECT_FALSE(static_cast<bool>(parseMethodDescriptor("I")));
+}
+
+TEST(Transform, StripRemovesDebugAttributes) {
+  ClassFile CF = makeSampleClass();
+  CF.Attributes.push_back({"SourceFile", {0, 1}});
+  CF.Methods[0].Attributes.push_back({"UnknownFancyAttr", {1, 2, 3}});
+  stripDebugInfo(CF);
+  EXPECT_EQ(findAttribute(CF.Attributes, "SourceFile"), nullptr);
+  EXPECT_EQ(findAttribute(CF.Methods[0].Attributes, "UnknownFancyAttr"),
+            nullptr);
+  EXPECT_NE(findAttribute(CF.Methods[0].Attributes, "Code"), nullptr);
+}
+
+TEST(Transform, CanonicalizeGarbageCollects) {
+  ClassFile CF = makeSampleClass();
+  // Add garbage entries that nothing references.
+  CF.CP.addUtf8("unused-string-constant-xyzzy");
+  CF.CP.addClass("com/example/NeverReferenced");
+  uint16_t Before = CF.CP.count();
+  ASSERT_TRUE(!canonicalizeConstantPool(CF));
+  EXPECT_LT(CF.CP.count(), Before);
+  // The classfile still parses and refers to the right names.
+  auto Parsed = parseClassFile(writeClassFile(CF));
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+  EXPECT_EQ(Parsed->thisClassName(), "com/example/Sample");
+}
+
+TEST(Transform, CanonicalizeIsIdempotent) {
+  ClassFile CF = makeSampleClass();
+  ASSERT_TRUE(!prepareForPacking(CF));
+  std::vector<uint8_t> Once = writeClassFile(CF);
+  ASSERT_TRUE(!canonicalizeConstantPool(CF));
+  EXPECT_EQ(writeClassFile(CF), Once);
+}
+
+TEST(Transform, LdcConstantsGetLowIndices) {
+  ClassFile CF = makeSampleClass();
+  ASSERT_TRUE(!prepareForPacking(CF));
+  // Every ldc operand in every method must be <= 255 after
+  // canonicalization (§9).
+  for (const MemberInfo &M : CF.Methods) {
+    const AttributeInfo *A = findAttribute(M.Attributes, "Code");
+    if (!A)
+      continue;
+    auto Code = parseCodeAttribute(*A, CF.CP);
+    ASSERT_TRUE(static_cast<bool>(Code));
+    auto Insns = decodeCode(Code->Code);
+    ASSERT_TRUE(static_cast<bool>(Insns));
+    for (const Insn &I : *Insns)
+      if (I.Opcode == Op::Ldc) {
+        EXPECT_LE(I.CpIndex, 0xFF);
+        EXPECT_TRUE(CF.CP.isValidIndex(I.CpIndex));
+      }
+  }
+}
+
+TEST(Transform, SortsUtf8ByContent) {
+  ClassFile CF = makeSampleClass();
+  ASSERT_TRUE(!prepareForPacking(CF));
+  // All Utf8 entries must appear as one contiguous, sorted block.
+  std::vector<std::string> Texts;
+  for (uint16_t I = 1; I < CF.CP.count(); ++I)
+    if (CF.CP.isValidIndex(I) && CF.CP.entry(I).Tag == CpTag::Utf8)
+      Texts.push_back(CF.CP.utf8(I));
+  ASSERT_FALSE(Texts.empty());
+  EXPECT_TRUE(std::is_sorted(Texts.begin(), Texts.end()));
+}
+
+TEST(Transform, CanonicalizeRejectsUnknownAttributes) {
+  ClassFile CF = makeSampleClass();
+  CF.Attributes.push_back({"MysteryAttr", {9, 9}});
+  EXPECT_TRUE(static_cast<bool>(canonicalizeConstantPool(CF)));
+}
+
+TEST(CodeAttribute, ParseEncodeRoundTrip) {
+  ClassFile CF = makeSampleClass();
+  const AttributeInfo *A = findAttribute(CF.Methods[1].Attributes, "Code");
+  ASSERT_NE(A, nullptr);
+  auto Code = parseCodeAttribute(*A, CF.CP);
+  ASSERT_TRUE(static_cast<bool>(Code));
+  AttributeInfo Re = encodeCodeAttribute(*Code, CF.CP);
+  EXPECT_EQ(Re.Bytes, A->Bytes);
+}

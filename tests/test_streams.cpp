@@ -1,0 +1,121 @@
+//===- test_streams.cpp - stream-set serialization tests ------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Rng.h"
+#include "pack/Streams.h"
+#include "support/VarInt.h"
+#include <gtest/gtest.h>
+
+using namespace cjpack;
+
+namespace {
+
+std::vector<uint8_t> fillStreams(StreamSet &S) {
+  // Write recognizable content into a few streams.
+  for (int I = 0; I < 1000; ++I) {
+    writeVarUInt(S.out(StreamId::Counts), static_cast<uint64_t>(I));
+    S.out(StreamId::Opcodes).writeU1(static_cast<uint8_t>(I % 7));
+  }
+  S.out(StreamId::NameChars).writeString("the quick brown fox");
+  std::vector<uint8_t> Expected = {1, 2, 3, 4, 5};
+  S.out(StreamId::Registers).writeBytes(Expected);
+  return Expected;
+}
+
+} // namespace
+
+TEST(StreamSet, SerializeDeserializeRoundTrip) {
+  for (bool Compress : {true, false}) {
+    StreamSet S;
+    std::vector<uint8_t> Regs = fillStreams(S);
+    StreamSizes Sizes;
+    std::vector<uint8_t> Bytes = S.serialize(Compress, &Sizes);
+
+    StreamSet S2;
+    ByteReader R(Bytes);
+    ASSERT_FALSE(static_cast<bool>(S2.deserialize(R))) << Compress;
+    EXPECT_TRUE(R.atEnd());
+    for (int I = 0; I < 1000; ++I) {
+      EXPECT_EQ(readVarUInt(S2.in(StreamId::Counts)),
+                static_cast<uint64_t>(I));
+      EXPECT_EQ(S2.in(StreamId::Opcodes).readU1(), I % 7);
+    }
+    EXPECT_EQ(S2.in(StreamId::NameChars).readString(19),
+              "the quick brown fox");
+    EXPECT_EQ(S2.in(StreamId::Registers).readBytes(5), Regs);
+  }
+}
+
+TEST(StreamSet, CompressionShrinksRedundantStreams) {
+  StreamSet S;
+  for (int I = 0; I < 5000; ++I)
+    S.out(StreamId::Opcodes).writeU1(static_cast<uint8_t>(I % 3));
+  StreamSizes Plain, Packed;
+  size_t Raw = S.serialize(false, &Plain).size();
+  size_t Comp = S.serialize(true, &Packed).size();
+  EXPECT_LT(Comp, Raw / 5);
+  EXPECT_EQ(Plain.Raw[static_cast<unsigned>(StreamId::Opcodes)], 5000u);
+  EXPECT_LT(Packed.Packed[static_cast<unsigned>(StreamId::Opcodes)],
+            200u);
+}
+
+TEST(StreamSet, IncompressibleStreamsAreStored) {
+  StreamSet S;
+  Rng R(9);
+  for (int I = 0; I < 4096; ++I)
+    S.out(StreamId::DoubleConsts).writeU1(static_cast<uint8_t>(R.next()));
+  StreamSizes Sizes;
+  std::vector<uint8_t> Bytes = S.serialize(true, &Sizes);
+  unsigned Idx = static_cast<unsigned>(StreamId::DoubleConsts);
+  // Stored verbatim: packed ≈ raw + small header.
+  EXPECT_GE(Sizes.Packed[Idx], Sizes.Raw[Idx]);
+  EXPECT_LE(Sizes.Packed[Idx], Sizes.Raw[Idx] + 16);
+  StreamSet S2;
+  ByteReader Rd(Bytes);
+  ASSERT_FALSE(static_cast<bool>(S2.deserialize(Rd)));
+}
+
+TEST(StreamSet, SizesSumToSerializedBytes) {
+  StreamSet S;
+  fillStreams(S);
+  StreamSizes Sizes;
+  std::vector<uint8_t> Bytes = S.serialize(true, &Sizes);
+  EXPECT_EQ(Sizes.totalPacked(), Bytes.size());
+  size_t ByCategory = 0;
+  for (StreamCategory C :
+       {StreamCategory::Strings, StreamCategory::Opcodes,
+        StreamCategory::Ints, StreamCategory::Refs, StreamCategory::Misc})
+    ByCategory += Sizes.packedOf(C);
+  EXPECT_EQ(ByCategory, Bytes.size());
+}
+
+TEST(StreamSet, DeserializeRejectsCorruption) {
+  StreamSet S;
+  fillStreams(S);
+  std::vector<uint8_t> Bytes = S.serialize(true, nullptr);
+  // Truncation at several depths.
+  for (size_t Cut : {size_t(1), Bytes.size() / 3, Bytes.size() - 1}) {
+    std::vector<uint8_t> Short(Bytes.begin(),
+                               Bytes.begin() + static_cast<long>(Cut));
+    StreamSet S2;
+    ByteReader R(Short);
+    EXPECT_TRUE(static_cast<bool>(S2.deserialize(R))) << Cut;
+  }
+  // Bad stream id in the first header byte.
+  std::vector<uint8_t> Bad = Bytes;
+  Bad[0] = 0xEE;
+  StreamSet S3;
+  ByteReader R(Bad);
+  EXPECT_TRUE(static_cast<bool>(S3.deserialize(R)));
+}
+
+TEST(StreamSet, EveryStreamHasNameAndCategory) {
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    StreamId Id = static_cast<StreamId>(I);
+    EXPECT_STRNE(streamName(Id), "?");
+    EXPECT_STRNE(streamCategoryName(streamCategory(Id)), "?");
+  }
+}

@@ -1,0 +1,143 @@
+//===- test_zip.cpp - zip/jar/gzip substrate tests -------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Rng.h"
+#include "zip/Jar.h"
+#include "zip/Zlib.h"
+#include "zip/ZipFile.h"
+#include <gtest/gtest.h>
+
+using namespace cjpack;
+
+namespace {
+
+std::vector<uint8_t> randomBytes(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<uint8_t> Out(N);
+  for (auto &B : Out)
+    B = static_cast<uint8_t>(R.next());
+  return Out;
+}
+
+std::vector<uint8_t> compressibleBytes(size_t N) {
+  std::vector<uint8_t> Out;
+  const char *Phrase = "the quick brown fox jumps over the lazy dog. ";
+  while (Out.size() < N)
+    Out.insert(Out.end(), Phrase, Phrase + 46);
+  Out.resize(N);
+  return Out;
+}
+
+} // namespace
+
+TEST(Zlib, DeflateInflateRoundTrip) {
+  for (size_t N : {0u, 1u, 100u, 10000u, 300000u}) {
+    std::vector<uint8_t> Data = compressibleBytes(N);
+    std::vector<uint8_t> Comp = deflateBytes(Data);
+    auto Raw = inflateBytes(Comp, N);
+    ASSERT_TRUE(static_cast<bool>(Raw)) << N;
+    EXPECT_EQ(*Raw, Data);
+  }
+}
+
+TEST(Zlib, CompressesRedundantData) {
+  std::vector<uint8_t> Data = compressibleBytes(100000);
+  EXPECT_LT(deflateBytes(Data).size(), Data.size() / 10);
+}
+
+TEST(Zlib, InflateRejectsGarbage) {
+  std::vector<uint8_t> Garbage = randomBytes(64, 3);
+  auto Raw = inflateBytes(Garbage);
+  EXPECT_FALSE(static_cast<bool>(Raw));
+}
+
+TEST(Zlib, InflateRejectsTruncation) {
+  std::vector<uint8_t> Comp = deflateBytes(compressibleBytes(10000));
+  Comp.resize(Comp.size() / 2);
+  auto Raw = inflateBytes(Comp);
+  EXPECT_FALSE(static_cast<bool>(Raw));
+}
+
+TEST(Zip, StoredAndDeflatedRoundTrip) {
+  std::vector<ZipEntry> Entries;
+  Entries.push_back({"a/Alpha.class", compressibleBytes(5000)});
+  Entries.push_back({"b/Beta.class", randomBytes(2000, 7)});
+  Entries.push_back({"empty.class", {}});
+  for (ZipMethod M : {ZipMethod::Stored, ZipMethod::Deflated}) {
+    std::vector<uint8_t> Zip = writeZip(Entries, M);
+    auto Back = readZip(Zip);
+    ASSERT_TRUE(static_cast<bool>(Back)) << Back.message();
+    ASSERT_EQ(Back->size(), 3u);
+    for (size_t I = 0; I < 3; ++I) {
+      EXPECT_EQ((*Back)[I].Name, Entries[I].Name);
+      EXPECT_EQ((*Back)[I].Data, Entries[I].Data);
+    }
+  }
+}
+
+TEST(Zip, IncompressibleMembersFallBackToStored) {
+  // Deflating random bytes would grow them; the writer must store them.
+  std::vector<ZipEntry> Entries = {{"noise.bin", randomBytes(4096, 11)}};
+  std::vector<uint8_t> Deflated = writeZip(Entries, ZipMethod::Deflated);
+  std::vector<uint8_t> Stored = writeZip(Entries, ZipMethod::Stored);
+  EXPECT_EQ(Deflated.size(), Stored.size());
+  auto Back = readZip(Deflated);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ((*Back)[0].Data, Entries[0].Data);
+}
+
+TEST(Zip, DetectsCorruptedMember) {
+  std::vector<ZipEntry> Entries = {{"x.class", compressibleBytes(3000)}};
+  std::vector<uint8_t> Zip = writeZip(Entries, ZipMethod::Deflated);
+  // Flip a byte inside the member data (after the 30-byte header+name).
+  Zip[40] ^= 0xFF;
+  auto Back = readZip(Zip);
+  EXPECT_FALSE(static_cast<bool>(Back));
+}
+
+TEST(Zip, RejectsTruncatedArchive) {
+  std::vector<ZipEntry> Entries = {{"x.class", compressibleBytes(100)}};
+  std::vector<uint8_t> Zip = writeZip(Entries, ZipMethod::Deflated);
+  Zip.resize(Zip.size() - 10);
+  EXPECT_FALSE(static_cast<bool>(readZip(Zip)));
+}
+
+TEST(Gzip, RoundTripAndTrailerValidation) {
+  std::vector<uint8_t> Data = compressibleBytes(12345);
+  std::vector<uint8_t> Gz = gzipBytes(Data);
+  auto Back = gunzipBytes(Gz);
+  ASSERT_TRUE(static_cast<bool>(Back)) << Back.message();
+  EXPECT_EQ(*Back, Data);
+  // Corrupt the CRC in the trailer.
+  Gz[Gz.size() - 6] ^= 0x55;
+  EXPECT_FALSE(static_cast<bool>(gunzipBytes(Gz)));
+}
+
+TEST(Jar, BaselineSizeOrdering) {
+  // For compressible classfile-like data: sj0r.gz < jar < j0r.
+  std::vector<NamedClass> Classes;
+  for (int I = 0; I < 20; ++I)
+    Classes.push_back({"pkg/C" + std::to_string(I) + ".class",
+                       compressibleBytes(3000 + 100 * I)});
+  size_t Raw = totalClassBytes(Classes);
+  size_t Jar = buildJar(Classes).size();
+  size_t J0r = buildJ0r(Classes).size();
+  size_t J0rGz = buildJ0rGz(Classes).size();
+  EXPECT_LT(Jar, J0r);
+  EXPECT_LT(J0rGz, Jar) << "whole-archive compression beats per-member";
+  EXPECT_GT(J0r, Raw) << "stored zip adds headers";
+}
+
+TEST(Jar, JarIsValidZipOfClasses) {
+  std::vector<NamedClass> Classes = {
+      {"a/A.class", compressibleBytes(1000)},
+      {"a/B.class", compressibleBytes(2000)}};
+  auto Back = readZip(buildJar(Classes));
+  ASSERT_TRUE(static_cast<bool>(Back));
+  ASSERT_EQ(Back->size(), 2u);
+  EXPECT_EQ((*Back)[0].Data, Classes[0].Data);
+  EXPECT_EQ((*Back)[1].Data, Classes[1].Data);
+}
