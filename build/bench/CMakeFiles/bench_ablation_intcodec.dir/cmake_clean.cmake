@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_intcodec.dir/bench_ablation_intcodec.cpp.o"
+  "CMakeFiles/bench_ablation_intcodec.dir/bench_ablation_intcodec.cpp.o.d"
+  "bench_ablation_intcodec"
+  "bench_ablation_intcodec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intcodec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mtf.dir/bench_ablation_mtf.cpp.o"
+  "CMakeFiles/bench_ablation_mtf.dir/bench_ablation_mtf.cpp.o.d"
+  "bench_ablation_mtf"
+  "bench_ablation_mtf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mtf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_preload.cpp" "bench/CMakeFiles/bench_ablation_preload.dir/bench_ablation_preload.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_preload.dir/bench_ablation_preload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/cjpack_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/jazz/CMakeFiles/cjpack_jazz.dir/DependInfo.cmake"
+  "/root/repo/build/src/pack/CMakeFiles/cjpack_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/cjpack_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/coder/CMakeFiles/cjpack_coder.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtf/CMakeFiles/cjpack_mtf.dir/DependInfo.cmake"
+  "/root/repo/build/src/zip/CMakeFiles/cjpack_zip.dir/DependInfo.cmake"
+  "/root/repo/build/src/classfile/CMakeFiles/cjpack_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/cjpack_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

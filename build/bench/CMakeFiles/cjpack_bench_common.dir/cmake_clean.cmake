@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cjpack_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/cjpack_bench_common.dir/BenchCommon.cpp.o.d"
+  "libcjpack_bench_common.a"
+  "libcjpack_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cjpack_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

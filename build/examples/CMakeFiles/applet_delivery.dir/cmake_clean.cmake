@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/applet_delivery.dir/applet_delivery.cpp.o"
+  "CMakeFiles/applet_delivery.dir/applet_delivery.cpp.o.d"
+  "applet_delivery"
+  "applet_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/applet_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packtool.dir/packtool.cpp.o"
+  "CMakeFiles/packtool.dir/packtool.cpp.o.d"
+  "packtool"
+  "packtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/Instruction.cpp" "src/bytecode/CMakeFiles/cjpack_bytecode.dir/Instruction.cpp.o" "gcc" "src/bytecode/CMakeFiles/cjpack_bytecode.dir/Instruction.cpp.o.d"
+  "/root/repo/src/bytecode/Opcodes.cpp" "src/bytecode/CMakeFiles/cjpack_bytecode.dir/Opcodes.cpp.o" "gcc" "src/bytecode/CMakeFiles/cjpack_bytecode.dir/Opcodes.cpp.o.d"
+  "/root/repo/src/bytecode/StackState.cpp" "src/bytecode/CMakeFiles/cjpack_bytecode.dir/StackState.cpp.o" "gcc" "src/bytecode/CMakeFiles/cjpack_bytecode.dir/StackState.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cjpack_bytecode.dir/Instruction.cpp.o"
+  "CMakeFiles/cjpack_bytecode.dir/Instruction.cpp.o.d"
+  "CMakeFiles/cjpack_bytecode.dir/Opcodes.cpp.o"
+  "CMakeFiles/cjpack_bytecode.dir/Opcodes.cpp.o.d"
+  "CMakeFiles/cjpack_bytecode.dir/StackState.cpp.o"
+  "CMakeFiles/cjpack_bytecode.dir/StackState.cpp.o.d"
+  "libcjpack_bytecode.a"
+  "libcjpack_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cjpack_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcjpack_bytecode.a"
+)

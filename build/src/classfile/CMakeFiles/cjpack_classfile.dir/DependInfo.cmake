@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classfile/ClassFile.cpp" "src/classfile/CMakeFiles/cjpack_classfile.dir/ClassFile.cpp.o" "gcc" "src/classfile/CMakeFiles/cjpack_classfile.dir/ClassFile.cpp.o.d"
+  "/root/repo/src/classfile/ConstantPool.cpp" "src/classfile/CMakeFiles/cjpack_classfile.dir/ConstantPool.cpp.o" "gcc" "src/classfile/CMakeFiles/cjpack_classfile.dir/ConstantPool.cpp.o.d"
+  "/root/repo/src/classfile/Descriptor.cpp" "src/classfile/CMakeFiles/cjpack_classfile.dir/Descriptor.cpp.o" "gcc" "src/classfile/CMakeFiles/cjpack_classfile.dir/Descriptor.cpp.o.d"
+  "/root/repo/src/classfile/Reader.cpp" "src/classfile/CMakeFiles/cjpack_classfile.dir/Reader.cpp.o" "gcc" "src/classfile/CMakeFiles/cjpack_classfile.dir/Reader.cpp.o.d"
+  "/root/repo/src/classfile/Transform.cpp" "src/classfile/CMakeFiles/cjpack_classfile.dir/Transform.cpp.o" "gcc" "src/classfile/CMakeFiles/cjpack_classfile.dir/Transform.cpp.o.d"
+  "/root/repo/src/classfile/Writer.cpp" "src/classfile/CMakeFiles/cjpack_classfile.dir/Writer.cpp.o" "gcc" "src/classfile/CMakeFiles/cjpack_classfile.dir/Writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/cjpack_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

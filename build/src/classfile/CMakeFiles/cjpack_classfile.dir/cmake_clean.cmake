@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cjpack_classfile.dir/ClassFile.cpp.o"
+  "CMakeFiles/cjpack_classfile.dir/ClassFile.cpp.o.d"
+  "CMakeFiles/cjpack_classfile.dir/ConstantPool.cpp.o"
+  "CMakeFiles/cjpack_classfile.dir/ConstantPool.cpp.o.d"
+  "CMakeFiles/cjpack_classfile.dir/Descriptor.cpp.o"
+  "CMakeFiles/cjpack_classfile.dir/Descriptor.cpp.o.d"
+  "CMakeFiles/cjpack_classfile.dir/Reader.cpp.o"
+  "CMakeFiles/cjpack_classfile.dir/Reader.cpp.o.d"
+  "CMakeFiles/cjpack_classfile.dir/Transform.cpp.o"
+  "CMakeFiles/cjpack_classfile.dir/Transform.cpp.o.d"
+  "CMakeFiles/cjpack_classfile.dir/Writer.cpp.o"
+  "CMakeFiles/cjpack_classfile.dir/Writer.cpp.o.d"
+  "libcjpack_classfile.a"
+  "libcjpack_classfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cjpack_classfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cjpack_classfile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coder/Arithmetic.cpp" "src/coder/CMakeFiles/cjpack_coder.dir/Arithmetic.cpp.o" "gcc" "src/coder/CMakeFiles/cjpack_coder.dir/Arithmetic.cpp.o.d"
+  "/root/repo/src/coder/RefCoder.cpp" "src/coder/CMakeFiles/cjpack_coder.dir/RefCoder.cpp.o" "gcc" "src/coder/CMakeFiles/cjpack_coder.dir/RefCoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mtf/CMakeFiles/cjpack_mtf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

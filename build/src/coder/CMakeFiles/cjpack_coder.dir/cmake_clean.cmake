@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cjpack_coder.dir/Arithmetic.cpp.o"
+  "CMakeFiles/cjpack_coder.dir/Arithmetic.cpp.o.d"
+  "CMakeFiles/cjpack_coder.dir/RefCoder.cpp.o"
+  "CMakeFiles/cjpack_coder.dir/RefCoder.cpp.o.d"
+  "libcjpack_coder.a"
+  "libcjpack_coder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cjpack_coder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

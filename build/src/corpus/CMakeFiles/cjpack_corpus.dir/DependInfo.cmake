@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/BytecodeBuilder.cpp" "src/corpus/CMakeFiles/cjpack_corpus.dir/BytecodeBuilder.cpp.o" "gcc" "src/corpus/CMakeFiles/cjpack_corpus.dir/BytecodeBuilder.cpp.o.d"
+  "/root/repo/src/corpus/Corpus.cpp" "src/corpus/CMakeFiles/cjpack_corpus.dir/Corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/cjpack_corpus.dir/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/Names.cpp" "src/corpus/CMakeFiles/cjpack_corpus.dir/Names.cpp.o" "gcc" "src/corpus/CMakeFiles/cjpack_corpus.dir/Names.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classfile/CMakeFiles/cjpack_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/cjpack_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/zip/CMakeFiles/cjpack_zip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

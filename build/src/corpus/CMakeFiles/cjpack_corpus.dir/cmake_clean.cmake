@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cjpack_corpus.dir/BytecodeBuilder.cpp.o"
+  "CMakeFiles/cjpack_corpus.dir/BytecodeBuilder.cpp.o.d"
+  "CMakeFiles/cjpack_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/cjpack_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/cjpack_corpus.dir/Names.cpp.o"
+  "CMakeFiles/cjpack_corpus.dir/Names.cpp.o.d"
+  "libcjpack_corpus.a"
+  "libcjpack_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cjpack_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cjpack_jazz.dir/Jazz.cpp.o"
+  "CMakeFiles/cjpack_jazz.dir/Jazz.cpp.o.d"
+  "libcjpack_jazz.a"
+  "libcjpack_jazz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cjpack_jazz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cjpack_mtf.dir/IndexedSkipList.cpp.o"
+  "CMakeFiles/cjpack_mtf.dir/IndexedSkipList.cpp.o.d"
+  "CMakeFiles/cjpack_mtf.dir/MtfQueue.cpp.o"
+  "CMakeFiles/cjpack_mtf.dir/MtfQueue.cpp.o.d"
+  "libcjpack_mtf.a"
+  "libcjpack_mtf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cjpack_mtf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

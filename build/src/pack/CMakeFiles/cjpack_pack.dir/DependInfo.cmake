@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pack/ClassOrder.cpp" "src/pack/CMakeFiles/cjpack_pack.dir/ClassOrder.cpp.o" "gcc" "src/pack/CMakeFiles/cjpack_pack.dir/ClassOrder.cpp.o.d"
+  "/root/repo/src/pack/CodeCommon.cpp" "src/pack/CMakeFiles/cjpack_pack.dir/CodeCommon.cpp.o" "gcc" "src/pack/CMakeFiles/cjpack_pack.dir/CodeCommon.cpp.o.d"
+  "/root/repo/src/pack/CustomOpcodes.cpp" "src/pack/CMakeFiles/cjpack_pack.dir/CustomOpcodes.cpp.o" "gcc" "src/pack/CMakeFiles/cjpack_pack.dir/CustomOpcodes.cpp.o.d"
+  "/root/repo/src/pack/Decoder.cpp" "src/pack/CMakeFiles/cjpack_pack.dir/Decoder.cpp.o" "gcc" "src/pack/CMakeFiles/cjpack_pack.dir/Decoder.cpp.o.d"
+  "/root/repo/src/pack/Encoder.cpp" "src/pack/CMakeFiles/cjpack_pack.dir/Encoder.cpp.o" "gcc" "src/pack/CMakeFiles/cjpack_pack.dir/Encoder.cpp.o.d"
+  "/root/repo/src/pack/Model.cpp" "src/pack/CMakeFiles/cjpack_pack.dir/Model.cpp.o" "gcc" "src/pack/CMakeFiles/cjpack_pack.dir/Model.cpp.o.d"
+  "/root/repo/src/pack/Preload.cpp" "src/pack/CMakeFiles/cjpack_pack.dir/Preload.cpp.o" "gcc" "src/pack/CMakeFiles/cjpack_pack.dir/Preload.cpp.o.d"
+  "/root/repo/src/pack/Streams.cpp" "src/pack/CMakeFiles/cjpack_pack.dir/Streams.cpp.o" "gcc" "src/pack/CMakeFiles/cjpack_pack.dir/Streams.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classfile/CMakeFiles/cjpack_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/cjpack_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/coder/CMakeFiles/cjpack_coder.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtf/CMakeFiles/cjpack_mtf.dir/DependInfo.cmake"
+  "/root/repo/build/src/zip/CMakeFiles/cjpack_zip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cjpack_pack.dir/ClassOrder.cpp.o"
+  "CMakeFiles/cjpack_pack.dir/ClassOrder.cpp.o.d"
+  "CMakeFiles/cjpack_pack.dir/CodeCommon.cpp.o"
+  "CMakeFiles/cjpack_pack.dir/CodeCommon.cpp.o.d"
+  "CMakeFiles/cjpack_pack.dir/CustomOpcodes.cpp.o"
+  "CMakeFiles/cjpack_pack.dir/CustomOpcodes.cpp.o.d"
+  "CMakeFiles/cjpack_pack.dir/Decoder.cpp.o"
+  "CMakeFiles/cjpack_pack.dir/Decoder.cpp.o.d"
+  "CMakeFiles/cjpack_pack.dir/Encoder.cpp.o"
+  "CMakeFiles/cjpack_pack.dir/Encoder.cpp.o.d"
+  "CMakeFiles/cjpack_pack.dir/Model.cpp.o"
+  "CMakeFiles/cjpack_pack.dir/Model.cpp.o.d"
+  "CMakeFiles/cjpack_pack.dir/Preload.cpp.o"
+  "CMakeFiles/cjpack_pack.dir/Preload.cpp.o.d"
+  "CMakeFiles/cjpack_pack.dir/Streams.cpp.o"
+  "CMakeFiles/cjpack_pack.dir/Streams.cpp.o.d"
+  "libcjpack_pack.a"
+  "libcjpack_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cjpack_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

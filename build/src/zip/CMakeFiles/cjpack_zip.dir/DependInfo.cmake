@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zip/Jar.cpp" "src/zip/CMakeFiles/cjpack_zip.dir/Jar.cpp.o" "gcc" "src/zip/CMakeFiles/cjpack_zip.dir/Jar.cpp.o.d"
+  "/root/repo/src/zip/Manifest.cpp" "src/zip/CMakeFiles/cjpack_zip.dir/Manifest.cpp.o" "gcc" "src/zip/CMakeFiles/cjpack_zip.dir/Manifest.cpp.o.d"
+  "/root/repo/src/zip/Sha1.cpp" "src/zip/CMakeFiles/cjpack_zip.dir/Sha1.cpp.o" "gcc" "src/zip/CMakeFiles/cjpack_zip.dir/Sha1.cpp.o.d"
+  "/root/repo/src/zip/ZipFile.cpp" "src/zip/CMakeFiles/cjpack_zip.dir/ZipFile.cpp.o" "gcc" "src/zip/CMakeFiles/cjpack_zip.dir/ZipFile.cpp.o.d"
+  "/root/repo/src/zip/Zlib.cpp" "src/zip/CMakeFiles/cjpack_zip.dir/Zlib.cpp.o" "gcc" "src/zip/CMakeFiles/cjpack_zip.dir/Zlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

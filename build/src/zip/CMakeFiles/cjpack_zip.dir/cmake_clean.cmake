@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cjpack_zip.dir/Jar.cpp.o"
+  "CMakeFiles/cjpack_zip.dir/Jar.cpp.o.d"
+  "CMakeFiles/cjpack_zip.dir/Manifest.cpp.o"
+  "CMakeFiles/cjpack_zip.dir/Manifest.cpp.o.d"
+  "CMakeFiles/cjpack_zip.dir/Sha1.cpp.o"
+  "CMakeFiles/cjpack_zip.dir/Sha1.cpp.o.d"
+  "CMakeFiles/cjpack_zip.dir/ZipFile.cpp.o"
+  "CMakeFiles/cjpack_zip.dir/ZipFile.cpp.o.d"
+  "CMakeFiles/cjpack_zip.dir/Zlib.cpp.o"
+  "CMakeFiles/cjpack_zip.dir/Zlib.cpp.o.d"
+  "libcjpack_zip.a"
+  "libcjpack_zip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cjpack_zip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

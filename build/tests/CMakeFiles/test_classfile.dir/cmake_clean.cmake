@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classfile.dir/test_classfile.cpp.o"
+  "CMakeFiles/test_classfile.dir/test_classfile.cpp.o.d"
+  "test_classfile"
+  "test_classfile.pdb"
+  "test_classfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

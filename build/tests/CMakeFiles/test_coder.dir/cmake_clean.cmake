@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coder.dir/test_coder.cpp.o"
+  "CMakeFiles/test_coder.dir/test_coder.cpp.o.d"
+  "test_coder"
+  "test_coder.pdb"
+  "test_coder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

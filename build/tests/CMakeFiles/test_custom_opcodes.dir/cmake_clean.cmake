@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_custom_opcodes.dir/test_custom_opcodes.cpp.o"
+  "CMakeFiles/test_custom_opcodes.dir/test_custom_opcodes.cpp.o.d"
+  "test_custom_opcodes"
+  "test_custom_opcodes.pdb"
+  "test_custom_opcodes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_custom_opcodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jazz.dir/test_jazz.cpp.o"
+  "CMakeFiles/test_jazz.dir/test_jazz.cpp.o.d"
+  "test_jazz"
+  "test_jazz.pdb"
+  "test_jazz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jazz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zip.dir/test_zip.cpp.o"
+  "CMakeFiles/test_zip.dir/test_zip.cpp.o.d"
+  "test_zip"
+  "test_zip.pdb"
+  "test_zip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

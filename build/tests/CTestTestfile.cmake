@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_skiplist[1]_include.cmake")
+include("/root/repo/build/tests/test_classfile[1]_include.cmake")
+include("/root/repo/build/tests/test_bytecode[1]_include.cmake")
+include("/root/repo/build/tests/test_zip[1]_include.cmake")
+include("/root/repo/build/tests/test_coder[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_pack[1]_include.cmake")
+include("/root/repo/build/tests/test_streams[1]_include.cmake")
+include("/root/repo/build/tests/test_custom_opcodes[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_jazz[1]_include.cmake")
+include("/root/repo/build/tests/test_manifest[1]_include.cmake")
