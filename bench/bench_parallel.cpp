@@ -1,0 +1,176 @@
+//===- bench_parallel.cpp - sharded pipeline speedup ----------------------===//
+//
+// Part of cjpack. MIT license.
+//
+// Measures the parallel pack/unpack pipeline against the serial
+// baseline on a >= 200-class synthetic corpus: pack and unpack
+// wall-clock speedup per thread count (shards = threads), plus the
+// compressed-size overhead the per-shard models cost.
+//
+//   bench_parallel [--json FILE]
+//
+// Archive bytes are a pure function of (input, options, shard count),
+// so every timed repetition packs to identical output; the bench
+// asserts the sharded archives round-trip to the serial pipeline's
+// classfiles before it reports any numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "classfile/Writer.h"
+#include "support/ThreadPool.h"
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace cjpack;
+
+namespace {
+
+/// Best-of-N wall clock of \p Fn, in milliseconds.
+template <typename Fn> double timeMs(Fn &&F, int Reps = 3) {
+  double Best = 1e100;
+  for (int R = 0; R < Reps; ++R) {
+    auto T0 = std::chrono::steady_clock::now();
+    F();
+    auto T1 = std::chrono::steady_clock::now();
+    Best = std::min(
+        Best, std::chrono::duration<double, std::milli>(T1 - T0).count());
+  }
+  return Best;
+}
+
+struct Row {
+  unsigned Threads = 0;
+  double PackMs = 0, PackSpeedup = 0;
+  double UnpackMs = 0, UnpackSpeedup = 0;
+  size_t Bytes = 0;
+  double OverheadPct = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+
+  CorpusSpec Spec;
+  Spec.Name = "parallel";
+  Spec.Description = "sharded pipeline speedup corpus";
+  Spec.Seed = 42;
+  Spec.NumClasses =
+      std::max(240u, static_cast<unsigned>(240 * benchScale()));
+  Spec.NumPackages = 8;
+  Spec.MeanMethods = 8;
+  Spec.MeanStatements = 12;
+  BenchData B = loadBench(Spec);
+
+  printf("Parallel pack/unpack pipeline (%u classes, %u hardware "
+         "threads)\n\n",
+         Spec.NumClasses, ThreadPool::defaultThreadCount());
+
+  auto Serial = packClasses(B.Prepared, PackOptions());
+  if (!Serial) {
+    fprintf(stderr, "bench_parallel: %s\n", Serial.message().c_str());
+    return 1;
+  }
+  auto SerialOut = unpackClasses(Serial->Archive);
+  if (!SerialOut) {
+    fprintf(stderr, "bench_parallel: %s\n", SerialOut.message().c_str());
+    return 1;
+  }
+  double SerialPackMs =
+      timeMs([&] { (void)packClasses(B.Prepared, PackOptions()); });
+  double SerialUnpackMs =
+      timeMs([&] { (void)unpackClasses(Serial->Archive, 1); });
+
+  printf("serial baseline: pack %.1f ms, unpack %.1f ms, %zu bytes\n\n",
+         SerialPackMs, SerialUnpackMs, Serial->Archive.size());
+  printf("%8s %10s %8s %10s %8s %10s %9s\n", "threads", "pack ms",
+         "speedup", "unpack ms", "speedup", "bytes", "overhead");
+
+  std::vector<Row> Rows;
+  for (unsigned T : {1u, 2u, 4u, 8u}) {
+    PackOptions O;
+    O.Shards = T;
+    O.Threads = T;
+    auto Packed = packClasses(B.Prepared, O);
+    if (!Packed) {
+      fprintf(stderr, "bench_parallel: %s\n", Packed.message().c_str());
+      return 1;
+    }
+    auto Out = unpackClasses(Packed->Archive, T);
+    if (!Out || Out->size() != SerialOut->size()) {
+      fprintf(stderr, "bench_parallel: sharded unpack diverged\n");
+      return 1;
+    }
+    for (size_t K = 0; K < Out->size(); ++K)
+      if (writeClassFile((*Out)[K]) != writeClassFile((*SerialOut)[K])) {
+        fprintf(stderr,
+                "bench_parallel: class %zu differs from serial output\n",
+                K);
+        return 1;
+      }
+
+    Row R;
+    R.Threads = T;
+    R.PackMs = timeMs([&] { (void)packClasses(B.Prepared, O); });
+    R.UnpackMs = timeMs([&] { (void)unpackClasses(Packed->Archive, T); });
+    R.PackSpeedup = SerialPackMs / R.PackMs;
+    R.UnpackSpeedup = SerialUnpackMs / R.UnpackMs;
+    R.Bytes = Packed->Archive.size();
+    R.OverheadPct = 100.0 *
+                    (static_cast<double>(R.Bytes) -
+                     static_cast<double>(Serial->Archive.size())) /
+                    static_cast<double>(Serial->Archive.size());
+    Rows.push_back(R);
+    printf("%8u %10.1f %7.2fx %10.1f %7.2fx %10zu %8.2f%%\n", T, R.PackMs,
+           R.PackSpeedup, R.UnpackMs, R.UnpackSpeedup, R.Bytes,
+           R.OverheadPct);
+    fflush(stdout);
+  }
+
+  printf("\nShard assignment is by stable class order, so archive bytes\n"
+         "depend on the shard count but never on thread scheduling.\n"
+         "Speedup tracks available cores. The residual size overhead is\n"
+         "per-shard MTF state: shared definitions are factored into the\n"
+         "archive dictionary and each stream's shard slices compress as\n"
+         "one unit, so neither definitions nor deflate context are paid\n"
+         "per shard.\n");
+
+  if (!JsonPath.empty()) {
+    FILE *F = fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      fprintf(stderr, "bench_parallel: cannot write %s\n",
+              JsonPath.c_str());
+      return 1;
+    }
+    fprintf(F,
+            "{\n  \"benchmark\": \"bench_parallel\",\n"
+            "  \"classes\": %u,\n  \"hardware_threads\": %u,\n"
+            "  \"serial\": {\"pack_ms\": %.3f, \"unpack_ms\": %.3f, "
+            "\"bytes\": %zu},\n  \"parallel\": [\n",
+            Spec.NumClasses, ThreadPool::defaultThreadCount(),
+            SerialPackMs, SerialUnpackMs, Serial->Archive.size());
+    for (size_t K = 0; K < Rows.size(); ++K) {
+      const Row &R = Rows[K];
+      fprintf(F,
+              "    {\"threads\": %u, \"pack_ms\": %.3f, "
+              "\"pack_speedup\": %.3f, \"unpack_ms\": %.3f, "
+              "\"unpack_speedup\": %.3f, \"bytes\": %zu, "
+              "\"size_overhead_pct\": %.3f}%s\n",
+              R.Threads, R.PackMs, R.PackSpeedup, R.UnpackMs,
+              R.UnpackSpeedup, R.Bytes, R.OverheadPct,
+              K + 1 < Rows.size() ? "," : "");
+    }
+    fprintf(F, "  ]\n}\n");
+    fclose(F);
+    printf("wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

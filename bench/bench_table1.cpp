@@ -6,19 +6,41 @@
 // uncompressed), jar (as distributed), sjar (stripped jar), and sj0r.gz
 // baselines, plus the paper's three ratio columns.
 //
+//   bench_table1 [--json FILE]
+//
+// --json writes the per-benchmark sizes as a JSON array (the CI bench
+// smoke uploads it so the size trajectory accumulates). Unknown
+// --benchmark_* flags are accepted and ignored for harness
+// compatibility.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace cjpack;
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    // --benchmark_min_time and friends: tolerated, not meaningful here.
+  }
+
   printf("Table 1: benchmark programs (sizes in Kbytes)\n");
   printf("scale=%.2f (set CJPACK_SCALE to adjust)\n\n", benchScale());
   printf("%-16s %8s %8s %8s %9s | %9s %9s %12s  %s\n", "Benchmark",
          "sj0r", "jar", "sjar", "sj0r.gz", "sjar/sj0r", "sjar/jar",
          "sj0r.gz/sjar", "Description");
+  struct JsonRow {
+    std::string Name;
+    BaselineSizes S;
+  };
+  std::vector<JsonRow> JsonRows;
   for (const CorpusSpec &Spec : paperBenchmarks(benchScale())) {
     BenchData B = loadBench(Spec);
     BaselineSizes S = baselineSizes(B);
@@ -30,9 +52,33 @@ int main() {
            pct(S.Sjar, S.Sj0r).c_str(), pct(S.Sjar, S.Jar).c_str(),
            pct(S.Sj0rGz, S.Sjar).c_str(), Spec.Description.c_str());
     fflush(stdout);
+    JsonRows.push_back({Spec.Name, S});
   }
   printf("\nPaper shape: sjar ~76-96%% of jar (stripping + canonical\n"
          "constant pool), sj0r.gz ~47-86%% of sjar (whole-archive\n"
          "compression beats per-member compression).\n");
+
+  if (!JsonPath.empty()) {
+    FILE *F = fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      fprintf(stderr, "bench_table1: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    fprintf(F,
+            "{\n  \"benchmark\": \"bench_table1\",\n"
+            "  \"scale\": %.3f,\n  \"rows\": [\n",
+            benchScale());
+    for (size_t K = 0; K < JsonRows.size(); ++K) {
+      const JsonRow &R = JsonRows[K];
+      fprintf(F,
+              "    {\"name\": \"%s\", \"sj0r\": %zu, \"jar\": %zu, "
+              "\"sjar\": %zu, \"sj0r_gz\": %zu}%s\n",
+              R.Name.c_str(), R.S.Sj0r, R.S.Jar, R.S.Sjar, R.S.Sj0rGz,
+              K + 1 < JsonRows.size() ? "," : "");
+    }
+    fprintf(F, "  ]\n}\n");
+    fclose(F);
+    printf("wrote %s\n", JsonPath.c_str());
+  }
   return 0;
 }

@@ -9,6 +9,10 @@
 //   packtool info <in.cjp|in.jar>             describe an archive
 //   packtool selftest <out-dir>               write a demo jar + archive
 //
+// `--threads N` (anywhere on the command line) packs into N shards
+// encoded on N worker threads, and unpacks sharded archives on N
+// threads. The default (1) writes the classic single-shard format.
+//
 // Non-class members of the input jar are carried in a side jar, as §12
 // prescribes (the packed format handles classfiles only).
 //
@@ -19,12 +23,16 @@
 #include "pack/Packer.h"
 #include "zip/Jar.h"
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 using namespace cjpack;
 
 namespace {
+
+/// Worker-thread count from --threads (also the pack shard count).
+unsigned NumThreads = 1;
 
 bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
   std::ifstream In(Path, std::ios::binary);
@@ -69,7 +77,10 @@ int cmdPack(const std::string &InPath, const std::string &OutPath) {
     else
       Others.push_back(std::move(E));
   }
-  auto Packed = packClassBytes(Classes, PackOptions());
+  PackOptions Options;
+  Options.Shards = NumThreads;
+  Options.Threads = NumThreads;
+  auto Packed = packClassBytes(Classes, Options);
   if (!Packed) {
     fprintf(stderr, "packtool: %s\n", Packed.message().c_str());
     return 1;
@@ -96,7 +107,7 @@ int cmdUnpack(const std::string &InPath, const std::string &OutPath) {
     fprintf(stderr, "packtool: cannot read %s\n", InPath.c_str());
     return 1;
   }
-  auto Classes = unpackArchive(Bytes);
+  auto Classes = unpackArchive(Bytes, NumThreads);
   if (!Classes) {
     fprintf(stderr, "packtool: %s\n", Classes.message().c_str());
     return 1;
@@ -117,7 +128,7 @@ int cmdInfo(const std::string &InPath) {
     return 1;
   }
   if (Bytes.size() >= 4 && Bytes[0] == 'C' && Bytes[1] == 'J') {
-    auto Classes = unpackArchive(Bytes);
+    auto Classes = unpackArchive(Bytes, NumThreads);
     if (!Classes) {
       fprintf(stderr, "packtool: %s\n", Classes.message().c_str());
       return 1;
@@ -165,19 +176,34 @@ int cmdSelftest(const std::string &Dir) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc >= 4 && std::strcmp(Argv[1], "pack") == 0)
-    return cmdPack(Argv[2], Argv[3]);
-  if (Argc >= 4 && std::strcmp(Argv[1], "unpack") == 0)
-    return cmdUnpack(Argv[2], Argv[3]);
-  if (Argc >= 3 && std::strcmp(Argv[1], "info") == 0)
-    return cmdInfo(Argv[2]);
-  if (Argc >= 3 && std::strcmp(Argv[1], "selftest") == 0)
-    return cmdSelftest(Argv[2]);
-  if (Argc == 1)
+  // Pull out --threads N / --threads=N; what remains is the command.
+  std::vector<std::string> Args;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--threads" && I + 1 < Argc) {
+      NumThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (A.rfind("--threads=", 0) == 0) {
+      NumThreads = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+    } else {
+      Args.push_back(std::move(A));
+    }
+  }
+  if (NumThreads == 0)
+    NumThreads = 1;
+
+  if (Args.size() >= 3 && Args[0] == "pack")
+    return cmdPack(Args[1], Args[2]);
+  if (Args.size() >= 3 && Args[0] == "unpack")
+    return cmdUnpack(Args[1], Args[2]);
+  if (Args.size() >= 2 && Args[0] == "info")
+    return cmdInfo(Args[1]);
+  if (Args.size() >= 2 && Args[0] == "selftest")
+    return cmdSelftest(Args[1]);
+  if (Args.empty())
     return cmdSelftest("."); // run the demo when invoked bare
   fprintf(stderr,
-          "usage: packtool pack <in.jar> <out.cjp>\n"
-          "       packtool unpack <in.cjp> <out.jar>\n"
+          "usage: packtool [--threads N] pack <in.jar> <out.cjp>\n"
+          "       packtool [--threads N] unpack <in.cjp> <out.jar>\n"
           "       packtool info <archive>\n"
           "       packtool selftest <dir>\n");
   return 2;

@@ -34,6 +34,10 @@ bool cjpack::refSchemeNeedsStats(RefScheme S) {
          S == RefScheme::MtfTransientsContext;
 }
 
+bool cjpack::refSchemeSupportsPreload(RefScheme S) {
+  return S != RefScheme::Freq && S != RefScheme::Cache;
+}
+
 uint32_t RefStats::rankOf(uint32_t Pool, uint32_t Object) const {
   buildRanks();
   auto It = Ranks.find({Pool, Object});

@@ -52,12 +52,28 @@ const char *refSchemeName(RefScheme S);
 /// Whether \p S needs a counting pre-pass (RefStats) on the encoder.
 bool refSchemeNeedsStats(RefScheme S);
 
+/// Whether \p S supports RefEncoder/RefDecoder::preload. The fixed-id
+/// and MTF families do; Freq/Cache cannot (their ids come from a stats
+/// pass the decoder replays from the wire).
+bool refSchemeSupportsPreload(RefScheme S);
+
 /// Per-pool occurrence counts from a pre-pass over the reference stream;
 /// required by Freq, Cache, and the transient variants (an object is a
 /// transient iff it occurs exactly once in its pool).
 class RefStats {
 public:
   void note(uint32_t Pool, uint32_t Object) { ++Counts[{Pool, Object}]; }
+
+  /// Adds \p N occurrences at once (rebuilding stats under an object-id
+  /// remap).
+  void add(uint32_t Pool, uint32_t Object, uint32_t N) {
+    Counts[{Pool, Object}] += N;
+  }
+
+  /// The raw (pool, object) -> count table, for id remapping.
+  const std::map<std::pair<uint32_t, uint32_t>, uint32_t> &counts() const {
+    return Counts;
+  }
 
   uint32_t countOf(uint32_t Pool, uint32_t Object) const {
     auto It = Counts.find({Pool, Object});

@@ -18,9 +18,11 @@
 #include "classfile/Transform.h"
 #include "classfile/Writer.h"
 #include "pack/CodeCommon.h"
+#include "pack/Dictionary.h"
 #include "pack/Packer.h"
 #include "pack/Preload.h"
 #include "zip/Manifest.h"
+#include "support/ThreadPool.h"
 #include "support/VarInt.h"
 #include <optional>
 
@@ -765,33 +767,26 @@ private:
   const Model &M;
 };
 
-} // namespace
-
+/// Decodes one shard's streams (the whole body of a version-1 archive,
+/// or one slice of a version-2 grouped container) into classfiles.
+/// Each shard carries an independent model and reference state, so
+/// shards decode with no shared mutable state; \p Dict (the version-2
+/// shared dictionary, may be null) is replayed into each shard's model
+/// before decoding, mirroring the encoder.
 Expected<std::vector<ClassFile>>
-cjpack::unpackClasses(const std::vector<uint8_t> &Archive) {
-  ByteReader R(Archive);
-  if (R.readU4() != 0x434A504Bu)
-    return Error::failure("unpack: bad magic");
-  uint8_t Version = R.readU1();
-  if (Version != 1)
-    return Error::failure("unpack: unsupported format version");
-  uint8_t Scheme = R.readU1();
-  if (Scheme > static_cast<uint8_t>(RefScheme::MtfTransientsContext))
-    return Error::failure("unpack: unknown reference scheme");
-  uint8_t Flags = R.readU1();
-
-  StreamSet S;
-  if (auto E = S.deserialize(R))
-    return E;
-
-  auto Dec = makeRefDecoder(static_cast<RefScheme>(Scheme));
+decodeShardStreams(StreamSet &S, RefScheme Scheme, uint8_t Flags,
+                   const SharedDictionary *Dict) {
+  auto Dec = makeRefDecoder(Scheme);
   Model M;
   if (Flags & 4) {
-    if (!preloadStandardRefs(M, *Dec, static_cast<RefScheme>(Scheme)))
+    if (!preloadStandardRefs(M, *Dec, Scheme))
       return Error::failure("unpack: archive needs preloaded references "
                             "the scheme cannot provide");
   }
-  ArchiveReader AR(M, *Dec, S, static_cast<RefScheme>(Scheme));
+  if (Dict && !preloadDictionary(M, *Dec, *Dict))
+    return Error::failure("unpack: archive dictionary needs a scheme "
+                          "that supports preloaded references");
+  ArchiveReader AR(M, *Dec, S, Scheme);
   auto Decoded = AR.decodeArchive();
   if (!Decoded)
     return Decoded.takeError();
@@ -808,6 +803,68 @@ cjpack::unpackClasses(const std::vector<uint8_t> &Archive) {
   return Out;
 }
 
+} // namespace
+
+Expected<std::vector<ClassFile>>
+cjpack::unpackClasses(const std::vector<uint8_t> &Archive,
+                      unsigned Threads) {
+  ByteReader R(Archive);
+  if (R.readU4() != 0x434A504Bu)
+    return Error::failure("unpack: bad magic");
+  uint8_t Version = R.readU1();
+  if (Version != FormatVersionSerial && Version != FormatVersionSharded)
+    return Error::failure("unpack: unsupported format version");
+  uint8_t Scheme = R.readU1();
+  if (Scheme > static_cast<uint8_t>(RefScheme::MtfTransientsContext))
+    return Error::failure("unpack: unknown reference scheme");
+  uint8_t Flags = R.readU1();
+  if (R.hasError())
+    return Error::failure("unpack: truncated archive header");
+
+  if (Version == FormatVersionSerial) {
+    ByteReader Body(Archive.data() + R.position(), R.remaining());
+    StreamSet S;
+    if (auto E = S.deserialize(Body))
+      return E;
+    return decodeShardStreams(S, static_cast<RefScheme>(Scheme), Flags,
+                              /*Dict=*/nullptr);
+  }
+
+  auto Dict = SharedDictionary::deserialize(R);
+  if (!Dict)
+    return Dict.takeError();
+  const SharedDictionary *DictPtr = Dict->empty() ? nullptr : &*Dict;
+
+  auto Shards = deserializeShardedStreams(R);
+  if (!Shards)
+    return Shards.takeError();
+
+  // Decode every shard concurrently; concatenation in shard order keeps
+  // the result identical for any thread count.
+  std::vector<std::future<Expected<std::vector<ClassFile>>>> Futures;
+  Futures.reserve(Shards->size());
+  {
+    ThreadPool Pool(Threads);
+    for (StreamSet &S : *Shards) {
+      StreamSet *Streams = &S;
+      Futures.push_back(Pool.submit([Streams, Scheme, Flags, DictPtr] {
+        return decodeShardStreams(*Streams, static_cast<RefScheme>(Scheme),
+                                  Flags, DictPtr);
+      }));
+    }
+  }
+
+  std::vector<ClassFile> Out;
+  for (auto &F : Futures) {
+    auto Shard = F.get();
+    if (!Shard)
+      return Shard.takeError();
+    for (ClassFile &CF : *Shard)
+      Out.push_back(std::move(CF));
+  }
+  return Out;
+}
+
 Expected<Manifest>
 cjpack::manifestForPackedArchive(const std::vector<uint8_t> &Archive) {
   auto Classes = unpackArchive(Archive);
@@ -817,8 +874,9 @@ cjpack::manifestForPackedArchive(const std::vector<uint8_t> &Archive) {
 }
 
 Expected<std::vector<NamedClass>>
-cjpack::unpackArchive(const std::vector<uint8_t> &Archive) {
-  auto Classes = unpackClasses(Archive);
+cjpack::unpackArchive(const std::vector<uint8_t> &Archive,
+                      unsigned Threads) {
+  auto Classes = unpackClasses(Archive, Threads);
   if (!Classes)
     return Classes.takeError();
   std::vector<NamedClass> Out;

@@ -15,10 +15,13 @@
 #include "classfile/Transform.h"
 #include "pack/ClassOrder.h"
 #include "pack/CodeCommon.h"
+#include "pack/Dictionary.h"
 #include "pack/Packer.h"
 #include "pack/Preload.h"
 #include "classfile/Reader.h"
+#include "support/ThreadPool.h"
 #include "support/VarInt.h"
+#include <algorithm>
 #include <set>
 
 using namespace cjpack;
@@ -598,6 +601,176 @@ private:
   const PackOptions &Options;
 };
 
+/// RefEncoder sink for seeding a Model through the preload helpers
+/// without a real coder (never asked to encode).
+class NullRefEncoder final : public RefEncoder {
+public:
+  bool encode(uint32_t, uint32_t, uint32_t, ByteWriter &) override {
+    assert(false && "null encoder only preloads");
+    return false;
+  }
+  bool preload(uint32_t, uint32_t) override { return true; }
+};
+
+/// The counting pass's outputs: the shard's interned model and the
+/// reference statistics the transient/frequency schemes need.
+struct ShardPlan {
+  Model M;
+  RefStats Stats;
+};
+
+/// Pass one over \p Ordered: interns every object and counts refs.
+Expected<ShardPlan>
+countShardPass(const std::vector<const ClassFile *> &Ordered,
+               const PackOptions &Options) {
+  ShardPlan Plan;
+  CountingRefEncoder Counting(Plan.Stats);
+  if (Options.PreloadStandardRefs)
+    preloadStandardRefs(Plan.M, Counting, Options.Scheme);
+  StreamSet Scratch;
+  ArchiveWriter Pass1(Plan.M, Counting, Scratch, Options);
+  if (auto E = Pass1.encodeArchive(Ordered))
+    return E;
+  return Plan;
+}
+
+/// Pass two over \p Ordered with \p M / \p Stats from the counting
+/// pass: emits the streams. \p Dict, when non-null, is replayed into
+/// the coder after the standard preload, exactly as the decoder will.
+Expected<StreamSet>
+emitShardStreams(const std::vector<const ClassFile *> &Ordered, Model &M,
+                 const RefStats &Stats, const SharedDictionary *Dict,
+                 const PackOptions &Options) {
+  auto Enc = makeRefEncoder(Options.Scheme, &Stats);
+  if (Options.PreloadStandardRefs &&
+      !preloadStandardRefs(M, *Enc, Options.Scheme))
+    return Error::failure("pack: the " +
+                          std::string(refSchemeName(Options.Scheme)) +
+                          " scheme does not support preloaded "
+                          "references");
+  if (Dict && !preloadDictionary(M, *Enc, *Dict))
+    return Error::failure("pack: the " +
+                          std::string(refSchemeName(Options.Scheme)) +
+                          " scheme does not support the shard "
+                          "dictionary");
+  StreamSet S;
+  ArchiveWriter Pass2(M, *Enc, S, Options);
+  if (auto E = Pass2.encodeArchive(Ordered))
+    return E;
+  return S;
+}
+
+/// Rebuilds a counting-pass plan in the id space the emitting pass will
+/// use once \p Dict is seeded first: a fresh model interning the
+/// standard preloads, then the dictionary, then the shard's objects in
+/// their original first-occurrence order (so ids match the decoder's
+/// append order for non-preloaded objects), plus the shard's reference
+/// stats translated into the new ids.
+ShardPlan remapPlanForDictionary(const ShardPlan &Plan,
+                                 const SharedDictionary &Dict,
+                                 const PackOptions &Options) {
+  ShardPlan Out;
+  Model &M2 = Out.M;
+  {
+    NullRefEncoder Null;
+    if (Options.PreloadStandardRefs)
+      preloadStandardRefs(M2, Null, Options.Scheme);
+    preloadDictionary(M2, Null, Dict);
+  }
+
+  const Model &MA = Plan.M;
+  std::vector<uint32_t> PkgMap(MA.packageCount()),
+      SimpMap(MA.simpleNameCount()), FldMap(MA.fieldNameCount()),
+      MthMap(MA.methodNameCount()), StrMap(MA.stringConstCount()),
+      CMap(MA.classRefCount()), FMap(MA.fieldRefCount()),
+      MMap(MA.methodRefCount());
+  for (uint32_t I = 0; I < PkgMap.size(); ++I)
+    PkgMap[I] = M2.internPackage(MA.package(I));
+  for (uint32_t I = 0; I < SimpMap.size(); ++I)
+    SimpMap[I] = M2.internSimpleName(MA.simpleName(I));
+  for (uint32_t I = 0; I < FldMap.size(); ++I)
+    FldMap[I] = M2.internFieldName(MA.fieldName(I));
+  for (uint32_t I = 0; I < MthMap.size(); ++I)
+    MthMap[I] = M2.internMethodName(MA.methodName(I));
+  for (uint32_t I = 0; I < StrMap.size(); ++I)
+    StrMap[I] = M2.internStringConst(MA.stringConst(I));
+  for (uint32_t I = 0; I < CMap.size(); ++I) {
+    MClassRef R = MA.classRef(I);
+    if (R.Base == 'L') {
+      R.Package = PkgMap[R.Package];
+      R.Simple = SimpMap[R.Simple];
+    }
+    CMap[I] = M2.internClassRef(R);
+  }
+  for (uint32_t I = 0; I < FMap.size(); ++I) {
+    MFieldRef R = MA.fieldRef(I);
+    R.Owner = CMap[R.Owner];
+    R.Name = FldMap[R.Name];
+    R.Type = CMap[R.Type];
+    FMap[I] = M2.internFieldRef(R);
+  }
+  for (uint32_t I = 0; I < MMap.size(); ++I) {
+    MMethodRef R = MA.methodRef(I);
+    R.Owner = CMap[R.Owner];
+    R.Name = MthMap[R.Name];
+    for (uint32_t &C : R.Sig)
+      C = CMap[C];
+    MMap[I] = M2.internMethodRef(R);
+  }
+
+  for (const auto &[Key, Count] : Plan.Stats.counts()) {
+    uint32_t Object = Key.second;
+    switch (static_cast<PoolKind>(Key.first)) {
+    case PoolKind::Package:
+      Object = PkgMap[Object];
+      break;
+    case PoolKind::SimpleName:
+      Object = SimpMap[Object];
+      break;
+    case PoolKind::ClassRefPool:
+      Object = CMap[Object];
+      break;
+    case PoolKind::FieldName:
+      Object = FldMap[Object];
+      break;
+    case PoolKind::MethodName:
+      Object = MthMap[Object];
+      break;
+    case PoolKind::StringConst:
+      Object = StrMap[Object];
+      break;
+    case PoolKind::FieldInstance:
+    case PoolKind::FieldStatic:
+      Object = FMap[Object];
+      break;
+    case PoolKind::MethodVirtual:
+    case PoolKind::MethodSpecial:
+    case PoolKind::MethodStatic:
+    case PoolKind::MethodInterface:
+      Object = MMap[Object];
+      break;
+    }
+    Out.Stats.add(Key.first, Object, Count);
+  }
+  return Out;
+}
+
+/// The common archive header (shared by both format versions).
+void writeArchiveHeader(ByteWriter &W, uint8_t Version,
+                        const PackOptions &Options) {
+  W.writeU4(0x434A504Bu); // "CJPK"
+  W.writeU1(Version);
+  W.writeU1(static_cast<uint8_t>(Options.Scheme));
+  uint8_t Flags = 0;
+  if (Options.CollapseOpcodes)
+    Flags |= 1;
+  if (Options.CompressStreams)
+    Flags |= 2;
+  if (Options.PreloadStandardRefs)
+    Flags |= 4;
+  W.writeU1(Flags);
+}
+
 } // namespace
 
 Expected<PackResult>
@@ -631,47 +804,109 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
       Ordered.push_back(&CF);
   }
 
-  Model M;
-  RefStats Stats;
-  {
-    CountingRefEncoder Counting(Stats);
-    if (Options.PreloadStandardRefs)
-      preloadStandardRefs(M, Counting, Options.Scheme);
-    StreamSet Scratch;
-    ArchiveWriter Pass1(M, Counting, Scratch, Options);
-    if (auto E = Pass1.encodeArchive(Ordered))
-      return E;
-  }
-
-  auto Enc = makeRefEncoder(Options.Scheme, &Stats);
-  if (Options.PreloadStandardRefs &&
-      !preloadStandardRefs(M, *Enc, Options.Scheme))
-    return Error::failure("pack: the " +
-                          std::string(refSchemeName(Options.Scheme)) +
-                          " scheme does not support preloaded "
-                          "references");
-  StreamSet S;
-  ArchiveWriter Pass2(M, *Enc, S, Options);
-  if (auto E = Pass2.encodeArchive(Ordered))
-    return E;
+  // Shard assignment is by stable class order: contiguous, balanced
+  // slices of the ordered list. Never let scheduling pick — the archive
+  // must be a pure function of (input, options, shard count).
+  size_t ShardCount = Options.Shards == 0 ? 1 : Options.Shards;
+  ShardCount = std::min(ShardCount, std::max<size_t>(Ordered.size(), 1));
+  ShardCount = std::min(ShardCount, MaxShards);
 
   PackResult Result;
   Result.ClassCount = Classes.size();
+
+  if (ShardCount <= 1) {
+    // Original single-shard wire format, byte-identical to version 1.
+    auto Plan = countShardPass(Ordered, Options);
+    if (!Plan)
+      return Plan.takeError();
+    auto S = emitShardStreams(Ordered, Plan->M, Plan->Stats,
+                              /*Dict=*/nullptr, Options);
+    if (!S)
+      return S.takeError();
+    ByteWriter W;
+    writeArchiveHeader(W, FormatVersionSerial, Options);
+    W.writeBytes(S->serialize(Options.CompressStreams, &Result.Sizes));
+    Result.Archive = W.take();
+    return Result;
+  }
+
+  std::vector<std::vector<const ClassFile *>> Slices(ShardCount);
+  size_t Base = Ordered.size() / ShardCount;
+  size_t Extra = Ordered.size() % ShardCount;
+  size_t Next = 0;
+  for (size_t K = 0; K < ShardCount; ++K) {
+    size_t Len = Base + (K < Extra ? 1 : 0);
+    Slices[K].assign(Ordered.begin() + Next, Ordered.begin() + Next + Len);
+    Next += Len;
+  }
+
+  ThreadPool Pool(Options.Threads);
+
+  // Counting passes run one per shard, concurrently.
+  std::vector<std::future<Expected<ShardPlan>>> PlanFutures;
+  PlanFutures.reserve(ShardCount);
+  for (size_t K = 0; K < ShardCount; ++K)
+    PlanFutures.push_back(Pool.submit(
+        [&Slices, &Options, K] { return countShardPass(Slices[K], Options); }));
+  std::vector<ShardPlan> Plans;
+  Plans.reserve(ShardCount);
+  for (auto &F : PlanFutures) {
+    auto Plan = F.get();
+    if (!Plan)
+      return Plan.takeError();
+    Plans.push_back(std::move(*Plan));
+  }
+
+  // Factor definitions shared by two or more shards into the
+  // dictionary, so shards reference them instead of redefining them.
+  // Schemes that cannot preload keep fully independent shards.
+  SharedDictionary Dict;
+  if (refSchemeSupportsPreload(Options.Scheme)) {
+    Model Standard;
+    if (Options.PreloadStandardRefs) {
+      NullRefEncoder Null;
+      preloadStandardRefs(Standard, Null, Options.Scheme);
+    }
+    std::vector<const Model *> ShardModels;
+    ShardModels.reserve(ShardCount);
+    for (const ShardPlan &Plan : Plans)
+      ShardModels.push_back(&Plan.M);
+    Dict = buildSharedDictionary(
+        ShardModels, Options.PreloadStandardRefs ? &Standard : nullptr);
+  }
+  Result.DictionaryEntries = Dict.entryCount();
+
+  // Emitting passes, again one per shard, on models rebuilt around the
+  // dictionary's id space.
+  std::vector<std::future<Expected<StreamSet>>> Futures;
+  Futures.reserve(ShardCount);
+  std::vector<ShardPlan> Emit(ShardCount);
+  for (size_t K = 0; K < ShardCount; ++K)
+    Futures.push_back(
+        Pool.submit([&Slices, &Plans, &Emit, &Dict, &Options, K] {
+          Emit[K] = Dict.empty()
+                        ? std::move(Plans[K])
+                        : remapPlanForDictionary(Plans[K], Dict, Options);
+          return emitShardStreams(Slices[K], Emit[K].M, Emit[K].Stats,
+                                  Dict.empty() ? nullptr : &Dict, Options);
+        }));
+
+  std::vector<StreamSet> ShardStreams;
+  ShardStreams.reserve(ShardCount);
+  for (auto &F : Futures) {
+    auto S = F.get();
+    if (!S)
+      return S.takeError();
+    ShardStreams.push_back(std::move(*S));
+  }
+
   ByteWriter W;
-  W.writeU4(0x434A504Bu); // "CJPK"
-  W.writeU1(1);           // format version
-  W.writeU1(static_cast<uint8_t>(Options.Scheme));
-  uint8_t Flags = 0;
-  if (Options.CollapseOpcodes)
-    Flags |= 1;
-  if (Options.CompressStreams)
-    Flags |= 2;
-  if (Options.PreloadStandardRefs)
-    Flags |= 4;
-  W.writeU1(Flags);
-  std::vector<uint8_t> Streams =
-      S.serialize(Options.CompressStreams, &Result.Sizes);
-  W.writeBytes(Streams);
+  writeArchiveHeader(W, FormatVersionSharded, Options);
+  Dict.serialize(W, Options.CompressStreams);
+  Result.DictionaryBytes = W.size() - 7;
+  W.writeBytes(serializeShardedStreams(ShardStreams,
+                                       Options.CompressStreams,
+                                       &Result.Sizes));
   Result.Archive = W.take();
   return Result;
 }

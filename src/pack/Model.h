@@ -138,6 +138,18 @@ public:
   const MMethodRef &methodRef(uint32_t Id) const { return MethodRefs[Id]; }
   /// @}
 
+  /// \name Pool sizes (ids are dense, so these bound the id spaces)
+  /// @{
+  size_t packageCount() const { return Packages.size(); }
+  size_t simpleNameCount() const { return Simples.size(); }
+  size_t fieldNameCount() const { return FieldNames.size(); }
+  size_t methodNameCount() const { return MethodNames.size(); }
+  size_t stringConstCount() const { return Strings.size(); }
+  size_t classRefCount() const { return ClassRefs.size(); }
+  size_t fieldRefCount() const { return FieldRefs.size(); }
+  size_t methodRefCount() const { return MethodRefs.size(); }
+  /// @}
+
   /// Internal name of \p Id as a Class constant-pool entry would spell
   /// it ("java/util/Map", or "[I" / "[Lfoo/Bar;" for arrays).
   std::string classRefInternalName(uint32_t Id) const;

@@ -56,6 +56,19 @@ struct PackOptions {
   /// names, java/lang classes, common method refs) so small archives
   /// never pay to define them. Unsupported with the Freq/Cache schemes.
   bool PreloadStandardRefs = false;
+  /// Split the archive into this many independently-encoded shards
+  /// (each with its own model, MTF queues, and streams) so shards can
+  /// be packed and unpacked concurrently. Shard assignment is by
+  /// stable class order, never by scheduling, so output is a pure
+  /// function of (input, options, shard count). 1 writes the original
+  /// single-shard wire format; >1 writes the versioned sharded format:
+  /// definitions shared across shards are factored into a dictionary
+  /// and each stream's shard slices are compressed jointly, so
+  /// sharding costs little compression. Clamped to the class count.
+  unsigned Shards = 1;
+  /// Worker threads used to encode shards (0 = one per hardware
+  /// thread). Has no effect on the output bytes.
+  unsigned Threads = 0;
 };
 
 /// Result of packing: the archive plus per-stream accounting.
@@ -63,6 +76,11 @@ struct PackResult {
   std::vector<uint8_t> Archive;
   StreamSizes Sizes;
   size_t ClassCount = 0;
+  /// Sharded archives only: entries in the shared dictionary (string
+  /// and class-ref definitions factored out of the shards) and the
+  /// serialized dictionary's size in the archive.
+  size_t DictionaryEntries = 0;
+  size_t DictionaryBytes = 0;
 };
 
 /// Packs already-parsed classfiles. Inputs must have been run through
@@ -74,13 +92,15 @@ Expected<PackResult> packClasses(const std::vector<ClassFile> &Classes,
 Expected<PackResult> packClassBytes(const std::vector<NamedClass> &Classes,
                                     const PackOptions &Options);
 
-/// Unpacks an archive into classfile models, in archive order.
+/// Unpacks an archive into classfile models, in archive order. Sharded
+/// archives decode their shards on \p Threads workers (0 = one per
+/// hardware thread); the result is identical for any thread count.
 Expected<std::vector<ClassFile>>
-unpackClasses(const std::vector<uint8_t> &Archive);
+unpackClasses(const std::vector<uint8_t> &Archive, unsigned Threads = 0);
 
 /// Unpacks an archive into named classfile bytes ("pkg/Name.class").
 Expected<std::vector<NamedClass>>
-unpackArchive(const std::vector<uint8_t> &Archive);
+unpackArchive(const std::vector<uint8_t> &Archive, unsigned Threads = 0);
 
 /// The §12 signing workflow: decompresses \p Archive and digests the
 /// resulting classfiles into a manifest. The sender runs this right

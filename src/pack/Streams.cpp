@@ -95,6 +95,109 @@ size_t StreamSizes::packedOf(StreamCategory C) const {
   return Total;
 }
 
+void StreamSizes::add(const StreamSizes &Other) {
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    Raw[I] += Other.Raw[I];
+    Packed[I] += Other.Packed[I];
+  }
+}
+
+void StreamSet::adopt(StreamId Id, std::vector<uint8_t> Bytes) {
+  unsigned I = static_cast<unsigned>(Id);
+  Buffers[I] = std::move(Bytes);
+  Readers[I] = std::make_unique<ByteReader>(Buffers[I]);
+}
+
+std::vector<uint8_t>
+cjpack::serializeShardedStreams(const std::vector<StreamSet> &Shards,
+                                bool Compress, StreamSizes *Sizes) {
+  ByteWriter W;
+  writeVarUInt(W, Shards.size());
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    StreamId Id = static_cast<StreamId>(I);
+    std::vector<uint8_t> Joined;
+    for (const StreamSet &S : Shards) {
+      const std::vector<uint8_t> &Raw = S.raw(Id);
+      Joined.insert(Joined.end(), Raw.begin(), Raw.end());
+    }
+    size_t RawTotal = Joined.size();
+    std::vector<uint8_t> Stored;
+    uint8_t Method = 0;
+    if (Compress && !Joined.empty()) {
+      Stored = deflateBytes(Joined);
+      if (Stored.size() < Joined.size())
+        Method = 1;
+      else
+        Stored.clear();
+    }
+    if (Method == 0)
+      Stored = std::move(Joined);
+    size_t HeaderStart = W.size();
+    W.writeU1(static_cast<uint8_t>(I));
+    W.writeU1(Method);
+    for (const StreamSet &S : Shards)
+      writeVarUInt(W, S.raw(Id).size());
+    writeVarUInt(W, Stored.size());
+    size_t HeaderLen = W.size() - HeaderStart;
+    W.writeBytes(Stored);
+    if (Sizes) {
+      Sizes->Raw[I] = RawTotal;
+      Sizes->Packed[I] = HeaderLen + Stored.size();
+    }
+  }
+  return W.take();
+}
+
+Expected<std::vector<StreamSet>>
+cjpack::deserializeShardedStreams(ByteReader &R) {
+  uint64_t Count = readVarUInt(R);
+  if (R.hasError() || Count == 0 || Count > MaxShards)
+    return makeError("streams: implausible shard count");
+  std::vector<StreamSet> Shards(static_cast<size_t>(Count));
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    uint8_t Id = R.readU1();
+    uint8_t Method = R.readU1();
+    if (R.hasError() || Id != I || Method > 1)
+      return makeError("streams: corrupt stream header");
+    std::vector<size_t> Lens(Shards.size());
+    uint64_t RawTotal = 0;
+    for (size_t K = 0; K < Shards.size(); ++K) {
+      uint64_t Len = readVarUInt(R);
+      if (R.hasError() || Len > (1u << 28))
+        return makeError("streams: implausible stream length");
+      Lens[K] = static_cast<size_t>(Len);
+      RawTotal += Len;
+    }
+    size_t StoredLen = static_cast<size_t>(readVarUInt(R));
+    if (R.hasError() || RawTotal > (1u << 30))
+      return makeError("streams: implausible stream length");
+    std::vector<uint8_t> Stored = R.readBytes(StoredLen);
+    if (R.hasError())
+      return makeError("streams: truncated stream data");
+    std::vector<uint8_t> Joined;
+    if (Method == 1) {
+      auto Raw = inflateBytes(Stored, static_cast<size_t>(RawTotal));
+      if (!Raw)
+        return Raw.takeError();
+      if (Raw->size() != RawTotal)
+        return makeError("streams: stream size mismatch");
+      Joined = std::move(*Raw);
+    } else {
+      if (Stored.size() != RawTotal)
+        return makeError("streams: stored size mismatch");
+      Joined = std::move(Stored);
+    }
+    size_t Offset = 0;
+    for (size_t K = 0; K < Shards.size(); ++K) {
+      const uint8_t *Slice = Joined.data() + Offset;
+      Shards[K].adopt(static_cast<StreamId>(I),
+                      std::vector<uint8_t>(Slice, Slice + Lens[K]));
+      Offset += Lens[K];
+    }
+  }
+  return Shards;
+}
+
 std::vector<uint8_t> StreamSet::serialize(bool Compress,
                                           StreamSizes *Sizes) const {
   ByteWriter W;

@@ -27,6 +27,21 @@
 
 namespace cjpack {
 
+/// Wire-format versions, written in the archive header after the
+/// magic. Version 1 is the original single-shard layout: header, then
+/// one serialized StreamSet. Version 2 is the sharded layout: header,
+/// then the shared dictionary frame, then the shards' streams in the
+/// grouped container written by serializeShardedStreams. Single-shard
+/// archives are always written as version 1, so the sharded pipeline at
+/// shard-count 1 is byte-identical to the original format. The
+/// versioning rule: any change to the byte layout bumps the version,
+/// and decoders must reject versions they do not know.
+inline constexpr uint8_t FormatVersionSerial = 1;
+inline constexpr uint8_t FormatVersionSharded = 2;
+
+/// Upper bound on shards per archive; a header claiming more is corrupt.
+inline constexpr size_t MaxShards = 4096;
+
 /// The separated streams of the packed format.
 enum class StreamId : uint8_t {
   Counts,           ///< structure counts, versions, lengths, misc headers
@@ -73,6 +88,10 @@ struct StreamSizes {
   size_t totalRaw() const;
   size_t totalPacked() const;
   size_t packedOf(StreamCategory C) const;
+
+  /// Accumulates \p Other stream-by-stream (shard totals roll up into
+  /// one per-archive accounting).
+  void add(const StreamSizes &Other);
 };
 
 /// A set of named byte streams being written or read.
@@ -90,6 +109,16 @@ public:
     return *Slot;
   }
 
+  /// Writer side: the finished raw bytes of \p Id.
+  const std::vector<uint8_t> &raw(StreamId Id) const {
+    return Writers[static_cast<unsigned>(Id)].data();
+  }
+
+  /// Reader side: installs \p Bytes as the full contents of \p Id.
+  /// Used by the sharded container, which slices each stream's joint
+  /// buffer back into per-shard stream sets.
+  void adopt(StreamId Id, std::vector<uint8_t> Bytes);
+
   /// Serializes all written streams: per stream a header (id, raw size,
   /// stored size, method) followed by the deflate-compressed (or, when
   /// \p Compress is false, raw) bytes. \p Sizes receives the accounting.
@@ -103,6 +132,25 @@ private:
   std::array<std::vector<uint8_t>, NumStreams> Buffers;
   std::array<std::unique_ptr<ByteReader>, NumStreams> Readers;
 };
+
+/// Serializes \p Shards into the version-2 grouped stream container.
+/// Each of the NumStreams streams stores its shards' bytes concatenated
+/// and compressed as one unit — per-shard compression would fragment
+/// the compressor's context and cost several percent — with per-shard
+/// raw lengths so the decoder can slice the shards back out and decode
+/// them concurrently. Layout: varint shard count, then per stream in id
+/// order: id byte, method byte, one varint raw length per shard, varint
+/// stored length, stored bytes. The container is a pure function of the
+/// shards' contents. \p Sizes receives the per-stream accounting, with
+/// each stream charged its own directory header.
+std::vector<uint8_t> serializeShardedStreams(
+    const std::vector<StreamSet> &Shards, bool Compress,
+    StreamSizes *Sizes);
+
+/// Parses a container written by serializeShardedStreams back into
+/// per-shard stream sets, validating the shard count and every
+/// promised length.
+Expected<std::vector<StreamSet>> deserializeShardedStreams(ByteReader &R);
 
 } // namespace cjpack
 

@@ -1,0 +1,182 @@
+//===- test_parallel_pack.cpp - sharded pipeline differential tests -------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The sharded pipeline's contract: for a fixed (input, options, shard
+// count) the archive bytes are deterministic, shard-count 1 is
+// byte-identical to the original version-1 wire format, and unpacking a
+// sharded archive yields classfiles byte-identical to the serial
+// pipeline's output for every shard count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classfile/Transform.h"
+#include "classfile/Writer.h"
+#include "corpus/Corpus.h"
+#include "pack/Packer.h"
+#include "pack/Streams.h"
+#include <gtest/gtest.h>
+#include <map>
+
+using namespace cjpack;
+
+namespace {
+
+std::vector<ClassFile> preparedCorpus(uint64_t Seed, unsigned NumClasses) {
+  CorpusSpec S;
+  S.Name = "parallel";
+  S.Seed = Seed;
+  S.NumClasses = NumClasses;
+  S.NumPackages = 4;
+  S.MeanMethods = 6;
+  S.MeanStatements = 10;
+  std::vector<ClassFile> Classes = generateCorpusClasses(S);
+  for (ClassFile &CF : Classes)
+    EXPECT_FALSE(static_cast<bool>(prepareForPacking(CF)));
+  return Classes;
+}
+
+std::map<std::string, std::vector<uint8_t>>
+bytesByName(const std::vector<ClassFile> &Classes) {
+  std::map<std::string, std::vector<uint8_t>> Out;
+  for (const ClassFile &CF : Classes)
+    Out[CF.thisClassName()] = writeClassFile(CF);
+  return Out;
+}
+
+} // namespace
+
+TEST(ParallelPack, SingleShardIsByteIdenticalToSerialFormat) {
+  auto Classes = preparedCorpus(7001, 24);
+  auto Serial = packClasses(Classes, PackOptions());
+  ASSERT_TRUE(static_cast<bool>(Serial)) << Serial.message();
+
+  PackOptions O;
+  O.Shards = 1;
+  O.Threads = 4;
+  auto OneShard = packClasses(Classes, O);
+  ASSERT_TRUE(static_cast<bool>(OneShard)) << OneShard.message();
+
+  EXPECT_EQ(OneShard->Archive, Serial->Archive);
+  ASSERT_GE(Serial->Archive.size(), 5u);
+  EXPECT_EQ(Serial->Archive[4], FormatVersionSerial);
+}
+
+TEST(ParallelPack, ShardedArchiveUsesVersionedHeader) {
+  auto Classes = preparedCorpus(7002, 24);
+  PackOptions O;
+  O.Shards = 4;
+  auto Packed = packClasses(Classes, O);
+  ASSERT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+  ASSERT_GE(Packed->Archive.size(), 5u);
+  EXPECT_EQ(Packed->Archive[4], FormatVersionSharded);
+}
+
+TEST(ParallelPack, RoundTripMatchesSerialAcrossShardCounts) {
+  auto Classes = preparedCorpus(7003, 40);
+
+  auto Serial = packClasses(Classes, PackOptions());
+  ASSERT_TRUE(static_cast<bool>(Serial)) << Serial.message();
+  auto SerialOut = unpackClasses(Serial->Archive);
+  ASSERT_TRUE(static_cast<bool>(SerialOut)) << SerialOut.message();
+  auto Want = bytesByName(*SerialOut);
+
+  for (unsigned Shards : {1u, 2u, 4u, 8u}) {
+    PackOptions O;
+    O.Shards = Shards;
+    O.Threads = 4;
+    auto Packed = packClasses(Classes, O);
+    ASSERT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+    for (unsigned Threads : {1u, 3u}) {
+      auto Out = unpackClasses(Packed->Archive, Threads);
+      ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+      ASSERT_EQ(Out->size(), Classes.size()) << "shards=" << Shards;
+      auto Got = bytesByName(*Out);
+      EXPECT_EQ(Got, Want) << "shards=" << Shards
+                           << " threads=" << Threads;
+    }
+  }
+}
+
+TEST(ParallelPack, ArchiveBytesAreDeterministic) {
+  auto Classes = preparedCorpus(7004, 32);
+  PackOptions O;
+  O.Shards = 4;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    O.Threads = Threads;
+    auto A = packClasses(Classes, O);
+    auto B = packClasses(Classes, O);
+    ASSERT_TRUE(static_cast<bool>(A)) << A.message();
+    ASSERT_TRUE(static_cast<bool>(B)) << B.message();
+    EXPECT_EQ(A->Archive, B->Archive) << "threads=" << Threads;
+  }
+  // Thread count never changes the bytes; shard count may.
+  O.Threads = 1;
+  auto One = packClasses(Classes, O);
+  O.Threads = 8;
+  auto Eight = packClasses(Classes, O);
+  ASSERT_TRUE(static_cast<bool>(One) && static_cast<bool>(Eight));
+  EXPECT_EQ(One->Archive, Eight->Archive);
+}
+
+TEST(ParallelPack, ShardCountClampsToClassCount) {
+  auto Classes = preparedCorpus(7005, 3);
+  PackOptions O;
+  O.Shards = 16;
+  O.Threads = 2;
+  auto Packed = packClasses(Classes, O);
+  ASSERT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+  auto Out = unpackClasses(Packed->Archive);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->size(), 3u);
+}
+
+TEST(ParallelPack, ShardedRoundTripUnderNonDefaultOptions) {
+  auto Classes = preparedCorpus(7006, 24);
+  auto Want = bytesByName(Classes);
+  for (PackOptions O : {PackOptions()}) {
+    O.Shards = 3;
+    O.CompressStreams = false;
+    auto Packed = packClasses(Classes, O);
+    ASSERT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+    auto Out = unpackClasses(Packed->Archive);
+    ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+    EXPECT_EQ(bytesByName(*Out), Want);
+
+    O.CompressStreams = true;
+    O.Scheme = RefScheme::Simple;
+    Packed = packClasses(Classes, O);
+    ASSERT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+    Out = unpackClasses(Packed->Archive);
+    ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+    EXPECT_EQ(bytesByName(*Out), Want);
+  }
+}
+
+TEST(ParallelPack, SizesAccumulateAcrossShards) {
+  auto Classes = preparedCorpus(7007, 32);
+  PackOptions O;
+  O.Shards = 4;
+  auto Packed = packClasses(Classes, O);
+  ASSERT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+  EXPECT_EQ(Packed->ClassCount, 32u);
+  // Header + shard table precede the payloads the accounting covers.
+  EXPECT_GT(Packed->Sizes.totalPacked(), 0u);
+  EXPECT_LT(Packed->Sizes.totalPacked(), Packed->Archive.size());
+  EXPECT_GE(Packed->Archive.size(), Packed->Sizes.totalPacked() + 7);
+}
+
+TEST(ParallelPack, TruncatedShardedArchiveFailsCleanly) {
+  auto Classes = preparedCorpus(7008, 16);
+  PackOptions O;
+  O.Shards = 4;
+  auto Packed = packClasses(Classes, O);
+  ASSERT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+  std::vector<uint8_t> Cut(Packed->Archive.begin(),
+                           Packed->Archive.begin() +
+                               Packed->Archive.size() / 2);
+  auto Out = unpackClasses(Cut);
+  EXPECT_FALSE(static_cast<bool>(Out));
+}

@@ -119,3 +119,92 @@ TEST(StreamSet, EveryStreamHasNameAndCategory) {
     EXPECT_STRNE(streamCategoryName(streamCategory(Id)), "?");
   }
 }
+
+namespace {
+
+/// Three shards with distinct content, one stream populated only by the
+/// middle shard, and everything else empty.
+std::vector<StreamSet> makeShardSets() {
+  std::vector<StreamSet> Shards(3);
+  for (size_t K = 0; K < Shards.size(); ++K) {
+    for (int I = 0; I < 200 * (static_cast<int>(K) + 1); ++I)
+      Shards[K].out(StreamId::Opcodes)
+          .writeU1(static_cast<uint8_t>(I % 11 + static_cast<int>(K)));
+    Shards[K].out(StreamId::NameChars)
+        .writeString("shard" + std::to_string(K));
+  }
+  Shards[1].out(StreamId::Registers).writeBytes({9, 8, 7});
+  return Shards;
+}
+
+} // namespace
+
+TEST(ShardedStreams, RoundTripsThroughSerialization) {
+  for (bool Compress : {true, false}) {
+    std::vector<StreamSet> Shards = makeShardSets();
+    StreamSizes Sizes;
+    std::vector<uint8_t> Bytes =
+        serializeShardedStreams(Shards, Compress, &Sizes);
+
+    ByteReader R(Bytes);
+    auto Got = deserializeShardedStreams(R);
+    ASSERT_TRUE(static_cast<bool>(Got)) << Got.message();
+    EXPECT_TRUE(R.atEnd());
+    ASSERT_EQ(Got->size(), Shards.size());
+    for (size_t K = 0; K < Shards.size(); ++K)
+      for (unsigned I = 0; I < NumStreams; ++I) {
+        StreamId Id = static_cast<StreamId>(I);
+        const std::vector<uint8_t> &Raw = Shards[K].raw(Id);
+        EXPECT_EQ((*Got)[K].in(Id).readBytes(Raw.size()), Raw);
+        EXPECT_TRUE((*Got)[K].in(Id).atEnd());
+      }
+    // Accounting covers everything but the shard-count varint.
+    EXPECT_EQ(Sizes.totalPacked() + 1, Bytes.size()) << Compress;
+  }
+}
+
+TEST(ShardedStreams, GroupedCompressionSharesContextAcrossShards) {
+  // The same incompressible bytes in every shard: per-shard deflate
+  // stores four verbatim copies, the grouped container compresses the
+  // repeats as back-references into the first shard's slice.
+  Rng Random(11);
+  std::vector<uint8_t> Noise;
+  for (int I = 0; I < 3000; ++I)
+    Noise.push_back(static_cast<uint8_t>(Random.next()));
+  std::vector<StreamSet> Shards(4);
+  size_t PerShardTotal = 0;
+  for (StreamSet &S : Shards) {
+    S.out(StreamId::Opcodes).writeBytes(Noise);
+    PerShardTotal += S.serialize(true, nullptr).size();
+  }
+  std::vector<uint8_t> Grouped =
+      serializeShardedStreams(Shards, true, nullptr);
+  EXPECT_LT(Grouped.size(), PerShardTotal / 2);
+}
+
+TEST(ShardedStreams, RejectsImplausibleShardCounts) {
+  for (uint64_t Count : {uint64_t(0), uint64_t(MaxShards + 1)}) {
+    ByteWriter W;
+    writeVarUInt(W, Count);
+    std::vector<uint8_t> Bytes = W.take();
+    ByteReader R(Bytes);
+    EXPECT_FALSE(static_cast<bool>(deserializeShardedStreams(R)));
+  }
+}
+
+TEST(ShardedStreams, RejectsCorruption) {
+  std::vector<uint8_t> Bytes =
+      serializeShardedStreams(makeShardSets(), true, nullptr);
+  // Truncation at several depths.
+  for (size_t Cut : {size_t(1), Bytes.size() / 3, Bytes.size() - 1}) {
+    std::vector<uint8_t> Short(Bytes.begin(),
+                               Bytes.begin() + static_cast<long>(Cut));
+    ByteReader R(Short);
+    EXPECT_FALSE(static_cast<bool>(deserializeShardedStreams(R))) << Cut;
+  }
+  // Bad stream id in the first header byte after the shard count.
+  std::vector<uint8_t> Bad = Bytes;
+  Bad[1] = 0xEE;
+  ByteReader R(Bad);
+  EXPECT_FALSE(static_cast<bool>(deserializeShardedStreams(R)));
+}
