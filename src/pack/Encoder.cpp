@@ -840,6 +840,16 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
     Next += Len;
   }
 
+  // Everything the pool tasks capture must be declared before the pool:
+  // on an early error return the pool is destroyed first, and its
+  // destructor drains still-queued tasks (a packaged_task future does
+  // not block on destruction), so those tasks must find this state
+  // alive.
+  std::vector<ShardPlan> Plans;
+  Plans.reserve(ShardCount);
+  std::vector<ShardPlan> Emit(ShardCount);
+  SharedDictionary Dict;
+
   ThreadPool Pool(Options.Threads);
 
   // Counting passes run one per shard, concurrently.
@@ -848,8 +858,6 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
   for (size_t K = 0; K < ShardCount; ++K)
     PlanFutures.push_back(Pool.submit(
         [&Slices, &Options, K] { return countShardPass(Slices[K], Options); }));
-  std::vector<ShardPlan> Plans;
-  Plans.reserve(ShardCount);
   for (auto &F : PlanFutures) {
     auto Plan = F.get();
     if (!Plan)
@@ -860,7 +868,6 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
   // Factor definitions shared by two or more shards into the
   // dictionary, so shards reference them instead of redefining them.
   // Schemes that cannot preload keep fully independent shards.
-  SharedDictionary Dict;
   if (refSchemeSupportsPreload(Options.Scheme)) {
     Model Standard;
     if (Options.PreloadStandardRefs) {
@@ -880,7 +887,6 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
   // dictionary's id space.
   std::vector<std::future<Expected<StreamSet>>> Futures;
   Futures.reserve(ShardCount);
-  std::vector<ShardPlan> Emit(ShardCount);
   for (size_t K = 0; K < ShardCount; ++K)
     Futures.push_back(
         Pool.submit([&Slices, &Plans, &Emit, &Dict, &Options, K] {

@@ -81,13 +81,17 @@ public:
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
     std::future<R> Result = Task->get_future();
     Worker &W = *Workers[NextQueue++ % Workers.size()];
-    {
-      std::lock_guard<std::mutex> Lock(W.Mutex);
-      W.Queue.emplace_back([Task] { (*Task)(); });
-    }
+    // Count the task before publishing it: a spinning worker can pop
+    // and run it the moment it lands in the queue, and its decrement
+    // must never observe QueuedTasks == 0 (a size_t underflow would
+    // busy-wake sleepers and stall the destructor's drain-and-join).
     {
       std::lock_guard<std::mutex> Lock(SleepMutex);
       ++QueuedTasks;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(W.Mutex);
+      W.Queue.emplace_back([Task] { (*Task)(); });
     }
     SleepCv.notify_one();
     return Result;

@@ -91,6 +91,27 @@ TEST(ThreadPool, ManySmallTasksAcrossWorkers) {
   EXPECT_EQ(Sum.load(), 1000L * 1001 / 2);
 }
 
+TEST(ThreadPool, ConcurrentSubmittersRaceShutdown) {
+  // Tiny tasks from several submitter threads maximize the window
+  // where a spinning worker pops a task the instant it is published;
+  // if the queued-task counter ever underflowed, workers would spin
+  // and the pool destructor would stall instead of joining cleanly.
+  std::atomic<int> Done{0};
+  {
+    ThreadPool Pool(4);
+    std::vector<std::thread> Submitters;
+    for (int T = 0; T < 4; ++T)
+      Submitters.emplace_back([&Pool, &Done] {
+        for (int I = 0; I < 500; ++I)
+          Pool.submit([&Done] { ++Done; });
+      });
+    for (std::thread &T : Submitters)
+      T.join();
+    // Pool destruction races the tail of the just-submitted backlog.
+  }
+  EXPECT_EQ(Done.load(), 4 * 500);
+}
+
 TEST(ThreadPool, WorkersStealSkewedBacklog) {
   // One long task pins a worker; round-robin still parks half the
   // small tasks behind it, so completion requires the idle worker to
