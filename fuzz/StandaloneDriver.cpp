@@ -1,0 +1,58 @@
+//===- StandaloneDriver.cpp - file-replay main for fuzz targets -----------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Replaces libFuzzer's driver when the toolchain has no -fsanitize=fuzzer
+// (gcc builds). Each command-line argument is a file (or a directory of
+// files) replayed through LLVMFuzzerTestOneInput, so the same target
+// sources double as a regression runner over the checked-in corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size);
+
+namespace {
+
+int runFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    fprintf(stderr, "cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(Bytes.data(), Bytes.size());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Failures = 0;
+  size_t Ran = 0;
+  for (int I = 1; I < Argc; ++I) {
+    std::filesystem::path P(Argv[I]);
+    if (std::filesystem::is_directory(P)) {
+      for (const auto &E : std::filesystem::directory_iterator(P)) {
+        if (!E.is_regular_file())
+          continue;
+        Failures += runFile(E.path().string());
+        ++Ran;
+      }
+    } else {
+      Failures += runFile(P.string());
+      ++Ran;
+    }
+  }
+  fprintf(stderr, "replayed %zu input(s), %d unreadable\n", Ran, Failures);
+  return Failures ? 1 : 0;
+}

@@ -1,0 +1,34 @@
+//===- fuzz_classfile.cpp - fuzz the classfile parser ---------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Parses arbitrary bytes as a classfile; on success, decodes every Code
+// attribute's bytecode and round-trips the file through the writer to
+// exercise the full parse/encode surface on near-valid inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Instruction.h"
+#include "classfile/ClassFile.h"
+#include "classfile/Reader.h"
+#include "classfile/Writer.h"
+
+using namespace cjpack;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::vector<uint8_t> Bytes(Data, Data + Size);
+  auto CF = parseClassFile(Bytes);
+  if (!CF)
+    return 0;
+  for (const MemberInfo &M : CF->Methods)
+    for (const AttributeInfo &A : M.Attributes)
+      if (A.Name == "Code") {
+        auto Code = parseCodeAttribute(A, CF->CP);
+        if (Code)
+          (void)decodeCode(Code->Code);
+      }
+  (void)writeClassFile(*CF);
+  return 0;
+}

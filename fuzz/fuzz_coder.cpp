@@ -1,0 +1,53 @@
+//===- fuzz_coder.cpp - fuzz the entropy-coding input layer ---------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the coder substrate with arbitrary bytes: every reference-
+// decoding scheme (first byte selects it), the varint readers, and the
+// arithmetic decoder with an adaptive model. These readers must tolerate
+// any byte sequence — garbage decodes to garbage ids, never past the
+// buffer and never into an unbounded loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coder/Arithmetic.h"
+#include "coder/RefCoder.h"
+#include "support/VarInt.h"
+
+using namespace cjpack;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  if (Size == 0)
+    return 0;
+
+  uint8_t NumSchemes =
+      static_cast<uint8_t>(RefScheme::MtfTransientsContext) + 1;
+  auto Dec = makeRefDecoder(static_cast<RefScheme>(Data[0] % NumSchemes));
+  ByteReader R(Data + 1, Size - 1);
+  uint32_t NextId = 0;
+  while (!R.atEnd() && !R.hasError()) {
+    uint32_t Pool = NextId % 8;
+    auto Existing = Dec->decode(Pool, NextId % 3, R);
+    if (!Existing)
+      Dec->registerNew(Pool, NextId % 3, NextId);
+    ++NextId;
+  }
+
+  std::vector<uint8_t> Bytes(Data, Data + Size);
+  ByteReader VU(Bytes);
+  while (!VU.atEnd() && !VU.hasError())
+    (void)readVarUInt(VU);
+  ByteReader VS(Bytes);
+  while (!VS.atEnd() && !VS.hasError())
+    (void)readVarInt(VS);
+
+  AdaptiveModel Model(64);
+  ArithmeticDecoder AD(Bytes);
+  for (int I = 0; I < 1024; ++I) {
+    uint32_t Sym = AD.decode(Model);
+    Model.update(Sym);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+//===- fuzz_zip.cpp - fuzz the zip and gzip readers -----------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs arbitrary bytes through the central-directory zip reader and the
+// gzip unwrapper, covering EOCD scanning, offset validation, inflate
+// caps, and crc checking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "zip/ZipFile.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::vector<uint8_t> Bytes(Data, Data + Size);
+  cjpack::DecodeLimits Limits;
+  Limits.MaxInflateBytes = 1u << 26;
+  Limits.MaxZipEntries = 1u << 12;
+  (void)cjpack::readZip(Bytes, Limits);
+  (void)cjpack::gunzipBytes(Bytes, Limits);
+  return 0;
+}

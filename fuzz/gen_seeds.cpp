@@ -1,0 +1,123 @@
+//===- gen_seeds.cpp - seed corpus generator for the fuzz targets ---------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Writes a small, deterministic seed corpus for each fuzz target into
+// <outdir>/<target>/: valid packed archives (single- and multi-shard,
+// with and without stream compression), classfiles, zip/gzip containers,
+// and coder byte streams. Run after changing the wire format, then check
+// the regenerated seeds in:
+//
+//   ./fuzz_seeds fuzz/corpus
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "pack/Packer.h"
+#include "zip/ZipFile.h"
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace cjpack;
+
+namespace {
+
+void writeSeed(const std::filesystem::path &Dir, const std::string &Name,
+               const std::vector<uint8_t> &Bytes) {
+  std::filesystem::create_directories(Dir);
+  std::ofstream Out(Dir / Name, std::ios::binary);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+  printf("  %s/%s (%zu bytes)\n", Dir.string().c_str(), Name.c_str(),
+         Bytes.size());
+}
+
+CorpusSpec smallSpec(uint64_t Seed) {
+  CorpusSpec Spec;
+  Spec.Name = "fuzzseed";
+  Spec.Seed = Seed;
+  Spec.NumClasses = 6;
+  Spec.NumPackages = 2;
+  Spec.MeanMethods = 4;
+  Spec.MeanFields = 3;
+  Spec.MeanStatements = 6;
+  return Spec;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2) {
+    fprintf(stderr, "usage: %s <outdir>\n", Argv[0]);
+    return 1;
+  }
+  std::filesystem::path Out(Argv[1]);
+  std::vector<NamedClass> Classes = generateCorpus(smallSpec(7));
+
+  // fuzz_classfile: a few individual classfiles.
+  for (size_t I = 0; I < Classes.size() && I < 3; ++I)
+    writeSeed(Out / "fuzz_classfile", "class" + std::to_string(I) + ".bin",
+              Classes[I].Data);
+
+  // fuzz_unpack: archives across the wire-format matrix.
+  struct {
+    const char *Name;
+    unsigned Shards;
+    bool Compress;
+    RefScheme Scheme;
+  } Variants[] = {
+      {"serial.cjp", 1, true, RefScheme::MtfTransientsContext},
+      {"serial_raw.cjp", 1, false, RefScheme::MtfTransientsContext},
+      {"sharded.cjp", 3, true, RefScheme::MtfTransientsContext},
+      {"simple.cjp", 1, true, RefScheme::Simple},
+      {"freq.cjp", 1, true, RefScheme::Freq},
+  };
+  for (const auto &V : Variants) {
+    PackOptions Options;
+    Options.Shards = V.Shards;
+    Options.CompressStreams = V.Compress;
+    Options.Scheme = V.Scheme;
+    auto Packed = packClassBytes(Classes, Options);
+    if (!Packed) {
+      fprintf(stderr, "pack %s failed: %s\n", V.Name,
+              Packed.message().c_str());
+      return 1;
+    }
+    writeSeed(Out / "fuzz_unpack", V.Name, Packed->Archive);
+  }
+
+  // fuzz_zip: stored and deflated jars plus a gzip frame.
+  std::vector<ZipEntry> Entries;
+  for (size_t I = 0; I < Classes.size() && I < 3; ++I)
+    Entries.push_back({Classes[I].Name, Classes[I].Data});
+  writeSeed(Out / "fuzz_zip", "deflated.zip",
+            writeZip(Entries, ZipMethod::Deflated));
+  writeSeed(Out / "fuzz_zip", "stored.zip",
+            writeZip(Entries, ZipMethod::Stored));
+  writeSeed(Out / "fuzz_zip", "frame.gz", gzipBytes(Classes[0].Data));
+
+  // fuzz_coder: packed stream bytes (scheme selector byte + payload).
+  {
+    PackOptions Options;
+    auto Packed = packClassBytes(Classes, Options);
+    if (!Packed) {
+      fprintf(stderr, "pack for coder seed failed\n");
+      return 1;
+    }
+    for (uint8_t Scheme = 0; Scheme < 8; Scheme += 3) {
+      std::vector<uint8_t> Seed;
+      Seed.push_back(Scheme);
+      size_t Take = Packed->Archive.size() < 512 ? Packed->Archive.size()
+                                                 : size_t(512);
+      Seed.insert(Seed.end(), Packed->Archive.begin() + 7,
+                  Packed->Archive.begin() +
+                      static_cast<std::ptrdiff_t>(Take));
+      writeSeed(Out / "fuzz_coder",
+                "scheme" + std::to_string(Scheme) + ".bin", Seed);
+    }
+  }
+  return 0;
+}

@@ -41,6 +41,21 @@ private:
 
 } // namespace
 
+namespace {
+
+/// Validates a branch/switch target computed in 64 bits: it must land
+/// inside the code array (so downstream offset arithmetic can trust it,
+/// and the int32 it is stored in cannot have overflowed).
+Error checkTarget(int64_t Target, size_t CodeLen, uint32_t At) {
+  if (Target < 0 || Target >= static_cast<int64_t>(CodeLen))
+    return makeError(ErrorCode::Corrupt,
+                     "decodeCode: branch target " + std::to_string(Target) +
+                         " outside code at offset " + std::to_string(At));
+  return Error::success();
+}
+
+} // namespace
+
 Expected<std::vector<Insn>> cjpack::decodeCode(
     const std::vector<uint8_t> &Code) {
   std::vector<Insn> Out;
@@ -50,9 +65,9 @@ Expected<std::vector<Insn>> cjpack::decodeCode(
     I.Offset = static_cast<uint32_t>(C.position());
     uint8_t Raw = C.u1();
     if (!isValidOpcode(Raw))
-      return Error::failure("decodeCode: undefined opcode " +
-                            std::to_string(Raw) + " at offset " +
-                            std::to_string(I.Offset));
+      return makeError(ErrorCode::Corrupt,
+                       "decodeCode: undefined opcode " + std::to_string(Raw) +
+                           " at offset " + std::to_string(I.Offset));
     I.Opcode = static_cast<Op>(Raw);
 
     // Fold a wide prefix into the modified instruction.
@@ -60,7 +75,9 @@ Expected<std::vector<Insn>> cjpack::decodeCode(
       I.IsWide = true;
       uint8_t Mod = C.u1();
       if (!isValidOpcode(Mod))
-        return Error::failure("decodeCode: bad wide-modified opcode");
+        return makeError(ErrorCode::Corrupt,
+                         "decodeCode: bad wide-modified opcode at offset " +
+                             std::to_string(I.Offset));
       I.Opcode = static_cast<Op>(Mod);
       if (I.Opcode == Op::IInc) {
         I.LocalIndex = C.u2();
@@ -68,11 +85,16 @@ Expected<std::vector<Insn>> cjpack::decodeCode(
       } else if (opInfo(I.Opcode).Format == OpFormat::LocalU1) {
         I.LocalIndex = C.u2();
       } else {
-        return Error::failure("decodeCode: wide prefix on non-local opcode");
+        return makeError(ErrorCode::Corrupt,
+                         "decodeCode: wide prefix on non-local opcode at "
+                         "offset " +
+                             std::to_string(I.Offset));
       }
       I.Length = static_cast<uint32_t>(C.position()) - I.Offset;
       if (C.hasError())
-        return Error::failure("decodeCode: truncated wide instruction");
+        return makeError(ErrorCode::Truncated,
+                         "decodeCode: truncated wide instruction at offset " +
+                             std::to_string(I.Offset));
       Out.push_back(std::move(I));
       continue;
     }
@@ -95,12 +117,25 @@ Expected<std::vector<Insn>> cjpack::decodeCode(
     case OpFormat::CpU2:
       I.CpIndex = C.u2();
       break;
-    case OpFormat::Branch2:
-      I.BranchTarget = static_cast<int32_t>(I.Offset) + C.s2();
+    case OpFormat::Branch2: {
+      // Targets are computed in 64 bits and validated against the code
+      // length: hostile deltas can neither overflow the int32 nor point
+      // outside the method.
+      int64_t T = static_cast<int64_t>(I.Offset) + C.s2();
+      if (!C.hasError())
+        if (auto E = checkTarget(T, Code.size(), I.Offset))
+          return E;
+      I.BranchTarget = static_cast<int32_t>(T);
       break;
-    case OpFormat::Branch4:
-      I.BranchTarget = static_cast<int32_t>(I.Offset) + C.s4();
+    }
+    case OpFormat::Branch4: {
+      int64_t T = static_cast<int64_t>(I.Offset) + C.s4();
+      if (!C.hasError())
+        if (auto E = checkTarget(T, Code.size(), I.Offset))
+          return E;
+      I.BranchTarget = static_cast<int32_t>(T);
       break;
+    }
     case OpFormat::Iinc:
       I.LocalIndex = C.u1();
       I.Const = C.s1();
@@ -124,43 +159,70 @@ Expected<std::vector<Insn>> cjpack::decodeCode(
       break;
     case OpFormat::TableSwitch: {
       if (!C.alignTo4())
-        return Error::failure("decodeCode: truncated tableswitch pad");
-      I.SwitchDefault = static_cast<int32_t>(I.Offset) + C.s4();
+        return makeError(ErrorCode::Truncated,
+                         "decodeCode: truncated tableswitch pad");
+      int64_t Def = static_cast<int64_t>(I.Offset) + C.s4();
       I.SwitchLow = C.s4();
       I.SwitchHigh = C.s4();
       if (C.hasError() || I.SwitchHigh < I.SwitchLow)
-        return Error::failure("decodeCode: malformed tableswitch");
+        return makeError(ErrorCode::Corrupt,
+                         "decodeCode: malformed tableswitch at offset " +
+                             std::to_string(I.Offset));
+      if (auto E = checkTarget(Def, Code.size(), I.Offset))
+        return E;
+      I.SwitchDefault = static_cast<int32_t>(Def);
+      // Each entry costs four bytes, so a count past the remaining input
+      // is rejected before the vector reserves anything.
       int64_t N = static_cast<int64_t>(I.SwitchHigh) - I.SwitchLow + 1;
       if (N > static_cast<int64_t>(Code.size()))
-        return Error::failure("decodeCode: oversized tableswitch");
+        return makeError(ErrorCode::Corrupt,
+                         "decodeCode: oversized tableswitch at offset " +
+                             std::to_string(I.Offset));
       I.SwitchTargets.reserve(static_cast<size_t>(N));
-      for (int64_t K = 0; K < N; ++K)
-        I.SwitchTargets.push_back(static_cast<int32_t>(I.Offset) + C.s4());
+      for (int64_t K = 0; K < N; ++K) {
+        int64_t T = static_cast<int64_t>(I.Offset) + C.s4();
+        if (!C.hasError())
+          if (auto E = checkTarget(T, Code.size(), I.Offset))
+            return E;
+        I.SwitchTargets.push_back(static_cast<int32_t>(T));
+      }
       break;
     }
     case OpFormat::LookupSwitch: {
       if (!C.alignTo4())
-        return Error::failure("decodeCode: truncated lookupswitch pad");
-      I.SwitchDefault = static_cast<int32_t>(I.Offset) + C.s4();
+        return makeError(ErrorCode::Truncated,
+                         "decodeCode: truncated lookupswitch pad");
+      int64_t Def = static_cast<int64_t>(I.Offset) + C.s4();
       int32_t N = C.s4();
       if (C.hasError() || N < 0 ||
           static_cast<size_t>(N) > Code.size())
-        return Error::failure("decodeCode: malformed lookupswitch");
+        return makeError(ErrorCode::Corrupt,
+                         "decodeCode: malformed lookupswitch at offset " +
+                             std::to_string(I.Offset));
+      if (auto E = checkTarget(Def, Code.size(), I.Offset))
+        return E;
+      I.SwitchDefault = static_cast<int32_t>(Def);
       I.SwitchMatches.reserve(static_cast<size_t>(N));
       I.SwitchTargets.reserve(static_cast<size_t>(N));
       for (int32_t K = 0; K < N; ++K) {
         I.SwitchMatches.push_back(C.s4());
-        I.SwitchTargets.push_back(static_cast<int32_t>(I.Offset) + C.s4());
+        int64_t T = static_cast<int64_t>(I.Offset) + C.s4();
+        if (!C.hasError())
+          if (auto E = checkTarget(T, Code.size(), I.Offset))
+            return E;
+        I.SwitchTargets.push_back(static_cast<int32_t>(T));
       }
       break;
     }
     case OpFormat::Wide:
-      return Error::failure("decodeCode: unreachable wide format");
+      return makeError(ErrorCode::Corrupt,
+                       "decodeCode: unreachable wide format");
     }
 
     if (C.hasError())
-      return Error::failure("decodeCode: truncated instruction at offset " +
-                            std::to_string(I.Offset));
+      return makeError(ErrorCode::Truncated,
+                       "decodeCode: truncated instruction at offset " +
+                           std::to_string(I.Offset));
     I.Length = static_cast<uint32_t>(C.position()) - I.Offset;
     Out.push_back(std::move(I));
   }

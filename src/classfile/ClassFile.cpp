@@ -28,7 +28,8 @@ cjpack::parseCodeAttribute(const AttributeInfo &Attr,
   Out.MaxLocals = R.readU2();
   uint32_t CodeLen = R.readU4();
   if (CodeLen > R.remaining())
-    return Error::failure("Code attribute: code_length overruns attribute");
+    return Error::failure(ErrorCode::Corrupt,
+                          "Code attribute: code_length overruns attribute");
   Out.Code = R.readBytes(CodeLen);
   uint16_t ExcCount = R.readU2();
   Out.ExceptionTable.reserve(ExcCount);
@@ -45,7 +46,8 @@ cjpack::parseCodeAttribute(const AttributeInfo &Attr,
     uint16_t NameIdx = R.readU2();
     uint32_t Len = R.readU4();
     if (R.hasError() || !CP.isValidIndex(NameIdx))
-      return Error::failure("Code attribute: bad nested attribute header");
+      return Error::failure(ErrorCode::Corrupt,
+                            "Code attribute: bad nested attribute header");
     AttributeInfo Nested;
     Nested.Name = CP.utf8(NameIdx);
     Nested.Bytes = R.readBytes(Len);

@@ -14,11 +14,12 @@ namespace {
 
 class ClassParser {
 public:
-  explicit ClassParser(const std::vector<uint8_t> &Bytes) : R(Bytes) {}
+  ClassParser(const std::vector<uint8_t> &Bytes, const DecodeLimits &Limits)
+      : R(Bytes), Limits(Limits) {}
 
   Expected<ClassFile> parse() {
     if (R.readU4() != 0xCAFEBABEu)
-      return Error::failure("classfile: bad magic");
+      return makeError(ErrorCode::Corrupt, "classfile: bad magic");
     CF.MinorVersion = R.readU2();
     CF.MajorVersion = R.readU2();
 
@@ -42,10 +43,12 @@ public:
     if (auto E = R.takeError("classfile"))
       return E;
     if (!R.atEnd())
-      return Error::failure("classfile: trailing bytes after attributes");
+      return makeError(ErrorCode::Corrupt,
+                       "classfile: trailing bytes after attributes");
     if (!CF.CP.isValidIndex(CF.ThisClass) ||
         CF.CP.entry(CF.ThisClass).Tag != CpTag::Class)
-      return Error::failure("classfile: this_class is not a Class entry");
+      return makeError(ErrorCode::Corrupt,
+                       "classfile: this_class is not a Class entry");
     return std::move(CF);
   }
 
@@ -53,7 +56,16 @@ private:
   Error parseConstantPool() {
     uint16_t Count = R.readU2();
     if (R.hasError() || Count == 0)
-      return makeError("classfile: bad constant pool count");
+      return makeError(ErrorCode::Corrupt,
+                       "classfile: bad constant pool count");
+    if (Count > Limits.MaxPoolCount)
+      return makeError(ErrorCode::LimitExceeded,
+                       "classfile: constant pool count over limit");
+    // Every entry costs at least three bytes (tag + two payload bytes),
+    // so a count the remaining input cannot hold is corrupt up front.
+    if (static_cast<uint64_t>(Count - 1) * 3 > R.remaining())
+      return makeError(ErrorCode::Corrupt,
+                       "classfile: constant pool larger than input");
     uint16_t Index = 1;
     while (Index < Count) {
       CpEntry E;
@@ -95,16 +107,19 @@ private:
         break;
       case CpTag::None:
       default:
-        return makeError("classfile: unknown constant tag " +
-                         std::to_string(Tag) + " at cp index " +
-                         std::to_string(Index));
+        return makeError(ErrorCode::Corrupt,
+                         "classfile: unknown constant tag " +
+                             std::to_string(Tag) + " at cp index " +
+                             std::to_string(Index) + " (byte " +
+                             std::to_string(R.position() - 1) + ")");
       }
       bool Wide = E.isWide();
       CF.CP.appendRaw(std::move(E));
       Index += Wide ? 2 : 1;
     }
     if (Index != Count)
-      return makeError("classfile: wide constant overruns pool");
+      return makeError(ErrorCode::Corrupt,
+                       "classfile: wide constant overruns pool");
     CF.CP.rebuildIndex();
     return R.takeError("classfile constant pool");
   }
@@ -115,11 +130,18 @@ private:
       uint16_t NameIdx = R.readU2();
       uint32_t Len = R.readU4();
       if (R.hasError())
-        return makeError("classfile: truncated attribute header");
+        return makeError(ErrorCode::Truncated,
+                         "classfile: truncated attribute header");
       if (!CF.CP.isValidIndex(NameIdx) ||
           CF.CP.entry(NameIdx).Tag != CpTag::Utf8)
-        return makeError("classfile: attribute name index " +
-                         std::to_string(NameIdx) + " is not Utf8");
+        return makeError(ErrorCode::Corrupt,
+                         "classfile: attribute name index " +
+                             std::to_string(NameIdx) + " is not Utf8");
+      if (Len > R.remaining())
+        return makeError(ErrorCode::Truncated,
+                         "classfile: attribute length " +
+                             std::to_string(Len) + " overruns input at byte " +
+                             std::to_string(R.position()));
       AttributeInfo A;
       A.Name = CF.CP.utf8(NameIdx);
       A.Bytes = R.readBytes(Len);
@@ -143,12 +165,14 @@ private:
   }
 
   ByteReader R;
+  DecodeLimits Limits;
   ClassFile CF;
 };
 
 } // namespace
 
 Expected<ClassFile>
-cjpack::parseClassFile(const std::vector<uint8_t> &Bytes) {
-  return ClassParser(Bytes).parse();
+cjpack::parseClassFile(const std::vector<uint8_t> &Bytes,
+                       const DecodeLimits &Limits) {
+  return ClassParser(Bytes, Limits).parse();
 }

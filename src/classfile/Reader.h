@@ -14,14 +14,19 @@
 #define CJPACK_CLASSFILE_READER_H
 
 #include "classfile/ClassFile.h"
+#include "support/DecodeLimits.h"
 #include "support/Error.h"
 #include <cstdint>
 #include <vector>
 
 namespace cjpack {
 
-/// Parses \p Bytes as a classfile.
-Expected<ClassFile> parseClassFile(const std::vector<uint8_t> &Bytes);
+/// Parses \p Bytes as a classfile. Every length and count read from the
+/// wire is bounds-checked against the remaining input and \p Limits, so
+/// hostile bytes produce a typed Error (Truncated / Corrupt /
+/// LimitExceeded), never an overread.
+Expected<ClassFile> parseClassFile(const std::vector<uint8_t> &Bytes,
+                                   const DecodeLimits &Limits = {});
 
 } // namespace cjpack
 

@@ -311,8 +311,9 @@ private:
     std::vector<Item> Items;
     for (uint16_t I : Reachable) {
       if (!CF.CP.isValidIndex(I))
-        return makeError("canonicalize: dangling constant pool index " +
-                         std::to_string(I));
+        return makeError(ErrorCode::Corrupt,
+                         "canonicalize: dangling constant pool index " +
+                             std::to_string(I));
       const CpEntry &E = CF.CP.entry(I);
       Items.push_back({groupOf(I, E), sortKey(E), I, nullptr});
     }
@@ -346,12 +347,14 @@ private:
                                    It.OldIndex, nullptr));
       Next = static_cast<uint16_t>(Next + (Wide ? 2 : 1));
       if (Next == 0)
-        return makeError("canonicalize: constant pool overflow");
+        return makeError(ErrorCode::LimitExceeded,
+                         "canonicalize: constant pool overflow");
     }
 
     for (uint16_t I : LdcReferenced)
       if (OldToNew[I] > 255)
-        return makeError("canonicalize: cannot keep ldc constant below "
+        return makeError(ErrorCode::Corrupt,
+                         "canonicalize: cannot keep ldc constant below "
                          "index 256");
     return Error::success();
   }

@@ -877,14 +877,22 @@ cjpack::jazzUnpack(const std::vector<uint8_t> &Archive) {
   if (R.readU4() != 0x4A415A31u)
     return Error::failure("jazz: bad magic");
   uint8_t Compressed = R.readU1();
-  size_t RawLen = static_cast<size_t>(readVarUInt(R));
+  uint64_t RawLen64 = readVarUInt(R);
   std::vector<uint8_t> Body = R.readBytes(R.remaining());
   if (R.hasError())
-    return Error::failure("jazz: truncated archive");
+    return makeError(ErrorCode::Truncated, "jazz: truncated archive");
+  // Validate the declared length before it drives the inflate
+  // allocation; cap inflation by it so a lying header cannot bomb.
+  if (RawLen64 > DecodeLimits().MaxStreamBytes)
+    return makeError(ErrorCode::LimitExceeded,
+                     "jazz: declared size over limit");
+  size_t RawLen = static_cast<size_t>(RawLen64);
   if (Compressed) {
-    auto Raw = inflateBytes(Body, RawLen);
+    auto Raw = inflateBytes(Body, RawLen, RawLen ? RawLen : 1);
     if (!Raw)
       return Raw.takeError();
+    if (Raw->size() != RawLen)
+      return makeError(ErrorCode::Corrupt, "jazz: declared size mismatch");
     Body = std::move(*Raw);
   }
   ByteReader BR(Body);

@@ -76,21 +76,32 @@ struct DecodedClass {
 
 class ArchiveReader {
 public:
-  ArchiveReader(Model &M, RefDecoder &Dec, StreamSet &S,
-                RefScheme Scheme)
-      : M(M), Dec(Dec), S(S), Scheme(Scheme) {}
+  ArchiveReader(Model &M, RefDecoder &Dec, StreamSet &S, RefScheme Scheme,
+                const DecodeLimits &Limits)
+      : M(M), Dec(Dec), S(S), Scheme(Scheme), Limits(Limits) {}
 
   Expected<std::vector<DecodedClass>> decodeArchive() {
-    size_t Count =
-        static_cast<size_t>(readVarUInt(S.in(StreamId::Counts)));
-    if (S.in(StreamId::Counts).hasError() || Count > (1u << 24))
-      return Error::failure("unpack: implausible class count");
+    ByteReader &Counts = S.in(StreamId::Counts);
+    size_t Count = static_cast<size_t>(readVarUInt(Counts));
+    if (Counts.hasError())
+      return Counts.takeError("unpack");
+    if (Count > Limits.MaxClasses)
+      return makeError(ErrorCode::LimitExceeded,
+                       "unpack: class count over limit");
+    // Every class costs at least five varint bytes from the Counts
+    // stream (versions plus three member counts), so a count the stream
+    // cannot hold is corrupt before anything is reserved.
+    if (Count * 5 > Counts.remaining())
+      return makeError(ErrorCode::Corrupt,
+                       "unpack: class count exceeds stream size");
     std::vector<DecodedClass> Out;
     Out.reserve(Count);
     for (size_t I = 0; I < Count; ++I) {
       auto DC = decodeClass();
       if (!DC)
         return DC.takeError();
+      if (Latch)
+        return std::move(Latch);
       Out.push_back(std::move(*DC));
     }
     return Out;
@@ -101,17 +112,42 @@ private:
   // Reference decoding with inline definitions
   //===--------------------------------------------------------------===//
 
+  /// Records the first wire-validation failure. The readers keep
+  /// returning in-bounds poison objects after a failure so downstream
+  /// model lookups stay safe; the next structural checkpoint aborts the
+  /// decode with this error.
+  void fail(ErrorCode Code, std::string Msg) {
+    if (!Latch)
+      Latch = makeError(Code, std::move(Msg));
+  }
+
+  /// An always-valid class-ref id used after a validation failure. The
+  /// non-'L' base means nothing downstream indexes the string pools.
+  uint32_t poisonClass() {
+    MClassRef Void;
+    Void.Base = 'V';
+    return M.appendClassRef(Void);
+  }
+
   std::string readString(StreamId Chars) {
     size_t Len =
         static_cast<size_t>(readVarUInt(S.in(StreamId::StringLengths)));
+    if (Len > Limits.MaxStringBytes) {
+      fail(ErrorCode::LimitExceeded, "unpack: string length over limit");
+      return std::string();
+    }
     return S.in(Chars).readString(Len);
   }
 
   uint32_t readPackage() {
     auto Existing = Dec.decode(poolId(PoolKind::Package), 0,
                                S.in(StreamId::PackageRefs));
-    if (Existing)
-      return *Existing;
+    if (Existing) {
+      if (*Existing < M.packageCount())
+        return *Existing;
+      fail(ErrorCode::Corrupt, "unpack: package ref out of range");
+      return M.appendPackage(std::string());
+    }
     uint32_t Id = M.appendPackage(readString(StreamId::ClassNameChars));
     Dec.registerNew(poolId(PoolKind::Package), 0, Id);
     return Id;
@@ -120,8 +156,12 @@ private:
   uint32_t readSimpleName() {
     auto Existing = Dec.decode(poolId(PoolKind::SimpleName), 0,
                                S.in(StreamId::SimpleNameRefs));
-    if (Existing)
-      return *Existing;
+    if (Existing) {
+      if (*Existing < M.simpleNameCount())
+        return *Existing;
+      fail(ErrorCode::Corrupt, "unpack: simple-name ref out of range");
+      return M.appendSimpleName(std::string());
+    }
     uint32_t Id = M.appendSimpleName(readString(StreamId::ClassNameChars));
     Dec.registerNew(poolId(PoolKind::SimpleName), 0, Id);
     return Id;
@@ -130,8 +170,12 @@ private:
   uint32_t readFieldName() {
     auto Existing = Dec.decode(poolId(PoolKind::FieldName), 0,
                                S.in(StreamId::FieldNameRefs));
-    if (Existing)
-      return *Existing;
+    if (Existing) {
+      if (*Existing < M.fieldNameCount())
+        return *Existing;
+      fail(ErrorCode::Corrupt, "unpack: field-name ref out of range");
+      return M.appendFieldName(std::string());
+    }
     uint32_t Id = M.appendFieldName(readString(StreamId::NameChars));
     Dec.registerNew(poolId(PoolKind::FieldName), 0, Id);
     return Id;
@@ -140,8 +184,12 @@ private:
   uint32_t readMethodName() {
     auto Existing = Dec.decode(poolId(PoolKind::MethodName), 0,
                                S.in(StreamId::MethodNameRefs));
-    if (Existing)
-      return *Existing;
+    if (Existing) {
+      if (*Existing < M.methodNameCount())
+        return *Existing;
+      fail(ErrorCode::Corrupt, "unpack: method-name ref out of range");
+      return M.appendMethodName(std::string());
+    }
     uint32_t Id = M.appendMethodName(readString(StreamId::NameChars));
     Dec.registerNew(poolId(PoolKind::MethodName), 0, Id);
     return Id;
@@ -150,8 +198,12 @@ private:
   uint32_t readStringConst() {
     auto Existing = Dec.decode(poolId(PoolKind::StringConst), 0,
                                S.in(StreamId::StringConstRefs));
-    if (Existing)
-      return *Existing;
+    if (Existing) {
+      if (*Existing < M.stringConstCount())
+        return *Existing;
+      fail(ErrorCode::Corrupt, "unpack: string-const ref out of range");
+      return M.appendStringConst(std::string());
+    }
     uint32_t Id =
         M.appendStringConst(readString(StreamId::StringConstChars));
     Dec.registerNew(poolId(PoolKind::StringConst), 0, Id);
@@ -161,8 +213,12 @@ private:
   uint32_t readClass() {
     auto Existing = Dec.decode(poolId(PoolKind::ClassRefPool), 0,
                                S.in(StreamId::ClassRefs));
-    if (Existing)
-      return *Existing;
+    if (Existing) {
+      if (*Existing < M.classRefCount())
+        return *Existing;
+      fail(ErrorCode::Corrupt, "unpack: class ref out of range");
+      return poisonClass();
+    }
     MClassRef R;
     R.Dims =
         static_cast<uint8_t>(readVarUInt(S.in(StreamId::Counts)));
@@ -180,8 +236,16 @@ private:
     Pool = effectivePool(Pool, Scheme);
     auto Existing =
         Dec.decode(poolId(Pool), 0, S.in(StreamId::FieldRefs));
-    if (Existing)
-      return *Existing;
+    if (Existing) {
+      if (*Existing < M.fieldRefCount())
+        return *Existing;
+      fail(ErrorCode::Corrupt, "unpack: field ref out of range");
+      MFieldRef P;
+      P.Owner = poisonClass();
+      P.Name = M.appendFieldName(std::string());
+      P.Type = poisonClass();
+      return M.appendFieldRef(P);
+    }
     MFieldRef R;
     R.Owner = readClass();
     R.Name = readFieldName();
@@ -195,8 +259,16 @@ private:
     Pool = effectivePool(Pool, Scheme);
     auto Existing =
         Dec.decode(poolId(Pool), Sub, S.in(StreamId::MethodRefs));
-    if (Existing)
-      return *Existing;
+    if (Existing) {
+      if (*Existing < M.methodRefCount())
+        return *Existing;
+      fail(ErrorCode::Corrupt, "unpack: method ref out of range");
+      MMethodRef P;
+      P.Owner = poisonClass();
+      P.Name = M.appendMethodName(std::string());
+      P.Sig.push_back(poisonClass());
+      return M.appendMethodRef(std::move(P));
+    }
     MMethodRef R;
     R.Owner = readClass();
     R.Name = readMethodName();
@@ -249,14 +321,14 @@ private:
       DC.SuperId = readClass();
     size_t IfaceCount = static_cast<size_t>(readVarUInt(Counts));
     if (Counts.hasError() || IfaceCount > 0xFFFF)
-      return Error::failure("unpack: truncated class header");
-    for (size_t K = 0; K < IfaceCount; ++K)
+      return makeError(ErrorCode::Corrupt, "unpack: bad class header");
+    for (size_t K = 0; K < IfaceCount && !Latch; ++K)
       DC.Interfaces.push_back(readClass());
 
     size_t FieldCount = static_cast<size_t>(readVarUInt(Counts));
     if (Counts.hasError() || FieldCount > 0xFFFF)
-      return Error::failure("unpack: implausible field count");
-    for (size_t K = 0; K < FieldCount; ++K) {
+      return makeError(ErrorCode::Corrupt, "unpack: implausible field count");
+    for (size_t K = 0; K < FieldCount && !Latch; ++K) {
       auto F = decodeField();
       if (!F)
         return F.takeError();
@@ -264,15 +336,15 @@ private:
     }
     size_t MethodCount = static_cast<size_t>(readVarUInt(Counts));
     if (Counts.hasError() || MethodCount > 0xFFFF)
-      return Error::failure("unpack: implausible method count");
-    for (size_t K = 0; K < MethodCount; ++K) {
+      return makeError(ErrorCode::Corrupt, "unpack: implausible method count");
+    for (size_t K = 0; K < MethodCount && !Latch; ++K) {
       auto Mth = decodeMethod(DC.Flags);
       if (!Mth)
         return Mth.takeError();
       DC.Methods.push_back(std::move(*Mth));
     }
     if (Counts.hasError())
-      return Error::failure("unpack: truncated class body");
+      return Counts.takeError("unpack class body");
     return DC;
   }
 
@@ -306,7 +378,8 @@ private:
         F.Const.Id = readStringConst();
         break;
       default:
-        return Error::failure("unpack: constant on untyped field");
+        return makeError(ErrorCode::Corrupt,
+                         "unpack: constant on untyped field");
       }
     }
     return F;
@@ -320,8 +393,8 @@ private:
       size_t N =
           static_cast<size_t>(readVarUInt(S.in(StreamId::Counts)));
       if (S.in(StreamId::Counts).hasError() || N > 0xFFFF)
-        return Error::failure("unpack: truncated Exceptions");
-      for (size_t K = 0; K < N; ++K)
+        return makeError(ErrorCode::Corrupt, "unpack: bad Exceptions count");
+      for (size_t K = 0; K < N && !Latch; ++K)
         DM.Exceptions.push_back(readClass());
     }
     if (DM.Flags & PackedFlagAux0) {
@@ -347,7 +420,15 @@ private:
     // A code array is capped at 65535 bytes, so instruction and handler
     // counts beyond that are corrupt.
     if (Counts.hasError() || ExcCount > 0xFFFF || InsnCount > 0xFFFF)
-      return Error::failure("unpack: truncated code header");
+      return makeError(ErrorCode::Corrupt, "unpack: bad code header");
+    if (InsnCount > Limits.MaxMethodInsns)
+      return makeError(ErrorCode::LimitExceeded,
+                       "unpack: method instruction count over limit");
+    // Every handler costs at least one byte from the Counts stream (the
+    // catch flag), so a count the stream cannot hold is corrupt.
+    if (ExcCount > Counts.remaining())
+      return makeError(ErrorCode::Corrupt,
+                       "unpack: exception table exceeds stream size");
     for (size_t K = 0; K < ExcCount; ++K) {
       DecodedCode::Exc E;
       ByteReader &B = S.in(StreamId::BranchOffsets);
@@ -366,6 +447,8 @@ private:
     DC.Insns.reserve(InsnCount);
     DC.Operands.reserve(InsnCount);
     for (size_t K = 0; K < InsnCount; ++K) {
+      if (Latch)
+        return std::move(Latch);
       auto R = decodeInsn(Offset, State);
       if (!R)
         return R.takeError();
@@ -397,7 +480,8 @@ private:
       Code = Ops.readU1();
     }
     if (Ops.hasError())
-      return Error::failure("unpack: truncated opcode stream");
+      return makeError(ErrorCode::Truncated,
+                       "unpack: truncated opcode stream");
 
     // Resolve pseudo-opcodes.
     bool LdcShort = false;
@@ -433,14 +517,16 @@ private:
         OpFamily F = familyOfPseudo(Code);
         auto Variant = variantFor(F, State.top(familyKeyDepth(F)));
         if (!Variant)
-          return Error::failure(
-              "unpack: collapsed opcode with unknown stack state");
+          return makeError(ErrorCode::Corrupt,
+                           "unpack: collapsed opcode with unknown stack "
+                           "state");
         I.Opcode = *Variant;
       } else if (isValidOpcode(Code)) {
         I.Opcode = static_cast<Op>(Code);
       } else {
-        return Error::failure("unpack: undefined wire opcode " +
-                              std::to_string(Code));
+        return makeError(ErrorCode::Corrupt,
+                         "unpack: undefined wire opcode " +
+                             std::to_string(Code));
       }
       break;
     }
@@ -471,11 +557,18 @@ private:
         return E;
       break;
     case OpFormat::Branch2:
-    case OpFormat::Branch4:
-      I.BranchTarget =
-          static_cast<int32_t>(Offset) +
-          static_cast<int32_t>(readVarInt(S.in(StreamId::BranchOffsets)));
+    case OpFormat::Branch4: {
+      // Compute in 64 bits and require the target to land in a legal
+      // code array ([0, 65535]); a hostile offset would otherwise
+      // overflow the 32-bit addition.
+      int64_t T = static_cast<int64_t>(Offset) +
+                  readVarInt(S.in(StreamId::BranchOffsets));
+      if (T < 0 || T > 0xFFFF)
+        return makeError(ErrorCode::Corrupt,
+                         "unpack: branch target out of range");
+      I.BranchTarget = static_cast<int32_t>(T);
       break;
+    }
     case OpFormat::MultiANewArray:
       Operand.Kind = ConstKind::ClassTarget;
       Operand.Id = readClass();
@@ -488,35 +581,59 @@ private:
           static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts)));
       if (I.SwitchHigh < I.SwitchLow ||
           static_cast<int64_t>(I.SwitchHigh) - I.SwitchLow >= (1 << 24))
-        return Error::failure("unpack: malformed tableswitch bounds");
+        return makeError(ErrorCode::Corrupt,
+                         "unpack: malformed tableswitch bounds");
       ByteReader &B = S.in(StreamId::BranchOffsets);
-      I.SwitchDefault = static_cast<int32_t>(Offset) +
-                        static_cast<int32_t>(readVarInt(B));
       int64_t N = static_cast<int64_t>(I.SwitchHigh) - I.SwitchLow + 1;
-      for (int64_t K = 0; K < N; ++K)
-        I.SwitchTargets.push_back(static_cast<int32_t>(Offset) +
-                                  static_cast<int32_t>(readVarInt(B)));
+      // Every target costs at least one varint byte; a claimed count the
+      // stream cannot hold is corrupt before the vector grows.
+      if (N > static_cast<int64_t>(B.remaining()))
+        return makeError(ErrorCode::Corrupt,
+                         "unpack: tableswitch exceeds stream size");
+      int64_t Def = static_cast<int64_t>(Offset) + readVarInt(B);
+      if (Def < 0 || Def > 0xFFFF)
+        return makeError(ErrorCode::Corrupt,
+                         "unpack: switch default target out of range");
+      I.SwitchDefault = static_cast<int32_t>(Def);
+      I.SwitchTargets.reserve(static_cast<size_t>(N));
+      for (int64_t K = 0; K < N; ++K) {
+        int64_t T = static_cast<int64_t>(Offset) + readVarInt(B);
+        if (!B.hasError() && (T < 0 || T > 0xFFFF))
+          return makeError(ErrorCode::Corrupt,
+                           "unpack: switch target out of range");
+        I.SwitchTargets.push_back(static_cast<int32_t>(T));
+      }
       break;
     }
     case OpFormat::LookupSwitch: {
       size_t N =
           static_cast<size_t>(readVarUInt(S.in(StreamId::Counts)));
-      if (N >= (1u << 24))
-        return Error::failure("unpack: malformed lookupswitch count");
       ByteReader &B = S.in(StreamId::BranchOffsets);
-      I.SwitchDefault = static_cast<int32_t>(Offset) +
-                        static_cast<int32_t>(readVarInt(B));
+      if (N >= (1u << 24) || N > B.remaining())
+        return makeError(ErrorCode::Corrupt,
+                         "unpack: malformed lookupswitch count");
+      int64_t Def = static_cast<int64_t>(Offset) + readVarInt(B);
+      if (Def < 0 || Def > 0xFFFF)
+        return makeError(ErrorCode::Corrupt,
+                         "unpack: switch default target out of range");
+      I.SwitchDefault = static_cast<int32_t>(Def);
+      I.SwitchMatches.reserve(N);
+      I.SwitchTargets.reserve(N);
       for (size_t K = 0; K < N; ++K) {
         I.SwitchMatches.push_back(
             static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts))));
-        I.SwitchTargets.push_back(static_cast<int32_t>(Offset) +
-                                  static_cast<int32_t>(readVarInt(B)));
+        int64_t T = static_cast<int64_t>(Offset) + readVarInt(B);
+        if (!B.hasError() && (T < 0 || T > 0xFFFF))
+          return makeError(ErrorCode::Corrupt,
+                           "unpack: switch target out of range");
+        I.SwitchTargets.push_back(static_cast<int32_t>(T));
       }
       break;
     }
     case OpFormat::InvokeDynamic:
     case OpFormat::Wide:
-      return Error::failure("unpack: unexpected opcode format");
+      return makeError(ErrorCode::Corrupt,
+                       "unpack: unexpected opcode format");
     }
 
     if (I.Opcode == Op::InvokeInterface)
@@ -547,7 +664,8 @@ private:
         Operand.Id = readStringConst();
         break;
       default:
-        return makeError("unpack: ldc pseudo-op without constant kind");
+        return makeError(ErrorCode::Corrupt,
+                         "unpack: ldc pseudo-op without constant kind");
       }
       return Error::success();
     case CpRefKind::ClassRef:
@@ -568,7 +686,8 @@ private:
                                  State.contextId());
       return Error::success();
     case CpRefKind::None:
-      return makeError("unpack: cp operand on non-cp opcode");
+      return makeError(ErrorCode::Corrupt,
+                       "unpack: cp operand on non-cp opcode");
     }
     return Error::success();
   }
@@ -577,6 +696,8 @@ private:
   RefDecoder &Dec;
   StreamSet &S;
   RefScheme Scheme;
+  DecodeLimits Limits;
+  Error Latch;
 };
 
 //===----------------------------------------------------------------------===//
@@ -745,8 +866,9 @@ private:
       }
       }
       if (I.Opcode == Op::Ldc && I.CpIndex > 0xFF)
-        return Error::failure("unpack: ldc constant escaped the low "
-                              "constant-pool indices");
+        return makeError(ErrorCode::Corrupt,
+                         "unpack: ldc constant escaped the low "
+                         "constant-pool indices");
     }
     Code.Code = encodeCode(Insns);
 
@@ -775,18 +897,21 @@ private:
 /// before decoding, mirroring the encoder.
 Expected<std::vector<ClassFile>>
 decodeShardStreams(StreamSet &S, RefScheme Scheme, uint8_t Flags,
-                   const SharedDictionary *Dict) {
+                   const SharedDictionary *Dict,
+                   const DecodeLimits &Limits) {
   auto Dec = makeRefDecoder(Scheme);
   Model M;
   if (Flags & 4) {
     if (!preloadStandardRefs(M, *Dec, Scheme))
-      return Error::failure("unpack: archive needs preloaded references "
-                            "the scheme cannot provide");
+      return makeError(ErrorCode::Corrupt,
+                       "unpack: archive needs preloaded references "
+                       "the scheme cannot provide");
   }
   if (Dict && !preloadDictionary(M, *Dec, *Dict))
-    return Error::failure("unpack: archive dictionary needs a scheme "
-                          "that supports preloaded references");
-  ArchiveReader AR(M, *Dec, S, Scheme);
+    return makeError(ErrorCode::Corrupt,
+                     "unpack: archive dictionary needs a scheme "
+                     "that supports preloaded references");
+  ArchiveReader AR(M, *Dec, S, Scheme, Limits);
   auto Decoded = AR.decodeArchive();
   if (!Decoded)
     return Decoded.takeError();
@@ -808,34 +933,47 @@ decodeShardStreams(StreamSet &S, RefScheme Scheme, uint8_t Flags,
 Expected<std::vector<ClassFile>>
 cjpack::unpackClasses(const std::vector<uint8_t> &Archive,
                       unsigned Threads) {
+  UnpackOptions Options;
+  Options.Threads = Threads;
+  return unpackClasses(Archive, Options);
+}
+
+Expected<std::vector<ClassFile>>
+cjpack::unpackClasses(const std::vector<uint8_t> &Archive,
+                      const UnpackOptions &Options) {
+  const DecodeLimits &Limits = Options.Limits;
   ByteReader R(Archive);
   if (R.readU4() != 0x434A504Bu)
-    return Error::failure("unpack: bad magic");
+    return makeError(R.hasError() ? ErrorCode::Truncated
+                                  : ErrorCode::Corrupt,
+                     "unpack: bad magic");
   uint8_t Version = R.readU1();
   if (Version != FormatVersionSerial && Version != FormatVersionSharded)
-    return Error::failure("unpack: unsupported format version");
+    return makeError(ErrorCode::Corrupt,
+                     "unpack: unsupported format version");
   uint8_t Scheme = R.readU1();
   if (Scheme > static_cast<uint8_t>(RefScheme::MtfTransientsContext))
-    return Error::failure("unpack: unknown reference scheme");
+    return makeError(ErrorCode::Corrupt, "unpack: unknown reference scheme");
   uint8_t Flags = R.readU1();
   if (R.hasError())
-    return Error::failure("unpack: truncated archive header");
+    return makeError(ErrorCode::Truncated,
+                     "unpack: truncated archive header");
 
   if (Version == FormatVersionSerial) {
     ByteReader Body(Archive.data() + R.position(), R.remaining());
     StreamSet S;
-    if (auto E = S.deserialize(Body))
+    if (auto E = S.deserialize(Body, Limits))
       return E;
     return decodeShardStreams(S, static_cast<RefScheme>(Scheme), Flags,
-                              /*Dict=*/nullptr);
+                              /*Dict=*/nullptr, Limits);
   }
 
-  auto Dict = SharedDictionary::deserialize(R);
+  auto Dict = SharedDictionary::deserialize(R, Limits);
   if (!Dict)
     return Dict.takeError();
   const SharedDictionary *DictPtr = Dict->empty() ? nullptr : &*Dict;
 
-  auto Shards = deserializeShardedStreams(R);
+  auto Shards = deserializeShardedStreams(R, Limits);
   if (!Shards)
     return Shards.takeError();
 
@@ -844,13 +982,15 @@ cjpack::unpackClasses(const std::vector<uint8_t> &Archive,
   std::vector<std::future<Expected<std::vector<ClassFile>>>> Futures;
   Futures.reserve(Shards->size());
   {
-    ThreadPool Pool(Threads);
+    ThreadPool Pool(Options.Threads);
     for (StreamSet &S : *Shards) {
       StreamSet *Streams = &S;
-      Futures.push_back(Pool.submit([Streams, Scheme, Flags, DictPtr] {
-        return decodeShardStreams(*Streams, static_cast<RefScheme>(Scheme),
-                                  Flags, DictPtr);
-      }));
+      Futures.push_back(
+          Pool.submit([Streams, Scheme, Flags, DictPtr, &Limits] {
+            return decodeShardStreams(*Streams,
+                                      static_cast<RefScheme>(Scheme), Flags,
+                                      DictPtr, Limits);
+          }));
     }
   }
 
@@ -876,7 +1016,15 @@ cjpack::manifestForPackedArchive(const std::vector<uint8_t> &Archive) {
 Expected<std::vector<NamedClass>>
 cjpack::unpackArchive(const std::vector<uint8_t> &Archive,
                       unsigned Threads) {
-  auto Classes = unpackClasses(Archive, Threads);
+  UnpackOptions Options;
+  Options.Threads = Threads;
+  return unpackArchive(Archive, Options);
+}
+
+Expected<std::vector<NamedClass>>
+cjpack::unpackArchive(const std::vector<uint8_t> &Archive,
+                      const UnpackOptions &Options) {
+  auto Classes = unpackClasses(Archive, Options);
   if (!Classes)
     return Classes.takeError();
   std::vector<NamedClass> Out;

@@ -75,19 +75,25 @@ void SharedDictionary::serialize(ByteWriter &W, bool Compress) const {
   }
 }
 
-Expected<SharedDictionary> SharedDictionary::deserialize(ByteReader &R) {
+Expected<SharedDictionary>
+SharedDictionary::deserialize(ByteReader &R, const DecodeLimits &Limits) {
   uint64_t RawLen = readVarUInt(R);
   uint64_t StoredLen = readVarUInt(R);
-  if (R.hasError() || StoredLen > RawLen || StoredLen > R.remaining() ||
-      RawLen > (1u << 28))
-    return makeError("dictionary: implausible frame");
+  if (R.hasError() || StoredLen > RawLen || StoredLen > R.remaining())
+    return makeError(ErrorCode::Corrupt,
+                     "dictionary: implausible frame at byte " +
+                         std::to_string(R.position()));
+  if (RawLen > Limits.MaxStreamBytes)
+    return makeError(ErrorCode::LimitExceeded,
+                     "dictionary: frame length over limit");
   std::vector<uint8_t> Raw = R.readBytes(static_cast<size_t>(StoredLen));
   if (StoredLen < RawLen) {
-    auto Inflated = inflateBytes(Raw, static_cast<size_t>(RawLen));
+    auto Inflated = inflateBytes(Raw, static_cast<size_t>(RawLen),
+                                 static_cast<size_t>(RawLen));
     if (!Inflated)
       return Inflated.takeError();
     if (Inflated->size() != RawLen)
-      return makeError("dictionary: size mismatch");
+      return makeError(ErrorCode::Corrupt, "dictionary: size mismatch");
     Raw = std::move(*Inflated);
   }
 
@@ -109,11 +115,14 @@ Expected<SharedDictionary> SharedDictionary::deserialize(ByteReader &R) {
   if (!GetStrings(D.Packages) || !GetStrings(D.Simples) ||
       !GetStrings(D.FieldNames) || !GetStrings(D.MethodNames) ||
       !GetStrings(D.Strings))
-    return makeError("dictionary: truncated string table");
+    return makeError(ErrorCode::Corrupt,
+                     "dictionary: truncated string table at byte " +
+                         std::to_string(Body.position()));
 
   uint64_t RefCount = readVarUInt(Body);
   if (Body.hasError() || !plausibleCount(RefCount, Body))
-    return makeError("dictionary: implausible class-ref count");
+    return makeError(ErrorCode::Corrupt,
+                     "dictionary: implausible class-ref count");
   D.ClassRefs.reserve(static_cast<size_t>(RefCount));
   for (uint64_t I = 0; I < RefCount; ++I) {
     DictClassRef Ref;
@@ -124,10 +133,11 @@ Expected<SharedDictionary> SharedDictionary::deserialize(ByteReader &R) {
       Ref.Simple = static_cast<uint32_t>(readVarUInt(Body));
       if (Ref.Package >= D.Packages.size() ||
           Ref.Simple >= D.Simples.size())
-        return makeError("dictionary: class ref names out of range");
+        return makeError(ErrorCode::Corrupt,
+                         "dictionary: class ref names out of range");
     }
     if (Body.hasError())
-      return makeError("dictionary: truncated class refs");
+      return makeError(ErrorCode::Corrupt, "dictionary: truncated class refs");
     D.ClassRefs.push_back(Ref);
   }
   return D;

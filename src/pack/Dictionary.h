@@ -33,6 +33,7 @@
 #include "coder/RefCoder.h"
 #include "pack/Model.h"
 #include "support/ByteBuffer.h"
+#include "support/DecodeLimits.h"
 #include "support/Error.h"
 #include <string>
 #include <vector>
@@ -69,7 +70,12 @@ struct SharedDictionary {
   /// (stored length < raw length means deflate).
   void serialize(ByteWriter &W, bool Compress) const;
 
-  static Expected<SharedDictionary> deserialize(ByteReader &R);
+  /// Parses a framed dictionary. The declared raw length is checked
+  /// against \p Limits.MaxStreamBytes before inflating, inflation is
+  /// capped by it, and every internal count/index is validated, so a
+  /// hostile frame yields a typed Error rather than an OOM or overread.
+  static Expected<SharedDictionary>
+  deserialize(ByteReader &R, const DecodeLimits &Limits = {});
 };
 
 /// Builds the dictionary of values interned by at least two of

@@ -28,6 +28,7 @@
 #include "classfile/ClassFile.h"
 #include "coder/RefCoder.h"
 #include "pack/Streams.h"
+#include "support/DecodeLimits.h"
 #include "support/Error.h"
 #include "zip/Jar.h"
 #include "zip/Manifest.h"
@@ -92,15 +93,37 @@ Expected<PackResult> packClasses(const std::vector<ClassFile> &Classes,
 Expected<PackResult> packClassBytes(const std::vector<NamedClass> &Classes,
                                     const PackOptions &Options);
 
+/// Knobs for unpacking. The limits bound what a hostile archive can
+/// make the decoder allocate or compute; the defaults accommodate any
+/// real archive, and every violation is a typed LimitExceeded error.
+struct UnpackOptions {
+  /// Worker threads used to decode shards (0 = one per hardware
+  /// thread). Has no effect on the result.
+  unsigned Threads = 0;
+  /// Resource caps enforced against every wire-declared length/count.
+  DecodeLimits Limits;
+};
+
 /// Unpacks an archive into classfile models, in archive order. Sharded
 /// archives decode their shards on \p Threads workers (0 = one per
 /// hardware thread); the result is identical for any thread count.
+///
+/// Hostile-input contract: every count, length, and reference id read
+/// from the wire is validated before use, so a corrupt or truncated
+/// archive yields a typed Error (Truncated / Corrupt / LimitExceeded),
+/// never undefined behavior or an unbounded allocation.
 Expected<std::vector<ClassFile>>
 unpackClasses(const std::vector<uint8_t> &Archive, unsigned Threads = 0);
+Expected<std::vector<ClassFile>>
+unpackClasses(const std::vector<uint8_t> &Archive,
+              const UnpackOptions &Options);
 
 /// Unpacks an archive into named classfile bytes ("pkg/Name.class").
 Expected<std::vector<NamedClass>>
 unpackArchive(const std::vector<uint8_t> &Archive, unsigned Threads = 0);
+Expected<std::vector<NamedClass>>
+unpackArchive(const std::vector<uint8_t> &Archive,
+              const UnpackOptions &Options);
 
 /// The §12 signing workflow: decompresses \p Archive and digests the
 /// resulting classfiles into a manifest. The sender runs this right

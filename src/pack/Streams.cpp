@@ -149,42 +149,53 @@ cjpack::serializeShardedStreams(const std::vector<StreamSet> &Shards,
 }
 
 Expected<std::vector<StreamSet>>
-cjpack::deserializeShardedStreams(ByteReader &R) {
+cjpack::deserializeShardedStreams(ByteReader &R, const DecodeLimits &Limits) {
   uint64_t Count = readVarUInt(R);
   if (R.hasError() || Count == 0 || Count > MaxShards)
-    return makeError("streams: implausible shard count");
+    return makeError(ErrorCode::Corrupt,
+                     "streams: implausible shard count at byte " +
+                         std::to_string(R.position()));
   std::vector<StreamSet> Shards(static_cast<size_t>(Count));
   for (unsigned I = 0; I < NumStreams; ++I) {
     uint8_t Id = R.readU1();
     uint8_t Method = R.readU1();
     if (R.hasError() || Id != I || Method > 1)
-      return makeError("streams: corrupt stream header");
+      return makeError(ErrorCode::Corrupt,
+                       "streams: corrupt stream header at byte " +
+                           std::to_string(R.position()));
     std::vector<size_t> Lens(Shards.size());
     uint64_t RawTotal = 0;
     for (size_t K = 0; K < Shards.size(); ++K) {
       uint64_t Len = readVarUInt(R);
-      if (R.hasError() || Len > (1u << 28))
-        return makeError("streams: implausible stream length");
+      if (R.hasError() || Len > Limits.MaxStreamBytes)
+        return makeError(ErrorCode::LimitExceeded,
+                         "streams: shard stream length over limit at byte " +
+                             std::to_string(R.position()));
       Lens[K] = static_cast<size_t>(Len);
       RawTotal += Len;
     }
     size_t StoredLen = static_cast<size_t>(readVarUInt(R));
-    if (R.hasError() || RawTotal > (1u << 30))
-      return makeError("streams: implausible stream length");
+    if (R.hasError() || RawTotal > Limits.MaxStreamBytes)
+      return makeError(ErrorCode::LimitExceeded,
+                       "streams: joint stream length over limit at byte " +
+                           std::to_string(R.position()));
     std::vector<uint8_t> Stored = R.readBytes(StoredLen);
     if (R.hasError())
-      return makeError("streams: truncated stream data");
+      return R.takeError("streams");
     std::vector<uint8_t> Joined;
     if (Method == 1) {
-      auto Raw = inflateBytes(Stored, static_cast<size_t>(RawTotal));
+      // The declared raw total caps inflation; empty-declared streams
+      // get a one-byte cap so a lying header cannot expand unbounded.
+      auto Raw = inflateBytes(Stored, static_cast<size_t>(RawTotal),
+                              RawTotal ? static_cast<size_t>(RawTotal) : 1);
       if (!Raw)
         return Raw.takeError();
       if (Raw->size() != RawTotal)
-        return makeError("streams: stream size mismatch");
+        return makeError(ErrorCode::Corrupt, "streams: stream size mismatch");
       Joined = std::move(*Raw);
     } else {
       if (Stored.size() != RawTotal)
-        return makeError("streams: stored size mismatch");
+        return makeError(ErrorCode::Corrupt, "streams: stored size mismatch");
       Joined = std::move(Stored);
     }
     size_t Offset = 0;
@@ -231,30 +242,41 @@ std::vector<uint8_t> StreamSet::serialize(bool Compress,
   return W.take();
 }
 
-Error StreamSet::deserialize(ByteReader &R) {
+Error StreamSet::deserialize(ByteReader &R, const DecodeLimits &Limits) {
   for (unsigned I = 0; I < NumStreams; ++I) {
     uint8_t Id = R.readU1();
     uint8_t Method = R.readU1();
-    size_t RawLen = static_cast<size_t>(readVarUInt(R));
+    uint64_t RawLen64 = readVarUInt(R);
     size_t StoredLen = static_cast<size_t>(readVarUInt(R));
-    if (R.hasError() || Id >= NumStreams)
-      return makeError("streams: corrupt stream header");
+    // Streams are written in id order; accepting any in-range id would
+    // let a corrupt header leave another stream's reader unpopulated.
+    if (R.hasError() || Id != I)
+      return makeError(ErrorCode::Corrupt,
+                       "streams: corrupt stream header at byte " +
+                           std::to_string(R.position()));
+    // Validate before inflate: the declared raw length drives the
+    // output allocation, so an absurd value must fail here, not OOM.
+    if (RawLen64 > Limits.MaxStreamBytes)
+      return makeError(ErrorCode::LimitExceeded,
+                       "streams: stream length over limit at byte " +
+                           std::to_string(R.position()));
+    size_t RawLen = static_cast<size_t>(RawLen64);
     std::vector<uint8_t> Stored = R.readBytes(StoredLen);
     if (R.hasError())
-      return makeError("streams: truncated stream data");
+      return R.takeError("streams");
     if (Method == 1) {
-      auto Raw = inflateBytes(Stored, RawLen);
+      auto Raw = inflateBytes(Stored, RawLen, RawLen ? RawLen : 1);
       if (!Raw)
         return Raw.takeError();
       if (Raw->size() != RawLen)
-        return makeError("streams: stream size mismatch");
+        return makeError(ErrorCode::Corrupt, "streams: stream size mismatch");
       Buffers[Id] = std::move(*Raw);
     } else if (Method == 0) {
       if (Stored.size() != RawLen)
-        return makeError("streams: stored size mismatch");
+        return makeError(ErrorCode::Corrupt, "streams: stored size mismatch");
       Buffers[Id] = std::move(Stored);
     } else {
-      return makeError("streams: unknown stream method");
+      return makeError(ErrorCode::Corrupt, "streams: unknown stream method");
     }
     Readers[Id] = std::make_unique<ByteReader>(Buffers[Id]);
   }

@@ -19,6 +19,7 @@
 #define CJPACK_PACK_STREAMS_H
 
 #include "support/ByteBuffer.h"
+#include "support/DecodeLimits.h"
 #include "support/Error.h"
 #include <array>
 #include <cstdint>
@@ -124,8 +125,10 @@ public:
   /// \p Compress is false, raw) bytes. \p Sizes receives the accounting.
   std::vector<uint8_t> serialize(bool Compress, StreamSizes *Sizes) const;
 
-  /// Parses bytes produced by serialize.
-  Error deserialize(ByteReader &R);
+  /// Parses bytes produced by serialize. Declared lengths are checked
+  /// against \p Limits.MaxStreamBytes before any allocation, and
+  /// inflation is capped by the declared raw size.
+  Error deserialize(ByteReader &R, const DecodeLimits &Limits = {});
 
 private:
   std::array<ByteWriter, NumStreams> Writers;
@@ -149,8 +152,9 @@ std::vector<uint8_t> serializeShardedStreams(
 
 /// Parses a container written by serializeShardedStreams back into
 /// per-shard stream sets, validating the shard count and every
-/// promised length.
-Expected<std::vector<StreamSet>> deserializeShardedStreams(ByteReader &R);
+/// promised length against \p Limits before allocating.
+Expected<std::vector<StreamSet>>
+deserializeShardedStreams(ByteReader &R, const DecodeLimits &Limits = {});
 
 } // namespace cjpack
 

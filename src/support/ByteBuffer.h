@@ -149,13 +149,29 @@ public:
   size_t position() const { return Pos; }
   size_t remaining() const { return Len - Pos; }
   bool atEnd() const { return Pos == Len; }
-  bool hasError() const { return Overrun; }
+  bool hasError() const { return Overrun || Malformed; }
 
-  /// Produces an Error if any read overran the buffer.
+  /// Marks the stream corrupt (e.g. a non-canonical varint). Reads keep
+  /// returning zeros; hasError()/takeError() report the failure.
+  void flagMalformed() { Malformed = true; }
+
+  /// Classification of the failure: Truncated for overruns, Corrupt for
+  /// malformed encodings. Only meaningful when hasError().
+  ErrorCode errorCode() const {
+    return Malformed ? ErrorCode::Corrupt : ErrorCode::Truncated;
+  }
+
+  /// Produces a typed Error, with the byte offset of the failure, if any
+  /// read overran the buffer or hit a malformed encoding.
   Error takeError(const char *Context) const {
+    if (Malformed)
+      return makeError(ErrorCode::Corrupt,
+                       std::string(Context) + ": malformed input at byte " +
+                           std::to_string(Pos));
     if (!Overrun)
       return Error::success();
-    return makeError(std::string(Context) + ": truncated input");
+    return makeError(ErrorCode::Truncated,
+                     std::string(Context) + ": truncated input");
   }
 
 private:
@@ -172,6 +188,7 @@ private:
   size_t Len;
   size_t Pos = 0;
   bool Overrun = false;
+  bool Malformed = false;
 };
 
 } // namespace cjpack

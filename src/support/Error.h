@@ -7,8 +7,9 @@
 ///
 /// \file
 /// A lightweight Error / Expected<T> pair in the spirit of LLVM's error
-/// handling, without exceptions or RTTI. Errors carry a message string;
-/// Expected<T> carries either a value or an error message.
+/// handling, without exceptions or RTTI. Errors carry a message string
+/// plus a coarse ErrorCode so decoders can classify failures on hostile
+/// input; Expected<T> carries either a value or an error.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +23,28 @@
 
 namespace cjpack {
 
+/// Failure taxonomy of the decode path. Every error produced while
+/// decoding wire input (packed archives, classfiles, zips, compressed
+/// streams) is one of the last three; Other covers non-decode failures
+/// (encoder misuse, unsupported options).
+enum class ErrorCode : uint8_t {
+  Other,         ///< not a decode-taxonomy failure
+  Truncated,     ///< input ended before a promised structure
+  Corrupt,       ///< structurally invalid wire data
+  LimitExceeded, ///< input demanded more than a configured resource cap
+};
+
+/// Printable name of \p C.
+inline const char *errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::Other: return "Other";
+  case ErrorCode::Truncated: return "Truncated";
+  case ErrorCode::Corrupt: return "Corrupt";
+  case ErrorCode::LimitExceeded: return "LimitExceeded";
+  }
+  return "?";
+}
+
 /// A recoverable error: either success (empty) or a failure message.
 ///
 /// Unlike LLVM's Error this is not checked-on-destruction; it is a plain
@@ -33,8 +56,14 @@ public:
 
   /// Constructs a failure carrying \p Msg.
   static Error failure(std::string Msg) {
+    return failure(ErrorCode::Other, std::move(Msg));
+  }
+
+  /// Constructs a failure classified as \p Code.
+  static Error failure(ErrorCode Code, std::string Msg) {
     Error E;
     E.Msg = std::move(Msg);
+    E.Code = Code;
     return E;
   }
 
@@ -50,8 +79,15 @@ public:
     return *Msg;
   }
 
+  /// Returns the failure classification; only valid on failures.
+  ErrorCode code() const {
+    assert(Msg && "code() on a success Error");
+    return Code;
+  }
+
 private:
   std::optional<std::string> Msg;
+  ErrorCode Code = ErrorCode::Other;
 };
 
 /// Either a T or an error message, for fallible functions returning values.
@@ -96,6 +132,9 @@ public:
   /// Returns the failure message; only valid on failures.
   const std::string &message() const { return Err.message(); }
 
+  /// Returns the failure classification; only valid on failures.
+  ErrorCode code() const { return Err.code(); }
+
 private:
   std::optional<T> Value;
   Error Err;
@@ -104,6 +143,11 @@ private:
 /// Builds a failure Error from a message.
 inline Error makeError(std::string Msg) {
   return Error::failure(std::move(Msg));
+}
+
+/// Builds a classified failure Error.
+inline Error makeError(ErrorCode Code, std::string Msg) {
+  return Error::failure(Code, std::move(Msg));
 }
 
 } // namespace cjpack

@@ -34,19 +34,38 @@ inline void writeVarUInt(ByteWriter &W, uint64_t V) {
   W.writeU1(static_cast<uint8_t>(V));
 }
 
+/// Longest canonical varint: ten groups of seven bits cover 64 bits.
+inline constexpr unsigned MaxVarUIntBytes = 10;
+
 /// Reads a varint written by writeVarUInt.
+///
+/// Hostile-input contract: only canonical encodings decode. A varint
+/// longer than ten bytes, one whose tenth byte carries more than the
+/// top bit of a uint64, or one with a redundant trailing zero group
+/// (e.g. 0x80 0x00 for zero) flags the reader malformed, so a fuzzer
+/// cannot loop the decoder on padded encodings or smuggle the same
+/// value under two byte patterns. Truncation is reported through the
+/// reader's overrun flag as usual; the partial value is returned.
 inline uint64_t readVarUInt(ByteReader &R) {
   uint64_t V = 0;
-  unsigned Shift = 0;
-  while (true) {
+  for (unsigned Shift = 0; Shift < 7 * MaxVarUIntBytes; Shift += 7) {
     uint8_t B = R.readU1();
+    if (R.hasError())
+      return V;
+    if (Shift == 63 && (B & 0xFE)) {
+      // Tenth byte: a continuation bit or any payload bit above the
+      // 64th overflows uint64.
+      R.flagMalformed();
+      return V;
+    }
     V |= static_cast<uint64_t>(B & 0x7F) << Shift;
-    if (!(B & 0x80) || R.hasError())
+    if (!(B & 0x80)) {
+      if (Shift > 0 && B == 0)
+        R.flagMalformed(); // non-canonical: redundant trailing group
       return V;
-    Shift += 7;
-    if (Shift >= 64)
-      return V;
+    }
   }
+  return V; // unreachable: the tenth byte always returns above
 }
 
 /// Maps a signed value onto the unsigned line: {-3..3} -> {5,3,1,0,2,4,6}.
@@ -93,16 +112,29 @@ inline void writeBounded(ByteWriter &W, uint32_t X, uint32_t N) {
   W.writeU1(static_cast<uint8_t>(Rem / R));
 }
 
-/// Reads a value written by writeBounded with the same \p N.
+/// Reads a value written by writeBounded with the same \p N. A decoded
+/// value outside 0..N-1 (possible only for corrupt input) flags the
+/// reader malformed and returns 0, keeping the caller's declared range
+/// trustworthy as an index bound.
 inline uint32_t readBounded(ByteReader &R0, uint32_t N) {
   assert(N >= 1 && N <= 65536 && "bounded codec requires 1 <= N <= 2^16");
   uint32_t R = boundedEscapeCount(N);
   uint32_t Base = 256 - R;
   uint32_t B = R0.readU1();
-  if (B < Base)
+  if (B < Base) {
+    if (B >= N) {
+      R0.flagMalformed();
+      return 0;
+    }
     return B;
+  }
   uint32_t B2 = R0.readU1();
-  return Base + (B - Base) + B2 * R;
+  uint32_t V = Base + (B - Base) + B2 * R;
+  if (V >= N) {
+    R0.flagMalformed();
+    return 0;
+  }
+  return V;
 }
 
 } // namespace cjpack

@@ -121,11 +121,12 @@ std::vector<uint8_t> cjpack::writeZip(const std::vector<ZipEntry> &Entries,
 }
 
 Expected<std::vector<ZipEntry>>
-cjpack::readZip(const std::vector<uint8_t> &Bytes) {
+cjpack::readZip(const std::vector<uint8_t> &Bytes,
+                const DecodeLimits &Limits) {
   // Find the end-of-central-directory record (no comment support needed
   // for archives we produce, but scan backwards anyway to be tolerant).
   if (Bytes.size() < 22)
-    return Error::failure("zip: too small");
+    return makeError(ErrorCode::Truncated, "zip: too small");
   size_t EocdAt = Bytes.size();
   for (size_t At = Bytes.size() - 22; ; --At) {
     if (getU4(Bytes, At) == EndOfCentralSig) {
@@ -136,15 +137,32 @@ cjpack::readZip(const std::vector<uint8_t> &Bytes) {
       break;
   }
   if (EocdAt == Bytes.size())
-    return Error::failure("zip: missing end-of-central-directory");
+    return makeError(ErrorCode::Corrupt,
+                     "zip: missing end-of-central-directory");
 
   uint16_t Count = getU2(Bytes, EocdAt + 10);
+  uint32_t CentralSize = getU4(Bytes, EocdAt + 12);
   uint32_t CentralStart = getU4(Bytes, EocdAt + 16);
+  // The directory must lie wholly inside the file, before the EOCD
+  // record, and be large enough for the claimed entry count (each entry
+  // costs at least a 46-byte fixed header).
+  if (CentralStart > EocdAt || CentralSize > EocdAt - CentralStart)
+    return makeError(ErrorCode::Corrupt,
+                     "zip: central directory outside file bounds");
+  if (Count > Limits.MaxZipEntries)
+    return makeError(ErrorCode::LimitExceeded, "zip: too many entries");
+  if (static_cast<uint64_t>(Count) * 46 > CentralSize)
+    return makeError(ErrorCode::Corrupt,
+                     "zip: entry count exceeds directory size");
+
+  DecodeBudget Budget(Limits);
   std::vector<ZipEntry> Entries;
   size_t At = CentralStart;
   for (uint16_t I = 0; I < Count; ++I) {
     if (At + 46 > Bytes.size() || getU4(Bytes, At) != CentralHeaderSig)
-      return Error::failure("zip: corrupt central directory");
+      return makeError(ErrorCode::Corrupt,
+                       "zip: corrupt central directory at byte " +
+                           std::to_string(At));
     uint16_t Method = getU2(Bytes, At + 10);
     uint32_t Crc = getU4(Bytes, At + 16);
     uint32_t CompSize = getU4(Bytes, At + 20);
@@ -154,37 +172,53 @@ cjpack::readZip(const std::vector<uint8_t> &Bytes) {
     uint16_t CommentLen = getU2(Bytes, At + 32);
     uint32_t LocalOffset = getU4(Bytes, At + 42);
     if (At + 46 + NameLen > Bytes.size())
-      return Error::failure("zip: truncated central entry name");
+      return makeError(ErrorCode::Truncated,
+                       "zip: truncated central entry name");
     std::string Name(reinterpret_cast<const char *>(&Bytes[At + 46]),
                      NameLen);
     At += 46u + NameLen + ExtraLen + CommentLen;
 
-    // Local header: skip its (possibly different) name/extra lengths.
-    if (LocalOffset + 30 > Bytes.size() ||
+    // Local header: validate the offset before seeking, then skip its
+    // (possibly different) name/extra lengths.
+    if (static_cast<uint64_t>(LocalOffset) + 30 > Bytes.size() ||
         getU4(Bytes, LocalOffset) != LocalHeaderSig)
-      return Error::failure("zip: corrupt local header for " + Name);
+      return makeError(ErrorCode::Corrupt,
+                       "zip: corrupt local header for " + Name);
     uint16_t LocalNameLen = getU2(Bytes, LocalOffset + 26);
     uint16_t LocalExtraLen = getU2(Bytes, LocalOffset + 28);
-    size_t DataAt = LocalOffset + 30u + LocalNameLen + LocalExtraLen;
+    uint64_t DataAt = LocalOffset + 30u + LocalNameLen + LocalExtraLen;
     if (DataAt + CompSize > Bytes.size())
-      return Error::failure("zip: truncated member data for " + Name);
+      return makeError(ErrorCode::Truncated,
+                       "zip: truncated member data for " + Name);
+    if (auto E = Budget.chargeInflate(RawSize, "zip"))
+      return E;
 
-    std::vector<uint8_t> Comp(Bytes.begin() + DataAt,
-                              Bytes.begin() + DataAt + CompSize);
+    std::vector<uint8_t> Comp(Bytes.begin() + static_cast<size_t>(DataAt),
+                              Bytes.begin() +
+                                  static_cast<size_t>(DataAt + CompSize));
     ZipEntry E;
     E.Name = std::move(Name);
     if (Method == static_cast<uint16_t>(ZipMethod::Stored)) {
+      if (CompSize != RawSize)
+        return makeError(ErrorCode::Corrupt,
+                         "zip: stored member size mismatch for " + E.Name);
       E.Data = std::move(Comp);
     } else if (Method == static_cast<uint16_t>(ZipMethod::Deflated)) {
-      auto Raw = inflateBytes(Comp, RawSize);
+      // MaxOutput 0 would mean "uncapped"; a declared-empty member still
+      // gets a one-byte cap so a lying header cannot expand unbounded.
+      auto Raw = inflateBytes(Comp, RawSize, RawSize ? RawSize : 1);
       if (!Raw)
         return Raw.takeError();
+      if (Raw->size() != RawSize)
+        return makeError(ErrorCode::Corrupt,
+                         "zip: deflated member size mismatch for " + E.Name);
       E.Data = std::move(*Raw);
     } else {
-      return Error::failure("zip: unsupported method for " + E.Name);
+      return makeError(ErrorCode::Corrupt,
+                       "zip: unsupported method for " + E.Name);
     }
     if (crc32Of(E.Data) != Crc)
-      return Error::failure("zip: crc mismatch for " + E.Name);
+      return makeError(ErrorCode::Corrupt, "zip: crc mismatch for " + E.Name);
     Entries.push_back(std::move(E));
   }
   return Entries;
@@ -200,18 +234,25 @@ std::vector<uint8_t> cjpack::gzipBytes(const std::vector<uint8_t> &Data) {
 }
 
 Expected<std::vector<uint8_t>>
-cjpack::gunzipBytes(const std::vector<uint8_t> &Data) {
+cjpack::gunzipBytes(const std::vector<uint8_t> &Data,
+                    const DecodeLimits &Limits) {
   if (Data.size() < 18 || Data[0] != 0x1f || Data[1] != 0x8b || Data[2] != 8)
-    return Error::failure("gzip: bad header");
+    return makeError(ErrorCode::Corrupt, "gzip: bad header");
   if (Data[3] != 0)
-    return Error::failure("gzip: flags not supported");
-  std::vector<uint8_t> Comp(Data.begin() + 10, Data.end() - 8);
-  auto Raw = inflateBytes(Comp);
-  if (!Raw)
-    return Raw.takeError();
+    return makeError(ErrorCode::Corrupt, "gzip: flags not supported");
   uint32_t Crc = getU4(Data, Data.size() - 8);
   uint32_t Size = getU4(Data, Data.size() - 4);
+  if (Size > Limits.MaxInflateBytes)
+    return makeError(ErrorCode::LimitExceeded,
+                     "gzip: declared size over inflate budget");
+  std::vector<uint8_t> Comp(Data.begin() + 10, Data.end() - 8);
+  // The trailer's size field caps inflation, so a lying frame fails
+  // instead of expanding unbounded (declared-empty frames get a
+  // one-byte cap: MaxOutput 0 would mean "uncapped").
+  auto Raw = inflateBytes(Comp, Size, Size ? Size : 1);
+  if (!Raw)
+    return Raw.takeError();
   if (Raw->size() != Size || crc32Of(*Raw) != Crc)
-    return Error::failure("gzip: trailer mismatch");
+    return makeError(ErrorCode::Corrupt, "gzip: trailer mismatch");
   return Raw;
 }

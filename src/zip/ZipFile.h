@@ -16,6 +16,7 @@
 #ifndef CJPACK_ZIP_ZIPFILE_H
 #define CJPACK_ZIP_ZIPFILE_H
 
+#include "support/DecodeLimits.h"
 #include "support/Error.h"
 #include <cstdint>
 #include <string>
@@ -41,13 +42,24 @@ std::vector<uint8_t> writeZip(const std::vector<ZipEntry> &Entries,
                               ZipMethod Method);
 
 /// Parses a ZIP archive into entries (via the central directory).
-Expected<std::vector<ZipEntry>> readZip(const std::vector<uint8_t> &Bytes);
+///
+/// Hostile-input contract: every central-directory offset and size is
+/// validated against the file size before it is used to seek, member
+/// inflation is capped by the declared uncompressed size, and the total
+/// decompressed output is charged against \p Limits.MaxInflateBytes, so
+/// a crafted archive yields a typed Error rather than an overread or a
+/// decompression bomb.
+Expected<std::vector<ZipEntry>> readZip(const std::vector<uint8_t> &Bytes,
+                                        const DecodeLimits &Limits = {});
 
 /// Wraps \p Data in a gzip frame (header + deflate + crc/size trailer).
 std::vector<uint8_t> gzipBytes(const std::vector<uint8_t> &Data);
 
-/// Unwraps a gzip frame, validating magic and crc.
-Expected<std::vector<uint8_t>> gunzipBytes(const std::vector<uint8_t> &Data);
+/// Unwraps a gzip frame, validating magic and crc; inflation is capped
+/// by the trailer's declared size, which must itself fit in
+/// \p Limits.MaxInflateBytes (the trailer is attacker-controlled).
+Expected<std::vector<uint8_t>> gunzipBytes(const std::vector<uint8_t> &Data,
+                                           const DecodeLimits &Limits = {});
 
 } // namespace cjpack
 

@@ -29,12 +29,25 @@ std::vector<uint8_t> cjpack::deflateBytes(const std::vector<uint8_t> &Data,
 }
 
 Expected<std::vector<uint8_t>>
-cjpack::inflateBytes(const std::vector<uint8_t> &Data, size_t ExpectedSize) {
+cjpack::inflateBytes(const std::vector<uint8_t> &Data, size_t ExpectedSize,
+                     size_t MaxOutput) {
   z_stream S{};
   if (inflateInit2(&S, -15) != Z_OK)
     return Error::failure("inflate: init failed");
   std::vector<uint8_t> Out;
-  Out.resize(ExpectedSize ? ExpectedSize : (Data.size() * 4 + 64));
+  size_t Initial = ExpectedSize ? ExpectedSize : (Data.size() * 4 + 64);
+  if (MaxOutput && Initial > MaxOutput)
+    Initial = MaxOutput;
+  // ExpectedSize comes off the wire; trusting it for the upfront
+  // allocation would let a tiny lying header demand gigabytes. Cap the
+  // preallocation by what the input could plausibly inflate to (deflate
+  // tops out near 1032:1) and grow geometrically if it really is large.
+  size_t Plausible = Data.size() * 1032 + 64;
+  if (Initial > Plausible)
+    Initial = Plausible;
+  // One extra byte past the cap lets a bomb be detected: output landing
+  // strictly beyond MaxOutput fails instead of growing unbounded.
+  Out.resize(Initial + (MaxOutput ? 1 : 0));
   S.next_in = const_cast<Bytef *>(Data.data());
   S.avail_in = static_cast<uInt>(Data.size());
   size_t Written = 0;
@@ -44,18 +57,29 @@ cjpack::inflateBytes(const std::vector<uint8_t> &Data, size_t ExpectedSize) {
     S.avail_out = static_cast<uInt>(Out.size() - Written);
     Rc = inflate(&S, Z_NO_FLUSH);
     Written = Out.size() - S.avail_out;
+    if (MaxOutput && Written > MaxOutput) {
+      inflateEnd(&S);
+      return makeError(ErrorCode::LimitExceeded,
+                       "inflate: output exceeds declared size");
+    }
     if (Rc == Z_STREAM_END)
       break;
     if (Rc == Z_OK || Rc == Z_BUF_ERROR) {
       if (S.avail_in == 0 && Rc == Z_BUF_ERROR) {
         inflateEnd(&S);
-        return Error::failure("inflate: truncated deflate stream");
+        return makeError(ErrorCode::Truncated,
+                         "inflate: truncated deflate stream");
       }
-      Out.resize(Out.size() * 2 + 64);
+      if (S.avail_out == 0) {
+        size_t Grown = Out.size() * 2 + 64;
+        if (MaxOutput && Grown > MaxOutput + 1)
+          Grown = MaxOutput + 1;
+        Out.resize(Grown);
+      }
       continue;
     }
     inflateEnd(&S);
-    return Error::failure("inflate: corrupt deflate stream");
+    return makeError(ErrorCode::Corrupt, "inflate: corrupt deflate stream");
   }
   inflateEnd(&S);
   Out.resize(Written);

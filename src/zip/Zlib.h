@@ -26,9 +26,14 @@ std::vector<uint8_t> deflateBytes(const std::vector<uint8_t> &Data,
                                   int Level = 9);
 
 /// Decompresses raw-deflate \p Data; \p ExpectedSize is a sizing hint
-/// (0 when unknown).
+/// (0 when unknown). \p MaxOutput, when non-zero, is a hard cap on the
+/// decompressed size: the moment output crosses it, inflation stops
+/// with a LimitExceeded error, so a deflate bomb costs at most
+/// MaxOutput bytes of memory. Callers that know the exact declared
+/// size should pass it as both arguments.
 Expected<std::vector<uint8_t>> inflateBytes(const std::vector<uint8_t> &Data,
-                                            size_t ExpectedSize = 0);
+                                            size_t ExpectedSize = 0,
+                                            size_t MaxOutput = 0);
 
 /// CRC-32 of \p Data (the zip/gzip polynomial).
 uint32_t crc32Of(const std::vector<uint8_t> &Data);

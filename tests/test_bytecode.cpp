@@ -451,3 +451,91 @@ TEST(InstructionCodec, EveryFixedFormatOpcodeRoundTrips) {
         << opInfo(O).Mnemonic;
   }
 }
+
+namespace {
+
+/// Builds a switch instruction by hand: opcode, alignment pad (the
+/// opcode sits at offset 0, so three pad bytes), then the given
+/// big-endian s4 words, then \p Tail bytes of trailing code.
+std::vector<uint8_t> switchCode(Op O, const std::vector<int32_t> &Words,
+                                size_t Tail = 0) {
+  ByteWriter W;
+  W.writeU1(static_cast<uint8_t>(O));
+  while (W.size() % 4 != 0)
+    W.writeU1(0);
+  for (int32_t V : Words)
+    W.writeU4(static_cast<uint32_t>(V));
+  for (size_t I = 0; I < Tail; ++I)
+    W.writeU1(0); // nop
+  return W.take();
+}
+
+/// Decode must fail with a decode-taxonomy error code.
+void expectTypedFailure(const std::vector<uint8_t> &Code) {
+  auto Insns = decodeCode(Code);
+  ASSERT_FALSE(static_cast<bool>(Insns)) << "hostile code decoded";
+  EXPECT_NE(Insns.code(), ErrorCode::Other) << Insns.message();
+}
+
+} // namespace
+
+TEST(InstructionHardening, WideOnUndefinedOpcode) {
+  // wide prefixing an opcode past jsr_w (201) is undefined.
+  expectTypedFailure({196, 202, 0, 0});
+}
+
+TEST(InstructionHardening, WideOnNonLocalOpcode) {
+  // wide may only modify local-variable instructions and iinc; nop is
+  // neither.
+  expectTypedFailure({196, 0, 0, 0});
+}
+
+TEST(InstructionHardening, TruncatedWideInstruction) {
+  // wide iload cut before its 16-bit local index.
+  expectTypedFailure({196, 21});
+}
+
+TEST(InstructionHardening, TableSwitchHighBelowLow) {
+  // default=self, low=5, high=1: the count (high-low+1) would be
+  // negative.
+  expectTypedFailure(switchCode(Op::TableSwitch, {0, 5, 1}, 8));
+}
+
+TEST(InstructionHardening, TableSwitchHugeCount) {
+  // low=0, high=INT32_MAX declares 2^31 targets in a few dozen bytes;
+  // must be rejected before reserving anything.
+  expectTypedFailure(switchCode(Op::TableSwitch, {0, 0, INT32_MAX}, 8));
+}
+
+TEST(InstructionHardening, TableSwitchTargetPastCodeEnd) {
+  // A single entry whose target lands 100 bytes past the code array.
+  expectTypedFailure(switchCode(Op::TableSwitch, {0, 0, 0, 100}, 4));
+}
+
+TEST(InstructionHardening, TableSwitchNegativeDefault) {
+  expectTypedFailure(switchCode(Op::TableSwitch, {-1000, 0, 0, 0}, 4));
+}
+
+TEST(InstructionHardening, LookupSwitchNegativeCount) {
+  expectTypedFailure(switchCode(Op::LookupSwitch, {0, -1}, 8));
+}
+
+TEST(InstructionHardening, LookupSwitchHugeCount) {
+  // npairs larger than the whole code array cannot be satisfied.
+  expectTypedFailure(switchCode(Op::LookupSwitch, {0, 1 << 30}, 8));
+}
+
+TEST(InstructionHardening, LookupSwitchTargetPastCodeEnd) {
+  // One pair: match 7, target offset+200.
+  expectTypedFailure(switchCode(Op::LookupSwitch, {0, 1, 7, 200}, 4));
+}
+
+TEST(InstructionHardening, BranchTargetPastCodeEnd) {
+  // goto +100 in a four-byte method.
+  expectTypedFailure({167, 0, 100, 177});
+}
+
+TEST(InstructionHardening, BranchTargetNegative) {
+  // goto -16 from offset 0.
+  expectTypedFailure({167, 0xFF, 0xF0, 177});
+}

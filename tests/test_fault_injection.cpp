@@ -1,0 +1,284 @@
+//===- test_fault_injection.cpp - hostile-input fault injection -----------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Deterministic fault-injection driver for the decode surfaces. Takes
+// valid artifacts (packed archives across the wire-format matrix,
+// classfiles, zip/gzip containers) and derives hostile variants:
+//
+//   * truncation at every byte offset (a superset of every frame
+//     boundary in the format),
+//   * single-byte corruption at every offset with several XOR patterns
+//     (0xFF inverts, 0x80 flips sign/continuation bits, 0x01 nudges
+//     varint values off-by-one),
+//   * >= 10k pseudo-random multi-byte mutations per archive, including
+//     0xFF-run splices that turn varint lengths and counts into huge
+//     values.
+//
+// Every variant must decode cleanly: either success, or a typed Error
+// from the decode taxonomy (Truncated / Corrupt / LimitExceeded) —
+// never a crash, sanitizer report, unbounded allocation, or hang. The
+// whole driver is deterministic (fixed seeds, xorshift RNG), so a
+// failure reproduces exactly. It runs under the ASan+UBSan CI matrix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Instruction.h"
+#include "classfile/ClassFile.h"
+#include "classfile/Reader.h"
+#include "corpus/Corpus.h"
+#include "pack/Packer.h"
+#include "zip/ZipFile.h"
+#include <gtest/gtest.h>
+
+using namespace cjpack;
+
+namespace {
+
+// Tight limits so a mutation that smuggles a huge length through the
+// checks shows up as a slow/large allocation immediately rather than
+// relying on the 4GiB default inflate budget.
+DecodeLimits testLimits() {
+  DecodeLimits Limits;
+  Limits.MaxClasses = 1u << 12;
+  Limits.MaxPoolEntries = 1u << 16;
+  Limits.MaxStringBytes = 1u << 16;
+  Limits.MaxStreamBytes = 1u << 22;
+  Limits.MaxInflateBytes = 1u << 24;
+  Limits.MaxZipEntries = 1u << 10;
+  return Limits;
+}
+
+UnpackOptions testOptions() {
+  UnpackOptions Options;
+  Options.Threads = 1; // keep each of the ~10^4 decodes cheap
+  Options.Limits = testLimits();
+  return Options;
+}
+
+/// xorshift64* — tiny deterministic RNG; libc rand() would make the
+/// mutation schedule platform-dependent.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+  /// Uniform value in [0, Bound).
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+private:
+  uint64_t State;
+};
+
+std::vector<NamedClass> smallCorpus() {
+  CorpusSpec Spec;
+  Spec.Name = "faultinject";
+  Spec.Seed = 41;
+  Spec.NumClasses = 5;
+  Spec.NumPackages = 2;
+  Spec.MeanMethods = 3;
+  Spec.MeanFields = 2;
+  Spec.MeanStatements = 5;
+  return generateCorpus(Spec);
+}
+
+std::vector<uint8_t> packedArchive(unsigned Shards, RefScheme Scheme) {
+  PackOptions Options;
+  Options.Shards = Shards;
+  Options.Scheme = Scheme;
+  auto Packed = packClassBytes(smallCorpus(), Options);
+  EXPECT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+  return Packed ? Packed->Archive : std::vector<uint8_t>();
+}
+
+/// Decodes one hostile archive variant; the only acceptable outcomes
+/// are success or a typed decode-taxonomy error.
+void expectCleanUnpack(const std::vector<uint8_t> &Bytes,
+                       const char *What, size_t Detail) {
+  auto Classes = unpackClasses(Bytes, testOptions());
+  if (Classes)
+    return;
+  EXPECT_NE(Classes.code(), ErrorCode::Other)
+      << What << " at " << Detail
+      << ": decode failure escaped the taxonomy: " << Classes.message();
+}
+
+void expectCleanClassfile(const std::vector<uint8_t> &Bytes,
+                          const char *What, size_t Detail) {
+  auto CF = parseClassFile(Bytes, testLimits());
+  if (!CF) {
+    EXPECT_NE(CF.code(), ErrorCode::Other)
+        << What << " at " << Detail
+        << ": parse failure escaped the taxonomy: " << CF.message();
+    return;
+  }
+  for (const MemberInfo &M : CF->Methods)
+    for (const AttributeInfo &A : M.Attributes)
+      if (A.Name == "Code") {
+        auto Code = parseCodeAttribute(A, CF->CP);
+        if (!Code) {
+          EXPECT_NE(Code.code(), ErrorCode::Other)
+              << What << " at " << Detail << ": " << Code.message();
+          continue;
+        }
+        auto Insns = decodeCode(Code->Code);
+        if (!Insns) {
+          EXPECT_NE(Insns.code(), ErrorCode::Other)
+              << What << " at " << Detail << ": " << Insns.message();
+        }
+      }
+}
+
+void expectCleanZip(const std::vector<uint8_t> &Bytes, const char *What,
+                    size_t Detail) {
+  auto Entries = readZip(Bytes, testLimits());
+  if (!Entries) {
+    EXPECT_NE(Entries.code(), ErrorCode::Other)
+        << What << " at " << Detail
+        << ": zip failure escaped the taxonomy: " << Entries.message();
+  }
+  auto Inflated = gunzipBytes(Bytes, testLimits());
+  if (!Inflated) {
+    EXPECT_NE(Inflated.code(), ErrorCode::Other)
+        << What << " at " << Detail
+        << ": gzip failure escaped the taxonomy: " << Inflated.message();
+  }
+}
+
+using CheckFn = void (*)(const std::vector<uint8_t> &, const char *, size_t);
+
+/// Truncation at every byte offset — a superset of cutting at every
+/// frame boundary (header fields, dictionary frame, shard table,
+/// per-stream headers, stream payloads all land on some offset).
+void truncateEverywhere(const std::vector<uint8_t> &Valid, CheckFn Check) {
+  for (size_t Len = 0; Len < Valid.size(); ++Len)
+    Check(std::vector<uint8_t>(Valid.begin(),
+                               Valid.begin() + static_cast<ptrdiff_t>(Len)),
+          "truncation", Len);
+}
+
+/// Single-byte XOR corruption at every offset, for each pattern.
+void flipEverywhere(const std::vector<uint8_t> &Valid, CheckFn Check) {
+  static const uint8_t Patterns[] = {0xFF, 0x80, 0x01};
+  std::vector<uint8_t> Mutant = Valid;
+  for (size_t I = 0; I < Valid.size(); ++I) {
+    for (uint8_t Pattern : Patterns) {
+      Mutant[I] = Valid[I] ^ Pattern;
+      Check(Mutant, "byte flip", I);
+    }
+    Mutant[I] = Valid[I];
+  }
+}
+
+/// Pseudo-random multi-byte mutations. Three deterministic kinds:
+/// scattered byte rewrites, 0xFF-run splices (varint/length bombs:
+/// a run of 0xFF continuation bytes encodes a huge value wherever a
+/// varint is read), and truncate-then-corrupt combinations.
+void mutateRandomly(const std::vector<uint8_t> &Valid, CheckFn Check,
+                    uint64_t Seed, size_t Rounds) {
+  Rng R(Seed);
+  std::vector<uint8_t> Mutant;
+  for (size_t Round = 0; Round < Rounds; ++Round) {
+    Mutant = Valid;
+    switch (R.below(3)) {
+    case 0: { // scattered rewrites
+      size_t N = 1 + R.below(8);
+      for (size_t I = 0; I < N; ++I)
+        Mutant[R.below(Mutant.size())] = static_cast<uint8_t>(R.next());
+      break;
+    }
+    case 1: { // 0xFF run: turns any varint underneath into a huge value
+      size_t Pos = R.below(Mutant.size());
+      size_t Run = 1 + R.below(12);
+      for (size_t I = Pos; I < Mutant.size() && I < Pos + Run; ++I)
+        Mutant[I] = 0xFF;
+      break;
+    }
+    default: { // truncate, then corrupt one byte of what is left
+      Mutant.resize(1 + R.below(Mutant.size()));
+      Mutant[R.below(Mutant.size())] = static_cast<uint8_t>(R.next());
+      break;
+    }
+    }
+    Check(Mutant, "random mutation round", Round);
+  }
+}
+
+} // namespace
+
+// Every archive variant of the wire-format matrix survives truncation
+// at every single byte offset.
+TEST(FaultInjection, TruncatedArchiveEveryOffset) {
+  for (unsigned Shards : {1u, 4u}) {
+    auto Archive = packedArchive(Shards, RefScheme::MtfTransientsContext);
+    ASSERT_FALSE(Archive.empty());
+    truncateEverywhere(Archive, expectCleanUnpack);
+  }
+}
+
+TEST(FaultInjection, FlippedArchiveEveryOffset) {
+  for (unsigned Shards : {1u, 4u}) {
+    auto Archive = packedArchive(Shards, RefScheme::MtfTransientsContext);
+    ASSERT_FALSE(Archive.empty());
+    flipEverywhere(Archive, expectCleanUnpack);
+  }
+}
+
+// >= 10k deterministic mutations against each corpus archive (the
+// ISSUE floor), across the single-shard and sharded wire formats.
+TEST(FaultInjection, RandomMutationsSingleShard) {
+  auto Archive = packedArchive(1, RefScheme::MtfTransientsContext);
+  ASSERT_FALSE(Archive.empty());
+  mutateRandomly(Archive, expectCleanUnpack, /*Seed=*/1, /*Rounds=*/10000);
+}
+
+TEST(FaultInjection, RandomMutationsSharded) {
+  auto Archive = packedArchive(4, RefScheme::MtfTransientsContext);
+  ASSERT_FALSE(Archive.empty());
+  mutateRandomly(Archive, expectCleanUnpack, /*Seed=*/2, /*Rounds=*/10000);
+}
+
+// The alternate reference schemes share the decode entry but exercise
+// different ref-decoder state machines; give each a smaller dose.
+TEST(FaultInjection, RandomMutationsAltSchemes) {
+  for (RefScheme Scheme : {RefScheme::Simple, RefScheme::Freq}) {
+    auto Archive = packedArchive(1, Scheme);
+    ASSERT_FALSE(Archive.empty());
+    mutateRandomly(Archive, expectCleanUnpack,
+                   /*Seed=*/3 + static_cast<uint64_t>(Scheme),
+                   /*Rounds=*/2500);
+  }
+}
+
+// The classfile parser plus bytecode decoder under the same schedule.
+TEST(FaultInjection, ClassfileTruncationAndMutation) {
+  auto Classes = smallCorpus();
+  ASSERT_FALSE(Classes.empty());
+  const std::vector<uint8_t> &Bytes = Classes[0].Data;
+  truncateEverywhere(Bytes, expectCleanClassfile);
+  flipEverywhere(Bytes, expectCleanClassfile);
+  mutateRandomly(Bytes, expectCleanClassfile, /*Seed=*/5, /*Rounds=*/2500);
+}
+
+// The zip central-directory reader and the gzip frame reader.
+TEST(FaultInjection, ZipTruncationAndMutation) {
+  auto Classes = smallCorpus();
+  ASSERT_FALSE(Classes.empty());
+  std::vector<ZipEntry> Entries;
+  for (size_t I = 0; I < Classes.size() && I < 2; ++I)
+    Entries.push_back({Classes[I].Name, Classes[I].Data});
+  for (ZipMethod Method : {ZipMethod::Deflated, ZipMethod::Stored}) {
+    std::vector<uint8_t> Zip = writeZip(Entries, Method);
+    truncateEverywhere(Zip, expectCleanZip);
+    mutateRandomly(Zip, expectCleanZip, /*Seed=*/7, /*Rounds=*/1500);
+  }
+  std::vector<uint8_t> Gz = gzipBytes(Classes[0].Data);
+  truncateEverywhere(Gz, expectCleanZip);
+  flipEverywhere(Gz, expectCleanZip);
+}

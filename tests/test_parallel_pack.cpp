@@ -15,8 +15,10 @@
 #include "classfile/Transform.h"
 #include "classfile/Writer.h"
 #include "corpus/Corpus.h"
+#include "pack/Dictionary.h"
 #include "pack/Packer.h"
 #include "pack/Streams.h"
+#include "support/VarInt.h"
 #include <gtest/gtest.h>
 #include <map>
 
@@ -179,4 +181,87 @@ TEST(ParallelPack, TruncatedShardedArchiveFailsCleanly) {
                                Packed->Archive.size() / 2);
   auto Out = unpackClasses(Cut);
   EXPECT_FALSE(static_cast<bool>(Out));
+}
+
+namespace {
+
+/// The seven-byte archive header: magic, version, scheme, flags.
+void writeArchiveHeader(ByteWriter &W, uint8_t Version) {
+  W.writeU4(0x434A504Bu);
+  W.writeU1(Version);
+  W.writeU1(static_cast<uint8_t>(RefScheme::MtfTransientsContext));
+  W.writeU1(0);
+}
+
+} // namespace
+
+TEST(ParallelPack, TruncatedShardTableFailsCleanly) {
+  // A sharded header promising shards but ending right after the shard
+  // count: the shard table itself is the truncation point.
+  ByteWriter W;
+  writeArchiveHeader(W, FormatVersionSharded);
+  writeVarUInt(W, 0); // empty dictionary frame: raw length 0
+  writeVarUInt(W, 0); // stored length 0
+  writeVarUInt(W, 3); // three shards, then nothing
+  auto Out = unpackClasses(W.take());
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_NE(Out.code(), ErrorCode::Other) << Out.message();
+}
+
+TEST(ParallelPack, DictionaryClassRefOutOfRangeFailsCleanly) {
+  // A dictionary whose class ref indexes package 5 of an empty package
+  // list must be rejected at deserialize time, before any shard can
+  // replay it into a model.
+  ByteWriter Body;
+  for (int List = 0; List < 5; ++List)
+    writeVarUInt(Body, 0); // Packages..Strings all empty
+  writeVarUInt(Body, 1);   // one class ref
+  Body.writeU1(0);         // dims
+  Body.writeU1('L');
+  writeVarUInt(Body, 5); // package index into the empty list
+  writeVarUInt(Body, 0);
+  std::vector<uint8_t> Raw = Body.take();
+  ByteWriter Frame;
+  writeVarUInt(Frame, Raw.size());
+  writeVarUInt(Frame, Raw.size()); // stored == raw: not deflated
+  Frame.writeBytes(Raw);
+  std::vector<uint8_t> Bytes = Frame.take();
+  ByteReader R(Bytes);
+  auto Dict = SharedDictionary::deserialize(R);
+  ASSERT_FALSE(static_cast<bool>(Dict));
+  EXPECT_EQ(Dict.code(), ErrorCode::Corrupt) << Dict.message();
+}
+
+TEST(ParallelPack, DuplicateStreamIdFailsCleanly) {
+  // A sharded container repeating stream id 0 where id 1 belongs: ids
+  // must appear in order, or some stream's reader would never be
+  // populated.
+  ByteWriter W;
+  writeVarUInt(W, 1); // one shard
+  for (int Stream = 0; Stream < 2; ++Stream) {
+    W.writeU1(0); // id 0 twice
+    W.writeU1(0); // method: stored
+    writeVarUInt(W, 0); // shard raw length
+    writeVarUInt(W, 0); // stored length
+  }
+  std::vector<uint8_t> Bytes = W.take();
+  ByteReader R(Bytes);
+  auto Shards = deserializeShardedStreams(R);
+  ASSERT_FALSE(static_cast<bool>(Shards));
+  EXPECT_EQ(Shards.code(), ErrorCode::Corrupt) << Shards.message();
+}
+
+TEST(ParallelPack, SerialStreamSetWithShuffledIdsFailsCleanly) {
+  // The version-1 body writes all 21 streams in id order; a swapped id
+  // byte used to leave a null stream reader behind. It must be Corrupt.
+  auto Classes = preparedCorpus(7009, 8);
+  auto Packed = packClasses(Classes, PackOptions());
+  ASSERT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+  std::vector<uint8_t> Mutant = Packed->Archive;
+  // Byte 7 is the first stream header's id byte (header is 7 bytes).
+  ASSERT_EQ(Mutant[7], 0);
+  Mutant[7] = 5;
+  auto Out = unpackClasses(Mutant);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_EQ(Out.code(), ErrorCode::Corrupt) << Out.message();
 }

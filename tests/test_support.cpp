@@ -100,6 +100,74 @@ TEST(VarInt, SignedRoundTrip) {
   }
 }
 
+TEST(VarInt, OverlongEncodingIsMalformed) {
+  // Eleven continuation groups can never be canonical: the tenth byte
+  // must terminate the value.
+  std::vector<uint8_t> Overlong(11, 0x80);
+  Overlong.push_back(0x00);
+  ByteReader R(Overlong);
+  (void)readVarUInt(R);
+  EXPECT_TRUE(R.hasError());
+  Error E = R.takeError("varint");
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.code(), ErrorCode::Corrupt);
+}
+
+TEST(VarInt, TenthBytePayloadOverflowIsMalformed) {
+  // Nine continuation groups carry 63 bits; the tenth byte may only
+  // hold the single remaining bit. 0x02 there would be bit 64.
+  std::vector<uint8_t> Overflow(9, 0x80);
+  Overflow.push_back(0x02);
+  ByteReader R(Overflow);
+  (void)readVarUInt(R);
+  EXPECT_TRUE(R.hasError());
+}
+
+TEST(VarInt, MaxValueDecodesAtTenBytes) {
+  // UINT64_MAX is the canonical ten-byte extreme and must round-trip.
+  ByteWriter W;
+  writeVarUInt(W, UINT64_MAX);
+  EXPECT_EQ(W.size(), MaxVarUIntBytes);
+  ByteReader R(W.data());
+  EXPECT_EQ(readVarUInt(R), UINT64_MAX);
+  EXPECT_FALSE(R.hasError());
+}
+
+TEST(VarInt, RedundantTrailingGroupIsMalformed) {
+  // 0x80 0x00 decodes to zero but the canonical form is plain 0x00;
+  // accepting both would give a fuzzer two spellings per value.
+  std::vector<uint8_t> Padded = {0x80, 0x00};
+  ByteReader R(Padded);
+  EXPECT_EQ(readVarUInt(R), 0u);
+  EXPECT_TRUE(R.hasError());
+}
+
+TEST(VarInt, TruncatedVarIntSetsOverrun) {
+  std::vector<uint8_t> Cut = {0xFF, 0xFF};
+  ByteReader R(Cut);
+  (void)readVarUInt(R);
+  EXPECT_TRUE(R.hasError());
+  Error E = R.takeError("varint");
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.code(), ErrorCode::Truncated);
+}
+
+TEST(Bounded, DecodedValueOutsideRangeIsMalformed) {
+  // One-byte form: a byte >= N with no escape patterns in play.
+  std::vector<uint8_t> High = {200};
+  ByteReader R1(High);
+  EXPECT_EQ(readBounded(R1, 100), 0u);
+  EXPECT_TRUE(R1.hasError());
+  // Two-byte form: an escape whose payload lands past N-1.
+  ByteWriter W;
+  writeBounded(W, 999, 1000);
+  std::vector<uint8_t> Bytes = W.data();
+  Bytes[1] = 0xFF; // second byte far beyond the range
+  ByteReader R2(Bytes);
+  EXPECT_EQ(readBounded(R2, 1000), 0u);
+  EXPECT_TRUE(R2.hasError());
+}
+
 TEST(Bounded, SingleByteWhenRangeFits) {
   // n <= 256 means no escape patterns and a one-byte encoding.
   EXPECT_EQ(boundedEscapeCount(256), 0u);

@@ -141,3 +141,112 @@ TEST(Jar, JarIsValidZipOfClasses) {
   EXPECT_EQ((*Back)[0].Data, Classes[0].Data);
   EXPECT_EQ((*Back)[1].Data, Classes[1].Data);
 }
+
+namespace {
+
+/// Little-endian patch helpers for corrupting zip records in place.
+void patchLeU4(std::vector<uint8_t> &B, size_t At, uint32_t V) {
+  B[At] = static_cast<uint8_t>(V);
+  B[At + 1] = static_cast<uint8_t>(V >> 8);
+  B[At + 2] = static_cast<uint8_t>(V >> 16);
+  B[At + 3] = static_cast<uint8_t>(V >> 24);
+}
+
+void patchLeU2(std::vector<uint8_t> &B, size_t At, uint16_t V) {
+  B[At] = static_cast<uint8_t>(V);
+  B[At + 1] = static_cast<uint8_t>(V >> 8);
+}
+
+uint32_t readLeU4(const std::vector<uint8_t> &B, size_t At) {
+  return static_cast<uint32_t>(B[At]) |
+         static_cast<uint32_t>(B[At + 1]) << 8 |
+         static_cast<uint32_t>(B[At + 2]) << 16 |
+         static_cast<uint32_t>(B[At + 3]) << 24;
+}
+
+/// Our writer emits no zip comment, so the EOCD record is the file's
+/// last 22 bytes.
+size_t eocdAt(const std::vector<uint8_t> &Zip) { return Zip.size() - 22; }
+
+std::vector<uint8_t> twoEntryZip(ZipMethod Method) {
+  std::vector<ZipEntry> Entries;
+  Entries.push_back({"a.class", compressibleBytes(600)});
+  Entries.push_back({"b.class", randomBytes(200, 99)});
+  return writeZip(Entries, Method);
+}
+
+} // namespace
+
+TEST(ZipHardening, CentralDirectoryOutsideFileIsCorrupt) {
+  std::vector<uint8_t> Zip = twoEntryZip(ZipMethod::Deflated);
+  patchLeU4(Zip, eocdAt(Zip) + 16, 0x7FFFFFFF); // central dir start
+  auto Out = readZip(Zip);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_EQ(Out.code(), ErrorCode::Corrupt) << Out.message();
+}
+
+TEST(ZipHardening, EntryCountExceedsDirectorySizeIsCorrupt) {
+  // 60000 claimed entries need ~2.7MB of central directory; the real
+  // directory is a couple hundred bytes.
+  std::vector<uint8_t> Zip = twoEntryZip(ZipMethod::Deflated);
+  patchLeU2(Zip, eocdAt(Zip) + 8, 60000);
+  patchLeU2(Zip, eocdAt(Zip) + 10, 60000);
+  auto Out = readZip(Zip);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_EQ(Out.code(), ErrorCode::Corrupt) << Out.message();
+}
+
+TEST(ZipHardening, EntryCountOverLimitIsLimitExceeded) {
+  std::vector<uint8_t> Zip = twoEntryZip(ZipMethod::Stored);
+  DecodeLimits Limits;
+  Limits.MaxZipEntries = 1;
+  auto Out = readZip(Zip, Limits);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_EQ(Out.code(), ErrorCode::LimitExceeded) << Out.message();
+}
+
+TEST(ZipHardening, StoredSizeMismatchIsCorrupt) {
+  std::vector<uint8_t> Zip = twoEntryZip(ZipMethod::Stored);
+  // First central entry's uncompressed size is at +24; growing it past
+  // the compressed size must fail before any member data is trusted.
+  size_t Central = readLeU4(Zip, eocdAt(Zip) + 16);
+  uint32_t RawSize = readLeU4(Zip, Central + 24);
+  patchLeU4(Zip, Central + 24, RawSize + 1);
+  auto Out = readZip(Zip);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_NE(Out.code(), ErrorCode::Other) << Out.message();
+}
+
+TEST(ZipHardening, DeflateOutputBeyondDeclaredSizeIsRejected) {
+  // Shrink a deflated member's declared uncompressed size: inflation
+  // must stop at the declared cap instead of trusting the stream.
+  std::vector<uint8_t> Zip = twoEntryZip(ZipMethod::Deflated);
+  size_t Central = readLeU4(Zip, eocdAt(Zip) + 16);
+  uint32_t RawSize = readLeU4(Zip, Central + 24);
+  ASSERT_GT(RawSize, 1u);
+  patchLeU4(Zip, Central + 24, RawSize / 2);
+  auto Out = readZip(Zip);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_NE(Out.code(), ErrorCode::Other) << Out.message();
+}
+
+TEST(ZipHardening, TotalInflateChargesAgainstBudget) {
+  std::vector<uint8_t> Zip = twoEntryZip(ZipMethod::Deflated);
+  DecodeLimits Limits;
+  Limits.MaxInflateBytes = 100; // both members together exceed this
+  auto Out = readZip(Zip, Limits);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_EQ(Out.code(), ErrorCode::LimitExceeded) << Out.message();
+}
+
+TEST(GzipHardening, DeclaredSizeOverBudgetIsLimitExceeded) {
+  // A lying trailer declaring 4GB must fail the budget check up front,
+  // not allocate 4GB and inflate into it.
+  std::vector<uint8_t> Gz = gzipBytes(compressibleBytes(512));
+  patchLeU4(Gz, Gz.size() - 4, 0xFFFFFFFFu);
+  DecodeLimits Limits;
+  Limits.MaxInflateBytes = 1u << 20;
+  auto Out = gunzipBytes(Gz, Limits);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_EQ(Out.code(), ErrorCode::LimitExceeded) << Out.message();
+}
