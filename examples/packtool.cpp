@@ -7,17 +7,24 @@
 //   packtool pack <in.jar|in.zip> <out.cjp>   pack a jar's classfiles
 //   packtool unpack <in.cjp> <out.jar>        unpack to a stored jar
 //   packtool info <in.cjp|in.jar>             describe an archive
+//   packtool verify <in.class|jar|cjp>        run the bytecode verifier
 //   packtool selftest <out-dir>               write a demo jar + archive
 //
 // `--threads N` (anywhere on the command line) packs into N shards
 // encoded on N worker threads, and unpacks sharded archives on N
 // threads. The default (1) writes the classic single-shard format.
 //
+// `--verify[=warn|strict]` on pack lints every classfile with the
+// flow analyzer first: warn (the default) reports diagnostics and
+// packs anyway, strict refuses to pack a flagged input. The standalone
+// `verify` command exits nonzero on any diagnostic unless --warn.
+//
 // Non-class members of the input jar are carried in a side jar, as §12
 // prescribes (the packed format handles classfiles only).
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Verifier.h"
 #include "classfile/Reader.h"
 #include "corpus/Corpus.h"
 #include "pack/Packer.h"
@@ -33,6 +40,10 @@ namespace {
 
 /// Worker-thread count from --threads (also the pack shard count).
 unsigned NumThreads = 1;
+
+/// Pre-pack lint mode from --verify[=warn|strict].
+enum class LintMode { Off, Warn, Strict };
+LintMode Lint = LintMode::Off;
 
 bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
   std::ifstream In(Path, std::ios::binary);
@@ -57,6 +68,16 @@ bool isClassName(const std::string &Name) {
          Name.compare(Name.size() - 6, 6, ".class") == 0;
 }
 
+/// Verifies one classfile, printing each diagnostic; returns the count.
+size_t verifyOneClass(const std::string &Name,
+                      const std::vector<uint8_t> &Data) {
+  analysis::VerifyResult R = analysis::verifyClassBytes(Data);
+  for (const analysis::Diagnostic &D : R.Diags)
+    fprintf(stderr, "packtool: %s: %s\n", Name.c_str(),
+            analysis::formatDiagnostic(D).c_str());
+  return R.Diags.size();
+}
+
 int cmdPack(const std::string &InPath, const std::string &OutPath) {
   std::vector<uint8_t> Bytes;
   if (!readFile(InPath, Bytes)) {
@@ -76,6 +97,18 @@ int cmdPack(const std::string &InPath, const std::string &OutPath) {
       Classes.push_back(std::move(E));
     else
       Others.push_back(std::move(E));
+  }
+  if (Lint != LintMode::Off) {
+    size_t NumDiags = 0;
+    for (const NamedClass &C : Classes)
+      NumDiags += verifyOneClass(C.Name, C.Data);
+    if (NumDiags != 0 && Lint == LintMode::Strict) {
+      fprintf(stderr,
+              "packtool: %zu verifier diagnostics; refusing to pack "
+              "(--verify=strict)\n",
+              NumDiags);
+      return 1;
+    }
   }
   PackOptions Options;
   Options.Shards = NumThreads;
@@ -153,6 +186,63 @@ int cmdInfo(const std::string &InPath) {
   return 0;
 }
 
+int cmdVerify(const std::vector<std::string> &Args) {
+  bool WarnOnly = false;
+  std::string InPath;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "--warn")
+      WarnOnly = true;
+    else if (Args[I] == "--strict")
+      WarnOnly = false;
+    else
+      InPath = Args[I];
+  }
+  if (InPath.empty()) {
+    fprintf(stderr, "usage: packtool verify [--warn] <in.class|jar|cjp>\n");
+    return 2;
+  }
+  std::vector<uint8_t> Bytes;
+  if (!readFile(InPath, Bytes)) {
+    fprintf(stderr, "packtool: cannot read %s\n", InPath.c_str());
+    return 1;
+  }
+  size_t NumClasses = 0;
+  size_t NumDiags = 0;
+  if (Bytes.size() >= 4 && Bytes[0] == 0xCA && Bytes[1] == 0xFE &&
+      Bytes[2] == 0xBA && Bytes[3] == 0xBE) {
+    NumClasses = 1;
+    NumDiags = verifyOneClass(InPath, Bytes);
+  } else if (Bytes.size() >= 4 && Bytes[0] == 'C' && Bytes[1] == 'J') {
+    auto Classes = unpackArchive(Bytes, NumThreads);
+    if (!Classes) {
+      fprintf(stderr, "packtool: %s\n", Classes.message().c_str());
+      return 1;
+    }
+    for (const NamedClass &C : *Classes) {
+      ++NumClasses;
+      NumDiags += verifyOneClass(C.Name, C.Data);
+    }
+  } else {
+    auto Entries = readZip(Bytes);
+    if (!Entries) {
+      fprintf(stderr,
+              "packtool: %s is neither a classfile, a packed archive, "
+              "nor a zip\n",
+              InPath.c_str());
+      return 1;
+    }
+    for (const ZipEntry &E : *Entries) {
+      if (!isClassName(E.Name))
+        continue;
+      ++NumClasses;
+      NumDiags += verifyOneClass(E.Name, E.Data);
+    }
+  }
+  printf("%s: %zu classes verified, %zu diagnostics\n", InPath.c_str(),
+         NumClasses, NumDiags);
+  return (NumDiags == 0 || WarnOnly) ? 0 : 1;
+}
+
 int cmdSelftest(const std::string &Dir) {
   CorpusSpec Spec;
   Spec.Name = "selftest";
@@ -184,6 +274,10 @@ int main(int Argc, char **Argv) {
       NumThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (A.rfind("--threads=", 0) == 0) {
       NumThreads = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+    } else if (A == "--verify" || A == "--verify=warn") {
+      Lint = LintMode::Warn;
+    } else if (A == "--verify=strict") {
+      Lint = LintMode::Strict;
     } else {
       Args.push_back(std::move(A));
     }
@@ -197,14 +291,18 @@ int main(int Argc, char **Argv) {
     return cmdUnpack(Args[1], Args[2]);
   if (Args.size() >= 2 && Args[0] == "info")
     return cmdInfo(Args[1]);
+  if (Args.size() >= 2 && Args[0] == "verify")
+    return cmdVerify(Args);
   if (Args.size() >= 2 && Args[0] == "selftest")
     return cmdSelftest(Args[1]);
   if (Args.empty())
     return cmdSelftest("."); // run the demo when invoked bare
   fprintf(stderr,
-          "usage: packtool [--threads N] pack <in.jar> <out.cjp>\n"
+          "usage: packtool [--threads N] [--verify[=warn|strict]] "
+          "pack <in.jar> <out.cjp>\n"
           "       packtool [--threads N] unpack <in.cjp> <out.jar>\n"
           "       packtool info <archive>\n"
+          "       packtool verify [--warn] <in.class|jar|cjp>\n"
           "       packtool selftest <dir>\n");
   return 2;
 }

@@ -1,0 +1,24 @@
+//===- fuzz_verify.cpp - fuzz the flow-analysis verifier ------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Feeds arbitrary bytes through verifyClassBytes. Hostile input must
+// never crash the analyzer: a malformed file yields typed diagnostics,
+// nothing else. Every diagnostic is also formatted, so the printing
+// path sees fuzzed method names and offsets too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+
+using namespace cjpack;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::vector<uint8_t> Bytes(Data, Data + Size);
+  analysis::VerifyResult R = analysis::verifyClassBytes(Bytes);
+  for (const analysis::Diagnostic &D : R.Diags)
+    (void)analysis::formatDiagnostic(D);
+  return 0;
+}

@@ -62,6 +62,17 @@ int main(int Argc, char **Argv) {
     writeSeed(Out / "fuzz_classfile", "class" + std::to_string(I) + ".bin",
               Classes[I].Data);
 
+  // fuzz_verify: valid classfiles with branches, handlers, and wide
+  // values, so mutation starts from code the analyzer fully walks.
+  {
+    CorpusSpec Spec = smallSpec(11);
+    Spec.MeanStatements = 10;
+    std::vector<NamedClass> Branchy = generateCorpus(Spec);
+    for (size_t I = 0; I < Branchy.size() && I < 3; ++I)
+      writeSeed(Out / "fuzz_verify", "class" + std::to_string(I) + ".bin",
+                Branchy[I].Data);
+  }
+
   // fuzz_unpack: archives across the wire-format matrix.
   struct {
     const char *Name;

@@ -1,0 +1,191 @@
+//===- Cfg.cpp - Bytecode control-flow graph ------------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include <algorithm>
+#include <functional>
+#include <set>
+
+using namespace cjpack;
+using namespace cjpack::analysis;
+
+bool cjpack::analysis::isTerminator(Op O) {
+  switch (O) {
+  case Op::Goto:
+  case Op::GotoW:
+  case Op::TableSwitch:
+  case Op::LookupSwitch:
+  case Op::IReturn:
+  case Op::LReturn:
+  case Op::FReturn:
+  case Op::DReturn:
+  case Op::AReturn:
+  case Op::Return:
+  case Op::AThrow:
+  case Op::Ret:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool cjpack::analysis::isConditionalBranch(Op O) {
+  uint8_t N = static_cast<uint8_t>(O);
+  return (N >= 153 && N <= 166) || O == Op::IfNull || O == Op::IfNonNull;
+}
+
+namespace {
+
+/// Collects every control-transfer target of \p I (branch, switch).
+void forEachTarget(const Insn &I, const std::function<void(int32_t)> &Fn) {
+  if (I.isBranch()) {
+    Fn(I.BranchTarget);
+    return;
+  }
+  if (I.isSwitch()) {
+    Fn(I.SwitchDefault);
+    for (int32_t T : I.SwitchTargets)
+      Fn(T);
+  }
+}
+
+} // namespace
+
+Cfg cjpack::analysis::buildCfg(const std::vector<Insn> &Insns,
+                               const std::vector<ExceptionTableEntry> &Table,
+                               uint32_t CodeLen, const std::string &Method,
+                               std::vector<Diagnostic> &Diags) {
+  Cfg G;
+  for (uint32_t K = 0; K < Insns.size(); ++K)
+    G.OffsetToInsn.emplace(Insns[K].Offset, K);
+
+  auto Diag = [&](DiagKind Kind, uint32_t Offset, std::string Msg) {
+    Diags.push_back({Kind, Method, Offset, std::move(Msg)});
+  };
+  auto AtBoundary = [&](uint32_t Offset) {
+    return G.OffsetToInsn.count(Offset) != 0;
+  };
+
+  // Leaders: entry, every valid control-transfer target, every
+  // instruction after a branch/terminator, and protected-range
+  // boundaries plus handler entry points.
+  std::set<uint32_t> Leaders;
+  if (!Insns.empty())
+    Leaders.insert(0);
+  for (const Insn &I : Insns) {
+    bool SplitsFlow = false;
+    forEachTarget(I, [&](int32_t Target) {
+      SplitsFlow = true;
+      if (Target < 0 || static_cast<uint32_t>(Target) >= CodeLen ||
+          !AtBoundary(static_cast<uint32_t>(Target)))
+        Diag(DiagKind::InvalidBranchTarget, I.Offset,
+             "branch target " + std::to_string(Target) +
+                 " is not an instruction boundary");
+      else
+        Leaders.insert(static_cast<uint32_t>(Target));
+    });
+    if (SplitsFlow || isTerminator(I.Opcode) || I.Opcode == Op::Jsr ||
+        I.Opcode == Op::JsrW)
+      if (uint32_t Next = I.Offset + I.Length; Next < CodeLen)
+        Leaders.insert(Next);
+  }
+  for (uint32_t K = 0; K < Table.size(); ++K) {
+    const ExceptionTableEntry &E = Table[K];
+    if (E.StartPc >= E.EndPc || E.EndPc > CodeLen || !AtBoundary(E.StartPc) ||
+        (E.EndPc < CodeLen && !AtBoundary(E.EndPc)) ||
+        !AtBoundary(E.HandlerPc)) {
+      Diag(DiagKind::InvalidHandlerRange, E.HandlerPc,
+           "exception entry [" + std::to_string(E.StartPc) + ", " +
+               std::to_string(E.EndPc) + ") -> " +
+               std::to_string(E.HandlerPc) +
+               " has an invalid range or handler pc");
+      continue;
+    }
+    G.ValidHandlers.push_back(K);
+    Leaders.insert(E.StartPc);
+    if (E.EndPc < CodeLen)
+      Leaders.insert(E.EndPc);
+    Leaders.insert(E.HandlerPc);
+  }
+
+  // Carve the instruction vector into blocks at the leaders.
+  G.InsnToBlock.assign(Insns.size(), NoBlock);
+  for (uint32_t K = 0; K < Insns.size(); ++K) {
+    if (Leaders.count(Insns[K].Offset) || G.Blocks.empty()) {
+      CfgBlock B;
+      B.FirstInsn = K;
+      B.StartOffset = Insns[K].Offset;
+      G.Blocks.push_back(B);
+    }
+    CfgBlock &B = G.Blocks.back();
+    B.LastInsn = K;
+    B.EndOffset = Insns[K].Offset + Insns[K].Length;
+    G.InsnToBlock[K] = static_cast<uint32_t>(G.Blocks.size() - 1);
+  }
+
+  // Normal-flow edges.
+  for (uint32_t BId = 0; BId < G.Blocks.size(); ++BId) {
+    CfgBlock &B = G.Blocks[BId];
+    const Insn &Last = Insns[B.LastInsn];
+    forEachTarget(Last, [&](int32_t Target) {
+      if (Target >= 0 && static_cast<uint32_t>(Target) < CodeLen)
+        if (uint32_t S = G.blockAtOffset(static_cast<uint32_t>(Target));
+            S != NoBlock)
+          B.Succs.push_back(S);
+    });
+    // jsr's subroutine entry is a real successor (its frame gets the
+    // return address pushed); its fallthrough is the post-return point.
+    if (Last.Opcode == Op::Jsr || Last.Opcode == Op::JsrW) {
+      if (Last.BranchTarget >= 0 &&
+          static_cast<uint32_t>(Last.BranchTarget) < CodeLen) {
+        if (uint32_t S =
+                G.blockAtOffset(static_cast<uint32_t>(Last.BranchTarget));
+            S != NoBlock)
+          B.Succs.push_back(S);
+        else
+          Diag(DiagKind::InvalidBranchTarget, Last.Offset,
+               "jsr target " + std::to_string(Last.BranchTarget) +
+                   " is not an instruction boundary");
+      } else {
+        Diag(DiagKind::InvalidBranchTarget, Last.Offset,
+             "jsr target " + std::to_string(Last.BranchTarget) +
+                 " is out of range");
+      }
+    }
+    // Unconditional branches are goto/goto_w (terminators) and jsr/jsr_w,
+    // which do fall through once the subroutine returns.
+    bool IsJsr = Last.Opcode == Op::Jsr || Last.Opcode == Op::JsrW;
+    bool FallsThrough =
+        !isTerminator(Last.Opcode) &&
+        (IsJsr || !(Last.isBranch() && !isConditionalBranch(Last.Opcode)));
+    if (FallsThrough) {
+      if (B.LastInsn + 1 < Insns.size())
+        B.Succs.push_back(G.InsnToBlock[B.LastInsn + 1]);
+      else
+        B.FallsOffEnd = true;
+    }
+    // Dedup (a conditional branch to its own fallthrough, say).
+    std::sort(B.Succs.begin(), B.Succs.end());
+    B.Succs.erase(std::unique(B.Succs.begin(), B.Succs.end()),
+                  B.Succs.end());
+  }
+
+  // Handler edges: every block inside a protected range can reach the
+  // handler. Blocks were split at range boundaries, so containment of
+  // the block's start offset is containment of the whole block.
+  for (uint32_t K : G.ValidHandlers) {
+    const ExceptionTableEntry &E = Table[K];
+    uint32_t H = G.blockAtOffset(E.HandlerPc);
+    for (uint32_t BId = 0; BId < G.Blocks.size(); ++BId) {
+      CfgBlock &B = G.Blocks[BId];
+      if (B.StartOffset >= E.StartPc && B.StartOffset < E.EndPc)
+        if (std::find(B.Handlers.begin(), B.Handlers.end(), H) ==
+            B.Handlers.end())
+          B.Handlers.push_back(H);
+    }
+  }
+  return G;
+}

@@ -1,0 +1,82 @@
+//===- Cfg.h - Bytecode control-flow graph ---------------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic-block control-flow graph over a decoded instruction vector:
+/// fallthrough, branch, and switch edges, plus exception-handler edges
+/// from the Code attribute's exception table. Blocks are additionally
+/// split at protected-range boundaries so every block lies entirely
+/// inside or outside each handler's range. Construction validates branch
+/// targets and handler entries, reporting defects as typed diagnostics
+/// and dropping the bogus edges rather than failing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_ANALYSIS_CFG_H
+#define CJPACK_ANALYSIS_CFG_H
+
+#include "analysis/Diagnostics.h"
+#include "bytecode/Instruction.h"
+#include "classfile/ClassFile.h"
+#include <unordered_map>
+#include <vector>
+
+namespace cjpack::analysis {
+
+inline constexpr uint32_t NoBlock = 0xFFFFFFFFu;
+
+/// One basic block: a maximal straight-line instruction range.
+struct CfgBlock {
+  uint32_t FirstInsn = 0; ///< index into the instruction vector
+  uint32_t LastInsn = 0;  ///< inclusive
+  uint32_t StartOffset = 0;
+  uint32_t EndOffset = 0; ///< offset one past the last instruction
+  /// Normal-flow successor block ids (fallthrough, branch, switch).
+  std::vector<uint32_t> Succs;
+  /// Handler block ids reachable if any instruction here throws.
+  std::vector<uint32_t> Handlers;
+  /// True when the block ends the code array with an instruction that
+  /// can fall through (the fall-off-end defect, if the block is live).
+  bool FallsOffEnd = false;
+};
+
+/// The graph plus the maps needed to walk it.
+struct Cfg {
+  std::vector<CfgBlock> Blocks;
+  /// Block id containing each instruction (parallel to the insn vector).
+  std::vector<uint32_t> InsnToBlock;
+  /// Instruction index at each bytecode offset.
+  std::unordered_map<uint32_t, uint32_t> OffsetToInsn;
+  /// Exception entries that survived validation, as (table index) ids.
+  std::vector<uint32_t> ValidHandlers;
+
+  /// Block whose first instruction sits at \p Offset, or NoBlock.
+  uint32_t blockAtOffset(uint32_t Offset) const {
+    auto It = OffsetToInsn.find(Offset);
+    if (It == OffsetToInsn.end())
+      return NoBlock;
+    uint32_t B = InsnToBlock[It->second];
+    return Blocks[B].FirstInsn == It->second ? B : NoBlock;
+  }
+};
+
+/// True when \p O never transfers control to the next instruction
+/// (goto, switch, return family, athrow, ret).
+bool isTerminator(Op O);
+
+/// True for the two-way conditional branches (if*, ifnull/ifnonnull).
+bool isConditionalBranch(Op O);
+
+/// Builds the CFG for \p Insns with exception table \p Table over a code
+/// array of \p CodeLen bytes. Invalid branch targets and handler entries
+/// are reported into \p Diags (tagged with \p Method) and dropped.
+Cfg buildCfg(const std::vector<Insn> &Insns,
+             const std::vector<ExceptionTableEntry> &Table, uint32_t CodeLen,
+             const std::string &Method, std::vector<Diagnostic> &Diags);
+
+} // namespace cjpack::analysis
+
+#endif // CJPACK_ANALYSIS_CFG_H

@@ -1,0 +1,56 @@
+//===- Diagnostics.h - Verifier diagnostics --------------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed diagnostics emitted by the bytecode analyzer: each carries the
+/// defect kind, the method it was found in, and the bytecode offset of
+/// the offending instruction (or NoOffset for method-level findings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_ANALYSIS_DIAGNOSTICS_H
+#define CJPACK_ANALYSIS_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+
+namespace cjpack::analysis {
+
+/// The defect classes the analyzer can report.
+enum class DiagKind : uint8_t {
+  MalformedCode,       ///< unparseable attribute, bad cp ref, bad descriptor
+  StackUnderflow,      ///< pop from an empty operand stack
+  StackOverflow,       ///< push beyond the declared max_stack
+  MergeDepthMismatch,  ///< join point reached with differing stack depths
+  TypeClash,           ///< value used at a type it does not hold
+  BadLocal,            ///< local index out of range, wrong type, split pair
+  FallOffEnd,          ///< execution can run past the end of the code array
+  UnreachableCode,     ///< block no execution path reaches
+  InvalidBranchTarget, ///< branch/switch target not at an instruction
+  InvalidHandlerRange, ///< exception entry with a bogus range or handler pc
+};
+
+/// Stable lowercase name for \p K (e.g. "stack-underflow").
+const char *diagKindName(DiagKind K);
+
+inline constexpr uint32_t NoOffset = 0xFFFFFFFFu;
+
+/// One analyzer finding.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::MalformedCode;
+  /// "Class.method(Ldesc;)V"-style context, empty for class-level issues.
+  std::string Method;
+  /// Bytecode offset of the offending instruction, or NoOffset.
+  uint32_t Offset = NoOffset;
+  std::string Message;
+};
+
+/// Renders \p D as "kind: Class.method at offset N: message".
+std::string formatDiagnostic(const Diagnostic &D);
+
+} // namespace cjpack::analysis
+
+#endif // CJPACK_ANALYSIS_DIAGNOSTICS_H

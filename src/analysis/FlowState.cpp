@@ -1,0 +1,132 @@
+//===- FlowState.cpp - Merge-correct §7.1 stack contexts ------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FlowState.h"
+
+using namespace cjpack;
+
+void FlowState::startMethod() {
+  Stack.clear();
+  Known = true;
+  Pending.clear();
+}
+
+void FlowState::setUnknown() {
+  Stack.clear();
+  Known = false;
+}
+
+void FlowState::seedHandler(uint32_t HandlerPc) {
+  static const std::vector<VType> Thrown{VType::Ref};
+  mergeEdge(Pending[HandlerPc], Thrown);
+}
+
+void FlowState::mergeEdge(Edge &E, const std::vector<VType> &Incoming) {
+  if (E.Conflict)
+    return;
+  if (!E.Recorded) {
+    E.Recorded = true;
+    E.Stack = Incoming;
+    return;
+  }
+  if (E.Stack.size() != Incoming.size()) {
+    E.Conflict = true;
+    E.Stack.clear();
+    return;
+  }
+  for (size_t K = 0; K < E.Stack.size(); ++K)
+    if (E.Stack[K] != Incoming[K])
+      E.Stack[K] = VType::Unknown;
+}
+
+void FlowState::recordEdge(uint32_t From, int32_t Target) {
+  // Only forward edges are representable in a single in-order pass;
+  // backward (loop) edges are dropped identically on both sides.
+  if (!Known || Target <= static_cast<int64_t>(From))
+    return;
+  mergeEdge(Pending[static_cast<uint32_t>(Target)], Stack);
+}
+
+void FlowState::enterInsn(uint32_t Offset) {
+  // Drop stale entries (targets that were not instruction starts —
+  // possible only on corrupt input; harmless to ignore).
+  while (!Pending.empty() && Pending.begin()->first < Offset)
+    Pending.erase(Pending.begin());
+  auto It = Pending.find(Offset);
+  if (It == Pending.end())
+    return;
+  Edge E = std::move(It->second);
+  Pending.erase(It);
+  if (E.Conflict) {
+    setUnknown();
+    return;
+  }
+  if (!Known) {
+    Stack = std::move(E.Stack);
+    Known = true;
+    return;
+  }
+  if (Stack.size() != E.Stack.size()) {
+    setUnknown();
+    return;
+  }
+  for (size_t K = 0; K < Stack.size(); ++K)
+    if (Stack[K] != E.Stack[K])
+      Stack[K] = VType::Unknown;
+}
+
+VType FlowState::top(unsigned Depth) const {
+  if (!Known || Stack.size() <= Depth)
+    return VType::Unknown;
+  return Stack[Stack.size() - 1 - Depth];
+}
+
+unsigned FlowState::contextId() const {
+  if (!Known)
+    return NumContexts - 1;
+  unsigned T1 = static_cast<unsigned>(top(0));
+  unsigned T2 = static_cast<unsigned>(top(1));
+  return T1 * 7 + T2;
+}
+
+void FlowState::apply(const Insn &I, const InsnTypes *Types) {
+  if (Known && !applyInsnStackEffect(I, Types, Stack))
+    setUnknown();
+
+  uint8_t N = static_cast<uint8_t>(I.Opcode);
+  bool Conditional = (N >= 153 && N <= 166) || I.Opcode == Op::IfNull ||
+                     I.Opcode == Op::IfNonNull;
+  if (Conditional) {
+    recordEdge(I.Offset, I.BranchTarget);
+    return; // falls through with the post-pop state
+  }
+  switch (I.Opcode) {
+  case Op::Goto:
+  case Op::GotoW:
+    recordEdge(I.Offset, I.BranchTarget);
+    setUnknown();
+    return;
+  case Op::TableSwitch:
+  case Op::LookupSwitch:
+    recordEdge(I.Offset, I.SwitchDefault);
+    for (int32_t T : I.SwitchTargets)
+      recordEdge(I.Offset, T);
+    setUnknown();
+    return;
+  case Op::IReturn:
+  case Op::LReturn:
+  case Op::FReturn:
+  case Op::DReturn:
+  case Op::AReturn:
+  case Op::Return:
+  case Op::Ret:
+    setUnknown();
+    return;
+  default:
+    // athrow and jsr already degraded to unknown in the transfer.
+    return;
+  }
+}

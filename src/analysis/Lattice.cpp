@@ -1,0 +1,85 @@
+//===- Lattice.cpp - Verification type lattice ----------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lattice.h"
+#include <cassert>
+
+using namespace cjpack;
+using namespace cjpack::analysis;
+
+const char *cjpack::analysis::atypeName(AType T) {
+  switch (T) {
+  case AType::Top: return "top";
+  case AType::Int: return "int";
+  case AType::Float: return "float";
+  case AType::Ref: return "ref";
+  case AType::RetAddr: return "retaddr";
+  case AType::Long: return "long";
+  case AType::Long2: return "long[2]";
+  case AType::Double: return "double";
+  case AType::Double2: return "double[2]";
+  }
+  return "?";
+}
+
+MergeOutcome cjpack::analysis::mergeFrame(Frame &Into, const Frame &From) {
+  if (Into.Stack.size() != From.Stack.size())
+    return MergeOutcome::DepthMismatch;
+  assert(Into.Locals.size() == From.Locals.size() &&
+         "frames of one method share max_locals");
+  bool Changed = false;
+  auto MergeInto = [&](AType &Slot, AType Incoming) {
+    AType Merged = mergeSlot(Slot, Incoming);
+    if (Merged != Slot) {
+      Slot = Merged;
+      Changed = true;
+    }
+  };
+  for (size_t K = 0; K < Into.Stack.size(); ++K)
+    MergeInto(Into.Stack[K], From.Stack[K]);
+  for (size_t K = 0; K < Into.Locals.size(); ++K)
+    MergeInto(Into.Locals[K], From.Locals[K]);
+  return Changed ? MergeOutcome::Changed : MergeOutcome::Unchanged;
+}
+
+void cjpack::analysis::appendSlots(std::vector<AType> &Out, VType T) {
+  switch (T) {
+  case VType::Int:
+    Out.push_back(AType::Int);
+    break;
+  case VType::Float:
+    Out.push_back(AType::Float);
+    break;
+  case VType::Ref:
+    Out.push_back(AType::Ref);
+    break;
+  case VType::Long:
+    Out.push_back(AType::Long);
+    Out.push_back(AType::Long2);
+    break;
+  case VType::Double:
+    Out.push_back(AType::Double);
+    Out.push_back(AType::Double2);
+    break;
+  case VType::Void:
+    break;
+  case VType::Unknown:
+    Out.push_back(AType::Top);
+    break;
+  }
+}
+
+unsigned cjpack::analysis::slotWidth(VType T) {
+  switch (T) {
+  case VType::Long:
+  case VType::Double:
+    return 2;
+  case VType::Void:
+    return 0;
+  default:
+    return 1;
+  }
+}

@@ -1,0 +1,87 @@
+//===- Lattice.h - Verification type lattice -------------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat type lattice the worklist verifier interprets over, and the
+/// slot-per-entry frames it merges at join points. Unlike the packer's
+/// coarse VType stack (one element per value), frames here are
+/// slot-accurate: a long or double occupies two adjacent slots, the
+/// first half (Long/Double) below the second (Long2/Double2), matching
+/// the classfile's max_stack / max_locals accounting and letting the
+/// analyzer catch category-2 pair splits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_ANALYSIS_LATTICE_H
+#define CJPACK_ANALYSIS_LATTICE_H
+
+#include "bytecode/StackState.h"
+#include <vector>
+
+namespace cjpack::analysis {
+
+/// One stack or local slot. Top is the lattice's absorbing element:
+/// a slot holding no usable value (never written, or a merge conflict).
+enum class AType : uint8_t {
+  Top,
+  Int,
+  Float,
+  Ref,
+  RetAddr, ///< jsr return address
+  Long,    ///< first slot of a long pair
+  Long2,   ///< second slot of a long pair
+  Double,  ///< first slot of a double pair
+  Double2, ///< second slot of a double pair
+};
+
+/// Printable name of \p T (e.g. "int", "long[2]").
+const char *atypeName(AType T);
+
+/// True for the first slot of a category-2 pair.
+inline bool isCat2Start(AType T) {
+  return T == AType::Long || T == AType::Double;
+}
+
+/// True for the second slot of a category-2 pair.
+inline bool isCat2Second(AType T) {
+  return T == AType::Long2 || T == AType::Double2;
+}
+
+/// Join of two slots in the flat lattice: equal types meet themselves,
+/// anything else conflicts to Top.
+inline AType mergeSlot(AType A, AType B) { return A == B ? A : AType::Top; }
+
+/// A verification frame: operand-stack slots (bottom of stack first) and
+/// local-variable slots (always exactly max_locals entries).
+struct Frame {
+  std::vector<AType> Stack;
+  std::vector<AType> Locals;
+
+  bool operator==(const Frame &) const = default;
+};
+
+/// Outcome of merging an incoming edge state into a block's entry frame.
+enum class MergeOutcome : uint8_t {
+  Unchanged,     ///< entry frame already covered the incoming state
+  Changed,       ///< entry frame widened; block must be revisited
+  DepthMismatch, ///< stack depths differ; states are incompatible
+};
+
+/// Merges \p From into \p Into slotwise. Local arrays must be the same
+/// length (both are max_locals); stack depth differences are reported,
+/// not merged.
+MergeOutcome mergeFrame(Frame &Into, const Frame &From);
+
+/// Appends the slot expansion of coarse type \p T to \p Out (category-2
+/// types append their pair; Void appends nothing).
+void appendSlots(std::vector<AType> &Out, VType T);
+
+/// Number of slots \p T occupies (0 for Void).
+unsigned slotWidth(VType T);
+
+} // namespace cjpack::analysis
+
+#endif // CJPACK_ANALYSIS_LATTICE_H

@@ -1,0 +1,735 @@
+//===- Verifier.cpp - Worklist bytecode verifier --------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "classfile/Descriptor.h"
+#include "classfile/Reader.h"
+#include <array>
+#include <deque>
+#include <set>
+
+using namespace cjpack;
+using namespace cjpack::analysis;
+
+const char *cjpack::analysis::diagKindName(DiagKind K) {
+  switch (K) {
+  case DiagKind::MalformedCode: return "malformed-code";
+  case DiagKind::StackUnderflow: return "stack-underflow";
+  case DiagKind::StackOverflow: return "stack-overflow";
+  case DiagKind::MergeDepthMismatch: return "merge-depth-mismatch";
+  case DiagKind::TypeClash: return "type-clash";
+  case DiagKind::BadLocal: return "bad-local";
+  case DiagKind::FallOffEnd: return "fall-off-end";
+  case DiagKind::UnreachableCode: return "unreachable-code";
+  case DiagKind::InvalidBranchTarget: return "invalid-branch-target";
+  case DiagKind::InvalidHandlerRange: return "invalid-handler-range";
+  }
+  return "?";
+}
+
+std::string cjpack::analysis::formatDiagnostic(const Diagnostic &D) {
+  std::string Out = diagKindName(D.Kind);
+  Out += ": ";
+  if (!D.Method.empty()) {
+    Out += D.Method;
+    Out += " ";
+  }
+  if (D.Offset != NoOffset) {
+    Out += "at offset ";
+    Out += std::to_string(D.Offset);
+    Out += " ";
+  }
+  Out += "- ";
+  Out += D.Message;
+  return Out;
+}
+
+namespace {
+
+/// Coarse type of the 5-way load/store opcode groups (i/l/f/d/a).
+VType typeOfGroup5(unsigned K) {
+  static constexpr VType Types[5] = {VType::Int, VType::Long, VType::Float,
+                                     VType::Double, VType::Ref};
+  return Types[K];
+}
+
+/// Identifies the typed local load/store opcodes (explicit and _N forms).
+bool loadStoreInfo(Op O, bool &IsLoad, VType &T) {
+  uint8_t N = static_cast<uint8_t>(O);
+  if (N >= 21 && N <= 25) {
+    IsLoad = true;
+    T = typeOfGroup5(N - 21u);
+    return true;
+  }
+  if (N >= 26 && N <= 45) {
+    IsLoad = true;
+    T = typeOfGroup5((N - 26u) / 4u);
+    return true;
+  }
+  if (N >= 54 && N <= 58) {
+    IsLoad = false;
+    T = typeOfGroup5(N - 54u);
+    return true;
+  }
+  if (N >= 59 && N <= 78) {
+    IsLoad = false;
+    T = typeOfGroup5((N - 59u) / 4u);
+    return true;
+  }
+  return false;
+}
+
+VType charVType(char C) {
+  switch (C) {
+  case 'I': return VType::Int;
+  case 'J': return VType::Long;
+  case 'F': return VType::Float;
+  case 'D': return VType::Double;
+  case 'A': return VType::Ref;
+  default: return VType::Unknown;
+  }
+}
+
+/// The abstract interpreter: applies one instruction to a frame,
+/// reporting defects into Sink (when set — the fixpoint runs silently,
+/// the post-fixpoint reporting pass runs loud). Returns false when the
+/// frame is no longer meaningful and block interpretation must stop.
+struct Interp {
+  const ClassFile &CF;
+  uint32_t MaxStack;
+  uint32_t MaxLocals;
+  const std::string &Method;
+  std::vector<Diagnostic> *Sink = nullptr;
+
+  bool fail(DiagKind K, const Insn &I, std::string Msg) {
+    if (Sink)
+      Sink->push_back({K, Method, I.Offset, std::move(Msg)});
+    return false;
+  }
+
+  //===------------------------------------------------------------===//
+  // Stack primitives
+  //===------------------------------------------------------------===//
+
+  bool popSlot(Frame &F, const Insn &I, AType &Out) {
+    if (F.Stack.empty())
+      return fail(DiagKind::StackUnderflow, I, "pop from an empty stack");
+    Out = F.Stack.back();
+    F.Stack.pop_back();
+    return true;
+  }
+
+  bool popExpect(Frame &F, const Insn &I, AType Want) {
+    AType Got = AType::Top;
+    if (!popSlot(F, I, Got))
+      return false;
+    if (Got != Want)
+      return fail(DiagKind::TypeClash, I,
+                  std::string("expected ") + atypeName(Want) + ", found " +
+                      atypeName(Got));
+    return true;
+  }
+
+  bool popValue(Frame &F, const Insn &I, VType T) {
+    switch (T) {
+    case VType::Int: return popExpect(F, I, AType::Int);
+    case VType::Float: return popExpect(F, I, AType::Float);
+    case VType::Ref: return popExpect(F, I, AType::Ref);
+    case VType::Long:
+      return popExpect(F, I, AType::Long2) && popExpect(F, I, AType::Long);
+    case VType::Double:
+      return popExpect(F, I, AType::Double2) &&
+             popExpect(F, I, AType::Double);
+    default:
+      return fail(DiagKind::MalformedCode, I, "untypable operand");
+    }
+  }
+
+  /// Pops one category-1 slot (any type but a pair half).
+  bool popCat1(Frame &F, const Insn &I, AType &Out) {
+    if (!popSlot(F, I, Out))
+      return false;
+    if (isCat2Second(Out) || isCat2Start(Out))
+      return fail(DiagKind::TypeClash, I,
+                  "stack operation splits a category-2 value");
+    return true;
+  }
+
+  /// Pops exactly two slots forming whole values: one category-2 pair
+  /// or two category-1 values. Out[0] is the old top.
+  bool popPair2(Frame &F, const Insn &I, std::array<AType, 2> &Out) {
+    if (!popSlot(F, I, Out[0]) || !popSlot(F, I, Out[1]))
+      return false;
+    if (isCat2Second(Out[0])) {
+      bool Matched = (Out[0] == AType::Long2 && Out[1] == AType::Long) ||
+                     (Out[0] == AType::Double2 && Out[1] == AType::Double);
+      if (!Matched)
+        return fail(DiagKind::TypeClash, I,
+                    "category-2 pair is split on the stack");
+      return true;
+    }
+    if (isCat2Start(Out[0]) || isCat2Start(Out[1]) || isCat2Second(Out[1]))
+      return fail(DiagKind::TypeClash, I,
+                  "stack operation splits a category-2 value");
+    return true;
+  }
+
+  void pushPair2(Frame &F, const std::array<AType, 2> &G) {
+    F.Stack.push_back(G[1]);
+    F.Stack.push_back(G[0]);
+  }
+
+  bool push(Frame &F, const Insn &I, AType T) {
+    F.Stack.push_back(T);
+    if (F.Stack.size() > MaxStack)
+      return fail(DiagKind::StackOverflow, I,
+                  "operand stack exceeds max_stack " +
+                      std::to_string(MaxStack));
+    return true;
+  }
+
+  bool pushValue(Frame &F, const Insn &I, VType T) {
+    switch (T) {
+    case VType::Int: return push(F, I, AType::Int);
+    case VType::Float: return push(F, I, AType::Float);
+    case VType::Ref: return push(F, I, AType::Ref);
+    case VType::Long:
+      return push(F, I, AType::Long) && push(F, I, AType::Long2);
+    case VType::Double:
+      return push(F, I, AType::Double) && push(F, I, AType::Double2);
+    case VType::Void:
+      return true;
+    default:
+      return fail(DiagKind::MalformedCode, I, "untypable result");
+    }
+  }
+
+  //===------------------------------------------------------------===//
+  // Locals
+  //===------------------------------------------------------------===//
+
+  bool checkLocalRange(const Insn &I, uint32_t Idx, unsigned Width) {
+    if (static_cast<uint64_t>(Idx) + Width > MaxLocals)
+      return fail(DiagKind::BadLocal, I,
+                  "local " + std::to_string(Idx) + " out of range (max_locals " +
+                      std::to_string(MaxLocals) + ")");
+    return true;
+  }
+
+  /// Writes \p T to local \p Idx, invalidating any category-2 pair the
+  /// write tears apart.
+  void writeLocal(Frame &F, uint32_t Idx, AType T) {
+    if (isCat2Second(F.Locals[Idx]) && Idx > 0)
+      F.Locals[Idx - 1] = AType::Top;
+    if (isCat2Start(F.Locals[Idx]) && Idx + 1 < F.Locals.size())
+      F.Locals[Idx + 1] = AType::Top;
+    F.Locals[Idx] = T;
+  }
+
+  bool localIndexOf(const Insn &I, uint32_t &Idx) {
+    if (implicitLocalIndex(I.Opcode, Idx))
+      return true;
+    Idx = I.LocalIndex;
+    return true;
+  }
+
+  bool doLoad(Frame &F, const Insn &I, VType T, uint32_t Idx) {
+    if (!checkLocalRange(I, Idx, slotWidth(T)))
+      return false;
+    std::vector<AType> Want;
+    appendSlots(Want, T);
+    for (size_t K = 0; K < Want.size(); ++K)
+      if (F.Locals[Idx + K] != Want[K])
+        return fail(DiagKind::BadLocal, I,
+                    "load expects " + std::string(atypeName(Want[K])) +
+                        " in local " + std::to_string(Idx + K) + ", found " +
+                        atypeName(F.Locals[Idx + K]));
+    return pushValue(F, I, T);
+  }
+
+  bool doStore(Frame &F, const Insn &I, VType T, uint32_t Idx) {
+    if (!checkLocalRange(I, Idx, slotWidth(T)))
+      return false;
+    if (T == VType::Ref) {
+      // astore also stores jsr return addresses.
+      AType Got = AType::Top;
+      if (!popSlot(F, I, Got))
+        return false;
+      if (Got != AType::Ref && Got != AType::RetAddr)
+        return fail(DiagKind::TypeClash, I,
+                    std::string("astore of ") + atypeName(Got));
+      writeLocal(F, Idx, Got);
+      return true;
+    }
+    if (!popValue(F, I, T))
+      return false;
+    std::vector<AType> Slots;
+    appendSlots(Slots, T);
+    for (size_t K = 0; K < Slots.size(); ++K)
+      writeLocal(F, Idx + static_cast<uint32_t>(K), Slots[K]);
+    return true;
+  }
+
+  //===------------------------------------------------------------===//
+  // Constant-pool access (hostile-input safe)
+  //===------------------------------------------------------------===//
+
+  const CpEntry *cpAt(uint16_t Idx, std::initializer_list<CpTag> Tags) {
+    if (!CF.CP.isValidIndex(Idx))
+      return nullptr;
+    const CpEntry &E = CF.CP.entry(Idx);
+    for (CpTag T : Tags)
+      if (E.Tag == T)
+        return &E;
+    return nullptr;
+  }
+
+  /// Descriptor text of a member / invokedynamic reference, via its
+  /// NameAndType; null when any link is malformed.
+  const std::string *memberDesc(const CpEntry &Ref) {
+    const CpEntry *NT = cpAt(Ref.Ref2, {CpTag::NameAndType});
+    if (!NT)
+      return nullptr;
+    const CpEntry *Desc = cpAt(NT->Ref2, {CpTag::Utf8});
+    return Desc ? &Desc->Text : nullptr;
+  }
+
+  //===------------------------------------------------------------===//
+  // Per-opcode transfer
+  //===------------------------------------------------------------===//
+
+  bool step(Frame &F, const Insn &I) {
+    bool IsLoad = false;
+    VType LT = VType::Unknown;
+    if (loadStoreInfo(I.Opcode, IsLoad, LT)) {
+      uint32_t Idx = 0;
+      localIndexOf(I, Idx);
+      return IsLoad ? doLoad(F, I, LT, Idx) : doStore(F, I, LT, Idx);
+    }
+
+    switch (I.Opcode) {
+    case Op::IInc: {
+      if (!checkLocalRange(I, I.LocalIndex, 1))
+        return false;
+      if (F.Locals[I.LocalIndex] != AType::Int)
+        return fail(DiagKind::BadLocal, I,
+                    "iinc of local " + std::to_string(I.LocalIndex) +
+                        " holding " +
+                        atypeName(F.Locals[I.LocalIndex]));
+      return true;
+    }
+    case Op::Ret: {
+      if (!checkLocalRange(I, I.LocalIndex, 1))
+        return false;
+      if (F.Locals[I.LocalIndex] != AType::RetAddr)
+        return fail(DiagKind::BadLocal, I,
+                    "ret through local " + std::to_string(I.LocalIndex) +
+                        " holding " +
+                        atypeName(F.Locals[I.LocalIndex]));
+      return true;
+    }
+
+    case Op::Ldc:
+    case Op::LdcW: {
+      const CpEntry *E =
+          cpAt(I.CpIndex, {CpTag::Integer, CpTag::Float, CpTag::String,
+                           CpTag::Class, CpTag::MethodType,
+                           CpTag::MethodHandle});
+      if (!E)
+        return fail(DiagKind::MalformedCode, I,
+                    "ldc of a non-loadable constant-pool entry");
+      switch (E->Tag) {
+      case CpTag::Integer: return pushValue(F, I, VType::Int);
+      case CpTag::Float: return pushValue(F, I, VType::Float);
+      default: return pushValue(F, I, VType::Ref);
+      }
+    }
+    case Op::Ldc2W: {
+      const CpEntry *E = cpAt(I.CpIndex, {CpTag::Long, CpTag::Double});
+      if (!E)
+        return fail(DiagKind::MalformedCode, I,
+                    "ldc2_w of a non-wide constant-pool entry");
+      return pushValue(F, I,
+                       E->Tag == CpTag::Long ? VType::Long : VType::Double);
+    }
+
+    case Op::Pop: {
+      AType T;
+      return popCat1(F, I, T);
+    }
+    case Op::Pop2: {
+      std::array<AType, 2> G;
+      return popPair2(F, I, G);
+    }
+    case Op::Dup: {
+      AType T;
+      if (!popCat1(F, I, T))
+        return false;
+      return push(F, I, T) && push(F, I, T);
+    }
+    case Op::DupX1: {
+      AType V1, V2;
+      if (!popCat1(F, I, V1) || !popCat1(F, I, V2))
+        return false;
+      return push(F, I, V1) && push(F, I, V2) && push(F, I, V1);
+    }
+    case Op::DupX2: {
+      AType V1;
+      std::array<AType, 2> G;
+      if (!popCat1(F, I, V1) || !popPair2(F, I, G))
+        return false;
+      if (!push(F, I, V1))
+        return false;
+      pushPair2(F, G);
+      // The last push is the deepest point, so its own check suffices.
+      return push(F, I, V1);
+    }
+    case Op::Dup2: {
+      std::array<AType, 2> G;
+      if (!popPair2(F, I, G))
+        return false;
+      pushPair2(F, G);
+      pushPair2(F, G);
+      if (F.Stack.size() > MaxStack)
+        return fail(DiagKind::StackOverflow, I,
+                    "operand stack exceeds max_stack " +
+                        std::to_string(MaxStack));
+      return true;
+    }
+    case Op::Dup2X1: {
+      std::array<AType, 2> G;
+      AType V;
+      if (!popPair2(F, I, G) || !popCat1(F, I, V))
+        return false;
+      pushPair2(F, G);
+      if (!push(F, I, V))
+        return false;
+      pushPair2(F, G);
+      if (F.Stack.size() > MaxStack)
+        return fail(DiagKind::StackOverflow, I,
+                    "operand stack exceeds max_stack " +
+                        std::to_string(MaxStack));
+      return true;
+    }
+    case Op::Dup2X2: {
+      std::array<AType, 2> G1, G2;
+      if (!popPair2(F, I, G1) || !popPair2(F, I, G2))
+        return false;
+      pushPair2(F, G1);
+      pushPair2(F, G2);
+      pushPair2(F, G1);
+      if (F.Stack.size() > MaxStack)
+        return fail(DiagKind::StackOverflow, I,
+                    "operand stack exceeds max_stack " +
+                        std::to_string(MaxStack));
+      return true;
+    }
+    case Op::Swap: {
+      AType V1, V2;
+      if (!popCat1(F, I, V1) || !popCat1(F, I, V2))
+        return false;
+      return push(F, I, V1) && push(F, I, V2);
+    }
+
+    case Op::GetField:
+    case Op::GetStatic:
+    case Op::PutField:
+    case Op::PutStatic: {
+      const CpEntry *Ref = cpAt(I.CpIndex, {CpTag::FieldRef});
+      const std::string *Desc = Ref ? memberDesc(*Ref) : nullptr;
+      VType T = Desc ? vtypeOfFieldDescriptor(*Desc) : VType::Unknown;
+      if (T == VType::Unknown || T == VType::Void)
+        return fail(DiagKind::MalformedCode, I,
+                    "field access with a malformed constant-pool reference");
+      if (I.Opcode == Op::GetField || I.Opcode == Op::GetStatic) {
+        if (I.Opcode == Op::GetField && !popExpect(F, I, AType::Ref))
+          return false;
+        return pushValue(F, I, T);
+      }
+      if (!popValue(F, I, T))
+        return false;
+      return I.Opcode != Op::PutField || popExpect(F, I, AType::Ref);
+    }
+
+    case Op::InvokeVirtual:
+    case Op::InvokeSpecial:
+    case Op::InvokeStatic:
+    case Op::InvokeInterface:
+    case Op::InvokeDynamic: {
+      const CpEntry *Ref = nullptr;
+      if (I.Opcode == Op::InvokeVirtual)
+        Ref = cpAt(I.CpIndex, {CpTag::MethodRef});
+      else if (I.Opcode == Op::InvokeInterface)
+        Ref = cpAt(I.CpIndex, {CpTag::InterfaceMethodRef});
+      else if (I.Opcode == Op::InvokeDynamic)
+        Ref = cpAt(I.CpIndex, {CpTag::InvokeDynamic});
+      else
+        Ref = cpAt(I.CpIndex,
+                   {CpTag::MethodRef, CpTag::InterfaceMethodRef});
+      const std::string *Desc = Ref ? memberDesc(*Ref) : nullptr;
+      std::vector<VType> Args;
+      VType Ret = VType::Void;
+      if (!Desc || !vtypesOfMethodDescriptor(*Desc, Args, Ret))
+        return fail(DiagKind::MalformedCode, I,
+                    "invoke with a malformed constant-pool reference");
+      for (auto It = Args.rbegin(); It != Args.rend(); ++It)
+        if (!popValue(F, I, *It))
+          return false;
+      if (I.Opcode != Op::InvokeStatic && I.Opcode != Op::InvokeDynamic &&
+          !popExpect(F, I, AType::Ref))
+        return false;
+      return pushValue(F, I, Ret);
+    }
+
+    case Op::MultiANewArray: {
+      if (!cpAt(I.CpIndex, {CpTag::Class}))
+        return fail(DiagKind::MalformedCode, I,
+                    "multianewarray of a non-class constant");
+      if (I.Const < 1 || I.Const > 255)
+        return fail(DiagKind::MalformedCode, I,
+                    "multianewarray with dimension count " +
+                        std::to_string(I.Const));
+      for (int32_t K = 0; K < I.Const; ++K)
+        if (!popExpect(F, I, AType::Int))
+          return false;
+      return pushValue(F, I, VType::Ref);
+    }
+
+    case Op::AThrow:
+      return popExpect(F, I, AType::Ref);
+
+    case Op::Jsr:
+    case Op::JsrW:
+      // The return address is pushed on the edge into the subroutine;
+      // here only the room for it is checked.
+      if (F.Stack.size() >= MaxStack)
+        return fail(DiagKind::StackOverflow, I,
+                    "no stack room for the jsr return address");
+      return true;
+
+    default:
+      break;
+    }
+
+    // Generic class-reference validity (new/anewarray/checkcast/...).
+    if (cpRefKind(I.Opcode) == CpRefKind::ClassRef &&
+        !cpAt(I.CpIndex, {CpTag::Class}))
+      return fail(DiagKind::MalformedCode, I,
+                  std::string(opInfo(I.Opcode).Mnemonic) +
+                      " of a non-class constant");
+
+    // Everything else follows the static pop/push table.
+    const OpInfo &Info = opInfo(I.Opcode);
+    if (Info.Pops[0] == '*' || Info.Pushes[0] == '*')
+      return fail(DiagKind::MalformedCode, I,
+                  std::string("unmodelled opcode ") + Info.Mnemonic);
+    size_t L = 0;
+    while (Info.Pops[L])
+      ++L;
+    for (size_t K = L; K > 0; --K)
+      if (!popValue(F, I, charVType(Info.Pops[K - 1])))
+        return false;
+    for (const char *P = Info.Pushes; *P; ++P)
+      if (!pushValue(F, I, charVType(*P)))
+        return false;
+    return true;
+  }
+};
+
+/// Guarded utf8 fetch (empty string on malformed links).
+std::string safeUtf8(const ConstantPool &CP, uint16_t Idx) {
+  if (!CP.isValidIndex(Idx) || CP.entry(Idx).Tag != CpTag::Utf8)
+    return std::string();
+  return CP.entry(Idx).Text;
+}
+
+std::string safeClassName(const ConstantPool &CP, uint16_t Idx) {
+  if (!CP.isValidIndex(Idx) || CP.entry(Idx).Tag != CpTag::Class)
+    return std::string();
+  return safeUtf8(CP, CP.entry(Idx).Ref1);
+}
+
+} // namespace
+
+MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
+                                               const MemberInfo &M,
+                                               const std::string &Method) {
+  MethodAnalysis R;
+  auto Diag = [&](DiagKind K, uint32_t Offset, std::string Msg) {
+    R.Diags.push_back({K, Method, Offset, std::move(Msg)});
+  };
+
+  const AttributeInfo *Attr = findAttribute(M.Attributes, "Code");
+  if (!Attr)
+    return R;
+  R.HasCode = true;
+  auto Code = parseCodeAttribute(*Attr, CF.CP);
+  if (!Code) {
+    Diag(DiagKind::MalformedCode, NoOffset,
+         "Code attribute does not parse: " + Code.message());
+    return R;
+  }
+  auto Insns = decodeCode(Code->Code);
+  if (!Insns) {
+    Diag(DiagKind::MalformedCode, NoOffset,
+         "bytecode does not decode: " + Insns.message());
+    return R;
+  }
+  R.Insns = std::move(*Insns);
+  if (R.Insns.empty()) {
+    Diag(DiagKind::MalformedCode, NoOffset, "empty code array");
+    return R;
+  }
+  R.Decoded = true;
+  uint32_t CodeLen = static_cast<uint32_t>(Code->Code.size());
+  R.Graph = buildCfg(R.Insns, Code->ExceptionTable, CodeLen, Method, R.Diags);
+
+  // Method-entry frame from the descriptor.
+  Frame Entry;
+  Entry.Locals.assign(Code->MaxLocals, AType::Top);
+  std::vector<AType> ParamSlots;
+  if (!(M.AccessFlags & AccStatic))
+    ParamSlots.push_back(AType::Ref);
+  std::vector<VType> Args;
+  VType Ret = VType::Void;
+  std::string Desc = safeUtf8(CF.CP, M.DescriptorIndex);
+  if (!vtypesOfMethodDescriptor(Desc, Args, Ret)) {
+    Diag(DiagKind::MalformedCode, NoOffset,
+         "method descriptor does not parse: " + Desc);
+    return R;
+  }
+  for (VType A : Args)
+    appendSlots(ParamSlots, A);
+  if (ParamSlots.size() > Entry.Locals.size()) {
+    Diag(DiagKind::MalformedCode, NoOffset,
+         "max_locals " + std::to_string(Code->MaxLocals) +
+             " cannot hold the " + std::to_string(ParamSlots.size()) +
+             " parameter slots");
+    return R;
+  }
+  std::copy(ParamSlots.begin(), ParamSlots.end(), Entry.Locals.begin());
+
+  // Worklist fixpoint. The silent interpreter drives it; diagnostics
+  // come from a deterministic reporting pass over the final frames so
+  // revisits cannot duplicate them.
+  size_t NB = R.Graph.Blocks.size();
+  R.BlockEntry.assign(NB, std::nullopt);
+  std::deque<uint32_t> Work;
+  std::vector<bool> InWork(NB, false);
+  auto Enqueue = [&](uint32_t B) {
+    if (!InWork[B]) {
+      InWork[B] = true;
+      Work.push_back(B);
+    }
+  };
+  // (from-offset, to-block) pairs whose merge had mismatched depths.
+  std::set<std::pair<uint32_t, uint32_t>> DepthMismatches;
+  auto Propagate = [&](uint32_t To, const Frame &F, uint32_t FromOffset) {
+    if (!R.BlockEntry[To]) {
+      R.BlockEntry[To] = F;
+      Enqueue(To);
+      return;
+    }
+    switch (mergeFrame(*R.BlockEntry[To], F)) {
+    case MergeOutcome::Changed:
+      Enqueue(To);
+      break;
+    case MergeOutcome::DepthMismatch:
+      DepthMismatches.emplace(FromOffset, To);
+      break;
+    case MergeOutcome::Unchanged:
+      break;
+    }
+  };
+
+  Interp Silent{CF, Code->MaxStack, Code->MaxLocals, Method, nullptr};
+  R.BlockEntry[0] = std::move(Entry);
+  Enqueue(0);
+  auto RunBlock = [&](Interp &In, uint32_t BId, bool PropagateOut) {
+    const CfgBlock &B = R.Graph.Blocks[BId];
+    Frame F = *R.BlockEntry[BId];
+    for (uint32_t K = B.FirstInsn; K <= B.LastInsn; ++K) {
+      if (PropagateOut)
+        // Any instruction here can throw: the handler sees this point's
+        // locals with just the thrown reference on the stack.
+        for (uint32_t H : B.Handlers) {
+          Frame HF;
+          HF.Stack.push_back(AType::Ref);
+          HF.Locals = F.Locals;
+          Propagate(H, HF, R.Insns[K].Offset);
+        }
+      if (!In.step(F, R.Insns[K]))
+        return;
+    }
+    if (!PropagateOut)
+      return;
+    const Insn &Last = R.Insns[B.LastInsn];
+    for (uint32_t S : B.Succs) {
+      Frame Out = F;
+      if ((Last.Opcode == Op::Jsr || Last.Opcode == Op::JsrW) &&
+          R.Graph.Blocks[S].StartOffset ==
+              static_cast<uint32_t>(Last.BranchTarget))
+        Out.Stack.push_back(AType::RetAddr);
+      Propagate(S, Out, Last.Offset);
+    }
+  };
+  while (!Work.empty()) {
+    uint32_t BId = Work.front();
+    Work.pop_front();
+    InWork[BId] = false;
+    RunBlock(Silent, BId, /*PropagateOut=*/true);
+  }
+
+  // Reporting pass over the fixpoint frames.
+  Interp Loud{CF, Code->MaxStack, Code->MaxLocals, Method, &R.Diags};
+  for (uint32_t BId = 0; BId < NB; ++BId) {
+    if (!R.BlockEntry[BId]) {
+      Diag(DiagKind::UnreachableCode, R.Graph.Blocks[BId].StartOffset,
+           "no execution path reaches this code");
+      continue;
+    }
+    RunBlock(Loud, BId, /*PropagateOut=*/false);
+    if (R.Graph.Blocks[BId].FallsOffEnd)
+      Diag(DiagKind::FallOffEnd,
+           R.Insns[R.Graph.Blocks[BId].LastInsn].Offset,
+           "execution can run past the end of the code array");
+  }
+  for (const auto &[FromOffset, To] : DepthMismatches)
+    Diag(DiagKind::MergeDepthMismatch, FromOffset,
+         "stack depth disagrees with other paths into offset " +
+             std::to_string(R.Graph.Blocks[To].StartOffset));
+  return R;
+}
+
+VerifyResult cjpack::analysis::verifyClass(const ClassFile &CF) {
+  VerifyResult R;
+  std::string ClassName = safeClassName(CF.CP, CF.ThisClass);
+  if (ClassName.empty())
+    ClassName = "<class>";
+  for (const MemberInfo &M : CF.Methods) {
+    std::string Name = safeUtf8(CF.CP, M.NameIndex);
+    std::string Desc = safeUtf8(CF.CP, M.DescriptorIndex);
+    std::string Method = ClassName + "." + (Name.empty() ? "<method>" : Name) +
+                         Desc;
+    MethodAnalysis A = analyzeMethod(CF, M, Method);
+    if (A.HasCode)
+      ++R.MethodsAnalyzed;
+    R.Diags.insert(R.Diags.end(), A.Diags.begin(), A.Diags.end());
+  }
+  return R;
+}
+
+VerifyResult
+cjpack::analysis::verifyClassBytes(const std::vector<uint8_t> &Bytes) {
+  auto CF = parseClassFile(Bytes);
+  if (!CF) {
+    VerifyResult R;
+    R.Diags.push_back({DiagKind::MalformedCode, std::string(), NoOffset,
+                       "classfile does not parse: " + CF.message()});
+    return R;
+  }
+  return verifyClass(*CF);
+}

@@ -1,0 +1,71 @@
+//===- Verifier.h - Worklist bytecode verifier -----------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dataflow bytecode verifier in the spirit of the JVM's stack-map
+/// analysis: an abstract interpreter over the slot-accurate type lattice
+/// (Lattice.h) runs each method's CFG to a fixpoint with a worklist,
+/// merging stack and local states at join points and accumulating locals
+/// into exception-handler entry states. Defects are reported as typed
+/// diagnostics with method and bytecode-offset context; analysis is
+/// total — hostile input yields diagnostics, never crashes.
+///
+/// verifyClass is the packer's pre-pack lint (packtool verify) and the
+/// regression oracle the corpus and round-trip tests run every class
+/// through.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_ANALYSIS_VERIFIER_H
+#define CJPACK_ANALYSIS_VERIFIER_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Diagnostics.h"
+#include "analysis/Lattice.h"
+#include "classfile/ClassFile.h"
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cjpack::analysis {
+
+/// The result of analyzing one method body.
+struct MethodAnalysis {
+  /// False for abstract/native methods (nothing to analyze).
+  bool HasCode = false;
+  /// False when the Code attribute or its bytecode failed to decode;
+  /// Diags then holds a MalformedCode entry and the rest is empty.
+  bool Decoded = false;
+  std::vector<Insn> Insns;
+  Cfg Graph;
+  /// Fixpoint frame at each block's entry; nullopt for unreachable
+  /// blocks. Parallel to Graph.Blocks.
+  std::vector<std::optional<Frame>> BlockEntry;
+  std::vector<Diagnostic> Diags;
+};
+
+/// Runs the dataflow analysis over method \p M of \p CF. \p Method is
+/// the human-readable context stamped into diagnostics.
+MethodAnalysis analyzeMethod(const ClassFile &CF, const MemberInfo &M,
+                             const std::string &Method);
+
+/// Aggregate verification result for a class.
+struct VerifyResult {
+  std::vector<Diagnostic> Diags;
+  unsigned MethodsAnalyzed = 0;
+  bool clean() const { return Diags.empty(); }
+};
+
+/// Analyzes every method body of \p CF.
+VerifyResult verifyClass(const ClassFile &CF);
+
+/// Parses \p Bytes as a classfile and verifies it; a parse failure
+/// becomes a MalformedCode diagnostic (never an exception or crash).
+VerifyResult verifyClassBytes(const std::vector<uint8_t> &Bytes);
+
+} // namespace cjpack::analysis
+
+#endif // CJPACK_ANALYSIS_VERIFIER_H

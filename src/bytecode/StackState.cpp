@@ -132,6 +132,236 @@ std::optional<Op> cjpack::variantFor(OpFamily F, VType T) {
   return std::nullopt;
 }
 
+//===----------------------------------------------------------------------===//
+// The shared per-instruction transfer function
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+static bool isCat2(VType T) { return T == VType::Long || T == VType::Double; }
+
+static VType charType(char C) {
+  switch (C) {
+  case 'I': return VType::Int;
+  case 'J': return VType::Long;
+  case 'F': return VType::Float;
+  case 'D': return VType::Double;
+  case 'A': return VType::Ref;
+  default:
+    assert(false && "bad stack-effect character");
+    return VType::Unknown;
+  }
+}
+
+/// Mutable view over a stack vector with the pop/push primitives the
+/// transfer function needs; any failed pop poisons the computation.
+class StackOps {
+public:
+  explicit StackOps(std::vector<VType> &Stack) : Stack(Stack) {}
+
+  bool popAny(VType &Out) {
+    if (Stack.empty())
+      return false;
+    Out = Stack.back();
+    Stack.pop_back();
+    return true;
+  }
+
+  bool popType(VType Expected) {
+    VType T;
+    if (!popAny(T))
+      return false;
+    // A mismatch means the approximation diverged from the real types
+    // (e.g. a join we could not model); the state must degrade.
+    return T == Expected || T == VType::Unknown;
+  }
+
+  void push(VType T) { Stack.push_back(T); }
+
+  /// Pops N stack units (cat2 values count as two units); fails when the
+  /// unit boundary falls inside a cat2 value. Unknown counts as one unit.
+  bool popUnits(unsigned Units, std::vector<VType> &Out) {
+    while (Units > 0) {
+      VType T;
+      if (!popAny(T))
+        return false;
+      unsigned W = isCat2(T) ? 2 : 1;
+      if (W > Units)
+        return false;
+      Units -= W;
+      Out.push_back(T);
+    }
+    return true;
+  }
+
+  void pushGroup(const std::vector<VType> &G) {
+    for (auto It = G.rbegin(); It != G.rend(); ++It)
+      push(*It);
+  }
+
+private:
+  std::vector<VType> &Stack;
+};
+
+/// The '*'-marked opcodes whose effect depends on operands.
+static bool applySpecial(const Insn &I, const InsnTypes *Types,
+                         StackOps S) {
+  switch (I.Opcode) {
+  case Op::Ldc:
+  case Op::LdcW:
+  case Op::Ldc2W:
+    S.push(Types ? Types->ConstType : VType::Unknown);
+    return true;
+  case Op::Pop: {
+    VType T;
+    return S.popAny(T) && !isCat2(T);
+  }
+  case Op::Pop2: {
+    std::vector<VType> G;
+    return S.popUnits(2, G);
+  }
+  case Op::Dup: {
+    VType T;
+    if (!S.popAny(T) || isCat2(T))
+      return false;
+    S.push(T);
+    S.push(T);
+    return true;
+  }
+  case Op::DupX1: {
+    VType V1, V2;
+    if (!S.popAny(V1) || !S.popAny(V2) || isCat2(V1) || isCat2(V2))
+      return false;
+    S.push(V1);
+    S.push(V2);
+    S.push(V1);
+    return true;
+  }
+  case Op::DupX2: {
+    VType V1;
+    if (!S.popAny(V1) || isCat2(V1))
+      return false;
+    std::vector<VType> G;
+    if (!S.popUnits(2, G))
+      return false;
+    S.push(V1);
+    S.pushGroup(G);
+    S.push(V1);
+    return true;
+  }
+  case Op::Dup2: {
+    std::vector<VType> G;
+    if (!S.popUnits(2, G))
+      return false;
+    S.pushGroup(G);
+    S.pushGroup(G);
+    return true;
+  }
+  case Op::Dup2X1: {
+    std::vector<VType> G;
+    VType V;
+    if (!S.popUnits(2, G) || !S.popAny(V) || isCat2(V))
+      return false;
+    S.pushGroup(G);
+    S.push(V);
+    S.pushGroup(G);
+    return true;
+  }
+  case Op::Dup2X2: {
+    std::vector<VType> G1, G2;
+    if (!S.popUnits(2, G1) || !S.popUnits(2, G2))
+      return false;
+    S.pushGroup(G1);
+    S.pushGroup(G2);
+    S.pushGroup(G1);
+    return true;
+  }
+  case Op::Swap: {
+    VType V1, V2;
+    if (!S.popAny(V1) || !S.popAny(V2) || isCat2(V1) || isCat2(V2))
+      return false;
+    S.push(V1);
+    S.push(V2);
+    return true;
+  }
+  case Op::GetField:
+  case Op::GetStatic: {
+    if (I.Opcode == Op::GetField && !S.popType(VType::Ref))
+      return false;
+    if (!Types || Types->FieldType == VType::Unknown)
+      return false;
+    S.push(Types->FieldType);
+    return true;
+  }
+  case Op::PutField:
+  case Op::PutStatic: {
+    if (!Types || Types->FieldType == VType::Unknown)
+      return false;
+    if (!S.popType(Types->FieldType))
+      return false;
+    return I.Opcode != Op::PutField || S.popType(VType::Ref);
+  }
+  case Op::InvokeVirtual:
+  case Op::InvokeSpecial:
+  case Op::InvokeStatic:
+  case Op::InvokeInterface:
+  case Op::InvokeDynamic: {
+    if (!Types)
+      return false;
+    for (auto It = Types->ArgTypes.rbegin(); It != Types->ArgTypes.rend();
+         ++It)
+      if (!S.popType(*It))
+        return false;
+    if (I.Opcode != Op::InvokeStatic && I.Opcode != Op::InvokeDynamic &&
+        !S.popType(VType::Ref))
+      return false;
+    if (Types->RetType != VType::Void)
+      S.push(Types->RetType);
+    return true;
+  }
+  case Op::MultiANewArray: {
+    for (int32_t K = 0; K < I.Const; ++K)
+      if (!S.popType(VType::Int))
+        return false;
+    S.push(VType::Ref);
+    return true;
+  }
+  case Op::AThrow:
+  case Op::Jsr:
+  case Op::JsrW:
+    // These invalidate the linear approximation entirely.
+    return false;
+  default:
+    assert(false && "applySpecial on a table-driven opcode");
+    return false;
+  }
+}
+
+} // namespace
+
+bool cjpack::applyInsnStackEffect(const Insn &I, const InsnTypes *Types,
+                                  std::vector<VType> &Stack) {
+  const OpInfo &Info = opInfo(I.Opcode);
+  StackOps S(Stack);
+  if (Info.Pops[0] == '*' || Info.Pushes[0] == '*')
+    return applySpecial(I, Types, S);
+  // Pop the declared types, top of stack last in the string.
+  const char *P = Info.Pops;
+  size_t L = 0;
+  while (P[L])
+    ++L;
+  for (size_t K = L; K > 0; --K)
+    if (!S.popType(charType(P[K - 1])))
+      return false;
+  for (const char *Q = Info.Pushes; *Q; ++Q)
+    S.push(charType(*Q));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// StackState: the paper's linear approximation
+//===----------------------------------------------------------------------===//
+
 void StackState::startMethod() {
   Stack.clear();
   Known = true;
@@ -155,233 +385,6 @@ unsigned StackState::contextId() const {
   unsigned T1 = static_cast<unsigned>(top(0));
   unsigned T2 = static_cast<unsigned>(top(1));
   return T1 * 7 + T2;
-}
-
-static bool isCat2(VType T) { return T == VType::Long || T == VType::Double; }
-
-bool StackState::popAny(VType &Out) {
-  if (Stack.empty()) {
-    setUnknown();
-    return false;
-  }
-  Out = Stack.back();
-  Stack.pop_back();
-  return true;
-}
-
-bool StackState::popType(VType Expected) {
-  VType T;
-  if (!popAny(T))
-    return false;
-  // A mismatch means our approximation diverged from the real types
-  // (e.g. an exception handler we do not model); degrade to unknown.
-  if (T != Expected && T != VType::Unknown) {
-    setUnknown();
-    return false;
-  }
-  return true;
-}
-
-void StackState::push(VType T) { Stack.push_back(T); }
-
-static VType charType(char C) {
-  switch (C) {
-  case 'I': return VType::Int;
-  case 'J': return VType::Long;
-  case 'F': return VType::Float;
-  case 'D': return VType::Double;
-  case 'A': return VType::Ref;
-  default:
-    assert(false && "bad stack-effect character");
-    return VType::Unknown;
-  }
-}
-
-void StackState::applySpecial(const Insn &I, const InsnTypes *Types) {
-  // Pops N stack units (cat2 values count as two units); fails when the
-  // unit boundary falls inside a cat2 value. Unknown counts as one unit.
-  auto PopUnits = [&](unsigned Units, std::vector<VType> &Out) -> bool {
-    while (Units > 0) {
-      VType T;
-      if (!popAny(T))
-        return false;
-      unsigned W = isCat2(T) ? 2 : 1;
-      if (W > Units) {
-        setUnknown();
-        return false;
-      }
-      Units -= W;
-      Out.push_back(T);
-    }
-    return true;
-  };
-  auto PushGroup = [&](const std::vector<VType> &G) {
-    for (auto It = G.rbegin(); It != G.rend(); ++It)
-      push(*It);
-  };
-
-  switch (I.Opcode) {
-  case Op::Ldc:
-  case Op::LdcW:
-  case Op::Ldc2W:
-    push(Types ? Types->ConstType : VType::Unknown);
-    break;
-  case Op::Pop: {
-    VType T;
-    if (popAny(T) && isCat2(T))
-      setUnknown();
-    break;
-  }
-  case Op::Pop2: {
-    std::vector<VType> G;
-    PopUnits(2, G);
-    break;
-  }
-  case Op::Dup: {
-    VType T;
-    if (!popAny(T))
-      break;
-    if (isCat2(T)) {
-      setUnknown();
-      break;
-    }
-    push(T);
-    push(T);
-    break;
-  }
-  case Op::DupX1: {
-    VType V1, V2;
-    if (!popAny(V1) || !popAny(V2))
-      break;
-    if (isCat2(V1) || isCat2(V2)) {
-      setUnknown();
-      break;
-    }
-    push(V1);
-    push(V2);
-    push(V1);
-    break;
-  }
-  case Op::DupX2: {
-    VType V1;
-    if (!popAny(V1))
-      break;
-    if (isCat2(V1)) {
-      setUnknown();
-      break;
-    }
-    std::vector<VType> G;
-    if (!PopUnits(2, G))
-      break;
-    push(V1);
-    PushGroup(G);
-    push(V1);
-    break;
-  }
-  case Op::Dup2: {
-    std::vector<VType> G;
-    if (!PopUnits(2, G))
-      break;
-    PushGroup(G);
-    PushGroup(G);
-    break;
-  }
-  case Op::Dup2X1: {
-    std::vector<VType> G;
-    VType V;
-    if (!PopUnits(2, G) || !popAny(V))
-      break;
-    if (isCat2(V)) {
-      setUnknown();
-      break;
-    }
-    PushGroup(G);
-    push(V);
-    PushGroup(G);
-    break;
-  }
-  case Op::Dup2X2: {
-    std::vector<VType> G1, G2;
-    if (!PopUnits(2, G1) || !PopUnits(2, G2))
-      break;
-    PushGroup(G1);
-    PushGroup(G2);
-    PushGroup(G1);
-    break;
-  }
-  case Op::Swap: {
-    VType V1, V2;
-    if (!popAny(V1) || !popAny(V2))
-      break;
-    if (isCat2(V1) || isCat2(V2)) {
-      setUnknown();
-      break;
-    }
-    push(V1);
-    push(V2);
-    break;
-  }
-  case Op::GetField:
-  case Op::GetStatic: {
-    if (I.Opcode == Op::GetField && !popType(VType::Ref))
-      break;
-    if (!Types || Types->FieldType == VType::Unknown) {
-      setUnknown();
-      break;
-    }
-    push(Types->FieldType);
-    break;
-  }
-  case Op::PutField:
-  case Op::PutStatic: {
-    if (!Types || Types->FieldType == VType::Unknown) {
-      setUnknown();
-      break;
-    }
-    if (!popType(Types->FieldType))
-      break;
-    if (I.Opcode == Op::PutField)
-      popType(VType::Ref);
-    break;
-  }
-  case Op::InvokeVirtual:
-  case Op::InvokeSpecial:
-  case Op::InvokeStatic:
-  case Op::InvokeInterface:
-  case Op::InvokeDynamic: {
-    if (!Types) {
-      setUnknown();
-      break;
-    }
-    bool Ok = true;
-    for (auto It = Types->ArgTypes.rbegin();
-         Ok && It != Types->ArgTypes.rend(); ++It)
-      Ok = popType(*It);
-    if (Ok && I.Opcode != Op::InvokeStatic &&
-        I.Opcode != Op::InvokeDynamic)
-      Ok = popType(VType::Ref);
-    if (Ok && Types->RetType != VType::Void)
-      push(Types->RetType);
-    break;
-  }
-  case Op::MultiANewArray: {
-    bool Ok = true;
-    for (int32_t K = 0; Ok && K < I.Const; ++K)
-      Ok = popType(VType::Int);
-    if (Ok)
-      push(VType::Ref);
-    break;
-  }
-  case Op::AThrow:
-  case Op::Jsr:
-  case Op::JsrW:
-    setUnknown();
-    break;
-  default:
-    assert(false && "applySpecial on a table-driven opcode");
-    setUnknown();
-    break;
-  }
 }
 
 void StackState::noteBranch(const Insn &I) {
@@ -418,26 +421,8 @@ void StackState::apply(const Insn &I, const InsnTypes *Types) {
     }
   }
 
-  const OpInfo &Info = opInfo(I.Opcode);
-  bool Special = Info.Pops[0] == '*' || Info.Pushes[0] == '*';
-
-  if (Known) {
-    if (Special) {
-      applySpecial(I, Types);
-    } else {
-      // Pop the declared types, top of stack last in the string.
-      const char *P = Info.Pops;
-      size_t L = 0;
-      while (P[L])
-        ++L;
-      bool Ok = true;
-      for (size_t K = L; Ok && K > 0; --K)
-        Ok = popType(charType(P[K - 1]));
-      if (Ok)
-        for (const char *Q = Info.Pushes; *Q; ++Q)
-          push(charType(*Q));
-    }
-  }
+  if (Known && !applyInsnStackEffect(I, Types, Stack))
+    setUnknown();
 
   noteBranch(I);
 }

@@ -70,6 +70,16 @@ unsigned familyKeyDepth(OpFamily F);
 /// Returns the member of \p F for key type \p T, if one exists.
 std::optional<Op> variantFor(OpFamily F, VType T);
 
+/// Applies \p I's operand-stack effect to \p Stack, one element per value
+/// (category-2 values occupy a single element). Returns false when the
+/// effect cannot be tracked — underflow, a type mismatch against the
+/// declared effect, a stack shuffle that would split a category-2 value,
+/// or an instruction that invalidates the state (athrow, jsr) — in which
+/// case the caller must treat the state as unknown. \p Types may be null
+/// when the opcode needs no extra information.
+bool applyInsnStackEffect(const Insn &I, const InsnTypes *Types,
+                          std::vector<VType> &Stack);
+
 /// The approximate stack state machine.
 class StackState {
 public:
@@ -98,10 +108,6 @@ public:
 
 private:
   void setUnknown();
-  bool popType(VType Expected);
-  bool popAny(VType &Out);
-  void push(VType T);
-  void applySpecial(const Insn &I, const InsnTypes *Types);
   void noteBranch(const Insn &I);
 
   std::vector<VType> Stack;

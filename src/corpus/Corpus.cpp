@@ -601,9 +601,13 @@ private:
     static const Op Conds[] = {Op::IfEq, Op::IfNe, Op::IfLt,
                                Op::IfGe, Op::IfGt, Op::IfLe};
     C.B->branch(Conds[R.below(6)], L);
+    // Locals born inside a branch are not definitely assigned on paths
+    // that skip it, so they go out of scope with the branch body.
+    size_t Scope = C.Locals.size();
     unsigned N = static_cast<unsigned>(R.range(1, 3));
     for (unsigned I = 0; I < N && C.Budget > 0; ++I)
       statement(C, Sk);
+    C.Locals.resize(Scope);
     if (R.chance(40)) {
       auto LEnd = C.B->newLabel();
       C.B->branch(Op::Goto, LEnd);
@@ -611,6 +615,7 @@ private:
       unsigned M = static_cast<unsigned>(R.range(1, 2));
       for (unsigned I = 0; I < M && C.Budget > 0; ++I)
         statement(C, Sk);
+      C.Locals.resize(Scope);
       C.B->placeLabel(LEnd);
     } else {
       C.B->placeLabel(L);
@@ -628,9 +633,12 @@ private:
     C.B->loadLocal(VType::Int, I.Index);
     C.B->pushInt(static_cast<int32_t>(R.range(2, 64)));
     C.B->branch(Op::IfICmpGe, LEnd);
+    // The body may run zero times; its locals go out of scope with it.
+    size_t Scope = C.Locals.size();
     unsigned N = static_cast<unsigned>(R.range(1, 3));
     for (unsigned K = 0; K < N && C.Budget > 0; ++K)
       statement(C, Sk);
+    C.Locals.resize(Scope);
     C.B->iinc(I.Index, 1);
     C.B->branch(Op::Goto, LCond);
     C.B->placeLabel(LEnd);
@@ -675,8 +683,11 @@ private:
     }
     for (unsigned I = 0; I < N; ++I) {
       C.B->placeLabel(Cases[I]);
+      // Case-local variables are only assigned when that case runs.
+      size_t Scope = C.Locals.size();
       if (C.Budget > 0)
         statement(C, Sk);
+      C.Locals.resize(Scope);
       C.B->branch(Op::Goto, LEnd);
     }
     C.B->placeLabel(LDefault);
@@ -689,16 +700,22 @@ private:
     auto LHandler = C.B->newLabel();
     auto LDone = C.B->newLabel();
     C.B->placeLabel(LStart);
+    // The protected range must be non-empty, and the handler can fire
+    // anywhere inside it, so try-body locals do not survive the block.
+    size_t Scope = C.Locals.size();
+    stmtIntArith(C);
     unsigned N = static_cast<unsigned>(R.range(1, 2));
-    for (unsigned I = 0; I < N && C.Budget > 0; ++I)
+    for (unsigned I = 1; I < N && C.Budget > 0; ++I)
       statement(C, Sk);
+    C.Locals.resize(Scope);
     C.B->placeLabel(LEndTry);
     C.B->branch(Op::Goto, LDone);
     C.B->placeLabel(LHandler);
     C.B->beginHandler();
+    // The caught exception is only assigned on the handler path; keep
+    // it out of scope so fallthrough code never reads it.
     Local E = newTypedLocal(C, VType::Ref, "java/lang/Exception");
     C.B->storeLocal(VType::Ref, E.Index);
-    C.Locals.push_back(E);
     C.B->placeLabel(LDone);
     C.B->addExceptionRegion(LStart, LEndTry, LHandler,
                             R.chance(80) ? "java/lang/Exception" : "");

@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/FlowState.h"
 #include "bytecode/Instruction.h"
 #include "classfile/Transform.h"
 #include "classfile/Writer.h"
@@ -441,14 +442,19 @@ private:
       DC.Table.push_back(E);
     }
 
-    StackState State;
+    FlowState State;
     State.startMethod();
+    for (const DecodedCode::Exc &E : DC.Table)
+      State.seedHandler(E.HandlerPc);
     uint32_t Offset = 0;
     DC.Insns.reserve(InsnCount);
     DC.Operands.reserve(InsnCount);
     for (size_t K = 0; K < InsnCount; ++K) {
       if (Latch)
         return std::move(Latch);
+      // Same pre-opcode merge as the encoder: forward-edge states land
+      // before the pseudo-opcode at this offset is resolved.
+      State.enterInsn(Offset);
       auto R = decodeInsn(Offset, State);
       if (!R)
         return R.takeError();
@@ -470,7 +476,7 @@ private:
   }
 
   Expected<std::pair<Insn, CodeOperand>> decodeInsn(uint32_t Offset,
-                                                    StackState &State) {
+                                                    FlowState &State) {
     ByteReader &Ops = S.in(StreamId::Opcodes);
     Insn I;
     CodeOperand Operand;
@@ -643,7 +649,7 @@ private:
   }
 
   Error decodeCpOperand(Insn &I, CodeOperand &Operand,
-                        StackState &State) {
+                        FlowState &State) {
     switch (cpRefKind(I.Opcode)) {
     case CpRefKind::LoadConst:
     case CpRefKind::LoadConst2:

@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/FlowState.h"
 #include "bytecode/Instruction.h"
 #include "classfile/Transform.h"
 #include "pack/ClassOrder.h"
@@ -419,7 +420,7 @@ private:
 
   /// The wire code point for \p I given the current stack state.
   uint8_t wireOpcode(const Insn &I, const CodeOperand &Operand,
-                     const StackState &State) {
+                     const FlowState &State) {
     if (I.Opcode == Op::Ldc || I.Opcode == Op::LdcW) {
       bool Short = I.Opcode == Op::Ldc;
       switch (Operand.Kind) {
@@ -478,9 +479,15 @@ private:
       }
     }
 
-    StackState State;
+    FlowState State;
     State.startMethod();
+    for (const ExceptionTableEntry &E : Code->ExceptionTable)
+      State.seedHandler(E.HandlerPc);
     for (const Insn &I : *Insns) {
+      // Merge the states recorded on forward edges into this offset
+      // before the opcode is chosen — the decoder does the same before
+      // resolving it.
+      State.enterInsn(I.Offset);
       auto Operand = makeOperand(CF, I);
       if (!Operand)
         return Operand.takeError();
@@ -500,7 +507,7 @@ private:
   }
 
   Error encodeInsn(const Insn &I, const CodeOperand &Operand,
-                   StackState &State) {
+                   FlowState &State) {
     ByteWriter &Ops = S.out(StreamId::Opcodes);
     if (I.IsWide)
       Ops.writeU1(static_cast<uint8_t>(Op::Wide));
