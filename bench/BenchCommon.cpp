@@ -105,3 +105,77 @@ std::string cjpack::pct(size_t A, size_t B) {
     return "-";
   return std::to_string((A * 100 + B / 2) / B) + "%";
 }
+
+std::string cjpack::jsonQuote(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+void JsonObject::add(const std::string &Key, const std::string &V) {
+  Fields.emplace_back(Key, jsonQuote(V));
+}
+
+void JsonObject::add(const std::string &Key, const char *V) {
+  Fields.emplace_back(Key, jsonQuote(V));
+}
+
+void JsonObject::add(const std::string &Key, uint64_t V) {
+  Fields.emplace_back(Key, std::to_string(V));
+}
+
+void JsonObject::add(const std::string &Key, double V) {
+  char Buf[48];
+  snprintf(Buf, sizeof(Buf), "%.6g", V);
+  Fields.emplace_back(Key, Buf);
+}
+
+void JsonObject::add(const std::string &Key, bool V) {
+  Fields.emplace_back(Key, V ? "true" : "false");
+}
+
+void JsonObject::addRaw(const std::string &Key, const std::string &RawJson) {
+  Fields.emplace_back(Key, RawJson);
+}
+
+std::string JsonObject::str(unsigned Indent) const {
+  std::string Pad(Indent, ' ');
+  std::string Out = "{";
+  for (size_t I = 0; I < Fields.size(); ++I) {
+    Out += I ? ",\n" : "\n";
+    Out += Pad + "  " + jsonQuote(Fields[I].first) + ": " +
+           Fields[I].second;
+  }
+  Out += "\n" + Pad + "}";
+  return Out;
+}
+
+void cjpack::writeBenchJson(FILE *Out, const JsonObject &Header,
+                            const std::vector<JsonObject> &Rows) {
+  std::string Doc = Header.str();
+  // Splice the rows array in before the header object's closing brace.
+  Doc.erase(Doc.size() - 2); // "\n}"
+  Doc += ",\n  \"rows\": [";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    Doc += I ? ",\n    " : "\n    ";
+    Doc += Rows[I].str(4);
+  }
+  Doc += "\n  ]\n}\n";
+  fputs(Doc.c_str(), Out);
+}

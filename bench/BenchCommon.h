@@ -69,6 +69,34 @@ std::string withCommas(size_t N);
 /// Formats A/B as a percentage string like "61%".
 std::string pct(size_t A, size_t B);
 
+/// Ordered key/value builder for the benches' machine-readable output.
+/// Values keep insertion order, so the emitted documents diff cleanly
+/// between runs — the property the committed bench baselines rely on.
+class JsonObject {
+public:
+  void add(const std::string &Key, const std::string &V);
+  void add(const std::string &Key, const char *V);
+  void add(const std::string &Key, uint64_t V);
+  void add(const std::string &Key, double V);
+  void add(const std::string &Key, bool V);
+  /// Adds \p RawJson verbatim (for nested objects/arrays).
+  void addRaw(const std::string &Key, const std::string &RawJson);
+
+  /// Renders "{...}"; \p Indent spaces prefix every inner line.
+  std::string str(unsigned Indent = 0) const;
+
+private:
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
+
+/// JSON string literal with escaping.
+std::string jsonQuote(const std::string &S);
+
+/// Writes a bench report: a top-level object of \p Header fields plus a
+/// "rows" array of per-measurement objects.
+void writeBenchJson(FILE *Out, const JsonObject &Header,
+                    const std::vector<JsonObject> &Rows);
+
 } // namespace cjpack
 
 #endif // CJPACK_BENCH_BENCHCOMMON_H

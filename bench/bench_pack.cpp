@@ -1,0 +1,150 @@
+//===- bench_pack.cpp - deterministic pack smoke + baseline ---------------===//
+//
+// Part of cjpack. MIT license.
+//
+// Packs three small fixed corpora (balanced / numeric / string-heavy
+// code) at shard counts 1 and 4, round-trips each archive, and reports
+// the sizes as JSON. The corpora are pinned — no CJPACK_SCALE — so the
+// zlib-independent fields (classes, input_bytes, raw_stream_bytes) are
+// bit-stable across machines and the archive sizes move only with the
+// zlib version. CI runs this and diffs the output against the committed
+// baseline in bench/baselines/BENCH_pack.json via compare_bench.py.
+//
+//   bench_pack [--json FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "classfile/Writer.h"
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <zlib.h>
+
+using namespace cjpack;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+
+  printf("Pack smoke bench (fixed corpora)\n\n");
+  printf("%-14s %7s %8s %12s %12s %7s %8s %9s\n", "corpus", "shards",
+         "classes", "input(B)", "archive(B)", "ratio", "pack(ms)",
+         "unpack(ms)");
+
+  struct {
+    const char *Name;
+    CodeStyle Style;
+  } Styles[] = {{"balanced", CodeStyle::Balanced},
+                {"numeric", CodeStyle::Numeric},
+                {"stringheavy", CodeStyle::StringHeavy}};
+
+  std::vector<JsonObject> Rows;
+  int Rc = 0;
+  for (auto &St : Styles) {
+    CorpusSpec Spec;
+    Spec.Name = St.Name;
+    Spec.Seed = 1234;
+    Spec.NumClasses = 48;
+    Spec.NumPackages = 4;
+    Spec.MeanMethods = 6;
+    Spec.MeanStatements = 10;
+    Spec.Code = St.Style;
+    BenchData B = loadBench(Spec);
+    size_t InputBytes = totalClassBytes(B.StrippedBytes);
+
+    for (unsigned Shards : {1u, 4u}) {
+      PackOptions Options;
+      Options.Shards = Shards;
+      Options.Threads = 2;
+      auto T0 = std::chrono::steady_clock::now();
+      auto Packed = packClasses(B.Prepared, Options);
+      double PackMs = msSince(T0);
+      if (!Packed) {
+        fprintf(stderr, "%s/s%u: pack failed: %s\n", St.Name, Shards,
+                Packed.message().c_str());
+        Rc = 1;
+        continue;
+      }
+      T0 = std::chrono::steady_clock::now();
+      auto Restored = unpackClasses(Packed->Archive);
+      double UnpackMs = msSince(T0);
+      if (!Restored) {
+        fprintf(stderr, "%s/s%u: unpack failed: %s\n", St.Name, Shards,
+                Restored.message().c_str());
+        Rc = 1;
+        continue;
+      }
+      // Round-trip gate: the baseline must never record an archive
+      // that does not restore the prepared classfiles exactly.
+      bool Same = Restored->size() == B.Prepared.size();
+      for (size_t I = 0; Same && I < Restored->size(); ++I)
+        Same = writeClassFile((*Restored)[I]) ==
+               writeClassFile(B.Prepared[I]);
+      if (!Same) {
+        fprintf(stderr, "%s/s%u: round-trip mismatch\n", St.Name, Shards);
+        Rc = 1;
+        continue;
+      }
+
+      printf("%-14s %7u %8zu %12zu %12zu %6.1f%% %8.1f %9.1f\n", St.Name,
+             Shards, B.Prepared.size(), InputBytes,
+             Packed->Archive.size(),
+             100.0 * Packed->Archive.size() / InputBytes, PackMs,
+             UnpackMs);
+
+      JsonObject Row;
+      Row.add("name", std::string(St.Name) + "/s" +
+                          std::to_string(Shards));
+      Row.add("shards", static_cast<uint64_t>(Shards));
+      Row.add("classes", static_cast<uint64_t>(B.Prepared.size()));
+      Row.add("input_bytes", static_cast<uint64_t>(InputBytes));
+      Row.add("archive_bytes",
+              static_cast<uint64_t>(Packed->Archive.size()));
+      Row.add("raw_stream_bytes",
+              static_cast<uint64_t>(Packed->Sizes.totalRaw()));
+      Row.add("ratio",
+              static_cast<double>(Packed->Archive.size()) / InputBytes);
+      Row.add("pack_ms", PackMs);
+      Row.add("unpack_ms", UnpackMs);
+      JsonObject Cats;
+      for (StreamCategory C :
+           {StreamCategory::Strings, StreamCategory::Opcodes,
+            StreamCategory::Ints, StreamCategory::Refs,
+            StreamCategory::Misc})
+        Cats.add(streamCategoryName(C),
+                 static_cast<uint64_t>(Packed->Sizes.packedOf(C)));
+      Row.addRaw("categories", Cats.str(6));
+      Rows.push_back(std::move(Row));
+    }
+  }
+
+  if (!JsonPath.empty()) {
+    FILE *Out = fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    JsonObject Header;
+    Header.add("bench", "pack");
+    Header.add("zlib", zlibVersion());
+    writeBenchJson(Out, Header, Rows);
+    fclose(Out);
+    printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return Rc;
+}

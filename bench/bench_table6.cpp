@@ -5,7 +5,10 @@
 // Reproduces Table 6, the paper's headline result: for every benchmark,
 // the sizes of the jar / j0r.gz / Jazz / Packed archives, the latter
 // three as percentages of the jar, and the composition of the packed
-// archive (strings / opcodes / ints / refs / misc).
+// archive (strings / opcodes / ints / refs / misc). The composition
+// columns come from the encoder's per-stream telemetry (StreamSizes).
+//
+//   bench_table6 [--json FILE]
 //
 //===----------------------------------------------------------------------===//
 
@@ -13,10 +16,18 @@
 #include "jazz/Jazz.h"
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace cjpack;
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+
   printf("Table 6: compression ratios\n");
   printf("scale=%.2f\n\n", benchScale());
   printf("%-16s %7s %8s %7s %7s | %7s %6s %7s | %5s %5s %5s %5s %5s\n",
@@ -30,6 +41,7 @@ int main() {
               return totalClassBytes(A.StrippedBytes) <
                      totalClassBytes(B.StrippedBytes);
             });
+  std::vector<JsonObject> Rows;
   for (const BenchData &B : Benches) {
     size_t Jar = buildJar(B.StrippedBytes).size();
     size_t J0rGz = buildJ0rGz(B.StrippedBytes).size();
@@ -43,6 +55,25 @@ int main() {
     size_t PackSize = Packed->Archive.size();
     const StreamSizes &Z = Packed->Sizes;
     size_t Total = Z.totalPacked();
+    if (!JsonPath.empty()) {
+      JsonObject Row;
+      Row.add("name", B.Spec.Name);
+      Row.add("classes", static_cast<uint64_t>(B.Prepared.size()));
+      Row.add("jar_bytes", static_cast<uint64_t>(Jar));
+      Row.add("j0rgz_bytes", static_cast<uint64_t>(J0rGz));
+      Row.add("jazz_bytes", static_cast<uint64_t>(JazzSize));
+      Row.add("packed_bytes", static_cast<uint64_t>(PackSize));
+      Row.add("raw_stream_bytes", static_cast<uint64_t>(Z.totalRaw()));
+      JsonObject Cats;
+      for (StreamCategory C :
+           {StreamCategory::Strings, StreamCategory::Opcodes,
+            StreamCategory::Ints, StreamCategory::Refs,
+            StreamCategory::Misc})
+        Cats.add(streamCategoryName(C),
+                 static_cast<uint64_t>(Z.packedOf(C)));
+      Row.addRaw("categories", Cats.str(6));
+      Rows.push_back(std::move(Row));
+    }
     printf("%-16s %7s %8s %7s %7s | %7s %6s %7s | %5s %5s %5s %5s %5s\n",
            B.Spec.Name.c_str(), withCommas(Jar / 1024).c_str(),
            withCommas(J0rGz / 1024).c_str(),
@@ -59,5 +90,19 @@ int main() {
   printf("\nPaper shape: Packed is 17-49%% of the jar (improving with\n"
          "archive size), Jazz lands between j0r.gz and Packed, and no\n"
          "single stream category dominates the packed archive.\n");
+
+  if (!JsonPath.empty()) {
+    FILE *Out = fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    JsonObject Header;
+    Header.add("bench", "table6");
+    Header.add("scale", benchScale());
+    writeBenchJson(Out, Header, Rows);
+    fclose(Out);
+    printf("wrote %s\n", JsonPath.c_str());
+  }
   return 0;
 }

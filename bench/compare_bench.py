@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Diff a bench_pack JSON report against the committed baseline.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json
+
+Row-by-row (matched on "name"):
+  - exact match required on the zlib-independent fields:
+    shards, classes, input_bytes, raw_stream_bytes
+  - archive_bytes must stay within TOLERANCE of the baseline (the
+    deflate output legitimately drifts a little across zlib versions)
+  - timings (pack_ms / unpack_ms), ratio, and the per-category packed
+    byte split are informational and never compared
+
+Exits nonzero with a per-field report on any mismatch. To accept an
+intended change, regenerate the baseline:
+
+    bench_pack --json bench/baselines/BENCH_pack.json
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.05  # fraction of the baseline archive_bytes
+
+EXACT_FIELDS = ("shards", "classes", "input_bytes", "raw_stream_bytes")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        cur = json.load(f)
+
+    base_rows = {r["name"]: r for r in base["rows"]}
+    cur_rows = {r["name"]: r for r in cur["rows"]}
+
+    failures = []
+    for name in base_rows:
+        if name not in cur_rows:
+            failures.append(f"{name}: missing from current report")
+    for name in cur_rows:
+        if name not in base_rows:
+            failures.append(f"{name}: not in baseline")
+
+    for name, b in sorted(base_rows.items()):
+        c = cur_rows.get(name)
+        if c is None:
+            continue
+        for field in EXACT_FIELDS:
+            if b[field] != c[field]:
+                failures.append(
+                    f"{name}: {field} changed {b[field]} -> {c[field]}"
+                )
+        drift = abs(c["archive_bytes"] - b["archive_bytes"])
+        limit = TOLERANCE * b["archive_bytes"]
+        if drift > limit:
+            failures.append(
+                f"{name}: archive_bytes {b['archive_bytes']} -> "
+                f"{c['archive_bytes']} (drift {drift}, limit {limit:.0f})"
+            )
+
+    if failures:
+        print(f"bench baseline comparison FAILED ({len(failures)} issues):")
+        for f in failures:
+            print(f"  {f}")
+        print(
+            "\nIf the change is intended, regenerate the baseline:\n"
+            "  bench_pack --json bench/baselines/BENCH_pack.json"
+        )
+        return 1
+
+    if base.get("zlib") != cur.get("zlib"):
+        print(
+            f"note: zlib {base.get('zlib')} (baseline) vs "
+            f"{cur.get('zlib')} (current); sizes within tolerance"
+        )
+    print(f"bench baseline comparison OK ({len(base_rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 //   packtool unpack <in.cjp> <out.jar>        unpack to a stored jar
 //   packtool info <in.cjp|in.jar>             describe an archive
 //   packtool verify <in.class|jar|cjp>        run the bytecode verifier
+//   packtool stats <in.cjp|in.jar> [--json]   per-stream composition
 //   packtool selftest <out-dir>               write a demo jar + archive
 //
 // `--threads N` (anywhere on the command line) packs into N shards
@@ -27,7 +28,9 @@
 #include "analysis/Verifier.h"
 #include "classfile/Reader.h"
 #include "corpus/Corpus.h"
+#include "pack/Model.h"
 #include "pack/Packer.h"
+#include "pack/Stats.h"
 #include "zip/Jar.h"
 #include <cstdio>
 #include <cstdlib>
@@ -243,6 +246,227 @@ int cmdVerify(const std::vector<std::string> &Args) {
   return (NumDiags == 0 || WarnOnly) ? 0 : 1;
 }
 
+/// Prints the per-stream composition table shared by both stats inputs.
+void printStreamTable(const StreamSizes &Sizes, bool HaveItems) {
+  printf("  %-18s %-8s %10s %10s%s\n", "stream", "category", "raw",
+         "packed", HaveItems ? "      items" : "");
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    StreamId Id = static_cast<StreamId>(I);
+    if (Sizes.Raw[I] == 0 && Sizes.Packed[I] == 0 && Sizes.Items[I] == 0)
+      continue;
+    printf("  %-18s %-8s %10zu %10zu", streamName(Id),
+           streamCategoryName(streamCategory(Id)), Sizes.Raw[I],
+           Sizes.Packed[I]);
+    if (HaveItems)
+      printf(" %10llu", static_cast<unsigned long long>(Sizes.Items[I]));
+    printf("\n");
+  }
+  printf("  %-18s %-8s %10zu %10zu", "total", "", Sizes.totalRaw(),
+         Sizes.totalPacked());
+  if (HaveItems)
+    printf(" %10llu", static_cast<unsigned long long>(Sizes.totalItems()));
+  printf("\n");
+  size_t Packed = Sizes.totalPacked();
+  if (Packed != 0) {
+    printf("  composition:");
+    for (StreamCategory C :
+         {StreamCategory::Strings, StreamCategory::Opcodes,
+          StreamCategory::Ints, StreamCategory::Refs, StreamCategory::Misc})
+      printf(" %s %.1f%%", streamCategoryName(C),
+             100.0 * Sizes.packedOf(C) / Packed);
+    printf("\n");
+  }
+}
+
+/// Emits the machine-readable stats document. The schema is documented
+/// in the README; bench tooling consumes the same shape.
+void printStatsJson(FILE *Out, const std::string &Source,
+                    const ArchiveStats &Stats, const StreamSizes &Sizes,
+                    bool HaveItems, const PackResult *Packed,
+                    size_t InputBytes) {
+  fprintf(Out, "{\n  \"source\": \"%s\",\n  \"kind\": \"%s\",\n",
+          Source.c_str(), Packed ? "jar" : "archive");
+  fprintf(Out, "  \"version\": %u,\n  \"scheme\": \"%s\",\n",
+          Stats.Version, refSchemeName(Stats.Scheme));
+  fprintf(Out,
+          "  \"flags\": {\"collapse_opcodes\": %s, \"compress_streams\": "
+          "%s, \"preload\": %s},\n",
+          Stats.CollapseOpcodes ? "true" : "false",
+          Stats.CompressStreams ? "true" : "false",
+          Stats.PreloadStandardRefs ? "true" : "false");
+  fprintf(Out, "  \"shards\": %zu,\n  \"archive_bytes\": %zu,\n",
+          Stats.Shards, Stats.ArchiveBytes);
+  fprintf(Out,
+          "  \"header_bytes\": %zu,\n  \"dictionary_bytes\": %zu,\n"
+          "  \"dictionary_entries\": %zu,\n",
+          Stats.HeaderBytes, Stats.DictionaryBytes,
+          Stats.DictionaryEntries);
+  if (Packed) {
+    fprintf(Out, "  \"input_bytes\": %zu,\n  \"class_count\": %zu,\n",
+            InputBytes, Packed->ClassCount);
+    const PhaseTimes &P = Packed->Trace.Phases;
+    fprintf(Out,
+            "  \"phases\": {\"parse_s\": %.6f, \"model_s\": %.6f, "
+            "\"emit_s\": %.6f, \"deflate_s\": %.6f},\n",
+            P.ParseSec, P.ModelSec, P.EmitSec, P.DeflateSec);
+    fprintf(Out, "  \"shard_times\": [");
+    for (size_t K = 0; K < Packed->Trace.Shards.size(); ++K) {
+      const ShardTimes &S = Packed->Trace.Shards[K];
+      fprintf(Out,
+              "%s\n    {\"shard\": %zu, \"classes\": %zu, "
+              "\"model_s\": %.6f, \"emit_s\": %.6f}",
+              K ? "," : "", S.Shard, S.Classes, S.ModelSec, S.EmitSec);
+    }
+    fprintf(Out, "\n  ],\n  \"coder\": [");
+    bool First = true;
+    for (const auto &[Pool, T] : Packed->Trace.Coder.pools()) {
+      fprintf(Out,
+              "%s\n    {\"pool\": \"%s\", \"refs\": %llu, \"defs\": "
+              "%llu}",
+              First ? "" : ",",
+              Pool < NumPoolKinds ? poolName(static_cast<PoolKind>(Pool))
+                                  : "?",
+              static_cast<unsigned long long>(T.Refs),
+              static_cast<unsigned long long>(T.Defs));
+      First = false;
+    }
+    fprintf(Out, "\n  ],\n");
+  }
+  fprintf(Out, "  \"streams\": [");
+  bool First = true;
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    StreamId Id = static_cast<StreamId>(I);
+    fprintf(Out,
+            "%s\n    {\"name\": \"%s\", \"category\": \"%s\", \"raw\": "
+            "%zu, \"packed\": %zu",
+            First ? "" : ",", streamName(Id),
+            streamCategoryName(streamCategory(Id)), Sizes.Raw[I],
+            Sizes.Packed[I]);
+    if (HaveItems)
+      fprintf(Out, ", \"items\": %llu",
+              static_cast<unsigned long long>(Sizes.Items[I]));
+    fprintf(Out, "}");
+    First = false;
+  }
+  fprintf(Out, "\n  ],\n  \"categories\": {");
+  First = true;
+  for (StreamCategory C :
+       {StreamCategory::Strings, StreamCategory::Opcodes,
+        StreamCategory::Ints, StreamCategory::Refs, StreamCategory::Misc}) {
+    fprintf(Out, "%s\"%s\": %zu", First ? "" : ", ",
+            streamCategoryName(C), Sizes.packedOf(C));
+    First = false;
+  }
+  fprintf(Out, "}\n}\n");
+}
+
+int cmdStats(const std::vector<std::string> &Args) {
+  bool Json = false;
+  std::string InPath;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "--json")
+      Json = true;
+    else
+      InPath = Args[I];
+  }
+  if (InPath.empty()) {
+    fprintf(stderr, "usage: packtool stats <in.cjp|in.jar> [--json]\n");
+    return 2;
+  }
+  std::vector<uint8_t> Bytes;
+  if (!readFile(InPath, Bytes)) {
+    fprintf(stderr, "packtool: cannot read %s\n", InPath.c_str());
+    return 1;
+  }
+
+  if (Bytes.size() >= 4 && Bytes[0] == 'C' && Bytes[1] == 'J') {
+    // Existing archive: read the composition off the wire. No item
+    // counts — those are encoder telemetry, not wire data.
+    auto Stats = statPackedArchive(Bytes);
+    if (!Stats) {
+      fprintf(stderr, "packtool: %s\n", Stats.message().c_str());
+      return 1;
+    }
+    if (Json) {
+      printStatsJson(stdout, InPath, *Stats, Stats->Sizes,
+                     /*HaveItems=*/false, /*Packed=*/nullptr, 0);
+      return 0;
+    }
+    printf("%s: version %u, scheme %s, %zu shard%s, %zu bytes\n",
+           InPath.c_str(), Stats->Version, refSchemeName(Stats->Scheme),
+           Stats->Shards, Stats->Shards == 1 ? "" : "s",
+           Stats->ArchiveBytes);
+    printf("  header %zu bytes, dictionary %zu bytes (%zu entries)\n",
+           Stats->HeaderBytes, Stats->DictionaryBytes,
+           Stats->DictionaryEntries);
+    printStreamTable(Stats->Sizes, /*HaveItems=*/false);
+    return 0;
+  }
+
+  // A jar: pack it in memory and report the full pack-time telemetry
+  // (stream items, phase times, per-shard timings, coder tallies).
+  auto Entries = readZip(Bytes);
+  if (!Entries) {
+    fprintf(stderr,
+            "packtool: %s is neither a packed archive nor a zip\n",
+            InPath.c_str());
+    return 1;
+  }
+  std::vector<NamedClass> Classes;
+  for (ZipEntry &E : *Entries)
+    if (isClassName(E.Name))
+      Classes.push_back(std::move(E));
+  PackOptions Options;
+  Options.Shards = NumThreads;
+  Options.Threads = NumThreads;
+  auto Packed = packClassBytes(Classes, Options);
+  if (!Packed) {
+    fprintf(stderr, "packtool: %s\n", Packed.message().c_str());
+    return 1;
+  }
+  auto Stats = statPackedArchive(Packed->Archive);
+  if (!Stats) {
+    fprintf(stderr, "packtool: %s\n", Stats.message().c_str());
+    return 1;
+  }
+  // Report the encoder's accounting (it includes item counts); the
+  // wire-level walk above contributes the framing figures and is the
+  // cross-check that both agree.
+  if (Json) {
+    printStatsJson(stdout, InPath, *Stats, Packed->Sizes,
+                   /*HaveItems=*/true, &*Packed, Bytes.size());
+    return 0;
+  }
+  printf("%s: %zu classes, %zu -> %zu bytes (%.0f%%)\n", InPath.c_str(),
+         Packed->ClassCount, Bytes.size(), Packed->Archive.size(),
+         100.0 * Packed->Archive.size() / Bytes.size());
+  printf("  version %u, scheme %s, %zu shard%s\n", Stats->Version,
+         refSchemeName(Stats->Scheme), Stats->Shards,
+         Stats->Shards == 1 ? "" : "s");
+  printf("  header %zu bytes, dictionary %zu bytes (%zu entries)\n",
+         Stats->HeaderBytes, Stats->DictionaryBytes,
+         Stats->DictionaryEntries);
+  printStreamTable(Packed->Sizes, /*HaveItems=*/true);
+  const PhaseTimes &P = Packed->Trace.Phases;
+  printf("  phases: parse %.3fs, model %.3fs, emit %.3fs, deflate "
+         "%.3fs\n",
+         P.ParseSec, P.ModelSec, P.EmitSec, P.DeflateSec);
+  for (const ShardTimes &S : Packed->Trace.Shards)
+    printf("  shard %zu: %zu classes, model %.3fs, emit %.3fs\n",
+           S.Shard, S.Classes, S.ModelSec, S.EmitSec);
+  if (!Packed->Trace.Coder.pools().empty()) {
+    printf("  coder:");
+    for (const auto &[Pool, T] : Packed->Trace.Coder.pools())
+      printf(" %s %llu/%llu",
+             Pool < NumPoolKinds ? poolName(static_cast<PoolKind>(Pool))
+                                 : "?",
+             static_cast<unsigned long long>(T.Refs),
+             static_cast<unsigned long long>(T.Defs));
+    printf(" (refs/defs)\n");
+  }
+  return 0;
+}
+
 int cmdSelftest(const std::string &Dir) {
   CorpusSpec Spec;
   Spec.Name = "selftest";
@@ -293,6 +517,8 @@ int main(int Argc, char **Argv) {
     return cmdInfo(Args[1]);
   if (Args.size() >= 2 && Args[0] == "verify")
     return cmdVerify(Args);
+  if (Args.size() >= 2 && Args[0] == "stats")
+    return cmdStats(Args);
   if (Args.size() >= 2 && Args[0] == "selftest")
     return cmdSelftest(Args[1]);
   if (Args.empty())
@@ -303,6 +529,7 @@ int main(int Argc, char **Argv) {
           "       packtool [--threads N] unpack <in.cjp> <out.jar>\n"
           "       packtool info <archive>\n"
           "       packtool verify [--warn] <in.class|jar|cjp>\n"
+          "       packtool stats <in.cjp|in.jar> [--json]\n"
           "       packtool selftest <dir>\n");
   return 2;
 }

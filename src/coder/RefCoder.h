@@ -27,6 +27,7 @@
 #define CJPACK_CODER_REFCODER_H
 
 #include "support/ByteBuffer.h"
+#include "support/PackTrace.h"
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -118,6 +119,23 @@ public:
     (void)Object;
     return false;
   }
+
+  /// encode() plus per-pool telemetry. The tally is observational only:
+  /// the emitted bytes are identical with or without one installed.
+  bool encodeCounted(uint32_t Pool, uint32_t Sub, uint32_t Object,
+                     ByteWriter &W) {
+    bool Def = encode(Pool, Sub, Object, W);
+    if (Tally)
+      Tally->note(Pool, Def);
+    return Def;
+  }
+
+  /// Installs (or clears, with null) the telemetry sink for
+  /// encodeCounted. Not owned; must outlive the encoder's use.
+  void setTally(CoderTally *T) { Tally = T; }
+
+private:
+  CoderTally *Tally = nullptr;
 };
 
 /// Decoder half of a scheme.
@@ -141,6 +159,23 @@ public:
     (void)Object;
     return false;
   }
+
+  /// decode() plus per-pool telemetry (a nullopt result is a
+  /// definition). Observational only, like RefEncoder::encodeCounted.
+  std::optional<uint32_t> decodeCounted(uint32_t Pool, uint32_t Sub,
+                                        ByteReader &R) {
+    std::optional<uint32_t> Existing = decode(Pool, Sub, R);
+    if (Tally)
+      Tally->note(Pool, !Existing.has_value());
+    return Existing;
+  }
+
+  /// Installs (or clears, with null) the telemetry sink for
+  /// decodeCounted. Not owned; must outlive the decoder's use.
+  void setTally(CoderTally *T) { Tally = T; }
+
+private:
+  CoderTally *Tally = nullptr;
 };
 
 /// Creates the encoder for \p S. \p Stats must outlive the encoder and be

@@ -4,707 +4,33 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The decoder mirrors the encoder's preorder traversal exactly: the same
-// streams are read in the same order, the same approximate stack state
-// machine resolves collapsed pseudo-opcodes, and the reference decoder's
-// queues evolve in lock step with the encoder's. Classfile
-// reconstruction assigns int/float/string constants the smallest
-// constant-pool indices so every ldc operand fits in one byte (§9), then
-// canonicalizes the pool, making decompression deterministic (§12).
+// The decoder mirrors the encoder's preorder traversal exactly because
+// both run the SAME traversal: the shared Transcriber (Transcode.h)
+// instantiated for the decode direction. The same streams are read in
+// the same order, the same approximate stack state machine resolves
+// collapsed pseudo-opcodes, and the reference decoder's queues evolve in
+// lock step with the encoder's. This file owns what is genuinely
+// decode-only: archive-level orchestration (header, dictionary, shards)
+// and classfile materialization — reconstruction assigns
+// int/float/string constants the smallest constant-pool indices so every
+// ldc operand fits in one byte (§9), then canonicalizes the pool, making
+// decompression deterministic (§12).
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/FlowState.h"
-#include "bytecode/Instruction.h"
 #include "classfile/Transform.h"
 #include "classfile/Writer.h"
-#include "pack/CodeCommon.h"
 #include "pack/Dictionary.h"
 #include "pack/Packer.h"
 #include "pack/Preload.h"
-#include "zip/Manifest.h"
+#include "pack/Transcode.h"
 #include "support/ThreadPool.h"
-#include "support/VarInt.h"
+#include "zip/Manifest.h"
 #include <optional>
 
 using namespace cjpack;
 
 namespace {
-
-struct DecodedConst {
-  ConstKind Kind = ConstKind::None;
-  int64_t IntValue = 0;
-  uint64_t RawBits = 0;
-  uint32_t Id = 0;
-};
-
-struct DecodedCode {
-  uint32_t MaxStack = 0;
-  uint32_t MaxLocals = 0;
-  struct Exc {
-    uint32_t StartPc, EndPc, HandlerPc;
-    bool HasCatch = false;
-    uint32_t CatchClass = 0;
-  };
-  std::vector<Exc> Table;
-  std::vector<Insn> Insns;
-  std::vector<CodeOperand> Operands; ///< parallel to Insns
-};
-
-struct DecodedField {
-  uint32_t Flags = 0;
-  uint32_t RefId = 0;
-  DecodedConst Const;
-};
-
-struct DecodedMethod {
-  uint32_t Flags = 0;
-  uint32_t RefId = 0;
-  std::vector<uint32_t> Exceptions;
-  std::optional<DecodedCode> Code;
-};
-
-struct DecodedClass {
-  uint32_t MinorVersion = 0, MajorVersion = 0;
-  uint32_t Flags = 0;
-  uint32_t ThisId = 0;
-  bool HasSuper = false;
-  uint32_t SuperId = 0;
-  std::vector<uint32_t> Interfaces;
-  std::vector<DecodedField> Fields;
-  std::vector<DecodedMethod> Methods;
-};
-
-class ArchiveReader {
-public:
-  ArchiveReader(Model &M, RefDecoder &Dec, StreamSet &S, RefScheme Scheme,
-                const DecodeLimits &Limits)
-      : M(M), Dec(Dec), S(S), Scheme(Scheme), Limits(Limits) {}
-
-  Expected<std::vector<DecodedClass>> decodeArchive() {
-    ByteReader &Counts = S.in(StreamId::Counts);
-    size_t Count = static_cast<size_t>(readVarUInt(Counts));
-    if (Counts.hasError())
-      return Counts.takeError("unpack");
-    if (Count > Limits.MaxClasses)
-      return makeError(ErrorCode::LimitExceeded,
-                       "unpack: class count over limit");
-    // Every class costs at least five varint bytes from the Counts
-    // stream (versions plus three member counts), so a count the stream
-    // cannot hold is corrupt before anything is reserved.
-    if (Count * 5 > Counts.remaining())
-      return makeError(ErrorCode::Corrupt,
-                       "unpack: class count exceeds stream size");
-    std::vector<DecodedClass> Out;
-    Out.reserve(Count);
-    for (size_t I = 0; I < Count; ++I) {
-      auto DC = decodeClass();
-      if (!DC)
-        return DC.takeError();
-      if (Latch)
-        return std::move(Latch);
-      Out.push_back(std::move(*DC));
-    }
-    return Out;
-  }
-
-private:
-  //===--------------------------------------------------------------===//
-  // Reference decoding with inline definitions
-  //===--------------------------------------------------------------===//
-
-  /// Records the first wire-validation failure. The readers keep
-  /// returning in-bounds poison objects after a failure so downstream
-  /// model lookups stay safe; the next structural checkpoint aborts the
-  /// decode with this error.
-  void fail(ErrorCode Code, std::string Msg) {
-    if (!Latch)
-      Latch = makeError(Code, std::move(Msg));
-  }
-
-  /// An always-valid class-ref id used after a validation failure. The
-  /// non-'L' base means nothing downstream indexes the string pools.
-  uint32_t poisonClass() {
-    MClassRef Void;
-    Void.Base = 'V';
-    return M.appendClassRef(Void);
-  }
-
-  std::string readString(StreamId Chars) {
-    size_t Len =
-        static_cast<size_t>(readVarUInt(S.in(StreamId::StringLengths)));
-    if (Len > Limits.MaxStringBytes) {
-      fail(ErrorCode::LimitExceeded, "unpack: string length over limit");
-      return std::string();
-    }
-    return S.in(Chars).readString(Len);
-  }
-
-  uint32_t readPackage() {
-    auto Existing = Dec.decode(poolId(PoolKind::Package), 0,
-                               S.in(StreamId::PackageRefs));
-    if (Existing) {
-      if (*Existing < M.packageCount())
-        return *Existing;
-      fail(ErrorCode::Corrupt, "unpack: package ref out of range");
-      return M.appendPackage(std::string());
-    }
-    uint32_t Id = M.appendPackage(readString(StreamId::ClassNameChars));
-    Dec.registerNew(poolId(PoolKind::Package), 0, Id);
-    return Id;
-  }
-
-  uint32_t readSimpleName() {
-    auto Existing = Dec.decode(poolId(PoolKind::SimpleName), 0,
-                               S.in(StreamId::SimpleNameRefs));
-    if (Existing) {
-      if (*Existing < M.simpleNameCount())
-        return *Existing;
-      fail(ErrorCode::Corrupt, "unpack: simple-name ref out of range");
-      return M.appendSimpleName(std::string());
-    }
-    uint32_t Id = M.appendSimpleName(readString(StreamId::ClassNameChars));
-    Dec.registerNew(poolId(PoolKind::SimpleName), 0, Id);
-    return Id;
-  }
-
-  uint32_t readFieldName() {
-    auto Existing = Dec.decode(poolId(PoolKind::FieldName), 0,
-                               S.in(StreamId::FieldNameRefs));
-    if (Existing) {
-      if (*Existing < M.fieldNameCount())
-        return *Existing;
-      fail(ErrorCode::Corrupt, "unpack: field-name ref out of range");
-      return M.appendFieldName(std::string());
-    }
-    uint32_t Id = M.appendFieldName(readString(StreamId::NameChars));
-    Dec.registerNew(poolId(PoolKind::FieldName), 0, Id);
-    return Id;
-  }
-
-  uint32_t readMethodName() {
-    auto Existing = Dec.decode(poolId(PoolKind::MethodName), 0,
-                               S.in(StreamId::MethodNameRefs));
-    if (Existing) {
-      if (*Existing < M.methodNameCount())
-        return *Existing;
-      fail(ErrorCode::Corrupt, "unpack: method-name ref out of range");
-      return M.appendMethodName(std::string());
-    }
-    uint32_t Id = M.appendMethodName(readString(StreamId::NameChars));
-    Dec.registerNew(poolId(PoolKind::MethodName), 0, Id);
-    return Id;
-  }
-
-  uint32_t readStringConst() {
-    auto Existing = Dec.decode(poolId(PoolKind::StringConst), 0,
-                               S.in(StreamId::StringConstRefs));
-    if (Existing) {
-      if (*Existing < M.stringConstCount())
-        return *Existing;
-      fail(ErrorCode::Corrupt, "unpack: string-const ref out of range");
-      return M.appendStringConst(std::string());
-    }
-    uint32_t Id =
-        M.appendStringConst(readString(StreamId::StringConstChars));
-    Dec.registerNew(poolId(PoolKind::StringConst), 0, Id);
-    return Id;
-  }
-
-  uint32_t readClass() {
-    auto Existing = Dec.decode(poolId(PoolKind::ClassRefPool), 0,
-                               S.in(StreamId::ClassRefs));
-    if (Existing) {
-      if (*Existing < M.classRefCount())
-        return *Existing;
-      fail(ErrorCode::Corrupt, "unpack: class ref out of range");
-      return poisonClass();
-    }
-    MClassRef R;
-    R.Dims =
-        static_cast<uint8_t>(readVarUInt(S.in(StreamId::Counts)));
-    R.Base = static_cast<char>(S.in(StreamId::Counts).readU1());
-    if (R.Base == 'L') {
-      R.Package = readPackage();
-      R.Simple = readSimpleName();
-    }
-    uint32_t Id = M.appendClassRef(R);
-    Dec.registerNew(poolId(PoolKind::ClassRefPool), 0, Id);
-    return Id;
-  }
-
-  uint32_t readFieldRef(PoolKind Pool) {
-    Pool = effectivePool(Pool, Scheme);
-    auto Existing =
-        Dec.decode(poolId(Pool), 0, S.in(StreamId::FieldRefs));
-    if (Existing) {
-      if (*Existing < M.fieldRefCount())
-        return *Existing;
-      fail(ErrorCode::Corrupt, "unpack: field ref out of range");
-      MFieldRef P;
-      P.Owner = poisonClass();
-      P.Name = M.appendFieldName(std::string());
-      P.Type = poisonClass();
-      return M.appendFieldRef(P);
-    }
-    MFieldRef R;
-    R.Owner = readClass();
-    R.Name = readFieldName();
-    R.Type = readClass();
-    uint32_t Id = M.appendFieldRef(R);
-    Dec.registerNew(poolId(Pool), 0, Id);
-    return Id;
-  }
-
-  uint32_t readMethodRef(PoolKind Pool, uint32_t Sub) {
-    Pool = effectivePool(Pool, Scheme);
-    auto Existing =
-        Dec.decode(poolId(Pool), Sub, S.in(StreamId::MethodRefs));
-    if (Existing) {
-      if (*Existing < M.methodRefCount())
-        return *Existing;
-      fail(ErrorCode::Corrupt, "unpack: method ref out of range");
-      MMethodRef P;
-      P.Owner = poisonClass();
-      P.Name = M.appendMethodName(std::string());
-      P.Sig.push_back(poisonClass());
-      return M.appendMethodRef(std::move(P));
-    }
-    MMethodRef R;
-    R.Owner = readClass();
-    R.Name = readMethodName();
-    size_t SigLen =
-        static_cast<size_t>(readVarUInt(S.in(StreamId::Counts)));
-    // A method has at most 255 parameter slots plus the return type;
-    // anything larger is corrupt input. Clamp so a garbage varint
-    // cannot drive an unbounded loop; a too-short signature gets a
-    // void return so later lookups stay in bounds.
-    if (SigLen > 257)
-      SigLen = 257;
-    R.Sig.reserve(SigLen);
-    for (size_t K = 0; K < SigLen; ++K)
-      R.Sig.push_back(readClass());
-    if (R.Sig.empty()) {
-      MClassRef Void;
-      Void.Base = 'V';
-      R.Sig.push_back(M.appendClassRef(Void));
-    }
-    uint32_t Id = M.appendMethodRef(std::move(R));
-    Dec.registerNew(poolId(Pool), Sub, Id);
-    return Id;
-  }
-
-  //===--------------------------------------------------------------===//
-  // Structure
-  //===--------------------------------------------------------------===//
-
-  static PoolKind methodDefPool(uint32_t MethodFlags,
-                                uint32_t ClassFlags) {
-    if (ClassFlags & AccInterface)
-      return PoolKind::MethodInterface;
-    if (MethodFlags & AccStatic)
-      return PoolKind::MethodStatic;
-    if (MethodFlags & AccPrivate)
-      return PoolKind::MethodSpecial;
-    return PoolKind::MethodVirtual;
-  }
-
-  Expected<DecodedClass> decodeClass() {
-    ByteReader &Counts = S.in(StreamId::Counts);
-    DecodedClass DC;
-    DC.MinorVersion = static_cast<uint32_t>(readVarUInt(Counts));
-    DC.MajorVersion = static_cast<uint32_t>(readVarUInt(Counts));
-    DC.Flags =
-        static_cast<uint32_t>(readVarUInt(S.in(StreamId::Flags)));
-    DC.ThisId = readClass();
-    DC.HasSuper = (DC.Flags & PackedFlagAux0) != 0;
-    if (DC.HasSuper)
-      DC.SuperId = readClass();
-    size_t IfaceCount = static_cast<size_t>(readVarUInt(Counts));
-    if (Counts.hasError() || IfaceCount > 0xFFFF)
-      return makeError(ErrorCode::Corrupt, "unpack: bad class header");
-    for (size_t K = 0; K < IfaceCount && !Latch; ++K)
-      DC.Interfaces.push_back(readClass());
-
-    size_t FieldCount = static_cast<size_t>(readVarUInt(Counts));
-    if (Counts.hasError() || FieldCount > 0xFFFF)
-      return makeError(ErrorCode::Corrupt, "unpack: implausible field count");
-    for (size_t K = 0; K < FieldCount && !Latch; ++K) {
-      auto F = decodeField();
-      if (!F)
-        return F.takeError();
-      DC.Fields.push_back(std::move(*F));
-    }
-    size_t MethodCount = static_cast<size_t>(readVarUInt(Counts));
-    if (Counts.hasError() || MethodCount > 0xFFFF)
-      return makeError(ErrorCode::Corrupt, "unpack: implausible method count");
-    for (size_t K = 0; K < MethodCount && !Latch; ++K) {
-      auto Mth = decodeMethod(DC.Flags);
-      if (!Mth)
-        return Mth.takeError();
-      DC.Methods.push_back(std::move(*Mth));
-    }
-    if (Counts.hasError())
-      return Counts.takeError("unpack class body");
-    return DC;
-  }
-
-  Expected<DecodedField> decodeField() {
-    DecodedField F;
-    F.Flags = static_cast<uint32_t>(readVarUInt(S.in(StreamId::Flags)));
-    PoolKind Pool = (F.Flags & AccStatic) ? PoolKind::FieldStatic
-                                          : PoolKind::FieldInstance;
-    F.RefId = readFieldRef(Pool);
-    if (F.Flags & PackedFlagAux0) {
-      VType T = M.classRefVType(M.fieldRef(F.RefId).Type);
-      switch (T) {
-      case VType::Int:
-        F.Const.Kind = ConstKind::Int;
-        F.Const.IntValue = readVarInt(S.in(StreamId::IntConsts));
-        break;
-      case VType::Float:
-        F.Const.Kind = ConstKind::Float;
-        F.Const.RawBits = S.in(StreamId::FloatConsts).readU4();
-        break;
-      case VType::Long:
-        F.Const.Kind = ConstKind::Long;
-        F.Const.RawBits = S.in(StreamId::LongConsts).readU8();
-        break;
-      case VType::Double:
-        F.Const.Kind = ConstKind::Double;
-        F.Const.RawBits = S.in(StreamId::DoubleConsts).readU8();
-        break;
-      case VType::Ref:
-        F.Const.Kind = ConstKind::String;
-        F.Const.Id = readStringConst();
-        break;
-      default:
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: constant on untyped field");
-      }
-    }
-    return F;
-  }
-
-  Expected<DecodedMethod> decodeMethod(uint32_t ClassFlags) {
-    DecodedMethod DM;
-    DM.Flags = static_cast<uint32_t>(readVarUInt(S.in(StreamId::Flags)));
-    DM.RefId = readMethodRef(methodDefPool(DM.Flags, ClassFlags), 0);
-    if (DM.Flags & PackedFlagAux1) {
-      size_t N =
-          static_cast<size_t>(readVarUInt(S.in(StreamId::Counts)));
-      if (S.in(StreamId::Counts).hasError() || N > 0xFFFF)
-        return makeError(ErrorCode::Corrupt, "unpack: bad Exceptions count");
-      for (size_t K = 0; K < N && !Latch; ++K)
-        DM.Exceptions.push_back(readClass());
-    }
-    if (DM.Flags & PackedFlagAux0) {
-      auto Code = decodeCodeBlock();
-      if (!Code)
-        return Code.takeError();
-      DM.Code = std::move(*Code);
-    }
-    return DM;
-  }
-
-  //===--------------------------------------------------------------===//
-  // Bytecode (§7)
-  //===--------------------------------------------------------------===//
-
-  Expected<DecodedCode> decodeCodeBlock() {
-    ByteReader &Counts = S.in(StreamId::Counts);
-    DecodedCode DC;
-    DC.MaxStack = static_cast<uint32_t>(readVarUInt(Counts));
-    DC.MaxLocals = static_cast<uint32_t>(readVarUInt(Counts));
-    size_t ExcCount = static_cast<size_t>(readVarUInt(Counts));
-    size_t InsnCount = static_cast<size_t>(readVarUInt(Counts));
-    // A code array is capped at 65535 bytes, so instruction and handler
-    // counts beyond that are corrupt.
-    if (Counts.hasError() || ExcCount > 0xFFFF || InsnCount > 0xFFFF)
-      return makeError(ErrorCode::Corrupt, "unpack: bad code header");
-    if (InsnCount > Limits.MaxMethodInsns)
-      return makeError(ErrorCode::LimitExceeded,
-                       "unpack: method instruction count over limit");
-    // Every handler costs at least one byte from the Counts stream (the
-    // catch flag), so a count the stream cannot hold is corrupt.
-    if (ExcCount > Counts.remaining())
-      return makeError(ErrorCode::Corrupt,
-                       "unpack: exception table exceeds stream size");
-    for (size_t K = 0; K < ExcCount; ++K) {
-      DecodedCode::Exc E;
-      ByteReader &B = S.in(StreamId::BranchOffsets);
-      E.StartPc = static_cast<uint32_t>(readVarUInt(B));
-      E.EndPc = E.StartPc + static_cast<uint32_t>(readVarUInt(B));
-      E.HandlerPc = static_cast<uint32_t>(readVarUInt(B));
-      E.HasCatch = Counts.readU1() != 0;
-      if (E.HasCatch)
-        E.CatchClass = readClass();
-      DC.Table.push_back(E);
-    }
-
-    FlowState State;
-    State.startMethod();
-    for (const DecodedCode::Exc &E : DC.Table)
-      State.seedHandler(E.HandlerPc);
-    uint32_t Offset = 0;
-    DC.Insns.reserve(InsnCount);
-    DC.Operands.reserve(InsnCount);
-    for (size_t K = 0; K < InsnCount; ++K) {
-      if (Latch)
-        return std::move(Latch);
-      // Same pre-opcode merge as the encoder: forward-edge states land
-      // before the pseudo-opcode at this offset is resolved.
-      State.enterInsn(Offset);
-      auto R = decodeInsn(Offset, State);
-      if (!R)
-        return R.takeError();
-      Insn &I = R->first;
-      I.Offset = Offset;
-      I.Length = encodedLength(I, Offset);
-      Offset += I.Length;
-      InsnTypes Types = insnTypesFor(M, I, R->second);
-      static const bool Trace = getenv("CJPACK_TRACE") != nullptr;
-      if (Trace)
-        fprintf(stderr, "D %u %s known=%d top=%d ctx=%u\n", I.Offset,
-                opInfo(I.Opcode).Mnemonic, State.isKnown(),
-                (int)State.top(), State.contextId());
-      State.apply(I, &Types);
-      DC.Insns.push_back(std::move(R->first));
-      DC.Operands.push_back(R->second);
-    }
-    return DC;
-  }
-
-  Expected<std::pair<Insn, CodeOperand>> decodeInsn(uint32_t Offset,
-                                                    FlowState &State) {
-    ByteReader &Ops = S.in(StreamId::Opcodes);
-    Insn I;
-    CodeOperand Operand;
-    uint8_t Code = Ops.readU1();
-    if (Code == static_cast<uint8_t>(Op::Wide)) {
-      I.IsWide = true;
-      Code = Ops.readU1();
-    }
-    if (Ops.hasError())
-      return makeError(ErrorCode::Truncated,
-                       "unpack: truncated opcode stream");
-
-    // Resolve pseudo-opcodes.
-    bool LdcShort = false;
-    switch (Code) {
-    case PseudoLdcInt:
-    case PseudoLdcWInt:
-      Operand.Kind = ConstKind::Int;
-      LdcShort = Code == PseudoLdcInt;
-      I.Opcode = LdcShort ? Op::Ldc : Op::LdcW;
-      break;
-    case PseudoLdcFloat:
-    case PseudoLdcWFloat:
-      Operand.Kind = ConstKind::Float;
-      LdcShort = Code == PseudoLdcFloat;
-      I.Opcode = LdcShort ? Op::Ldc : Op::LdcW;
-      break;
-    case PseudoLdcString:
-    case PseudoLdcWString:
-      Operand.Kind = ConstKind::String;
-      LdcShort = Code == PseudoLdcString;
-      I.Opcode = LdcShort ? Op::Ldc : Op::LdcW;
-      break;
-    case PseudoLdc2Long:
-      Operand.Kind = ConstKind::Long;
-      I.Opcode = Op::Ldc2W;
-      break;
-    case PseudoLdc2Double:
-      Operand.Kind = ConstKind::Double;
-      I.Opcode = Op::Ldc2W;
-      break;
-    default:
-      if (isFamilyPseudo(Code)) {
-        OpFamily F = familyOfPseudo(Code);
-        auto Variant = variantFor(F, State.top(familyKeyDepth(F)));
-        if (!Variant)
-          return makeError(ErrorCode::Corrupt,
-                           "unpack: collapsed opcode with unknown stack "
-                           "state");
-        I.Opcode = *Variant;
-      } else if (isValidOpcode(Code)) {
-        I.Opcode = static_cast<Op>(Code);
-      } else {
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: undefined wire opcode " +
-                             std::to_string(Code));
-      }
-      break;
-    }
-
-    switch (opInfo(I.Opcode).Format) {
-    case OpFormat::None:
-      break;
-    case OpFormat::S1:
-    case OpFormat::S2:
-    case OpFormat::NewArrayType:
-      I.Const =
-          static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts)));
-      break;
-    case OpFormat::LocalU1:
-      I.LocalIndex =
-          static_cast<uint32_t>(readVarUInt(S.in(StreamId::Registers)));
-      break;
-    case OpFormat::Iinc:
-      I.LocalIndex =
-          static_cast<uint32_t>(readVarUInt(S.in(StreamId::Registers)));
-      I.Const =
-          static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts)));
-      break;
-    case OpFormat::CpU1:
-    case OpFormat::CpU2:
-    case OpFormat::InvokeInterface:
-      if (auto E = decodeCpOperand(I, Operand, State))
-        return E;
-      break;
-    case OpFormat::Branch2:
-    case OpFormat::Branch4: {
-      // Compute in 64 bits and require the target to land in a legal
-      // code array ([0, 65535]); a hostile offset would otherwise
-      // overflow the 32-bit addition.
-      int64_t T = static_cast<int64_t>(Offset) +
-                  readVarInt(S.in(StreamId::BranchOffsets));
-      if (T < 0 || T > 0xFFFF)
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: branch target out of range");
-      I.BranchTarget = static_cast<int32_t>(T);
-      break;
-    }
-    case OpFormat::MultiANewArray:
-      Operand.Kind = ConstKind::ClassTarget;
-      Operand.Id = readClass();
-      I.Const = static_cast<int32_t>(readVarUInt(S.in(StreamId::Counts)));
-      break;
-    case OpFormat::TableSwitch: {
-      I.SwitchLow =
-          static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts)));
-      I.SwitchHigh =
-          static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts)));
-      if (I.SwitchHigh < I.SwitchLow ||
-          static_cast<int64_t>(I.SwitchHigh) - I.SwitchLow >= (1 << 24))
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: malformed tableswitch bounds");
-      ByteReader &B = S.in(StreamId::BranchOffsets);
-      int64_t N = static_cast<int64_t>(I.SwitchHigh) - I.SwitchLow + 1;
-      // Every target costs at least one varint byte; a claimed count the
-      // stream cannot hold is corrupt before the vector grows.
-      if (N > static_cast<int64_t>(B.remaining()))
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: tableswitch exceeds stream size");
-      int64_t Def = static_cast<int64_t>(Offset) + readVarInt(B);
-      if (Def < 0 || Def > 0xFFFF)
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: switch default target out of range");
-      I.SwitchDefault = static_cast<int32_t>(Def);
-      I.SwitchTargets.reserve(static_cast<size_t>(N));
-      for (int64_t K = 0; K < N; ++K) {
-        int64_t T = static_cast<int64_t>(Offset) + readVarInt(B);
-        if (!B.hasError() && (T < 0 || T > 0xFFFF))
-          return makeError(ErrorCode::Corrupt,
-                           "unpack: switch target out of range");
-        I.SwitchTargets.push_back(static_cast<int32_t>(T));
-      }
-      break;
-    }
-    case OpFormat::LookupSwitch: {
-      size_t N =
-          static_cast<size_t>(readVarUInt(S.in(StreamId::Counts)));
-      ByteReader &B = S.in(StreamId::BranchOffsets);
-      if (N >= (1u << 24) || N > B.remaining())
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: malformed lookupswitch count");
-      int64_t Def = static_cast<int64_t>(Offset) + readVarInt(B);
-      if (Def < 0 || Def > 0xFFFF)
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: switch default target out of range");
-      I.SwitchDefault = static_cast<int32_t>(Def);
-      I.SwitchMatches.reserve(N);
-      I.SwitchTargets.reserve(N);
-      for (size_t K = 0; K < N; ++K) {
-        I.SwitchMatches.push_back(
-            static_cast<int32_t>(readVarInt(S.in(StreamId::IntConsts))));
-        int64_t T = static_cast<int64_t>(Offset) + readVarInt(B);
-        if (!B.hasError() && (T < 0 || T > 0xFFFF))
-          return makeError(ErrorCode::Corrupt,
-                           "unpack: switch target out of range");
-        I.SwitchTargets.push_back(static_cast<int32_t>(T));
-      }
-      break;
-    }
-    case OpFormat::InvokeDynamic:
-    case OpFormat::Wide:
-      return makeError(ErrorCode::Corrupt,
-                       "unpack: unexpected opcode format");
-    }
-
-    if (I.Opcode == Op::InvokeInterface)
-      I.InvokeCount = static_cast<uint8_t>(
-          invokeInterfaceCount(M, M.methodRef(Operand.Id).Sig));
-    return std::make_pair(std::move(I), Operand);
-  }
-
-  Error decodeCpOperand(Insn &I, CodeOperand &Operand,
-                        FlowState &State) {
-    switch (cpRefKind(I.Opcode)) {
-    case CpRefKind::LoadConst:
-    case CpRefKind::LoadConst2:
-      switch (Operand.Kind) {
-      case ConstKind::Int:
-        Operand.IntValue = readVarInt(S.in(StreamId::IntConsts));
-        break;
-      case ConstKind::Float:
-        Operand.RawBits = S.in(StreamId::FloatConsts).readU4();
-        break;
-      case ConstKind::Long:
-        Operand.RawBits = S.in(StreamId::LongConsts).readU8();
-        break;
-      case ConstKind::Double:
-        Operand.RawBits = S.in(StreamId::DoubleConsts).readU8();
-        break;
-      case ConstKind::String:
-        Operand.Id = readStringConst();
-        break;
-      default:
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: ldc pseudo-op without constant kind");
-      }
-      return Error::success();
-    case CpRefKind::ClassRef:
-      Operand.Kind = ConstKind::ClassTarget;
-      Operand.Id = readClass();
-      return Error::success();
-    case CpRefKind::FieldInstance:
-    case CpRefKind::FieldStatic:
-      Operand.Kind = ConstKind::Field;
-      Operand.Id = readFieldRef(fieldPoolFor(I.Opcode));
-      return Error::success();
-    case CpRefKind::MethodVirtual:
-    case CpRefKind::MethodSpecial:
-    case CpRefKind::MethodStatic:
-    case CpRefKind::MethodInterface:
-      Operand.Kind = ConstKind::Method;
-      Operand.Id = readMethodRef(methodPoolFor(I.Opcode),
-                                 State.contextId());
-      return Error::success();
-    case CpRefKind::None:
-      return makeError(ErrorCode::Corrupt,
-                       "unpack: cp operand on non-cp opcode");
-    }
-    return Error::success();
-  }
-
-  Model &M;
-  RefDecoder &Dec;
-  StreamSet &S;
-  RefScheme Scheme;
-  DecodeLimits Limits;
-  Error Latch;
-};
 
 //===----------------------------------------------------------------------===//
 // Classfile materialization
@@ -714,7 +40,7 @@ class Materializer {
 public:
   explicit Materializer(const Model &M) : M(M) {}
 
-  Expected<ClassFile> run(const DecodedClass &DC) {
+  Expected<ClassFile> run(const ClassRec &DC) {
     ClassFile CF;
     CF.MinorVersion = static_cast<uint16_t>(DC.MinorVersion);
     CF.MajorVersion = static_cast<uint16_t>(DC.MajorVersion);
@@ -722,7 +48,7 @@ public:
 
     // §9: materialize constants referenced by one-byte ldc first so
     // they land at the smallest constant-pool indices.
-    for (const DecodedMethod &DM : DC.Methods) {
+    for (const MethodRec &DM : DC.Methods) {
       if (!DM.Code)
         continue;
       for (size_t K = 0; K < DM.Code->Insns.size(); ++K)
@@ -742,13 +68,13 @@ public:
     if (DC.Flags & PackedFlagDeprecated)
       CF.Attributes.push_back({"Deprecated", {}});
 
-    for (const DecodedField &F : DC.Fields) {
+    for (const FieldRec &F : DC.Fields) {
       auto MI = materializeField(CF, F);
       if (!MI)
         return MI.takeError();
       CF.Fields.push_back(std::move(*MI));
     }
-    for (const DecodedMethod &DM : DC.Methods) {
+    for (const MethodRec &DM : DC.Methods) {
       auto MI = materializeMethod(CF, DM);
       if (!MI)
         return MI.takeError();
@@ -787,7 +113,7 @@ private:
   }
 
   Expected<MemberInfo> materializeField(ClassFile &CF,
-                                        const DecodedField &F) {
+                                        const FieldRec &F) {
     const MFieldRef &Ref = M.fieldRef(F.RefId);
     MemberInfo MI;
     MI.AccessFlags = static_cast<uint16_t>(F.Flags & 0xFFFF);
@@ -795,8 +121,7 @@ private:
     MI.DescriptorIndex =
         CF.CP.addUtf8(printTypeDesc(M.classRefTypeDesc(Ref.Type)));
     if (F.Flags & PackedFlagAux0) {
-      uint16_t CpIdx = addConst(CF, {F.Const.Kind, F.Const.IntValue,
-                                     F.Const.RawBits, F.Const.Id});
+      uint16_t CpIdx = addConst(CF, F.Const);
       ByteWriter W;
       W.writeU2(CpIdx);
       MI.Attributes.push_back({"ConstantValue", W.take()});
@@ -806,7 +131,7 @@ private:
   }
 
   Expected<MemberInfo> materializeMethod(ClassFile &CF,
-                                         const DecodedMethod &DM) {
+                                         const MethodRec &DM) {
     const MMethodRef &Ref = M.methodRef(DM.RefId);
     MemberInfo MI;
     MI.AccessFlags = static_cast<uint16_t>(DM.Flags & 0xFFFF);
@@ -830,7 +155,7 @@ private:
   }
 
   Expected<AttributeInfo> materializeCode(ClassFile &CF,
-                                          const DecodedCode &DC) {
+                                          const CodeRec &DC) {
     CodeAttribute Code;
     Code.MaxStack = static_cast<uint16_t>(DC.MaxStack);
     Code.MaxLocals = static_cast<uint16_t>(DC.MaxLocals);
@@ -878,7 +203,7 @@ private:
     }
     Code.Code = encodeCode(Insns);
 
-    for (const DecodedCode::Exc &E : DC.Table) {
+    for (const CodeRec::Handler &E : DC.Table) {
       ExceptionTableEntry T;
       T.StartPc = static_cast<uint16_t>(E.StartPc);
       T.EndPc = static_cast<uint16_t>(E.EndPc);
@@ -917,15 +242,17 @@ decodeShardStreams(StreamSet &S, RefScheme Scheme, uint8_t Flags,
     return makeError(ErrorCode::Corrupt,
                      "unpack: archive dictionary needs a scheme "
                      "that supports preloaded references");
-  ArchiveReader AR(M, *Dec, S, Scheme, Limits);
-  auto Decoded = AR.decodeArchive();
-  if (!Decoded)
-    return Decoded.takeError();
+
+  DecodeContext C{M, *Dec, S, Scheme, Limits};
+  Transcriber<DecodeContext> Reader(C);
+  std::vector<ClassRec> Decoded;
+  if (auto E = Reader.transcodeArchive(Decoded))
+    return E;
 
   Materializer Mat(M);
   std::vector<ClassFile> Out;
-  Out.reserve(Decoded->size());
-  for (const DecodedClass &DC : *Decoded) {
+  Out.reserve(Decoded.size());
+  for (const ClassRec &DC : Decoded) {
     auto CF = Mat.run(DC);
     if (!CF)
       return CF.takeError();

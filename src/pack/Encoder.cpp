@@ -4,32 +4,36 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Packing runs the same preorder traversal of the restructured model
-// twice: a counting pass that gathers the reference statistics the
-// transient/frequency schemes need, then the emitting pass. Both passes
-// share the Model (interning is idempotent) so object ids are stable.
+// Packing is three passes. A lowering pass converts each classfile into
+// the shared wire records (Transcode.h), interning every object into the
+// shard's Model in traversal order — the order that fixes object ids on
+// both sides. A counting pass then drives the shared Transcriber over
+// the records with a counting coder to gather the reference statistics
+// the transient/frequency schemes need, and the emitting pass drives the
+// same Transcriber again with the real coder to write the streams. The
+// two codec passes perform the identical traversal (same records, same
+// transcriber), so first-occurrence structure and ids line up by
+// construction.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/FlowState.h"
-#include "bytecode/Instruction.h"
+#include "classfile/Reader.h"
 #include "classfile/Transform.h"
 #include "pack/ClassOrder.h"
-#include "pack/CodeCommon.h"
 #include "pack/Dictionary.h"
 #include "pack/Packer.h"
 #include "pack/Preload.h"
-#include "classfile/Reader.h"
+#include "pack/Transcode.h"
 #include "support/ThreadPool.h"
-#include "support/VarInt.h"
 #include <algorithm>
+#include <map>
 #include <set>
 
 using namespace cjpack;
 
 namespace {
 
-/// RefEncoder that only counts (pass one). Writes nothing.
+/// RefEncoder that only counts (the counting pass). Writes nothing.
 class CountingRefEncoder final : public RefEncoder {
 public:
   explicit CountingRefEncoder(RefStats &Stats) : Stats(Stats) {}
@@ -50,114 +54,62 @@ private:
   std::map<uint32_t, std::set<uint32_t>> Seen;
 };
 
-/// One traversal of the archive, writing refs through \p Enc and
-/// primitives into \p S.
-class ArchiveWriter {
+/// Lowers classfiles into the shared wire records, interning every
+/// referenced object into \p M. The intern calls happen in the same
+/// preorder the Transcriber will visit the records in, so object ids
+/// equal their first-occurrence order on the wire.
+class Lowerer {
 public:
-  ArchiveWriter(Model &M, RefEncoder &Enc, StreamSet &S,
-                const PackOptions &Options)
-      : M(M), Enc(Enc), S(S), Options(Options) {}
+  explicit Lowerer(Model &M) : M(M) {}
 
-  Error encodeArchive(const std::vector<const ClassFile *> &Classes) {
-    writeVarUInt(S.out(StreamId::Counts), Classes.size());
-    for (const ClassFile *CF : Classes)
-      if (auto E = encodeClass(*CF))
+  Expected<ClassRec> lowerClass(const ClassFile &CF) {
+    ClassRec R;
+    R.MinorVersion = CF.MinorVersion;
+    R.MajorVersion = CF.MajorVersion;
+
+    uint32_t ClassFlags = CF.AccessFlags;
+    if (CF.SuperClass != 0)
+      ClassFlags |= PackedFlagAux0;
+    if (findAttribute(CF.Attributes, "Synthetic"))
+      ClassFlags |= PackedFlagSynthetic;
+    if (findAttribute(CF.Attributes, "Deprecated"))
+      ClassFlags |= PackedFlagDeprecated;
+    R.Flags = ClassFlags;
+
+    auto This = M.internClassByInternalName(CF.thisClassName());
+    if (!This)
+      return This.takeError();
+    R.ThisId = *This;
+    R.HasSuper = CF.SuperClass != 0;
+    if (R.HasSuper) {
+      auto Super = M.internClassByInternalName(CF.superClassName());
+      if (!Super)
+        return Super.takeError();
+      R.SuperId = *Super;
+    }
+    for (uint16_t Iface : CF.Interfaces) {
+      auto Id = M.internClassByInternalName(CF.CP.className(Iface));
+      if (!Id)
+        return Id.takeError();
+      R.Interfaces.push_back(*Id);
+    }
+
+    for (const MemberInfo &F : CF.Fields) {
+      FieldRec Rec;
+      if (auto E = lowerField(CF, R.ThisId, F, Rec))
         return E;
-    return Error::success();
+      R.Fields.push_back(std::move(Rec));
+    }
+    for (const MemberInfo &Mth : CF.Methods) {
+      MethodRec Rec;
+      if (auto E = lowerMethod(CF, R.ThisId, Mth, Rec))
+        return E;
+      R.Methods.push_back(std::move(Rec));
+    }
+    return R;
   }
 
 private:
-  //===--------------------------------------------------------------===//
-  // Reference emission with inline definitions
-  //===--------------------------------------------------------------===//
-
-  void emitString(const std::string &Str, StreamId Chars) {
-    writeVarUInt(S.out(StreamId::StringLengths), Str.size());
-    S.out(Chars).writeString(Str);
-  }
-
-  void refPackage(uint32_t Id) {
-    if (Enc.encode(poolId(PoolKind::Package), 0, Id,
-                   S.out(StreamId::PackageRefs)))
-      emitString(M.package(Id), StreamId::ClassNameChars);
-  }
-
-  void refSimpleName(uint32_t Id) {
-    if (Enc.encode(poolId(PoolKind::SimpleName), 0, Id,
-                   S.out(StreamId::SimpleNameRefs)))
-      emitString(M.simpleName(Id), StreamId::ClassNameChars);
-  }
-
-  void refFieldName(uint32_t Id) {
-    if (Enc.encode(poolId(PoolKind::FieldName), 0, Id,
-                   S.out(StreamId::FieldNameRefs)))
-      emitString(M.fieldName(Id), StreamId::NameChars);
-  }
-
-  void refMethodName(uint32_t Id) {
-    if (Enc.encode(poolId(PoolKind::MethodName), 0, Id,
-                   S.out(StreamId::MethodNameRefs)))
-      emitString(M.methodName(Id), StreamId::NameChars);
-  }
-
-  void refStringConst(uint32_t Id) {
-    if (Enc.encode(poolId(PoolKind::StringConst), 0, Id,
-                   S.out(StreamId::StringConstRefs)))
-      emitString(M.stringConst(Id), StreamId::StringConstChars);
-  }
-
-  void refClass(uint32_t Id) {
-    if (!Enc.encode(poolId(PoolKind::ClassRefPool), 0, Id,
-                    S.out(StreamId::ClassRefs)))
-      return;
-    const MClassRef &R = M.classRef(Id);
-    writeVarUInt(S.out(StreamId::Counts), R.Dims);
-    S.out(StreamId::Counts).writeU1(static_cast<uint8_t>(R.Base));
-    if (R.Base == 'L') {
-      refPackage(R.Package);
-      refSimpleName(R.Simple);
-    }
-  }
-
-  void refFieldRef(PoolKind Pool, uint32_t Id) {
-    Pool = effectivePool(Pool, Options.Scheme);
-    if (!Enc.encode(poolId(Pool), 0, Id, S.out(StreamId::FieldRefs)))
-      return;
-    const MFieldRef &R = M.fieldRef(Id);
-    refClass(R.Owner);
-    refFieldName(R.Name);
-    refClass(R.Type);
-  }
-
-  void refMethodRef(PoolKind Pool, uint32_t Sub, uint32_t Id) {
-    Pool = effectivePool(Pool, Options.Scheme);
-    if (!Enc.encode(poolId(Pool), Sub, Id, S.out(StreamId::MethodRefs)))
-      return;
-    const MMethodRef &R = M.methodRef(Id);
-    refClass(R.Owner);
-    refMethodName(R.Name);
-    writeVarUInt(S.out(StreamId::Counts), R.Sig.size());
-    for (uint32_t C : R.Sig)
-      refClass(C);
-  }
-
-  //===--------------------------------------------------------------===//
-  // Structure
-  //===--------------------------------------------------------------===//
-
-  /// The pool a method definition's reference is encoded in, derived
-  /// from information the decoder has before reading the reference.
-  static PoolKind methodDefPool(uint32_t MethodFlags,
-                                uint32_t ClassFlags) {
-    if (ClassFlags & AccInterface)
-      return PoolKind::MethodInterface;
-    if (MethodFlags & AccStatic)
-      return PoolKind::MethodStatic;
-    if (MethodFlags & AccPrivate)
-      return PoolKind::MethodSpecial;
-    return PoolKind::MethodVirtual;
-  }
-
   static uint32_t packedMemberFlags(const MemberInfo &MI) {
     uint32_t Flags = MI.AccessFlags;
     if (findAttribute(MI.Attributes, "Synthetic"))
@@ -167,60 +119,13 @@ private:
     return Flags;
   }
 
-  Error encodeClass(const ClassFile &CF) {
-    ByteWriter &Counts = S.out(StreamId::Counts);
-    ByteWriter &Flags = S.out(StreamId::Flags);
-
-    writeVarUInt(Counts, CF.MinorVersion);
-    writeVarUInt(Counts, CF.MajorVersion);
-
-    uint32_t ClassFlags = CF.AccessFlags;
-    if (CF.SuperClass != 0)
-      ClassFlags |= PackedFlagAux0;
-    if (findAttribute(CF.Attributes, "Synthetic"))
-      ClassFlags |= PackedFlagSynthetic;
-    if (findAttribute(CF.Attributes, "Deprecated"))
-      ClassFlags |= PackedFlagDeprecated;
-    writeVarUInt(Flags, ClassFlags);
-
-    auto This = M.internClassByInternalName(CF.thisClassName());
-    if (!This)
-      return This.takeError();
-    refClass(*This);
-    if (CF.SuperClass != 0) {
-      auto Super = M.internClassByInternalName(CF.superClassName());
-      if (!Super)
-        return Super.takeError();
-      refClass(*Super);
-    }
-    writeVarUInt(Counts, CF.Interfaces.size());
-    for (uint16_t Iface : CF.Interfaces) {
-      auto Id = M.internClassByInternalName(CF.CP.className(Iface));
-      if (!Id)
-        return Id.takeError();
-      refClass(*Id);
-    }
-
-    writeVarUInt(Counts, CF.Fields.size());
-    for (const MemberInfo &F : CF.Fields)
-      if (auto E = encodeField(CF, *This, F))
-        return E;
-
-    writeVarUInt(Counts, CF.Methods.size());
-    for (const MemberInfo &Mth : CF.Methods)
-      if (auto E = encodeMethod(CF, *This, Mth))
-        return E;
-    return Error::success();
-  }
-
-  Error encodeField(const ClassFile &CF, uint32_t ThisId,
-                    const MemberInfo &F) {
+  Error lowerField(const ClassFile &CF, uint32_t ThisId,
+                   const MemberInfo &F, FieldRec &Out) {
     const AttributeInfo *Const =
         findAttribute(F.Attributes, "ConstantValue");
-    uint32_t Flags = packedMemberFlags(F);
+    Out.Flags = packedMemberFlags(F);
     if (Const)
-      Flags |= PackedFlagAux0;
-    writeVarUInt(S.out(StreamId::Flags), Flags);
+      Out.Flags |= PackedFlagAux0;
 
     auto Type = parseFieldDescriptor(CF.CP.utf8(F.DescriptorIndex));
     if (!Type)
@@ -229,10 +134,7 @@ private:
     Ref.Owner = ThisId;
     Ref.Name = M.internFieldName(CF.CP.utf8(F.NameIndex));
     Ref.Type = M.internTypeDesc(*Type);
-    uint32_t Id = M.internFieldRef(Ref);
-    PoolKind Pool = (F.AccessFlags & AccStatic) ? PoolKind::FieldStatic
-                                                : PoolKind::FieldInstance;
-    refFieldRef(Pool, Id);
+    Out.RefId = M.internFieldRef(Ref);
 
     if (Const) {
       if (Const->Bytes.size() != 2)
@@ -247,31 +149,33 @@ private:
       case CpTag::Integer:
         if (FieldType != VType::Int)
           return makeError("pack: ConstantValue type mismatch");
-        writeVarInt(S.out(StreamId::IntConsts),
-                    static_cast<int32_t>(E.Bits));
+        Out.Const.Kind = ConstKind::Int;
+        Out.Const.IntValue = static_cast<int32_t>(E.Bits);
         break;
       case CpTag::Float:
         if (FieldType != VType::Float)
           return makeError("pack: ConstantValue type mismatch");
-        S.out(StreamId::FloatConsts).writeU4(static_cast<uint32_t>(E.Bits));
+        Out.Const.Kind = ConstKind::Float;
+        Out.Const.RawBits = E.Bits;
         break;
       case CpTag::Long:
         if (FieldType != VType::Long)
           return makeError("pack: ConstantValue type mismatch");
-        S.out(StreamId::LongConsts).writeU8(E.Bits);
+        Out.Const.Kind = ConstKind::Long;
+        Out.Const.RawBits = E.Bits;
         break;
       case CpTag::Double:
         if (FieldType != VType::Double)
           return makeError("pack: ConstantValue type mismatch");
-        S.out(StreamId::DoubleConsts).writeU8(E.Bits);
+        Out.Const.Kind = ConstKind::Double;
+        Out.Const.RawBits = E.Bits;
         break;
-      case CpTag::String: {
+      case CpTag::String:
         if (FieldType != VType::Ref)
           return makeError("pack: ConstantValue type mismatch");
-        uint32_t SId = M.internStringConst(CF.CP.utf8(E.Ref1));
-        refStringConst(SId);
+        Out.Const.Kind = ConstKind::String;
+        Out.Const.Id = M.internStringConst(CF.CP.utf8(E.Ref1));
         break;
-      }
       default:
         return makeError("pack: unsupported ConstantValue tag");
       }
@@ -279,17 +183,16 @@ private:
     return Error::success();
   }
 
-  Error encodeMethod(const ClassFile &CF, uint32_t ThisId,
-                     const MemberInfo &Mth) {
+  Error lowerMethod(const ClassFile &CF, uint32_t ThisId,
+                    const MemberInfo &Mth, MethodRec &Out) {
     const AttributeInfo *Code = findAttribute(Mth.Attributes, "Code");
     const AttributeInfo *Exceptions =
         findAttribute(Mth.Attributes, "Exceptions");
-    uint32_t Flags = packedMemberFlags(Mth);
+    Out.Flags = packedMemberFlags(Mth);
     if (Code)
-      Flags |= PackedFlagAux0;
+      Out.Flags |= PackedFlagAux0;
     if (Exceptions)
-      Flags |= PackedFlagAux1;
-    writeVarUInt(S.out(StreamId::Flags), Flags);
+      Out.Flags |= PackedFlagAux1;
 
     MMethodRef Ref;
     Ref.Owner = ThisId;
@@ -298,13 +201,11 @@ private:
     if (!Sig)
       return Sig.takeError();
     Ref.Sig = std::move(*Sig);
-    uint32_t Id = M.internMethodRef(Ref);
-    refMethodRef(methodDefPool(Mth.AccessFlags, CF.AccessFlags), 0, Id);
+    Out.RefId = M.internMethodRef(Ref);
 
     if (Exceptions) {
       ByteReader ER(Exceptions->Bytes);
       uint16_t N = ER.readU2();
-      writeVarUInt(S.out(StreamId::Counts), N);
       for (uint16_t K = 0; K < N; ++K) {
         uint16_t CpIdx = ER.readU2();
         if (ER.hasError() || !CF.CP.isValidIndex(CpIdx))
@@ -312,18 +213,56 @@ private:
         auto CId = M.internClassByInternalName(CF.CP.className(CpIdx));
         if (!CId)
           return CId.takeError();
-        refClass(*CId);
+        Out.Exceptions.push_back(*CId);
       }
     }
 
-    if (Code)
-      return encodeCode(CF, *Code);
+    if (Code) {
+      CodeRec Rec;
+      if (auto E = lowerCode(CF, *Code, Rec))
+        return E;
+      Out.Code = std::move(Rec);
+    }
     return Error::success();
   }
 
-  //===--------------------------------------------------------------===//
-  // Bytecode (§7)
-  //===--------------------------------------------------------------===//
+  Error lowerCode(const ClassFile &CF, const AttributeInfo &Attr,
+                  CodeRec &Out) {
+    auto Code = parseCodeAttribute(Attr, CF.CP);
+    if (!Code)
+      return Code.takeError();
+    auto Insns = decodeCode(Code->Code);
+    if (!Insns)
+      return Insns.takeError();
+
+    Out.MaxStack = Code->MaxStack;
+    Out.MaxLocals = Code->MaxLocals;
+    for (const ExceptionTableEntry &E : Code->ExceptionTable) {
+      CodeRec::Handler H;
+      H.StartPc = E.StartPc;
+      H.EndPc = E.EndPc;
+      H.HandlerPc = E.HandlerPc;
+      H.HasCatch = E.CatchType != 0;
+      if (H.HasCatch) {
+        auto CId =
+            M.internClassByInternalName(CF.CP.className(E.CatchType));
+        if (!CId)
+          return CId.takeError();
+        H.CatchClass = *CId;
+      }
+      Out.Table.push_back(H);
+    }
+
+    Out.Insns = std::move(*Insns);
+    Out.Operands.reserve(Out.Insns.size());
+    for (const Insn &I : Out.Insns) {
+      auto Operand = makeOperand(CF, I);
+      if (!Operand)
+        return Operand.takeError();
+      Out.Operands.push_back(*Operand);
+    }
+    return Error::success();
+  }
 
   Expected<CodeOperand> makeOperand(const ClassFile &CF, const Insn &I) {
     CodeOperand Out;
@@ -418,194 +357,7 @@ private:
     return Out;
   }
 
-  /// The wire code point for \p I given the current stack state.
-  uint8_t wireOpcode(const Insn &I, const CodeOperand &Operand,
-                     const FlowState &State) {
-    if (I.Opcode == Op::Ldc || I.Opcode == Op::LdcW) {
-      bool Short = I.Opcode == Op::Ldc;
-      switch (Operand.Kind) {
-      case ConstKind::Int:
-        return Short ? PseudoLdcInt : PseudoLdcWInt;
-      case ConstKind::Float:
-        return Short ? PseudoLdcFloat : PseudoLdcWFloat;
-      case ConstKind::String:
-        return Short ? PseudoLdcString : PseudoLdcWString;
-      default:
-        assert(false && "bad ldc constant kind");
-        return PseudoLdcInt;
-      }
-    }
-    if (I.Opcode == Op::Ldc2W)
-      return Operand.Kind == ConstKind::Long ? PseudoLdc2Long
-                                             : PseudoLdc2Double;
-    if (Options.CollapseOpcodes && !I.IsWide) {
-      OpFamily F = familyOf(I.Opcode);
-      if (F != OpFamily::None) {
-        auto Predicted = variantFor(F, State.top(familyKeyDepth(F)));
-        if (Predicted && *Predicted == I.Opcode)
-          return pseudoOfFamily(F);
-      }
-    }
-    return static_cast<uint8_t>(I.Opcode);
-  }
-
-  Error encodeCode(const ClassFile &CF, const AttributeInfo &Attr) {
-    auto Code = parseCodeAttribute(Attr, CF.CP);
-    if (!Code)
-      return Code.takeError();
-    auto Insns = decodeCode(Code->Code);
-    if (!Insns)
-      return Insns.takeError();
-
-    ByteWriter &Counts = S.out(StreamId::Counts);
-    writeVarUInt(Counts, Code->MaxStack);
-    writeVarUInt(Counts, Code->MaxLocals);
-    writeVarUInt(Counts, Code->ExceptionTable.size());
-    writeVarUInt(Counts, Insns->size());
-    for (const ExceptionTableEntry &E : Code->ExceptionTable) {
-      ByteWriter &B = S.out(StreamId::BranchOffsets);
-      writeVarUInt(B, E.StartPc);
-      writeVarUInt(B, E.EndPc - E.StartPc);
-      writeVarUInt(B, E.HandlerPc);
-      if (E.CatchType == 0) {
-        S.out(StreamId::Counts).writeU1(0);
-      } else {
-        S.out(StreamId::Counts).writeU1(1);
-        auto CId =
-            M.internClassByInternalName(CF.CP.className(E.CatchType));
-        if (!CId)
-          return CId.takeError();
-        refClass(*CId);
-      }
-    }
-
-    FlowState State;
-    State.startMethod();
-    for (const ExceptionTableEntry &E : Code->ExceptionTable)
-      State.seedHandler(E.HandlerPc);
-    for (const Insn &I : *Insns) {
-      // Merge the states recorded on forward edges into this offset
-      // before the opcode is chosen — the decoder does the same before
-      // resolving it.
-      State.enterInsn(I.Offset);
-      auto Operand = makeOperand(CF, I);
-      if (!Operand)
-        return Operand.takeError();
-      if (auto E = encodeInsn(I, *Operand, State))
-        return E;
-      InsnTypes Types = insnTypesFor(M, I, *Operand);
-      // Debug aid: CJPACK_TRACE=1 dumps the per-instruction stack state
-      // on both sides so encoder/decoder divergence is diffable.
-      static const bool Trace = getenv("CJPACK_TRACE") != nullptr;
-      if (Trace)
-        fprintf(stderr, "E %u %s known=%d top=%d ctx=%u\n", I.Offset,
-                opInfo(I.Opcode).Mnemonic, State.isKnown(),
-                (int)State.top(), State.contextId());
-      State.apply(I, &Types);
-    }
-    return Error::success();
-  }
-
-  Error encodeInsn(const Insn &I, const CodeOperand &Operand,
-                   FlowState &State) {
-    ByteWriter &Ops = S.out(StreamId::Opcodes);
-    if (I.IsWide)
-      Ops.writeU1(static_cast<uint8_t>(Op::Wide));
-    Ops.writeU1(wireOpcode(I, Operand, State));
-
-    switch (opInfo(I.Opcode).Format) {
-    case OpFormat::None:
-      break;
-    case OpFormat::S1:
-    case OpFormat::S2:
-    case OpFormat::NewArrayType:
-      writeVarInt(S.out(StreamId::IntConsts), I.Const);
-      break;
-    case OpFormat::LocalU1:
-      writeVarUInt(S.out(StreamId::Registers), I.LocalIndex);
-      break;
-    case OpFormat::Iinc:
-      writeVarUInt(S.out(StreamId::Registers), I.LocalIndex);
-      writeVarInt(S.out(StreamId::IntConsts), I.Const);
-      break;
-    case OpFormat::CpU1:
-    case OpFormat::CpU2:
-    case OpFormat::InvokeInterface:
-      switch (Operand.Kind) {
-      case ConstKind::Int:
-        writeVarInt(S.out(StreamId::IntConsts), Operand.IntValue);
-        break;
-      case ConstKind::Float:
-        S.out(StreamId::FloatConsts)
-            .writeU4(static_cast<uint32_t>(Operand.RawBits));
-        break;
-      case ConstKind::Long:
-        S.out(StreamId::LongConsts).writeU8(Operand.RawBits);
-        break;
-      case ConstKind::Double:
-        S.out(StreamId::DoubleConsts).writeU8(Operand.RawBits);
-        break;
-      case ConstKind::String:
-        refStringConst(Operand.Id);
-        break;
-      case ConstKind::ClassTarget:
-        refClass(Operand.Id);
-        break;
-      case ConstKind::Field:
-        refFieldRef(I.Opcode == Op::GetStatic || I.Opcode == Op::PutStatic
-                        ? PoolKind::FieldStatic
-                        : PoolKind::FieldInstance,
-                    Operand.Id);
-        break;
-      case ConstKind::Method:
-        refMethodRef(methodPoolFor(I.Opcode), State.contextId(),
-                     Operand.Id);
-        break;
-      case ConstKind::None:
-        return makeError("pack: cp opcode without operand record");
-      }
-      break;
-    case OpFormat::Branch2:
-    case OpFormat::Branch4:
-      writeVarInt(S.out(StreamId::BranchOffsets),
-                  I.BranchTarget - static_cast<int32_t>(I.Offset));
-      break;
-    case OpFormat::MultiANewArray:
-      refClass(Operand.Id);
-      writeVarUInt(S.out(StreamId::Counts),
-                   static_cast<uint32_t>(I.Const));
-      break;
-    case OpFormat::TableSwitch: {
-      writeVarInt(S.out(StreamId::IntConsts), I.SwitchLow);
-      writeVarInt(S.out(StreamId::IntConsts), I.SwitchHigh);
-      ByteWriter &B = S.out(StreamId::BranchOffsets);
-      writeVarInt(B, I.SwitchDefault - static_cast<int32_t>(I.Offset));
-      for (int32_t T : I.SwitchTargets)
-        writeVarInt(B, T - static_cast<int32_t>(I.Offset));
-      break;
-    }
-    case OpFormat::LookupSwitch: {
-      writeVarUInt(S.out(StreamId::Counts), I.SwitchMatches.size());
-      ByteWriter &B = S.out(StreamId::BranchOffsets);
-      writeVarInt(B, I.SwitchDefault - static_cast<int32_t>(I.Offset));
-      for (size_t K = 0; K < I.SwitchMatches.size(); ++K) {
-        writeVarInt(S.out(StreamId::IntConsts), I.SwitchMatches[K]);
-        writeVarInt(B, I.SwitchTargets[K] - static_cast<int32_t>(I.Offset));
-      }
-      break;
-    }
-    case OpFormat::InvokeDynamic:
-      return makeError("pack: invokedynamic is not supported (post-1999)");
-    case OpFormat::Wide:
-      return makeError("pack: unexpected wide format");
-    }
-    return Error::success();
-  }
-
   Model &M;
-  RefEncoder &Enc;
-  StreamSet &S;
-  const PackOptions &Options;
 };
 
 /// RefEncoder sink for seeding a Model through the preload helpers
@@ -619,14 +371,17 @@ public:
   bool preload(uint32_t, uint32_t) override { return true; }
 };
 
-/// The counting pass's outputs: the shard's interned model and the
-/// reference statistics the transient/frequency schemes need.
+/// The counting pass's outputs: the shard's interned model, its classes
+/// lowered to wire records, and the reference statistics the
+/// transient/frequency schemes need.
 struct ShardPlan {
   Model M;
   RefStats Stats;
+  std::vector<ClassRec> Recs;
 };
 
-/// Pass one over \p Ordered: interns every object and counts refs.
+/// Pass one over \p Ordered: lowers every class (interning every
+/// object) and drives the counting coder over the records.
 Expected<ShardPlan>
 countShardPass(const std::vector<const ClassFile *> &Ordered,
                const PackOptions &Options) {
@@ -634,35 +389,51 @@ countShardPass(const std::vector<const ClassFile *> &Ordered,
   CountingRefEncoder Counting(Plan.Stats);
   if (Options.PreloadStandardRefs)
     preloadStandardRefs(Plan.M, Counting, Options.Scheme);
+  Lowerer Low(Plan.M);
+  Plan.Recs.reserve(Ordered.size());
+  for (const ClassFile *CF : Ordered) {
+    auto R = Low.lowerClass(*CF);
+    if (!R)
+      return R.takeError();
+    Plan.Recs.push_back(std::move(*R));
+  }
   StreamSet Scratch;
-  ArchiveWriter Pass1(Plan.M, Counting, Scratch, Options);
-  if (auto E = Pass1.encodeArchive(Ordered))
+  EncodeContext C{Plan.M, Counting, Scratch, Options.Scheme,
+                  Options.CollapseOpcodes};
+  Transcriber<EncodeContext> Pass1(C);
+  if (auto E = Pass1.transcodeArchive(Plan.Recs))
     return E;
   return Plan;
 }
 
-/// Pass two over \p Ordered with \p M / \p Stats from the counting
-/// pass: emits the streams. \p Dict, when non-null, is replayed into
-/// the coder after the standard preload, exactly as the decoder will.
+/// Pass two over \p Plan's records with the model and stats from the
+/// counting pass: emits the streams. \p Dict, when non-null, is
+/// replayed into the coder after the standard preload, exactly as the
+/// decoder will. \p Items and \p Tally, when non-null, receive the
+/// per-stream item counts and per-pool coder tallies (observational).
 Expected<StreamSet>
-emitShardStreams(const std::vector<const ClassFile *> &Ordered, Model &M,
-                 const RefStats &Stats, const SharedDictionary *Dict,
-                 const PackOptions &Options) {
-  auto Enc = makeRefEncoder(Options.Scheme, &Stats);
+emitShardStreams(ShardPlan &Plan, const SharedDictionary *Dict,
+                 const PackOptions &Options,
+                 std::array<uint64_t, NumStreams> *Items,
+                 CoderTally *Tally) {
+  auto Enc = makeRefEncoder(Options.Scheme, &Plan.Stats);
   if (Options.PreloadStandardRefs &&
-      !preloadStandardRefs(M, *Enc, Options.Scheme))
+      !preloadStandardRefs(Plan.M, *Enc, Options.Scheme))
     return Error::failure("pack: the " +
                           std::string(refSchemeName(Options.Scheme)) +
                           " scheme does not support preloaded "
                           "references");
-  if (Dict && !preloadDictionary(M, *Enc, *Dict))
+  if (Dict && !preloadDictionary(Plan.M, *Enc, *Dict))
     return Error::failure("pack: the " +
                           std::string(refSchemeName(Options.Scheme)) +
                           " scheme does not support the shard "
                           "dictionary");
+  Enc->setTally(Tally);
   StreamSet S;
-  ArchiveWriter Pass2(M, *Enc, S, Options);
-  if (auto E = Pass2.encodeArchive(Ordered))
+  EncodeContext C{Plan.M, *Enc, S, Options.Scheme,
+                  Options.CollapseOpcodes, Items};
+  Transcriber<EncodeContext> Pass2(C);
+  if (auto E = Pass2.transcodeArchive(Plan.Recs))
     return E;
   return S;
 }
@@ -671,9 +442,9 @@ emitShardStreams(const std::vector<const ClassFile *> &Ordered, Model &M,
 /// use once \p Dict is seeded first: a fresh model interning the
 /// standard preloads, then the dictionary, then the shard's objects in
 /// their original first-occurrence order (so ids match the decoder's
-/// append order for non-preloaded objects), plus the shard's reference
-/// stats translated into the new ids.
-ShardPlan remapPlanForDictionary(const ShardPlan &Plan,
+/// append order for non-preloaded objects), plus the shard's records
+/// and reference stats translated into the new ids.
+ShardPlan remapPlanForDictionary(ShardPlan Plan,
                                  const SharedDictionary &Dict,
                                  const PackOptions &Options) {
   ShardPlan Out;
@@ -759,6 +530,52 @@ ShardPlan remapPlanForDictionary(const ShardPlan &Plan,
     }
     Out.Stats.add(Key.first, Object, Count);
   }
+
+  // Translate the lowered records through the same maps. Every id in a
+  // record was interned into Plan.M, and every Plan.M entry is mapped,
+  // so this is equivalent to re-lowering against M2 — without touching
+  // the classfiles again.
+  Out.Recs = std::move(Plan.Recs);
+  for (ClassRec &R : Out.Recs) {
+    R.ThisId = CMap[R.ThisId];
+    if (R.HasSuper)
+      R.SuperId = CMap[R.SuperId];
+    for (uint32_t &Id : R.Interfaces)
+      Id = CMap[Id];
+    for (FieldRec &F : R.Fields) {
+      F.RefId = FMap[F.RefId];
+      if (F.Const.Kind == ConstKind::String)
+        F.Const.Id = StrMap[F.Const.Id];
+    }
+    for (MethodRec &Mth : R.Methods) {
+      Mth.RefId = MMap[Mth.RefId];
+      for (uint32_t &Id : Mth.Exceptions)
+        Id = CMap[Id];
+      if (!Mth.Code)
+        continue;
+      for (CodeRec::Handler &H : Mth.Code->Table)
+        if (H.HasCatch)
+          H.CatchClass = CMap[H.CatchClass];
+      for (CodeOperand &Operand : Mth.Code->Operands) {
+        switch (Operand.Kind) {
+        case ConstKind::String:
+          Operand.Id = StrMap[Operand.Id];
+          break;
+        case ConstKind::ClassTarget:
+          Operand.Id = CMap[Operand.Id];
+          break;
+        case ConstKind::Field:
+          Operand.Id = FMap[Operand.Id];
+          break;
+        case ConstKind::Method:
+          Operand.Id = MMap[Operand.Id];
+          break;
+        default:
+          break;
+        }
+      }
+    }
+  }
   return Out;
 }
 
@@ -823,17 +640,30 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
 
   if (ShardCount <= 1) {
     // Original single-shard wire format, byte-identical to version 1.
+    Stopwatch Timer;
     auto Plan = countShardPass(Ordered, Options);
     if (!Plan)
       return Plan.takeError();
-    auto S = emitShardStreams(Ordered, Plan->M, Plan->Stats,
-                              /*Dict=*/nullptr, Options);
+    Result.Trace.Phases.ModelSec = Timer.seconds();
+
+    Timer.restart();
+    std::array<uint64_t, NumStreams> Items{};
+    auto S = emitShardStreams(*Plan, /*Dict=*/nullptr, Options, &Items,
+                              &Result.Trace.Coder);
     if (!S)
       return S.takeError();
+    Result.Trace.Phases.EmitSec = Timer.seconds();
+    Result.Trace.Shards.push_back({/*Shard=*/0, Ordered.size(),
+                                   Result.Trace.Phases.ModelSec,
+                                   Result.Trace.Phases.EmitSec});
+
+    Timer.restart();
     ByteWriter W;
     writeArchiveHeader(W, FormatVersionSerial, Options);
     W.writeBytes(S->serialize(Options.CompressStreams, &Result.Sizes));
+    Result.Sizes.Items = Items;
     Result.Archive = W.take();
+    Result.Trace.Phases.DeflateSec = Timer.seconds();
     return Result;
   }
 
@@ -851,20 +681,33 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
   // on an early error return the pool is destroyed first, and its
   // destructor drains still-queued tasks (a packaged_task future does
   // not block on destruction), so those tasks must find this state
-  // alive.
+  // alive. Telemetry slots are per-shard (each task writes only its own
+  // index) and rolled up after the joins, so tracing adds no sharing.
   std::vector<ShardPlan> Plans;
   Plans.reserve(ShardCount);
   std::vector<ShardPlan> Emit(ShardCount);
   SharedDictionary Dict;
+  std::vector<std::array<uint64_t, NumStreams>> ShardItems(ShardCount);
+  std::vector<CoderTally> ShardTallies(ShardCount);
+  Result.Trace.Shards.resize(ShardCount);
+  for (size_t K = 0; K < ShardCount; ++K) {
+    Result.Trace.Shards[K].Shard = K;
+    Result.Trace.Shards[K].Classes = Slices[K].size();
+  }
 
   ThreadPool Pool(Options.Threads);
 
   // Counting passes run one per shard, concurrently.
+  Stopwatch ModelTimer;
   std::vector<std::future<Expected<ShardPlan>>> PlanFutures;
   PlanFutures.reserve(ShardCount);
   for (size_t K = 0; K < ShardCount; ++K)
-    PlanFutures.push_back(Pool.submit(
-        [&Slices, &Options, K] { return countShardPass(Slices[K], Options); }));
+    PlanFutures.push_back(Pool.submit([&Slices, &Options, &Result, K] {
+      Stopwatch ShardTimer;
+      auto Plan = countShardPass(Slices[K], Options);
+      Result.Trace.Shards[K].ModelSec = ShardTimer.seconds();
+      return Plan;
+    }));
   for (auto &F : PlanFutures) {
     auto Plan = F.get();
     if (!Plan)
@@ -889,20 +732,26 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
         ShardModels, Options.PreloadStandardRefs ? &Standard : nullptr);
   }
   Result.DictionaryEntries = Dict.entryCount();
+  Result.Trace.Phases.ModelSec = ModelTimer.seconds();
 
   // Emitting passes, again one per shard, on models rebuilt around the
   // dictionary's id space.
+  Stopwatch EmitTimer;
   std::vector<std::future<Expected<StreamSet>>> Futures;
   Futures.reserve(ShardCount);
   for (size_t K = 0; K < ShardCount; ++K)
-    Futures.push_back(
-        Pool.submit([&Slices, &Plans, &Emit, &Dict, &Options, K] {
-          Emit[K] = Dict.empty()
-                        ? std::move(Plans[K])
-                        : remapPlanForDictionary(Plans[K], Dict, Options);
-          return emitShardStreams(Slices[K], Emit[K].M, Emit[K].Stats,
-                                  Dict.empty() ? nullptr : &Dict, Options);
-        }));
+    Futures.push_back(Pool.submit([&Plans, &Emit, &Dict, &Options, &Result,
+                                   &ShardItems, &ShardTallies, K] {
+      Stopwatch ShardTimer;
+      Emit[K] = Dict.empty()
+                    ? std::move(Plans[K])
+                    : remapPlanForDictionary(std::move(Plans[K]), Dict,
+                                             Options);
+      auto S = emitShardStreams(Emit[K], Dict.empty() ? nullptr : &Dict,
+                                Options, &ShardItems[K], &ShardTallies[K]);
+      Result.Trace.Shards[K].EmitSec = ShardTimer.seconds();
+      return S;
+    }));
 
   std::vector<StreamSet> ShardStreams;
   ShardStreams.reserve(ShardCount);
@@ -912,7 +761,9 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
       return S.takeError();
     ShardStreams.push_back(std::move(*S));
   }
+  Result.Trace.Phases.EmitSec = EmitTimer.seconds();
 
+  Stopwatch DeflateTimer;
   ByteWriter W;
   writeArchiveHeader(W, FormatVersionSharded, Options);
   Dict.serialize(W, Options.CompressStreams);
@@ -921,12 +772,19 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
                                        Options.CompressStreams,
                                        &Result.Sizes));
   Result.Archive = W.take();
+  Result.Trace.Phases.DeflateSec = DeflateTimer.seconds();
+  for (size_t K = 0; K < ShardCount; ++K) {
+    for (unsigned I = 0; I < NumStreams; ++I)
+      Result.Sizes.Items[I] += ShardItems[K][I];
+    Result.Trace.Coder.add(ShardTallies[K]);
+  }
   return Result;
 }
 
 Expected<PackResult>
 cjpack::packClassBytes(const std::vector<NamedClass> &Classes,
                        const PackOptions &Options) {
+  Stopwatch ParseTimer;
   std::vector<ClassFile> Parsed;
   Parsed.reserve(Classes.size());
   for (const NamedClass &C : Classes) {
@@ -937,5 +795,9 @@ cjpack::packClassBytes(const std::vector<NamedClass> &Classes,
       return Error::failure(C.Name + ": " + E.message());
     Parsed.push_back(std::move(*CF));
   }
-  return packClasses(Parsed, Options);
+  double ParseSec = ParseTimer.seconds();
+  auto Result = packClasses(Parsed, Options);
+  if (Result)
+    Result->Trace.Phases.ParseSec = ParseSec;
+  return Result;
 }

@@ -50,6 +50,29 @@ enum class PoolKind : uint8_t {
 
 inline uint32_t poolId(PoolKind K) { return static_cast<uint32_t>(K); }
 
+inline constexpr unsigned NumPoolKinds =
+    static_cast<unsigned>(PoolKind::StringConst) + 1;
+
+/// Printable pool name for telemetry reporting; exhaustive over
+/// PoolKind (-Wswitch keeps it in sync with the enum).
+constexpr const char *poolName(PoolKind K) {
+  switch (K) {
+  case PoolKind::Package: return "Package";
+  case PoolKind::SimpleName: return "SimpleName";
+  case PoolKind::ClassRefPool: return "ClassRef";
+  case PoolKind::FieldName: return "FieldName";
+  case PoolKind::MethodName: return "MethodName";
+  case PoolKind::FieldInstance: return "FieldInstance";
+  case PoolKind::FieldStatic: return "FieldStatic";
+  case PoolKind::MethodVirtual: return "MethodVirtual";
+  case PoolKind::MethodSpecial: return "MethodSpecial";
+  case PoolKind::MethodStatic: return "MethodStatic";
+  case PoolKind::MethodInterface: return "MethodInterface";
+  case PoolKind::StringConst: return "StringConst";
+  }
+  return "?"; // unreachable for in-range kinds
+}
+
 /// A class reference: \p Dims array dimensions over either a primitive
 /// base or a (package, simple-name) class.
 struct MClassRef {

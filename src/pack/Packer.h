@@ -30,6 +30,7 @@
 #include "pack/Streams.h"
 #include "support/DecodeLimits.h"
 #include "support/Error.h"
+#include "support/PackTrace.h"
 #include "zip/Jar.h"
 #include "zip/Manifest.h"
 #include <cstdint>
@@ -82,6 +83,10 @@ struct PackResult {
   /// serialized dictionary's size in the archive.
   size_t DictionaryEntries = 0;
   size_t DictionaryBytes = 0;
+  /// Telemetry from this run: per-phase wall times, per-shard timings,
+  /// and per-pool coder tallies. Observational only — the archive bytes
+  /// are independent of anything recorded here.
+  PackTrace Trace;
 };
 
 /// Packs already-parsed classfiles. Inputs must have been run through

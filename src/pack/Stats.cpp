@@ -1,0 +1,116 @@
+//===- Stats.cpp - archive inspection without decoding --------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pack/Stats.h"
+#include "pack/Dictionary.h"
+#include "support/VarInt.h"
+
+using namespace cjpack;
+
+namespace {
+
+/// Reads one stream's directory entry and skips its stored bytes.
+/// \p ShardCount distinguishes the version-1 layout (one raw length)
+/// from the version-2 joint layout (one raw length per shard).
+Error statStream(ByteReader &R, unsigned Index, size_t ShardCount,
+                 const DecodeLimits &Limits, StreamSizes &Sizes) {
+  size_t HeaderStart = R.position();
+  uint8_t Id = R.readU1();
+  uint8_t Method = R.readU1();
+  if (R.hasError() || Id != Index || Method > 1)
+    return makeError(ErrorCode::Corrupt,
+                     "stats: corrupt stream header at byte " +
+                         std::to_string(R.position()));
+  uint64_t RawTotal = 0;
+  for (size_t K = 0; K < ShardCount; ++K) {
+    uint64_t Len = readVarUInt(R);
+    if (R.hasError() || Len > Limits.MaxStreamBytes)
+      return makeError(ErrorCode::LimitExceeded,
+                       "stats: stream length over limit at byte " +
+                           std::to_string(R.position()));
+    RawTotal += Len;
+  }
+  uint64_t StoredLen = readVarUInt(R);
+  if (R.hasError() || RawTotal > Limits.MaxStreamBytes)
+    return makeError(ErrorCode::LimitExceeded,
+                     "stats: joint stream length over limit at byte " +
+                         std::to_string(R.position()));
+  // A stored-as-is stream must declare matching sizes; a compressed one
+  // must at least not promise more bytes than the archive holds (the
+  // skip below enforces that).
+  if (Method == 0 && StoredLen != RawTotal)
+    return makeError(ErrorCode::Corrupt, "stats: stored size mismatch");
+  size_t HeaderLen = R.position() - HeaderStart;
+  if (!R.skip(static_cast<size_t>(StoredLen)))
+    return makeError(ErrorCode::Truncated,
+                     "stats: truncated stream payload at byte " +
+                         std::to_string(R.position()));
+  Sizes.Raw[Index] = static_cast<size_t>(RawTotal);
+  Sizes.Packed[Index] = HeaderLen + static_cast<size_t>(StoredLen);
+  return Error::success();
+}
+
+} // namespace
+
+Expected<ArchiveStats>
+cjpack::statPackedArchive(const std::vector<uint8_t> &Archive,
+                          const DecodeLimits &Limits) {
+  ByteReader R(Archive);
+  uint32_t Magic = R.readU4();
+  if (R.hasError() || Magic != 0x434A504Bu)
+    return makeError(R.hasError() ? ErrorCode::Truncated : ErrorCode::Corrupt,
+                     "stats: bad magic");
+  ArchiveStats Stats;
+  Stats.ArchiveBytes = Archive.size();
+  Stats.Version = R.readU1();
+  if (Stats.Version != FormatVersionSerial &&
+      Stats.Version != FormatVersionSharded)
+    return makeError(ErrorCode::Corrupt,
+                     "stats: unsupported format version");
+  uint8_t Scheme = R.readU1();
+  if (Scheme > static_cast<uint8_t>(RefScheme::MtfTransientsContext))
+    return makeError(ErrorCode::Corrupt, "stats: unknown reference scheme");
+  Stats.Scheme = static_cast<RefScheme>(Scheme);
+  uint8_t Flags = R.readU1();
+  if (R.hasError())
+    return makeError(ErrorCode::Truncated,
+                     "stats: truncated archive header");
+  Stats.CollapseOpcodes = (Flags & 1) != 0;
+  Stats.CompressStreams = (Flags & 2) != 0;
+  Stats.PreloadStandardRefs = (Flags & 4) != 0;
+  Stats.HeaderBytes = R.position();
+
+  if (Stats.Version == FormatVersionSharded) {
+    // The dictionary frame validates itself; we only need its extent
+    // and entry count, so deserialize and discard the contents.
+    size_t DictStart = R.position();
+    auto Dict = SharedDictionary::deserialize(R, Limits);
+    if (!Dict)
+      return Dict.takeError();
+    Stats.DictionaryBytes = R.position() - DictStart;
+    Stats.DictionaryEntries = Dict->entryCount();
+
+    // The shard-count varint is container framing, charged to the
+    // header so the per-stream packed sizes still sum to the payload.
+    size_t CountStart = R.position();
+    uint64_t Count = readVarUInt(R);
+    if (R.hasError() || Count == 0 || Count > MaxShards)
+      return makeError(ErrorCode::Corrupt,
+                       "stats: implausible shard count at byte " +
+                           std::to_string(R.position()));
+    Stats.HeaderBytes += R.position() - CountStart;
+    Stats.Shards = static_cast<size_t>(Count);
+  }
+
+  for (unsigned I = 0; I < NumStreams; ++I)
+    if (auto E = statStream(R, I, Stats.Shards, Limits, Stats.Sizes))
+      return E;
+
+  if (R.position() != Archive.size())
+    return makeError(ErrorCode::Corrupt,
+                     "stats: trailing bytes after stream directory");
+  return Stats;
+}

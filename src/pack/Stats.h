@@ -1,0 +1,69 @@
+//===- Stats.h - archive inspection without decoding -----------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reads the composition of a packed archive straight off the wire: per
+/// stream the raw and stored byte counts from the stream directory, plus
+/// the header and dictionary framing, without inflating or decoding any
+/// stream payload. The accounting obeys a sum identity checked by tests:
+/// HeaderBytes + DictionaryBytes + sum(Sizes.Packed) == ArchiveBytes,
+/// and it matches the StreamSizes the encoder reported when the archive
+/// was produced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_PACK_STATS_H
+#define CJPACK_PACK_STATS_H
+
+#include "coder/RefCoder.h"
+#include "pack/Streams.h"
+#include "support/DecodeLimits.h"
+#include "support/Error.h"
+#include <cstdint>
+#include <vector>
+
+namespace cjpack {
+
+/// Wire-level composition of one packed archive.
+struct ArchiveStats {
+  /// Format version byte (FormatVersionSerial or FormatVersionSharded).
+  uint8_t Version = 0;
+  /// Reference-encoding scheme recorded in the header.
+  RefScheme Scheme = RefScheme::MtfTransientsContext;
+  /// Header option flags, decoded.
+  bool CollapseOpcodes = false;
+  bool CompressStreams = false;
+  bool PreloadStandardRefs = false;
+  /// Shard count (1 for version-1 archives).
+  size_t Shards = 1;
+  /// Fixed header bytes, plus the shard-count varint for version 2 —
+  /// framing not attributable to any stream.
+  size_t HeaderBytes = 0;
+  /// Serialized shared-dictionary frame (version 2; 0 for version 1)
+  /// and the definitions it carries.
+  size_t DictionaryBytes = 0;
+  size_t DictionaryEntries = 0;
+  /// Whole-archive size, for ratio math.
+  size_t ArchiveBytes = 0;
+  /// Per-stream accounting. Raw is the declared pre-compression size,
+  /// Packed is the stored size plus that stream's directory header, so
+  /// packed sizes sum to the archive payload. Items is always zero:
+  /// item counts are encoder telemetry, not wire data.
+  StreamSizes Sizes;
+};
+
+/// Parses the composition of \p Archive. Validates framing with the
+/// same rigor as the decoder (magic, version, scheme, stream directory
+/// order, declared lengths against \p Limits) but never inflates or
+/// decodes stream contents, so it is cheap even for large archives.
+/// Fails with a typed Error on any malformed or truncated framing,
+/// including trailing bytes after the last stream.
+Expected<ArchiveStats> statPackedArchive(const std::vector<uint8_t> &Archive,
+                                         const DecodeLimits &Limits = {});
+
+} // namespace cjpack
+
+#endif // CJPACK_PACK_STATS_H

@@ -10,69 +10,6 @@
 
 using namespace cjpack;
 
-StreamCategory cjpack::streamCategory(StreamId Id) {
-  switch (Id) {
-  case StreamId::StringLengths:
-  case StreamId::NameChars:
-  case StreamId::ClassNameChars:
-  case StreamId::StringConstChars:
-    return StreamCategory::Strings;
-  case StreamId::Opcodes:
-    return StreamCategory::Opcodes;
-  case StreamId::IntConsts:
-    return StreamCategory::Ints;
-  case StreamId::PackageRefs:
-  case StreamId::SimpleNameRefs:
-  case StreamId::ClassRefs:
-  case StreamId::FieldNameRefs:
-  case StreamId::MethodNameRefs:
-  case StreamId::FieldRefs:
-  case StreamId::MethodRefs:
-  case StreamId::StringConstRefs:
-    return StreamCategory::Refs;
-  default:
-    return StreamCategory::Misc;
-  }
-}
-
-const char *cjpack::streamName(StreamId Id) {
-  switch (Id) {
-  case StreamId::Counts: return "Counts";
-  case StreamId::Flags: return "Flags";
-  case StreamId::Registers: return "Registers";
-  case StreamId::BranchOffsets: return "BranchOffsets";
-  case StreamId::IntConsts: return "IntConsts";
-  case StreamId::FloatConsts: return "FloatConsts";
-  case StreamId::LongConsts: return "LongConsts";
-  case StreamId::DoubleConsts: return "DoubleConsts";
-  case StreamId::Opcodes: return "Opcodes";
-  case StreamId::PackageRefs: return "PackageRefs";
-  case StreamId::SimpleNameRefs: return "SimpleNameRefs";
-  case StreamId::ClassRefs: return "ClassRefs";
-  case StreamId::FieldNameRefs: return "FieldNameRefs";
-  case StreamId::MethodNameRefs: return "MethodNameRefs";
-  case StreamId::FieldRefs: return "FieldRefs";
-  case StreamId::MethodRefs: return "MethodRefs";
-  case StreamId::StringConstRefs: return "StringConstRefs";
-  case StreamId::StringLengths: return "StringLengths";
-  case StreamId::NameChars: return "NameChars";
-  case StreamId::ClassNameChars: return "ClassNameChars";
-  case StreamId::StringConstChars: return "StringConstChars";
-  }
-  return "?";
-}
-
-const char *cjpack::streamCategoryName(StreamCategory C) {
-  switch (C) {
-  case StreamCategory::Strings: return "Strings";
-  case StreamCategory::Opcodes: return "Opcodes";
-  case StreamCategory::Ints: return "Ints";
-  case StreamCategory::Refs: return "Refs";
-  case StreamCategory::Misc: return "Misc";
-  }
-  return "?";
-}
-
 size_t StreamSizes::totalRaw() const {
   size_t Total = 0;
   for (size_t S : Raw)
@@ -95,10 +32,18 @@ size_t StreamSizes::packedOf(StreamCategory C) const {
   return Total;
 }
 
+uint64_t StreamSizes::totalItems() const {
+  uint64_t Total = 0;
+  for (uint64_t N : Items)
+    Total += N;
+  return Total;
+}
+
 void StreamSizes::add(const StreamSizes &Other) {
   for (unsigned I = 0; I < NumStreams; ++I) {
     Raw[I] += Other.Raw[I];
     Packed[I] += Other.Packed[I];
+    Items[I] += Other.Items[I];
   }
 }
 

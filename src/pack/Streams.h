@@ -74,21 +74,137 @@ inline constexpr unsigned NumStreams =
 /// Reporting categories for Table 6's composition columns.
 enum class StreamCategory : uint8_t { Strings, Opcodes, Ints, Refs, Misc };
 
-/// Category of \p Id.
-StreamCategory streamCategory(StreamId Id);
+inline constexpr unsigned NumStreamCategories =
+    static_cast<unsigned>(StreamCategory::Misc) + 1;
 
-/// Printable names.
-const char *streamName(StreamId Id);
-const char *streamCategoryName(StreamCategory C);
+/// Category of \p Id. The switch is exhaustive with no default, so adding
+/// a StreamId enumerator without classifying it breaks the -Werror build
+/// (-Wswitch), and the static_asserts below keep the classification in
+/// sync with NumStreams.
+constexpr StreamCategory streamCategory(StreamId Id) {
+  switch (Id) {
+  case StreamId::StringLengths:
+  case StreamId::NameChars:
+  case StreamId::ClassNameChars:
+  case StreamId::StringConstChars:
+    return StreamCategory::Strings;
+  case StreamId::Opcodes:
+    return StreamCategory::Opcodes;
+  case StreamId::IntConsts:
+    return StreamCategory::Ints;
+  case StreamId::PackageRefs:
+  case StreamId::SimpleNameRefs:
+  case StreamId::ClassRefs:
+  case StreamId::FieldNameRefs:
+  case StreamId::MethodNameRefs:
+  case StreamId::FieldRefs:
+  case StreamId::MethodRefs:
+  case StreamId::StringConstRefs:
+    return StreamCategory::Refs;
+  case StreamId::Counts:
+  case StreamId::Flags:
+  case StreamId::Registers:
+  case StreamId::BranchOffsets:
+  case StreamId::FloatConsts:
+  case StreamId::LongConsts:
+  case StreamId::DoubleConsts:
+    return StreamCategory::Misc;
+  }
+  return StreamCategory::Misc; // unreachable for in-range ids
+}
 
-/// Per-stream raw and packed byte counts, filled in by serialization.
+/// Printable name of \p Id; exhaustive like streamCategory.
+constexpr const char *streamName(StreamId Id) {
+  switch (Id) {
+  case StreamId::Counts: return "Counts";
+  case StreamId::Flags: return "Flags";
+  case StreamId::Registers: return "Registers";
+  case StreamId::BranchOffsets: return "BranchOffsets";
+  case StreamId::IntConsts: return "IntConsts";
+  case StreamId::FloatConsts: return "FloatConsts";
+  case StreamId::LongConsts: return "LongConsts";
+  case StreamId::DoubleConsts: return "DoubleConsts";
+  case StreamId::Opcodes: return "Opcodes";
+  case StreamId::PackageRefs: return "PackageRefs";
+  case StreamId::SimpleNameRefs: return "SimpleNameRefs";
+  case StreamId::ClassRefs: return "ClassRefs";
+  case StreamId::FieldNameRefs: return "FieldNameRefs";
+  case StreamId::MethodNameRefs: return "MethodNameRefs";
+  case StreamId::FieldRefs: return "FieldRefs";
+  case StreamId::MethodRefs: return "MethodRefs";
+  case StreamId::StringConstRefs: return "StringConstRefs";
+  case StreamId::StringLengths: return "StringLengths";
+  case StreamId::NameChars: return "NameChars";
+  case StreamId::ClassNameChars: return "ClassNameChars";
+  case StreamId::StringConstChars: return "StringConstChars";
+  }
+  return "?"; // unreachable for in-range ids
+}
+
+constexpr const char *streamCategoryName(StreamCategory C) {
+  switch (C) {
+  case StreamCategory::Strings: return "Strings";
+  case StreamCategory::Opcodes: return "Opcodes";
+  case StreamCategory::Ints: return "Ints";
+  case StreamCategory::Refs: return "Refs";
+  case StreamCategory::Misc: return "Misc";
+  }
+  return "?"; // unreachable for in-range categories
+}
+
+namespace detail {
+
+/// True when every in-range StreamId has a real name (not the
+/// out-of-range sentinel).
+constexpr bool allStreamsNamed() {
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    const char *Name = streamName(static_cast<StreamId>(I));
+    if (Name[0] == '?' || Name[0] == '\0')
+      return false;
+  }
+  return true;
+}
+
+/// Number of streams classified into \p C.
+constexpr unsigned streamsInCategory(StreamCategory C) {
+  unsigned N = 0;
+  for (unsigned I = 0; I < NumStreams; ++I)
+    if (streamCategory(static_cast<StreamId>(I)) == C)
+      ++N;
+  return N;
+}
+
+} // namespace detail
+
+static_assert(detail::allStreamsNamed(),
+              "every StreamId needs a printable name");
+static_assert(detail::streamsInCategory(StreamCategory::Strings) == 4 &&
+                  detail::streamsInCategory(StreamCategory::Opcodes) == 1 &&
+                  detail::streamsInCategory(StreamCategory::Ints) == 1 &&
+                  detail::streamsInCategory(StreamCategory::Refs) == 8 &&
+                  detail::streamsInCategory(StreamCategory::Misc) == 7,
+              "stream category composition changed; update Table 6 "
+              "reporting and these expected counts");
+static_assert(detail::streamsInCategory(StreamCategory::Strings) +
+                      detail::streamsInCategory(StreamCategory::Opcodes) +
+                      detail::streamsInCategory(StreamCategory::Ints) +
+                      detail::streamsInCategory(StreamCategory::Refs) +
+                      detail::streamsInCategory(StreamCategory::Misc) ==
+                  NumStreams,
+              "every stream must land in exactly one category");
+
+/// Per-stream raw and packed byte counts, filled in by serialization,
+/// plus item counts (varints, strings, fixed-width values written to the
+/// stream) recorded by the encoder's emitting pass.
 struct StreamSizes {
   std::array<size_t, NumStreams> Raw{};
   std::array<size_t, NumStreams> Packed{};
+  std::array<uint64_t, NumStreams> Items{};
 
   size_t totalRaw() const;
   size_t totalPacked() const;
   size_t packedOf(StreamCategory C) const;
+  uint64_t totalItems() const;
 
   /// Accumulates \p Other stream-by-stream (shard totals roll up into
   /// one per-archive accounting).

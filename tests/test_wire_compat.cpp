@@ -1,0 +1,245 @@
+//===- test_wire_compat.cpp - golden archive-byte compatibility -----------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The differential gate for codec refactors: archives packed from a
+// pinned corpus must stay byte-for-byte identical to golden SHA-1
+// hashes recorded from the pre-refactor encoder, across corpus styles,
+// shard counts 1 and 4, preload, opcode collapsing off, ordering off,
+// and every reference scheme. Uncompressed archives are asserted
+// unconditionally (pure function of the codec); compressed archives
+// additionally depend on the zlib version, so those hashes are only
+// asserted under the zlib they were recorded with.
+//
+// To regenerate after an INTENDED wire change (which must also bump the
+// format version): print sha1Hex(packClassBytes(...)->Archive) for each
+// key below with Threads=2 and update the table.
+//
+// Also checks here because it shares the corpus: the statPackedArchive
+// sum identity (header + dictionary + per-stream packed == archive
+// bytes) and its agreement with the encoder's own accounting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "pack/Packer.h"
+#include "pack/Stats.h"
+#include "support/Sha1.h"
+#include <gtest/gtest.h>
+#include <map>
+#include <string>
+#include <zlib.h>
+
+using namespace cjpack;
+
+namespace {
+
+/// zlib version the compressed golden hashes were recorded under.
+const char *const GoldenZlib = "1.2.13";
+
+/// Golden SHA-1 of the archive bytes for each (corpus, options) key.
+const std::map<std::string, std::string> GoldenHashes = {
+    {"balanced/s1/raw", "bf33effb4a399a16d75c0880ebb68608fd348ab8"},
+    {"balanced/s1/z", "bfb18d229ef015baf43db7dbf16bae16b88a5840"},
+    {"balanced/s4/raw", "7cad34cc0afbd91947cf1252d73998b88b4e3dca"},
+    {"balanced/s4/z", "1b9c7330b06d97bdf8705f0b49f6c27b581758c5"},
+    {"numeric/s1/raw", "bc5031a55f75dcf2699aa82ce30f42b4a5728b3a"},
+    {"numeric/s1/z", "45d50643bfceb432e6283fc8cc452a17731dd750"},
+    {"numeric/s4/raw", "981b1c869fef3335322bb807b6e47cf854f58484"},
+    {"numeric/s4/z", "7e080afad124b0d4e7010d518d9d6f2af7d95303"},
+    {"stringheavy/s1/raw", "f5a558f93ecbe0dcb45c505459d069fdc92a2855"},
+    {"stringheavy/s1/z", "b6658014fff2b0c1ef53a786e43bb847fbe9f22f"},
+    {"stringheavy/s4/raw", "83d3025a9809256514e25f2db8ef632f61d66b4f"},
+    {"stringheavy/s4/z", "efaf1f519e6b74b0b91353f1d3ba2c2f1a61a301"},
+    {"balanced/s1/preload", "9d2c8af60b868c44523825e80cf02fe9c01a703b"},
+    {"balanced/s4/preload", "7a671cb18780a1d3a1829067a20b21703c641f59"},
+    {"balanced/s1/nocollapse", "73412ab33f34329d0e8c0b00c7b9465b860a3802"},
+    {"balanced/s1/noorder", "bf33effb4a399a16d75c0880ebb68608fd348ab8"},
+    {"balanced/s1/scheme-Simple",
+     "f034dda72c7c8c5b625e1392661b8aa22e148739"},
+    {"balanced/s1/scheme-Basic",
+     "d6941b715ad16d7f3d8f5db7b498506e00d577b5"},
+    {"balanced/s1/scheme-Freq",
+     "136c9b08f4eb30b71ada9cf812d1cef41a1ff42f"},
+    {"balanced/s1/scheme-Cache",
+     "0e3319f04144edd25c1845a448947325d9d21c25"},
+    {"balanced/s1/scheme-MTF Basic",
+     "c11324435557831ef943fa437cc6f5e95bfa6096"},
+    {"balanced/s1/scheme-MTF Transients",
+     "fe054393c6fc725162bdb0d0739dfde8d6d42378"},
+    {"balanced/s1/scheme-MTF Context",
+     "8c886cd993767368c599c06c904940f80a2ccead"},
+    {"balanced/s1/scheme-MTF Trans+Ctx",
+     "bf33effb4a399a16d75c0880ebb68608fd348ab8"},
+    {"balanced/s4/scheme-Simple",
+     "aff35dddd467cb31431c650701a7ed761b030c5e"},
+    {"balanced/s4/scheme-Basic",
+     "ac1943a87e5771ad1128893710c2ef4b93414c3e"},
+    {"balanced/s4/scheme-Freq",
+     "dc6a0fd9051860c2091b0d689829f1a70deb9946"},
+    {"balanced/s4/scheme-Cache",
+     "20b590e05e55fbc7aa6afa018c0d6c6fb20c48cd"},
+    {"balanced/s4/scheme-MTF Basic",
+     "3889b7dbbc228ff8ccf1937d2f2b0c5608a4d4ab"},
+    {"balanced/s4/scheme-MTF Transients",
+     "e669a933514839b042d6b2684c4f17635e1e6c3e"},
+    {"balanced/s4/scheme-MTF Context",
+     "9d5e3ae13f6e8c67331d1bf67a00e19b8b500c17"},
+    {"balanced/s4/scheme-MTF Trans+Ctx",
+     "7cad34cc0afbd91947cf1252d73998b88b4e3dca"},
+};
+
+std::vector<NamedClass> corpusFor(CodeStyle Style) {
+  CorpusSpec Spec;
+  Spec.Name = "wirecompat";
+  Spec.Seed = 1234;
+  Spec.NumClasses = 48;
+  Spec.NumPackages = 4;
+  Spec.MeanMethods = 6;
+  Spec.MeanStatements = 10;
+  Spec.Code = Style;
+  return generateCorpus(Spec);
+}
+
+bool zlibMatchesGolden() {
+  return std::string(zlibVersion()) == GoldenZlib;
+}
+
+/// Packs (Threads=2, like the recording run) and checks the archive
+/// hash against the golden table, plus the stats sum identity.
+void expectGolden(const std::string &Key,
+                  const std::vector<NamedClass> &Classes,
+                  PackOptions Options) {
+  Options.Threads = 2;
+  auto Packed = packClassBytes(Classes, Options);
+  ASSERT_TRUE(static_cast<bool>(Packed)) << Key << ": "
+                                         << Packed.message();
+
+  // Composition identity: the wire-level walk must account for every
+  // archive byte and agree with the encoder's own per-stream packing.
+  auto Stats = statPackedArchive(Packed->Archive);
+  ASSERT_TRUE(static_cast<bool>(Stats)) << Key << ": "
+                                        << Stats.message();
+  EXPECT_EQ(Stats->HeaderBytes + Stats->DictionaryBytes +
+                Stats->Sizes.totalPacked(),
+            Packed->Archive.size())
+      << Key;
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    EXPECT_EQ(Stats->Sizes.Raw[I], Packed->Sizes.Raw[I])
+        << Key << " raw " << streamName(static_cast<StreamId>(I));
+    EXPECT_EQ(Stats->Sizes.Packed[I], Packed->Sizes.Packed[I])
+        << Key << " packed " << streamName(static_cast<StreamId>(I));
+  }
+
+  bool Compressed = Options.CompressStreams;
+  if (Compressed && !zlibMatchesGolden())
+    GTEST_SKIP() << "compressed goldens recorded under zlib "
+                 << GoldenZlib << ", running " << zlibVersion();
+  auto It = GoldenHashes.find(Key);
+  ASSERT_NE(It, GoldenHashes.end()) << "no golden hash for " << Key;
+  EXPECT_EQ(sha1Hex(Packed->Archive), It->second)
+      << Key << ": archive bytes changed — wire format break";
+}
+
+} // namespace
+
+class WireCompatStyles
+    : public ::testing::TestWithParam<std::tuple<CodeStyle, unsigned>> {};
+
+TEST_P(WireCompatStyles, UncompressedArchiveMatchesGolden) {
+  auto [Style, Shards] = GetParam();
+  const char *Name = Style == CodeStyle::Balanced    ? "balanced"
+                     : Style == CodeStyle::Numeric   ? "numeric"
+                                                     : "stringheavy";
+  PackOptions Raw;
+  Raw.Shards = Shards;
+  Raw.CompressStreams = false;
+  expectGolden(std::string(Name) + "/s" + std::to_string(Shards) +
+                   "/raw",
+               corpusFor(Style), Raw);
+}
+
+TEST_P(WireCompatStyles, CompressedArchiveMatchesGolden) {
+  auto [Style, Shards] = GetParam();
+  const char *Name = Style == CodeStyle::Balanced    ? "balanced"
+                     : Style == CodeStyle::Numeric   ? "numeric"
+                                                     : "stringheavy";
+  PackOptions Z;
+  Z.Shards = Shards;
+  expectGolden(std::string(Name) + "/s" + std::to_string(Shards) + "/z",
+               corpusFor(Style), Z);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStyles, WireCompatStyles,
+    ::testing::Combine(::testing::Values(CodeStyle::Balanced,
+                                         CodeStyle::Numeric,
+                                         CodeStyle::StringHeavy),
+                       ::testing::Values(1u, 4u)));
+
+TEST(WireCompat, PreloadedArchives) {
+  auto Classes = corpusFor(CodeStyle::Balanced);
+  for (unsigned Shards : {1u, 4u}) {
+    PackOptions Options;
+    Options.Shards = Shards;
+    Options.CompressStreams = false;
+    Options.PreloadStandardRefs = true;
+    expectGolden("balanced/s" + std::to_string(Shards) + "/preload",
+                 Classes, Options);
+  }
+}
+
+TEST(WireCompat, CollapseAndOrderingKnobs) {
+  auto Classes = corpusFor(CodeStyle::Balanced);
+  PackOptions NoCollapse;
+  NoCollapse.CompressStreams = false;
+  NoCollapse.CollapseOpcodes = false;
+  expectGolden("balanced/s1/nocollapse", Classes, NoCollapse);
+  PackOptions NoOrder;
+  NoOrder.CompressStreams = false;
+  NoOrder.OrderForEagerLoading = false;
+  expectGolden("balanced/s1/noorder", Classes, NoOrder);
+}
+
+TEST(WireCompat, EveryReferenceScheme) {
+  auto Classes = corpusFor(CodeStyle::Balanced);
+  for (unsigned Shards : {1u, 4u}) {
+    for (uint8_t S = 0;
+         S <= static_cast<uint8_t>(RefScheme::MtfTransientsContext);
+         ++S) {
+      PackOptions Options;
+      Options.Shards = Shards;
+      Options.CompressStreams = false;
+      Options.Scheme = static_cast<RefScheme>(S);
+      expectGolden("balanced/s" + std::to_string(Shards) + "/scheme-" +
+                       refSchemeName(Options.Scheme),
+                   Classes, Options);
+    }
+  }
+}
+
+TEST(WireCompat, StatsRejectsMalformedFraming) {
+  auto Classes = corpusFor(CodeStyle::Balanced);
+  PackOptions Options;
+  Options.Shards = 4;
+  auto Packed = packClassBytes(Classes, Options);
+  ASSERT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+
+  std::vector<uint8_t> Bad = Packed->Archive;
+  Bad[0] ^= 0xFF; // magic
+  EXPECT_FALSE(static_cast<bool>(statPackedArchive(Bad)));
+
+  Bad = Packed->Archive;
+  Bad[4] = 99; // version
+  EXPECT_FALSE(static_cast<bool>(statPackedArchive(Bad)));
+
+  Bad = Packed->Archive;
+  Bad.resize(Bad.size() / 2); // truncation
+  EXPECT_FALSE(static_cast<bool>(statPackedArchive(Bad)));
+
+  Bad = Packed->Archive;
+  Bad.push_back(0); // trailing garbage breaks the sum identity
+  EXPECT_FALSE(static_cast<bool>(statPackedArchive(Bad)));
+}
