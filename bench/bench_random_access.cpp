@@ -1,0 +1,152 @@
+//===- bench_random_access.cpp - lazy reader smoke + baseline -------------===//
+//
+// Part of cjpack. MIT license.
+//
+// Measures what the version-3 index buys and what it costs: packs a
+// fixed balanced corpus as an indexed archive at shard counts 1 and 4,
+// then contrasts a full unpack against cold single-class fetches (a
+// fresh PackedArchiveReader per fetch, so nothing is amortized) and
+// reports the index overhead from the wire-level stats walk. The corpus
+// is pinned — no CJPACK_SCALE — so the zlib-independent fields are
+// bit-stable across machines and CI diffs the output against the
+// committed baseline in bench/baselines/BENCH_random_access.json via
+// compare_bench.py. Timings and inflate counts are informational.
+//
+//   bench_random_access [--json FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "pack/ArchiveReader.h"
+#include "pack/Stats.h"
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <zlib.h>
+
+using namespace cjpack;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+
+  CorpusSpec Spec;
+  Spec.Name = "balanced";
+  Spec.Seed = 1234;
+  Spec.NumClasses = 48;
+  Spec.NumPackages = 4;
+  Spec.MeanMethods = 6;
+  Spec.MeanStatements = 10;
+  BenchData B = loadBench(Spec);
+  size_t InputBytes = totalClassBytes(B.StrippedBytes);
+
+  printf("Random-access bench (fixed corpus, cold fetch = fresh reader "
+         "per class)\n\n");
+  printf("%-14s %8s %12s %10s %10s %12s %11s %12s\n", "corpus", "shards",
+         "archive(B)", "index(B)", "full(ms)", "full-infl(B)",
+         "fetch(ms)", "fetch-infl(B)");
+
+  std::vector<JsonObject> Rows;
+  int Rc = 0;
+  for (unsigned Shards : {1u, 4u}) {
+    PackOptions Options;
+    Options.Shards = Shards;
+    Options.Threads = 2;
+    Options.RandomAccessIndex = true;
+    auto Packed = packClasses(B.Prepared, Options);
+    if (!Packed) {
+      fprintf(stderr, "s%u: pack failed: %s\n", Shards,
+              Packed.message().c_str());
+      Rc = 1;
+      continue;
+    }
+    auto Stats = statPackedArchive(Packed->Archive);
+    if (!Stats) {
+      fprintf(stderr, "s%u: stats failed: %s\n", Shards,
+              Stats.message().c_str());
+      Rc = 1;
+      continue;
+    }
+
+    // Full unpack through the reader, timed from open so the two paths
+    // pay the same index/dictionary parse.
+    auto T0 = std::chrono::steady_clock::now();
+    auto Full = PackedArchiveReader::open(Packed->Archive);
+    if (!Full || !Full->unpackAll()) {
+      fprintf(stderr, "s%u: full unpack failed\n", Shards);
+      Rc = 1;
+      continue;
+    }
+    double FullMs = msSince(T0);
+    uint64_t FullInflate = Full->inflatedBytes();
+
+    // Cold fetch of every class: fresh reader each time, averaged.
+    std::vector<std::string> Names = Full->classNames();
+    double FetchMsTotal = 0;
+    uint64_t FetchInflateTotal = 0;
+    for (const std::string &Name : Names) {
+      T0 = std::chrono::steady_clock::now();
+      auto Reader = PackedArchiveReader::open(Packed->Archive);
+      if (!Reader || !Reader->unpackClass(Name)) {
+        fprintf(stderr, "s%u: cold fetch of %s failed\n", Shards,
+                Name.c_str());
+        Rc = 1;
+        break;
+      }
+      FetchMsTotal += msSince(T0);
+      FetchInflateTotal += Reader->inflatedBytes();
+    }
+    double FetchMs = FetchMsTotal / Names.size();
+    uint64_t FetchInflate = FetchInflateTotal / Names.size();
+
+    printf("%-14s %8u %12zu %10zu %10.1f %12llu %11.2f %12llu\n",
+           "balanced", Shards, Packed->Archive.size(), Stats->IndexBytes,
+           FullMs, static_cast<unsigned long long>(FullInflate), FetchMs,
+           static_cast<unsigned long long>(FetchInflate));
+
+    JsonObject Row;
+    Row.add("name", "balanced/s" + std::to_string(Shards) + "/indexed");
+    Row.add("shards", static_cast<uint64_t>(Shards));
+    Row.add("classes", static_cast<uint64_t>(B.Prepared.size()));
+    Row.add("input_bytes", static_cast<uint64_t>(InputBytes));
+    Row.add("archive_bytes",
+            static_cast<uint64_t>(Packed->Archive.size()));
+    Row.add("raw_stream_bytes",
+            static_cast<uint64_t>(Packed->Sizes.totalRaw()));
+    Row.add("index_bytes", static_cast<uint64_t>(Stats->IndexBytes));
+    Row.add("full_unpack_ms", FullMs);
+    Row.add("full_inflate_bytes", FullInflate);
+    Row.add("cold_fetch_ms", FetchMs);
+    Row.add("cold_fetch_inflate_bytes", FetchInflate);
+    Rows.push_back(std::move(Row));
+  }
+
+  if (!JsonPath.empty()) {
+    FILE *Out = fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    JsonObject Header;
+    Header.add("bench", "random_access");
+    Header.add("zlib", zlibVersion());
+    writeBenchJson(Out, Header, Rows);
+    fclose(Out);
+    printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return Rc;
+}

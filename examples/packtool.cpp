@@ -6,6 +6,8 @@
 //
 //   packtool pack <in.jar|in.zip> <out.cjp>   pack a jar's classfiles
 //   packtool unpack <in.cjp> <out.jar>        unpack to a stored jar
+//   packtool list <in.cjp>                    list a v3 archive's classes
+//   packtool unpack-class <in.cjp> <name>     extract one class lazily
 //   packtool info <in.cjp|in.jar>             describe an archive
 //   packtool verify <in.class|jar|cjp>        run the bytecode verifier
 //   packtool stats <in.cjp|in.jar> [--json]   per-stream composition
@@ -14,6 +16,12 @@
 // `--threads N` (anywhere on the command line) packs into N shards
 // encoded on N worker threads, and unpacks sharded archives on N
 // threads. The default (1) writes the classic single-shard format.
+//
+// `--indexed` on pack/stats writes the version-3 random-access layout
+// (per-class index + independently compressed shard blobs). `list` and
+// `unpack-class` require a version-3 archive — they memory-map it and
+// touch only the index (list) or one shard's blob (unpack-class);
+// unpack/info/verify/stats accept any version.
 //
 // `--verify[=warn|strict]` on pack lints every classfile with the
 // flow analyzer first: warn (the default) reports diagnostics and
@@ -27,10 +35,13 @@
 
 #include "analysis/Verifier.h"
 #include "classfile/Reader.h"
+#include "classfile/Writer.h"
 #include "corpus/Corpus.h"
+#include "pack/ArchiveReader.h"
 #include "pack/Model.h"
 #include "pack/Packer.h"
 #include "pack/Stats.h"
+#include "support/InputFile.h"
 #include "zip/Jar.h"
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +54,9 @@ namespace {
 
 /// Worker-thread count from --threads (also the pack shard count).
 unsigned NumThreads = 1;
+
+/// --indexed: pack/stats write the version-3 random-access layout.
+bool Indexed = false;
 
 /// Pre-pack lint mode from --verify[=warn|strict].
 enum class LintMode { Off, Warn, Strict };
@@ -69,6 +83,31 @@ bool writeFile(const std::string &Path, const std::vector<uint8_t> &Data) {
 bool isClassName(const std::string &Name) {
   return Name.size() > 6 &&
          Name.compare(Name.size() - 6, 6, ".class") == 0;
+}
+
+/// Unpacks an archive of any format version into named classfiles:
+/// version-3 archives route through PackedArchiveReader, versions 1/2
+/// through the whole-archive decoder.
+Expected<std::vector<NamedClass>>
+unpackAnyArchive(const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() > 4 && Bytes[4] == FormatVersionIndexed) {
+    auto Reader = PackedArchiveReader::open(Bytes);
+    if (!Reader)
+      return Reader.takeError();
+    auto Classes = Reader->unpackAll();
+    if (!Classes)
+      return Classes.takeError();
+    std::vector<NamedClass> Out;
+    Out.reserve(Classes->size());
+    for (const ClassFile &CF : *Classes) {
+      NamedClass C;
+      C.Name = CF.thisClassName() + ".class";
+      C.Data = writeClassFile(CF);
+      Out.push_back(std::move(C));
+    }
+    return Out;
+  }
+  return unpackArchive(Bytes, NumThreads);
 }
 
 /// Verifies one classfile, printing each diagnostic; returns the count.
@@ -116,6 +155,7 @@ int cmdPack(const std::string &InPath, const std::string &OutPath) {
   PackOptions Options;
   Options.Shards = NumThreads;
   Options.Threads = NumThreads;
+  Options.RandomAccessIndex = Indexed;
   auto Packed = packClassBytes(Classes, Options);
   if (!Packed) {
     fprintf(stderr, "packtool: %s\n", Packed.message().c_str());
@@ -143,7 +183,7 @@ int cmdUnpack(const std::string &InPath, const std::string &OutPath) {
     fprintf(stderr, "packtool: cannot read %s\n", InPath.c_str());
     return 1;
   }
-  auto Classes = unpackArchive(Bytes, NumThreads);
+  auto Classes = unpackAnyArchive(Bytes);
   if (!Classes) {
     fprintf(stderr, "packtool: %s\n", Classes.message().c_str());
     return 1;
@@ -157,6 +197,72 @@ int cmdUnpack(const std::string &InPath, const std::string &OutPath) {
   return 0;
 }
 
+/// Opens \p Path as a memory-mapped version-3 archive. Prints the
+/// failure and returns false when the file is unreadable or not an
+/// indexed archive. The InputFile must outlive the reader (it owns the
+/// mapped bytes).
+bool openIndexed(const std::string &Path, InputFile &File,
+                 Expected<PackedArchiveReader> &Reader) {
+  auto F = InputFile::open(Path);
+  if (!F) {
+    fprintf(stderr, "packtool: %s\n", F.message().c_str());
+    return false;
+  }
+  File = std::move(*F);
+  Reader = PackedArchiveReader::open(File.data(), File.size());
+  if (!Reader) {
+    fprintf(stderr, "packtool: %s: %s\n", Path.c_str(),
+            Reader.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmdList(const std::string &InPath) {
+  InputFile File;
+  Expected<PackedArchiveReader> Reader = Error::failure("unopened");
+  if (!openIndexed(InPath, File, Reader))
+    return 1;
+  // Names come straight off the uncompressed index: no stream is
+  // inflated, no class decoded.
+  for (const auto &E : Reader->index().Classes)
+    printf("%6zu  %s\n", static_cast<size_t>(E.Shard), E.Name.c_str());
+  printf("%s: %zu classes in %zu shards, %zu bytes%s\n", InPath.c_str(),
+         Reader->classCount(), Reader->shardCount(), File.size(),
+         File.isMapped() ? " (mapped)" : "");
+  return 0;
+}
+
+int cmdUnpackClass(const std::string &InPath, const std::string &Name,
+                   const std::string &OutPath) {
+  InputFile File;
+  Expected<PackedArchiveReader> Reader = Error::failure("unopened");
+  if (!openIndexed(InPath, File, Reader))
+    return 1;
+  auto CF = Reader->unpackClass(Name);
+  if (!CF) {
+    fprintf(stderr, "packtool: %s\n", CF.message().c_str());
+    return 1;
+  }
+  std::string Out = OutPath;
+  if (Out.empty()) {
+    // Default to the simple class name in the working directory.
+    size_t Slash = Name.find_last_of('/');
+    Out = (Slash == std::string::npos ? Name : Name.substr(Slash + 1)) +
+          ".class";
+  }
+  std::vector<uint8_t> Data = writeClassFile(*CF);
+  if (!writeFile(Out, Data)) {
+    fprintf(stderr, "packtool: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+  printf("%s: %zu bytes (inflated %llu of %zu archive bytes)\n",
+         Out.c_str(), Data.size(),
+         static_cast<unsigned long long>(Reader->inflatedBytes()),
+         File.size());
+  return 0;
+}
+
 int cmdInfo(const std::string &InPath) {
   std::vector<uint8_t> Bytes;
   if (!readFile(InPath, Bytes)) {
@@ -164,7 +270,7 @@ int cmdInfo(const std::string &InPath) {
     return 1;
   }
   if (Bytes.size() >= 4 && Bytes[0] == 'C' && Bytes[1] == 'J') {
-    auto Classes = unpackArchive(Bytes, NumThreads);
+    auto Classes = unpackAnyArchive(Bytes);
     if (!Classes) {
       fprintf(stderr, "packtool: %s\n", Classes.message().c_str());
       return 1;
@@ -216,7 +322,7 @@ int cmdVerify(const std::vector<std::string> &Args) {
     NumClasses = 1;
     NumDiags = verifyOneClass(InPath, Bytes);
   } else if (Bytes.size() >= 4 && Bytes[0] == 'C' && Bytes[1] == 'J') {
-    auto Classes = unpackArchive(Bytes, NumThreads);
+    auto Classes = unpackAnyArchive(Bytes);
     if (!Classes) {
       fprintf(stderr, "packtool: %s\n", Classes.message().c_str());
       return 1;
@@ -297,10 +403,11 @@ void printStatsJson(FILE *Out, const std::string &Source,
   fprintf(Out, "  \"shards\": %zu,\n  \"archive_bytes\": %zu,\n",
           Stats.Shards, Stats.ArchiveBytes);
   fprintf(Out,
-          "  \"header_bytes\": %zu,\n  \"dictionary_bytes\": %zu,\n"
+          "  \"header_bytes\": %zu,\n  \"index_bytes\": %zu,\n"
+          "  \"indexed_classes\": %zu,\n  \"dictionary_bytes\": %zu,\n"
           "  \"dictionary_entries\": %zu,\n",
-          Stats.HeaderBytes, Stats.DictionaryBytes,
-          Stats.DictionaryEntries);
+          Stats.HeaderBytes, Stats.IndexBytes, Stats.IndexedClasses,
+          Stats.DictionaryBytes, Stats.DictionaryEntries);
   if (Packed) {
     fprintf(Out, "  \"input_bytes\": %zu,\n  \"class_count\": %zu,\n",
             InputBytes, Packed->ClassCount);
@@ -399,6 +506,9 @@ int cmdStats(const std::vector<std::string> &Args) {
     printf("  header %zu bytes, dictionary %zu bytes (%zu entries)\n",
            Stats->HeaderBytes, Stats->DictionaryBytes,
            Stats->DictionaryEntries);
+    if (Stats->Version == FormatVersionIndexed)
+      printf("  index %zu bytes (%zu classes)\n", Stats->IndexBytes,
+             Stats->IndexedClasses);
     printStreamTable(Stats->Sizes, /*HaveItems=*/false);
     return 0;
   }
@@ -419,6 +529,7 @@ int cmdStats(const std::vector<std::string> &Args) {
   PackOptions Options;
   Options.Shards = NumThreads;
   Options.Threads = NumThreads;
+  Options.RandomAccessIndex = Indexed;
   auto Packed = packClassBytes(Classes, Options);
   if (!Packed) {
     fprintf(stderr, "packtool: %s\n", Packed.message().c_str());
@@ -446,6 +557,9 @@ int cmdStats(const std::vector<std::string> &Args) {
   printf("  header %zu bytes, dictionary %zu bytes (%zu entries)\n",
          Stats->HeaderBytes, Stats->DictionaryBytes,
          Stats->DictionaryEntries);
+  if (Stats->Version == FormatVersionIndexed)
+    printf("  index %zu bytes (%zu classes)\n", Stats->IndexBytes,
+           Stats->IndexedClasses);
   printStreamTable(Packed->Sizes, /*HaveItems=*/true);
   const PhaseTimes &P = Packed->Trace.Phases;
   printf("  phases: parse %.3fs, model %.3fs, emit %.3fs, deflate "
@@ -498,6 +612,8 @@ int main(int Argc, char **Argv) {
       NumThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (A.rfind("--threads=", 0) == 0) {
       NumThreads = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+    } else if (A == "--indexed") {
+      Indexed = true;
     } else if (A == "--verify" || A == "--verify=warn") {
       Lint = LintMode::Warn;
     } else if (A == "--verify=strict") {
@@ -513,6 +629,11 @@ int main(int Argc, char **Argv) {
     return cmdPack(Args[1], Args[2]);
   if (Args.size() >= 3 && Args[0] == "unpack")
     return cmdUnpack(Args[1], Args[2]);
+  if (Args.size() >= 2 && Args[0] == "list")
+    return cmdList(Args[1]);
+  if (Args.size() >= 3 && Args[0] == "unpack-class")
+    return cmdUnpackClass(Args[1], Args[2],
+                          Args.size() >= 4 ? Args[3] : std::string());
   if (Args.size() >= 2 && Args[0] == "info")
     return cmdInfo(Args[1]);
   if (Args.size() >= 2 && Args[0] == "verify")
@@ -524,12 +645,14 @@ int main(int Argc, char **Argv) {
   if (Args.empty())
     return cmdSelftest("."); // run the demo when invoked bare
   fprintf(stderr,
-          "usage: packtool [--threads N] [--verify[=warn|strict]] "
-          "pack <in.jar> <out.cjp>\n"
+          "usage: packtool [--threads N] [--indexed] "
+          "[--verify[=warn|strict]] pack <in.jar> <out.cjp>\n"
           "       packtool [--threads N] unpack <in.cjp> <out.jar>\n"
+          "       packtool list <in.cjp>\n"
+          "       packtool unpack-class <in.cjp> <pkg/Name> [out.class]\n"
           "       packtool info <archive>\n"
           "       packtool verify [--warn] <in.class|jar|cjp>\n"
-          "       packtool stats <in.cjp|in.jar> [--json]\n"
+          "       packtool stats [--indexed] <in.cjp|in.jar> [--json]\n"
           "       packtool selftest <dir>\n");
   return 2;
 }

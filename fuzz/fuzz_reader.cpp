@@ -1,0 +1,35 @@
+//===- fuzz_reader.cpp - fuzz the lazy indexed-archive reader -------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Feeds arbitrary bytes to PackedArchiveReader, covering the version-3
+// header, the per-class index frame, the shared dictionary, lazy shard
+// setup, and single-class materialization — the whole random-access
+// surface that fuzz_unpack (which rejects version 3 at the header) never
+// reaches. Exercises both the point lookup and the full sweep so every
+// shard decodes. Any outcome but a clean Expected is a bug.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pack/ArchiveReader.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  cjpack::DecodeLimits Limits;
+  // Tightened limits bound the memory a hostile index or stream header
+  // can demand per iteration.
+  Limits.MaxClasses = 1u << 12;
+  Limits.MaxStreamBytes = 1u << 24;
+  Limits.MaxInflateBytes = 1u << 26;
+  auto Reader = cjpack::PackedArchiveReader::open(Data, Size, Limits);
+  if (!Reader)
+    return 0; // a typed Error is the expected outcome on garbage
+  // One point lookup first (decodes a single shard lazily), then the
+  // full sweep; both may fail with typed errors on mutated payloads.
+  auto Names = Reader->classNames();
+  if (!Names.empty())
+    (void)Reader->unpackClass(Names[Names.size() / 2]);
+  (void)Reader->unpackAll();
+  return 0;
+}

@@ -100,6 +100,32 @@ int main(int Argc, char **Argv) {
     writeSeed(Out / "fuzz_unpack", V.Name, Packed->Archive);
   }
 
+  // fuzz_reader: version-3 indexed archives across shard counts and
+  // both stream-compression settings, so mutation starts from inputs
+  // whose index, dictionary, and blob framing all validate.
+  struct {
+    const char *Name;
+    unsigned Shards;
+    bool Compress;
+  } IndexedVariants[] = {
+      {"indexed_s1.cjp", 1, true},
+      {"indexed_s3.cjp", 3, true},
+      {"indexed_s3_raw.cjp", 3, false},
+  };
+  for (const auto &V : IndexedVariants) {
+    PackOptions Options;
+    Options.Shards = V.Shards;
+    Options.CompressStreams = V.Compress;
+    Options.RandomAccessIndex = true;
+    auto Packed = packClassBytes(Classes, Options);
+    if (!Packed) {
+      fprintf(stderr, "pack %s failed: %s\n", V.Name,
+              Packed.message().c_str());
+      return 1;
+    }
+    writeSeed(Out / "fuzz_reader", V.Name, Packed->Archive);
+  }
+
   // fuzz_zip: stored and deflated jars plus a gzip frame.
   std::vector<ZipEntry> Entries;
   for (size_t I = 0; I < Classes.size() && I < 3; ++I)

@@ -1,0 +1,99 @@
+//===- ArchiveIndex.h - per-class index of a v3 archive --------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The version-3 archive's random-access index: where each shard's
+/// stream blob lives inside the archive and which (shard, ordinal) pair
+/// holds each class. The index frame sits right after the archive
+/// header and is stored uncompressed, so listing an archive's classes
+/// touches no inflate at all — the first lazy-read invariant. Shard
+/// blobs are recorded as (offset, length) pairs relative to the start
+/// of the blob region and must be exactly contiguous: the offsets are
+/// redundant with the lengths by construction, and deserialize rejects
+/// any index whose extents overlap, leave gaps, or are misordered, so
+/// a hostile index can never alias two shards onto the same bytes.
+///
+/// Within a shard, classes are addressed by ordinal — their position in
+/// the shard's decode order. The coder state is adaptive, so a reader
+/// decodes a prefix of the shard up to the ordinal it needs; the eager
+/// §11 class order keeps hot prefixes short.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_PACK_ARCHIVEINDEX_H
+#define CJPACK_PACK_ARCHIVEINDEX_H
+
+#include "support/ByteBuffer.h"
+#include "support/DecodeLimits.h"
+#include "support/Error.h"
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cjpack {
+
+/// The per-class index of a version-3 archive.
+struct ArchiveIndex {
+  /// One shard blob's extent, relative to the blob region (the bytes
+  /// after the dictionary frame).
+  struct ShardExtent {
+    uint64_t Offset = 0;
+    uint64_t Length = 0;
+  };
+
+  /// One class's address: its internal name ("java/lang/String") and
+  /// the shard + in-shard decode position holding it.
+  struct ClassEntry {
+    std::string Name;
+    uint32_t Shard = 0;
+    uint32_t Ordinal = 0;
+  };
+
+  std::vector<ShardExtent> Shards;
+  /// In archive order: shard 0's classes by ordinal, then shard 1's...
+  std::vector<ClassEntry> Classes;
+
+  /// Total bytes of the blob region the shard extents promise.
+  uint64_t blobBytes() const {
+    uint64_t Total = 0;
+    for (const ShardExtent &S : Shards)
+      Total += S.Length;
+    return Total;
+  }
+
+  /// Looks up a class by internal name; null when absent.
+  const ClassEntry *find(const std::string &Name) const;
+
+  /// Serializes the index frame body (no outer length prefix): shard
+  /// count, class count, the shard extents, then the class entries.
+  /// All varints; names are length-prefixed UTF-8 bytes.
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses an index frame, consuming all of \p R. Validates every
+  /// count against \p Limits, requires the shard extents to be exactly
+  /// contiguous from offset zero, every class entry to name a valid
+  /// shard, and names and (shard, ordinal) pairs to be unique — so a
+  /// hostile index fails here with a typed Error, before any blob is
+  /// touched. Ordinals are bounded against each shard's declared class
+  /// count later, by the reader, once the shard's directory is open.
+  static Expected<ArchiveIndex> deserialize(ByteReader &R,
+                                            const DecodeLimits &Limits = {});
+
+private:
+  /// Lookup table built by deserialize/buildLookup: name -> Classes idx.
+  std::map<std::string, size_t> ByName;
+
+public:
+  /// Rebuilds the name lookup (serialize-side construction helper;
+  /// deserialize fills it as it validates). Returns an error on
+  /// duplicate class names.
+  Error buildLookup();
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_PACK_ARCHIVEINDEX_H

@@ -1,0 +1,220 @@
+//===- ArchiveReader.cpp - lazy reader for v3 archives --------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pack/ArchiveReader.h"
+#include "pack/Materialize.h"
+#include "pack/Preload.h"
+#include "pack/Streams.h"
+#include "pack/Transcode.h"
+#include "support/VarInt.h"
+
+using namespace cjpack;
+
+/// One shard's decode state, built lazily from its blob. Heap-allocated
+/// and never moved, so the DecodeContext's references into it stay
+/// valid for the reader's lifetime.
+struct PackedArchiveReader::ShardState {
+  StreamSet S;
+  Model M;
+  std::unique_ptr<RefDecoder> Dec;
+  std::unique_ptr<DecodeContext> Ctx;
+  std::unique_ptr<Transcriber<DecodeContext>> T;
+  /// Decoded record prefix; Recs[i] is the class at ordinal i.
+  std::vector<ClassRec> Recs;
+  /// Class count the shard's own directory declares.
+  size_t Declared = 0;
+  /// Latched first failure. The adaptive coder state is unrecoverable
+  /// mid-stream, so every later request sees the same error.
+  Error Fail;
+};
+
+PackedArchiveReader::PackedArchiveReader() = default;
+PackedArchiveReader::PackedArchiveReader(PackedArchiveReader &&) noexcept =
+    default;
+PackedArchiveReader &
+PackedArchiveReader::operator=(PackedArchiveReader &&) noexcept = default;
+PackedArchiveReader::~PackedArchiveReader() = default;
+
+Expected<PackedArchiveReader>
+PackedArchiveReader::open(const std::vector<uint8_t> &Archive,
+                          const DecodeLimits &Limits) {
+  return open(Archive.data(), Archive.size(), Limits);
+}
+
+Expected<PackedArchiveReader>
+PackedArchiveReader::open(const uint8_t *Data, size_t Size,
+                          const DecodeLimits &Limits) {
+  PackedArchiveReader Rd;
+  Rd.Data = Data;
+  Rd.Size = Size;
+  Rd.Limits = Limits;
+  Rd.Budget.reset(new DecodeBudget(Limits));
+
+  ByteReader R(Data, Size);
+  if (R.readU4() != 0x434A504Bu)
+    return makeError(R.hasError() ? ErrorCode::Truncated
+                                  : ErrorCode::Corrupt,
+                     "reader: bad magic");
+  uint8_t Version = R.readU1();
+  uint8_t SchemeByte = R.readU1();
+  uint8_t Flags = R.readU1();
+  if (R.hasError())
+    return makeError(ErrorCode::Truncated,
+                     "reader: truncated archive header");
+  if (Version == FormatVersionSerial || Version == FormatVersionSharded)
+    return makeError(ErrorCode::VersionMismatch,
+                     "reader: version " + std::to_string(Version) +
+                         " archive has no index; decode it with "
+                         "unpackClasses");
+  if (Version != FormatVersionIndexed)
+    return makeError(ErrorCode::VersionMismatch,
+                     "reader: unsupported format version " +
+                         std::to_string(Version));
+  if (SchemeByte > static_cast<uint8_t>(RefScheme::MtfTransientsContext))
+    return makeError(ErrorCode::Corrupt,
+                     "reader: unknown reference scheme");
+  Rd.Scheme = static_cast<RefScheme>(SchemeByte);
+  Rd.Flags = Flags;
+
+  uint64_t IndexLen = readVarUInt(R);
+  if (R.hasError())
+    return R.takeError("reader");
+  if (IndexLen > R.remaining())
+    return makeError(ErrorCode::Truncated,
+                     "reader: index frame extends past end of archive");
+  if (IndexLen > Limits.MaxStreamBytes)
+    return makeError(ErrorCode::LimitExceeded,
+                     "reader: index frame length over limit");
+  ByteReader IndexR(Data + R.position(), static_cast<size_t>(IndexLen));
+  auto Idx = ArchiveIndex::deserialize(IndexR, Limits);
+  if (!Idx)
+    return Idx.takeError();
+  Rd.Index = std::move(*Idx);
+  R.skip(static_cast<size_t>(IndexLen));
+
+  // The dictionary frame is self-describing; a compressed one is the
+  // only inflate open() ever charges.
+  ByteReader DictR(Data + R.position(), R.remaining());
+  auto Dict = SharedDictionary::deserialize(DictR, Limits, Rd.Budget.get());
+  if (!Dict)
+    return Dict.takeError();
+  Rd.Dict = std::move(*Dict);
+  Rd.BlobBase = R.position() + DictR.position();
+
+  // The shard extents must tile the remainder of the archive exactly;
+  // the index already proved them contiguous from zero.
+  uint64_t BlobBytes = Rd.Index.blobBytes();
+  uint64_t Region = Size - Rd.BlobBase;
+  if (BlobBytes > Region)
+    return makeError(ErrorCode::Truncated,
+                     "reader: shard blobs extend past end of archive");
+  if (BlobBytes < Region)
+    return makeError(ErrorCode::Corrupt,
+                     "reader: trailing bytes after shard blobs");
+
+  Rd.States.resize(Rd.Index.Shards.size());
+  return Rd;
+}
+
+Expected<PackedArchiveReader::ShardState *>
+PackedArchiveReader::shard(size_t K) {
+  if (!States[K]) {
+    auto St = std::unique_ptr<ShardState>(new ShardState());
+    const ArchiveIndex::ShardExtent &E = Index.Shards[K];
+    ByteReader R(Data + BlobBase + E.Offset,
+                 static_cast<size_t>(E.Length));
+    auto Setup = [&](ShardState &S) -> Error {
+      if (auto Err = S.S.deserialize(R, Limits, Budget.get()))
+        return Err;
+      if (!R.atEnd())
+        return makeError(ErrorCode::Corrupt,
+                         "reader: trailing bytes in shard blob");
+      S.Dec = makeRefDecoder(Scheme);
+      if (Flags & 4)
+        if (!preloadStandardRefs(S.M, *S.Dec, Scheme))
+          return makeError(ErrorCode::Corrupt,
+                           "reader: archive needs preloaded references "
+                           "the scheme cannot provide");
+      if (!Dict.empty() && !preloadDictionary(S.M, *S.Dec, Dict))
+        return makeError(ErrorCode::Corrupt,
+                         "reader: archive dictionary needs a scheme "
+                         "that supports preloaded references");
+      S.Ctx.reset(new DecodeContext{S.M, *S.Dec, S.S, Scheme, Limits});
+      S.T.reset(new Transcriber<DecodeContext>(*S.Ctx));
+      return S.T->beginArchive(S.Declared);
+    };
+    St->Fail = Setup(*St);
+    States[K] = std::move(St);
+  }
+  if (States[K]->Fail)
+    return States[K]->Fail;
+  return States[K].get();
+}
+
+Error PackedArchiveReader::decodeUpTo(ShardState &St, uint32_t Ordinal) {
+  while (St.Recs.size() <= Ordinal) {
+    ClassRec R;
+    if (auto E = St.T->transcodeOneClass(R)) {
+      St.Fail = E;
+      return E;
+    }
+    St.Recs.push_back(std::move(R));
+  }
+  return Error::success();
+}
+
+Expected<ClassFile>
+PackedArchiveReader::materializeEntry(const ArchiveIndex::ClassEntry &E) {
+  auto StOr = shard(E.Shard);
+  if (!StOr)
+    return StOr.takeError();
+  ShardState &St = **StOr;
+  if (E.Ordinal >= St.Declared)
+    return makeError(ErrorCode::Corrupt,
+                     "reader: index claims more classes than the shard "
+                     "directory declares");
+  if (auto Err = decodeUpTo(St, E.Ordinal))
+    return Err;
+  const ClassRec &Rec = St.Recs[E.Ordinal];
+  if (St.M.classRefInternalName(Rec.ThisId) != E.Name)
+    return makeError(ErrorCode::Corrupt,
+                     "reader: index entry '" + E.Name +
+                         "' names a different class");
+  return materializeClass(St.M, Rec);
+}
+
+Expected<ClassFile>
+PackedArchiveReader::unpackClass(const std::string &InternalName) {
+  const ArchiveIndex::ClassEntry *E = Index.find(InternalName);
+  if (!E)
+    return Error::failure("reader: class '" + InternalName +
+                          "' not in archive index");
+  return materializeEntry(*E);
+}
+
+Expected<std::vector<ClassFile>> PackedArchiveReader::unpackAll() {
+  std::vector<ClassFile> Out;
+  Out.reserve(Index.Classes.size());
+  for (const ArchiveIndex::ClassEntry &E : Index.Classes) {
+    auto CF = materializeEntry(E);
+    if (!CF)
+      return CF.takeError();
+    Out.push_back(std::move(*CF));
+  }
+  return Out;
+}
+
+std::vector<std::string> PackedArchiveReader::classNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Index.Classes.size());
+  for (const ArchiveIndex::ClassEntry &E : Index.Classes)
+    Names.push_back(E.Name);
+  return Names;
+}
+
+uint64_t PackedArchiveReader::inflatedBytes() const {
+  return Budget->inflateSpent();
+}

@@ -1,0 +1,133 @@
+//===- ArchiveReader.h - lazy reader for v3 archives -----------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random access into a version-3 packed archive. A PackedArchiveReader
+/// wraps a stable byte span (typically an InputFile's mmap), parses only
+/// the header, index, and dictionary frames up front, and decodes shard
+/// blobs on demand:
+///
+/// \code
+///   auto F = InputFile::open("app.cjp");
+///   auto Rd = PackedArchiveReader::open(F->data(), F->size());
+///   auto CF = Rd->unpackClass("com/foo/Bar");   // inflates one shard,
+///                                               // decodes a prefix
+/// \endcode
+///
+/// The lazy-read invariants:
+///   - open() inflates nothing: the index is stored uncompressed, so
+///     listing classes touches only index pages.
+///   - unpackClass() inflates exactly the shard blob holding the class
+///     (plus the dictionary frame, once), and decodes only the shard's
+///     record prefix up to the class's ordinal — the adaptive coder
+///     state makes mid-shard seeks impossible by construction.
+///   - Every inflate is charged to one shared DecodeBudget, so
+///     inflatedBytes() measures what a request actually cost, and the
+///     decompression-bomb cap applies across all lazy reads.
+///
+/// Decoded shard state is cached: a second class from the same shard
+/// reuses the already-decoded prefix. A shard whose decode fails is
+/// poisoned — the adaptive state is unrecoverable mid-stream — and
+/// every later request against it returns the original error.
+///
+/// The reader does not own the archive bytes; they must stay valid and
+/// unchanged for the reader's lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_PACK_ARCHIVEREADER_H
+#define CJPACK_PACK_ARCHIVEREADER_H
+
+#include "classfile/ClassFile.h"
+#include "coder/RefCoder.h"
+#include "pack/ArchiveIndex.h"
+#include "pack/Dictionary.h"
+#include "support/DecodeLimits.h"
+#include "support/Error.h"
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cjpack {
+
+class PackedArchiveReader {
+public:
+  /// Opens a version-3 archive over \p Data (not copied, not owned).
+  /// Validates the header, index frame, and dictionary frame, and that
+  /// the shard extents exactly tile the rest of the archive. Rejects
+  /// version-1/2 archives with a typed VersionMismatch error — those
+  /// are decoded whole by unpackClasses. Inflates nothing except a
+  /// compressed dictionary frame.
+  static Expected<PackedArchiveReader>
+  open(const uint8_t *Data, size_t Size, const DecodeLimits &Limits = {});
+  static Expected<PackedArchiveReader>
+  open(const std::vector<uint8_t> &Archive, const DecodeLimits &Limits = {});
+
+  PackedArchiveReader(PackedArchiveReader &&) noexcept;
+  PackedArchiveReader &operator=(PackedArchiveReader &&) noexcept;
+  PackedArchiveReader(const PackedArchiveReader &) = delete;
+  PackedArchiveReader &operator=(const PackedArchiveReader &) = delete;
+  ~PackedArchiveReader();
+
+  /// The archive's per-class index (class names in archive order,
+  /// shard extents). Reading it costs no decoding.
+  const ArchiveIndex &index() const { return Index; }
+
+  /// Class internal names in archive order, from the index alone.
+  std::vector<std::string> classNames() const;
+
+  /// Decodes the single class \p InternalName ("com/foo/Bar"),
+  /// inflating and decoding only what the lazy-read invariants above
+  /// require. Unknown names fail with a plain error; a corrupt or
+  /// truncated blob fails with the usual typed taxonomy.
+  Expected<ClassFile> unpackClass(const std::string &InternalName);
+
+  /// Decodes every indexed class, in archive order. Equivalent to
+  /// unpackClass over classNames(), sharing the same shard cache.
+  Expected<std::vector<ClassFile>> unpackAll();
+
+  /// Total inflate output charged so far (dictionary + every shard
+  /// blob decoded yet). The lazy-fewer-bytes property is observable
+  /// here: after one unpackClass this is strictly less than what a
+  /// full unpack of a multi-shard compressed archive charges.
+  uint64_t inflatedBytes() const;
+
+  RefScheme scheme() const { return Scheme; }
+  size_t shardCount() const { return Index.Shards.size(); }
+  size_t classCount() const { return Index.Classes.size(); }
+
+private:
+  struct ShardState;
+
+  PackedArchiveReader();
+
+  /// Returns shard \p K's decode state, deserializing and preparing
+  /// the blob on first use.
+  Expected<ShardState *> shard(size_t K);
+
+  /// Decodes records of shard \p St up to and including \p Ordinal.
+  Error decodeUpTo(ShardState &St, uint32_t Ordinal);
+
+  /// Materializes one indexed class entry from its decoded record.
+  Expected<ClassFile> materializeEntry(const ArchiveIndex::ClassEntry &E);
+
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+  size_t BlobBase = 0;
+  RefScheme Scheme = RefScheme::Basic;
+  uint8_t Flags = 0;
+  DecodeLimits Limits;
+  ArchiveIndex Index;
+  SharedDictionary Dict;
+  /// unique_ptr because the spend counter is atomic (not movable).
+  std::unique_ptr<DecodeBudget> Budget;
+  std::vector<std::unique_ptr<ShardState>> States;
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_PACK_ARCHIVEREADER_H

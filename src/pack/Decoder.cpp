@@ -10,17 +10,17 @@
 // the same order, the same approximate stack state machine resolves
 // collapsed pseudo-opcodes, and the reference decoder's queues evolve in
 // lock step with the encoder's. This file owns what is genuinely
-// decode-only: archive-level orchestration (header, dictionary, shards)
-// and classfile materialization — reconstruction assigns
-// int/float/string constants the smallest constant-pool indices so every
-// ldc operand fits in one byte (§9), then canonicalizes the pool, making
-// decompression deterministic (§12).
+// decode-only: archive-level orchestration (header, dictionary, shards).
+// Classfile materialization — §9 ldc-first constant placement and the
+// §12 canonical pool — lives in Materialize.cpp, shared with the lazy
+// PackedArchiveReader.
 //
 //===----------------------------------------------------------------------===//
 
 #include "classfile/Transform.h"
 #include "classfile/Writer.h"
 #include "pack/Dictionary.h"
+#include "pack/Materialize.h"
 #include "pack/Packer.h"
 #include "pack/Preload.h"
 #include "pack/Transcode.h"
@@ -31,194 +31,6 @@
 using namespace cjpack;
 
 namespace {
-
-//===----------------------------------------------------------------------===//
-// Classfile materialization
-//===----------------------------------------------------------------------===//
-
-class Materializer {
-public:
-  explicit Materializer(const Model &M) : M(M) {}
-
-  Expected<ClassFile> run(const ClassRec &DC) {
-    ClassFile CF;
-    CF.MinorVersion = static_cast<uint16_t>(DC.MinorVersion);
-    CF.MajorVersion = static_cast<uint16_t>(DC.MajorVersion);
-    CF.AccessFlags = static_cast<uint16_t>(DC.Flags & 0xFFFF);
-
-    // §9: materialize constants referenced by one-byte ldc first so
-    // they land at the smallest constant-pool indices.
-    for (const MethodRec &DM : DC.Methods) {
-      if (!DM.Code)
-        continue;
-      for (size_t K = 0; K < DM.Code->Insns.size(); ++K)
-        if (DM.Code->Insns[K].Opcode == Op::Ldc)
-          addConst(CF, DM.Code->Operands[K]);
-    }
-
-    CF.ThisClass = CF.CP.addClass(M.classRefInternalName(DC.ThisId));
-    CF.SuperClass =
-        DC.HasSuper ? CF.CP.addClass(M.classRefInternalName(DC.SuperId))
-                    : 0;
-    for (uint32_t Iface : DC.Interfaces)
-      CF.Interfaces.push_back(
-          CF.CP.addClass(M.classRefInternalName(Iface)));
-    if (DC.Flags & PackedFlagSynthetic)
-      CF.Attributes.push_back({"Synthetic", {}});
-    if (DC.Flags & PackedFlagDeprecated)
-      CF.Attributes.push_back({"Deprecated", {}});
-
-    for (const FieldRec &F : DC.Fields) {
-      auto MI = materializeField(CF, F);
-      if (!MI)
-        return MI.takeError();
-      CF.Fields.push_back(std::move(*MI));
-    }
-    for (const MethodRec &DM : DC.Methods) {
-      auto MI = materializeMethod(CF, DM);
-      if (!MI)
-        return MI.takeError();
-      CF.Methods.push_back(std::move(*MI));
-    }
-
-    if (auto E = canonicalizeConstantPool(CF))
-      return E;
-    return CF;
-  }
-
-private:
-  uint16_t addConst(ClassFile &CF, const CodeOperand &C) {
-    switch (C.Kind) {
-    case ConstKind::Int:
-      return CF.CP.addInteger(static_cast<int32_t>(C.IntValue));
-    case ConstKind::Float:
-      return CF.CP.addFloat(static_cast<uint32_t>(C.RawBits));
-    case ConstKind::Long:
-      return CF.CP.addLong(static_cast<int64_t>(C.RawBits));
-    case ConstKind::Double:
-      return CF.CP.addDouble(C.RawBits);
-    case ConstKind::String:
-      return CF.CP.addString(M.stringConst(C.Id));
-    default:
-      assert(false && "not a loadable constant");
-      return 0;
-    }
-  }
-
-  void addMemberMarkers(MemberInfo &MI, uint32_t Flags) {
-    if (Flags & PackedFlagSynthetic)
-      MI.Attributes.push_back({"Synthetic", {}});
-    if (Flags & PackedFlagDeprecated)
-      MI.Attributes.push_back({"Deprecated", {}});
-  }
-
-  Expected<MemberInfo> materializeField(ClassFile &CF,
-                                        const FieldRec &F) {
-    const MFieldRef &Ref = M.fieldRef(F.RefId);
-    MemberInfo MI;
-    MI.AccessFlags = static_cast<uint16_t>(F.Flags & 0xFFFF);
-    MI.NameIndex = CF.CP.addUtf8(M.fieldName(Ref.Name));
-    MI.DescriptorIndex =
-        CF.CP.addUtf8(printTypeDesc(M.classRefTypeDesc(Ref.Type)));
-    if (F.Flags & PackedFlagAux0) {
-      uint16_t CpIdx = addConst(CF, F.Const);
-      ByteWriter W;
-      W.writeU2(CpIdx);
-      MI.Attributes.push_back({"ConstantValue", W.take()});
-    }
-    addMemberMarkers(MI, F.Flags);
-    return MI;
-  }
-
-  Expected<MemberInfo> materializeMethod(ClassFile &CF,
-                                         const MethodRec &DM) {
-    const MMethodRef &Ref = M.methodRef(DM.RefId);
-    MemberInfo MI;
-    MI.AccessFlags = static_cast<uint16_t>(DM.Flags & 0xFFFF);
-    MI.NameIndex = CF.CP.addUtf8(M.methodName(Ref.Name));
-    MI.DescriptorIndex = CF.CP.addUtf8(M.signatureDescriptor(Ref.Sig));
-    if (DM.Code) {
-      auto Attr = materializeCode(CF, *DM.Code);
-      if (!Attr)
-        return Attr.takeError();
-      MI.Attributes.push_back(std::move(*Attr));
-    }
-    if (DM.Flags & PackedFlagAux1) {
-      ByteWriter W;
-      W.writeU2(static_cast<uint16_t>(DM.Exceptions.size()));
-      for (uint32_t C : DM.Exceptions)
-        W.writeU2(CF.CP.addClass(M.classRefInternalName(C)));
-      MI.Attributes.push_back({"Exceptions", W.take()});
-    }
-    addMemberMarkers(MI, DM.Flags);
-    return MI;
-  }
-
-  Expected<AttributeInfo> materializeCode(ClassFile &CF,
-                                          const CodeRec &DC) {
-    CodeAttribute Code;
-    Code.MaxStack = static_cast<uint16_t>(DC.MaxStack);
-    Code.MaxLocals = static_cast<uint16_t>(DC.MaxLocals);
-
-    std::vector<Insn> Insns = DC.Insns;
-    for (size_t K = 0; K < Insns.size(); ++K) {
-      Insn &I = Insns[K];
-      const CodeOperand &C = DC.Operands[K];
-      switch (C.Kind) {
-      case ConstKind::None:
-        break;
-      case ConstKind::Int:
-      case ConstKind::Float:
-      case ConstKind::Long:
-      case ConstKind::Double:
-      case ConstKind::String:
-        I.CpIndex = addConst(CF, C);
-        break;
-      case ConstKind::ClassTarget:
-        I.CpIndex = CF.CP.addClass(M.classRefInternalName(C.Id));
-        break;
-      case ConstKind::Field: {
-        const MFieldRef &R = M.fieldRef(C.Id);
-        I.CpIndex = CF.CP.addRef(
-            CpTag::FieldRef, M.classRefInternalName(R.Owner),
-            M.fieldName(R.Name),
-            printTypeDesc(M.classRefTypeDesc(R.Type)));
-        break;
-      }
-      case ConstKind::Method: {
-        const MMethodRef &R = M.methodRef(C.Id);
-        CpTag Tag = I.Opcode == Op::InvokeInterface
-                        ? CpTag::InterfaceMethodRef
-                        : CpTag::MethodRef;
-        I.CpIndex = CF.CP.addRef(Tag, M.classRefInternalName(R.Owner),
-                                 M.methodName(R.Name),
-                                 M.signatureDescriptor(R.Sig));
-        break;
-      }
-      }
-      if (I.Opcode == Op::Ldc && I.CpIndex > 0xFF)
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: ldc constant escaped the low "
-                         "constant-pool indices");
-    }
-    Code.Code = encodeCode(Insns);
-
-    for (const CodeRec::Handler &E : DC.Table) {
-      ExceptionTableEntry T;
-      T.StartPc = static_cast<uint16_t>(E.StartPc);
-      T.EndPc = static_cast<uint16_t>(E.EndPc);
-      T.HandlerPc = static_cast<uint16_t>(E.HandlerPc);
-      T.CatchType =
-          E.HasCatch
-              ? CF.CP.addClass(M.classRefInternalName(E.CatchClass))
-              : 0;
-      Code.ExceptionTable.push_back(T);
-    }
-    return encodeCodeAttribute(Code, CF.CP);
-  }
-
-  const Model &M;
-};
 
 /// Decodes one shard's streams (the whole body of a version-1 archive,
 /// or one slice of a version-2 grouped container) into classfiles.
@@ -249,11 +61,10 @@ decodeShardStreams(StreamSet &S, RefScheme Scheme, uint8_t Flags,
   if (auto E = Reader.transcodeArchive(Decoded))
     return E;
 
-  Materializer Mat(M);
   std::vector<ClassFile> Out;
   Out.reserve(Decoded.size());
   for (const ClassRec &DC : Decoded) {
-    auto CF = Mat.run(DC);
+    auto CF = materializeClass(M, DC);
     if (!CF)
       return CF.takeError();
     Out.push_back(std::move(*CF));
@@ -281,9 +92,14 @@ cjpack::unpackClasses(const std::vector<uint8_t> &Archive,
                                   : ErrorCode::Corrupt,
                      "unpack: bad magic");
   uint8_t Version = R.readU1();
+  if (Version == FormatVersionIndexed)
+    return makeError(ErrorCode::VersionMismatch,
+                     "unpack: version-3 indexed archive; open it with "
+                     "PackedArchiveReader");
   if (Version != FormatVersionSerial && Version != FormatVersionSharded)
-    return makeError(ErrorCode::Corrupt,
-                     "unpack: unsupported format version");
+    return makeError(ErrorCode::VersionMismatch,
+                     "unpack: unsupported format version " +
+                         std::to_string(Version));
   uint8_t Scheme = R.readU1();
   if (Scheme > static_cast<uint8_t>(RefScheme::MtfTransientsContext))
     return makeError(ErrorCode::Corrupt, "unpack: unknown reference scheme");

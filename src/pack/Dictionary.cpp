@@ -76,7 +76,8 @@ void SharedDictionary::serialize(ByteWriter &W, bool Compress) const {
 }
 
 Expected<SharedDictionary>
-SharedDictionary::deserialize(ByteReader &R, const DecodeLimits &Limits) {
+SharedDictionary::deserialize(ByteReader &R, const DecodeLimits &Limits,
+                              DecodeBudget *Budget) {
   uint64_t RawLen = readVarUInt(R);
   uint64_t StoredLen = readVarUInt(R);
   if (R.hasError() || StoredLen > RawLen || StoredLen > R.remaining())
@@ -88,6 +89,9 @@ SharedDictionary::deserialize(ByteReader &R, const DecodeLimits &Limits) {
                      "dictionary: frame length over limit");
   std::vector<uint8_t> Raw = R.readBytes(static_cast<size_t>(StoredLen));
   if (StoredLen < RawLen) {
+    if (Budget)
+      if (auto E = Budget->chargeInflate(RawLen, "dictionary"))
+        return E;
     auto Inflated = inflateBytes(Raw, static_cast<size_t>(RawLen),
                                  static_cast<size_t>(RawLen));
     if (!Inflated)

@@ -74,8 +74,10 @@ struct SharedDictionary {
   /// against \p Limits.MaxStreamBytes before inflating, inflation is
   /// capped by it, and every internal count/index is validated, so a
   /// hostile frame yields a typed Error rather than an OOM or overread.
+  /// \p Budget, when non-null, is charged for the inflate output.
   static Expected<SharedDictionary>
-  deserialize(ByteReader &R, const DecodeLimits &Limits = {});
+  deserialize(ByteReader &R, const DecodeLimits &Limits = {},
+              DecodeBudget *Budget = nullptr);
 };
 
 /// Builds the dictionary of values interned by at least two of

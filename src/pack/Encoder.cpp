@@ -19,12 +19,14 @@
 
 #include "classfile/Reader.h"
 #include "classfile/Transform.h"
+#include "pack/ArchiveIndex.h"
 #include "pack/ClassOrder.h"
 #include "pack/Dictionary.h"
 #include "pack/Packer.h"
 #include "pack/Preload.h"
 #include "pack/Transcode.h"
 #include "support/ThreadPool.h"
+#include "support/VarInt.h"
 #include <algorithm>
 #include <map>
 #include <set>
@@ -579,7 +581,7 @@ ShardPlan remapPlanForDictionary(ShardPlan Plan,
   return Out;
 }
 
-/// The common archive header (shared by both format versions).
+/// The common archive header (shared by all format versions).
 void writeArchiveHeader(ByteWriter &W, uint8_t Version,
                         const PackOptions &Options) {
   W.writeU4(0x434A504Bu); // "CJPK"
@@ -638,7 +640,19 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
   PackResult Result;
   Result.ClassCount = Classes.size();
 
-  if (ShardCount <= 1) {
+  // The random-access index addresses classes by internal name, so a
+  // v3 archive cannot hold two classes with the same name. (v1/v2
+  // archives can — they are positional — so this is checked only here.)
+  if (Options.RandomAccessIndex) {
+    std::set<std::string> Names;
+    for (const ClassFile *CF : Ordered)
+      if (!Names.insert(CF->thisClassName()).second)
+        return Error::failure("pack: duplicate class name '" +
+                              CF->thisClassName() +
+                              "' not representable in an indexed archive");
+  }
+
+  if (ShardCount <= 1 && !Options.RandomAccessIndex) {
     // Original single-shard wire format, byte-identical to version 1.
     Stopwatch Timer;
     auto Plan = countShardPass(Ordered, Options);
@@ -765,12 +779,48 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
 
   Stopwatch DeflateTimer;
   ByteWriter W;
-  writeArchiveHeader(W, FormatVersionSharded, Options);
-  Dict.serialize(W, Options.CompressStreams);
-  Result.DictionaryBytes = W.size() - 7;
-  W.writeBytes(serializeShardedStreams(ShardStreams,
-                                       Options.CompressStreams,
-                                       &Result.Sizes));
+  if (Options.RandomAccessIndex) {
+    // Version 3: header, per-class index, dictionary frame, then each
+    // shard's streams serialized as an independent self-contained blob
+    // (the v1 stream body), so a reader can inflate one shard without
+    // touching the others. Per-blob compression costs a little ratio
+    // versus v2's joint per-stream compression — that is the price of
+    // random access.
+    writeArchiveHeader(W, FormatVersionIndexed, Options);
+    std::vector<std::vector<uint8_t>> Blobs;
+    Blobs.reserve(ShardCount);
+    ArchiveIndex Index;
+    uint64_t Offset = 0;
+    for (size_t K = 0; K < ShardCount; ++K) {
+      StreamSizes BlobSizes;
+      Blobs.push_back(
+          ShardStreams[K].serialize(Options.CompressStreams, &BlobSizes));
+      Result.Sizes.add(BlobSizes);
+      Index.Shards.push_back({Offset, Blobs.back().size()});
+      Offset += Blobs.back().size();
+      for (size_t I = 0; I < Slices[K].size(); ++I)
+        Index.Classes.push_back({Slices[K][I]->thisClassName(),
+                                 static_cast<uint32_t>(K),
+                                 static_cast<uint32_t>(I)});
+    }
+    std::vector<uint8_t> IndexBytes = Index.serialize();
+    size_t IndexStart = W.size();
+    writeVarUInt(W, IndexBytes.size());
+    W.writeBytes(IndexBytes);
+    Result.IndexBytes = W.size() - IndexStart;
+    size_t DictStart = W.size();
+    Dict.serialize(W, Options.CompressStreams);
+    Result.DictionaryBytes = W.size() - DictStart;
+    for (const std::vector<uint8_t> &B : Blobs)
+      W.writeBytes(B);
+  } else {
+    writeArchiveHeader(W, FormatVersionSharded, Options);
+    Dict.serialize(W, Options.CompressStreams);
+    Result.DictionaryBytes = W.size() - 7;
+    W.writeBytes(serializeShardedStreams(ShardStreams,
+                                         Options.CompressStreams,
+                                         &Result.Sizes));
+  }
   Result.Archive = W.take();
   Result.Trace.Phases.DeflateSec = DeflateTimer.seconds();
   for (size_t K = 0; K < ShardCount; ++K) {

@@ -1,0 +1,34 @@
+//===- Materialize.h - class records back to classfiles --------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a decoded wire record (Transcode.h) plus the model it indexes
+/// into a standard ClassFile. Reconstruction assigns int/float/string
+/// constants the smallest constant-pool indices so every ldc operand
+/// fits in one byte (§9), then canonicalizes the pool, making
+/// decompression deterministic (§12). Shared by the eager archive
+/// decoder (Decoder.cpp) and the lazy random-access reader
+/// (ArchiveReader.h), so both produce identical classfiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_PACK_MATERIALIZE_H
+#define CJPACK_PACK_MATERIALIZE_H
+
+#include "classfile/ClassFile.h"
+#include "support/Error.h"
+
+namespace cjpack {
+
+class Model;
+struct ClassRec;
+
+/// Materializes \p Rec (whose ids index \p M) into a classfile.
+Expected<ClassFile> materializeClass(const Model &M, const ClassRec &Rec);
+
+} // namespace cjpack
+
+#endif // CJPACK_PACK_MATERIALIZE_H

@@ -71,6 +71,14 @@ struct PackOptions {
   /// Worker threads used to encode shards (0 = one per hardware
   /// thread). Has no effect on the output bytes.
   unsigned Threads = 0;
+  /// Write the version-3 random-access layout: a per-class index after
+  /// the header, and each shard's streams serialized as an independent
+  /// blob so PackedArchiveReader can locate, inflate, and decode a
+  /// single shard on demand. Costs a little size (the index, plus
+  /// per-shard instead of joint compression) in exchange for lazy
+  /// single-class extraction. Off (the default) writes version 1/2
+  /// exactly as before. Requires unique class names.
+  bool RandomAccessIndex = false;
 };
 
 /// Result of packing: the archive plus per-stream accounting.
@@ -83,6 +91,9 @@ struct PackResult {
   /// serialized dictionary's size in the archive.
   size_t DictionaryEntries = 0;
   size_t DictionaryBytes = 0;
+  /// Version-3 archives only: bytes of the per-class index frame
+  /// (including its length prefix), the random-access overhead.
+  size_t IndexBytes = 0;
   /// Telemetry from this run: per-phase wall times, per-shard timings,
   /// and per-pool coder tallies. Observational only — the archive bytes
   /// are independent of anything recorded here.

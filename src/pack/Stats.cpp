@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "pack/Stats.h"
+#include "pack/ArchiveIndex.h"
 #include "pack/Dictionary.h"
 #include "support/VarInt.h"
 
@@ -48,8 +49,10 @@ Error statStream(ByteReader &R, unsigned Index, size_t ShardCount,
     return makeError(ErrorCode::Truncated,
                      "stats: truncated stream payload at byte " +
                          std::to_string(R.position()));
-  Sizes.Raw[Index] = static_cast<size_t>(RawTotal);
-  Sizes.Packed[Index] = HeaderLen + static_cast<size_t>(StoredLen);
+  // Accumulating (not assigning) lets the version-3 walk call this once
+  // per shard blob and roll the per-stream totals up across blobs.
+  Sizes.Raw[Index] += static_cast<size_t>(RawTotal);
+  Sizes.Packed[Index] += HeaderLen + static_cast<size_t>(StoredLen);
   return Error::success();
 }
 
@@ -67,9 +70,11 @@ cjpack::statPackedArchive(const std::vector<uint8_t> &Archive,
   Stats.ArchiveBytes = Archive.size();
   Stats.Version = R.readU1();
   if (Stats.Version != FormatVersionSerial &&
-      Stats.Version != FormatVersionSharded)
-    return makeError(ErrorCode::Corrupt,
-                     "stats: unsupported format version");
+      Stats.Version != FormatVersionSharded &&
+      Stats.Version != FormatVersionIndexed)
+    return makeError(ErrorCode::VersionMismatch,
+                     "stats: unsupported format version " +
+                         std::to_string(Stats.Version));
   uint8_t Scheme = R.readU1();
   if (Scheme > static_cast<uint8_t>(RefScheme::MtfTransientsContext))
     return makeError(ErrorCode::Corrupt, "stats: unknown reference scheme");
@@ -82,6 +87,63 @@ cjpack::statPackedArchive(const std::vector<uint8_t> &Archive,
   Stats.CompressStreams = (Flags & 2) != 0;
   Stats.PreloadStandardRefs = (Flags & 4) != 0;
   Stats.HeaderBytes = R.position();
+
+  if (Stats.Version == FormatVersionIndexed) {
+    // Version 3: index length prefix, the index frame, the dictionary
+    // frame, then one complete stream directory per shard blob. The
+    // prefix is charged to IndexBytes (matching PackResult::IndexBytes:
+    // all bytes that exist only for random access). The index is
+    // authoritative for the blob extents; the walk checks every blob
+    // parses to exactly its indexed length.
+    size_t LenStart = R.position();
+    uint64_t IndexLen = readVarUInt(R);
+    if (R.hasError())
+      return R.takeError("stats");
+    if (IndexLen > R.remaining())
+      return makeError(ErrorCode::Truncated,
+                       "stats: index frame extends past end of archive");
+    if (IndexLen > Limits.MaxStreamBytes)
+      return makeError(ErrorCode::LimitExceeded,
+                       "stats: index frame length over limit");
+    size_t PrefixLen = R.position() - LenStart;
+    ByteReader IndexR(Archive.data() + R.position(),
+                      static_cast<size_t>(IndexLen));
+    auto Index = ArchiveIndex::deserialize(IndexR, Limits);
+    if (!Index)
+      return Index.takeError();
+    R.skip(static_cast<size_t>(IndexLen));
+    Stats.IndexBytes = PrefixLen + static_cast<size_t>(IndexLen);
+    Stats.IndexedClasses = Index->Classes.size();
+    Stats.Shards = Index->Shards.size();
+
+    size_t DictStart = R.position();
+    auto Dict = SharedDictionary::deserialize(R, Limits);
+    if (!Dict)
+      return Dict.takeError();
+    Stats.DictionaryBytes = R.position() - DictStart;
+    Stats.DictionaryEntries = Dict->entryCount();
+
+    size_t BlobBase = R.position();
+    uint64_t Region = Archive.size() - BlobBase;
+    if (Index->blobBytes() > Region)
+      return makeError(ErrorCode::Truncated,
+                       "stats: shard blobs extend past end of archive");
+    if (Index->blobBytes() < Region)
+      return makeError(ErrorCode::Corrupt,
+                       "stats: trailing bytes after shard blobs");
+    for (const ArchiveIndex::ShardExtent &E : Index->Shards) {
+      ByteReader Blob(Archive.data() + BlobBase + E.Offset,
+                      static_cast<size_t>(E.Length));
+      for (unsigned I = 0; I < NumStreams; ++I)
+        if (auto Err =
+                statStream(Blob, I, /*ShardCount=*/1, Limits, Stats.Sizes))
+          return Err;
+      if (!Blob.atEnd())
+        return makeError(ErrorCode::Corrupt,
+                         "stats: trailing bytes in shard blob");
+    }
+    return Stats;
+  }
 
   if (Stats.Version == FormatVersionSharded) {
     // The dictionary frame validates itself; we only need its extent

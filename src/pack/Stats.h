@@ -7,11 +7,11 @@
 /// \file
 /// Reads the composition of a packed archive straight off the wire: per
 /// stream the raw and stored byte counts from the stream directory, plus
-/// the header and dictionary framing, without inflating or decoding any
-/// stream payload. The accounting obeys a sum identity checked by tests:
-/// HeaderBytes + DictionaryBytes + sum(Sizes.Packed) == ArchiveBytes,
-/// and it matches the StreamSizes the encoder reported when the archive
-/// was produced.
+/// the header, index, and dictionary framing, without inflating or
+/// decoding any stream payload. The accounting obeys a sum identity
+/// checked by tests: HeaderBytes + IndexBytes + DictionaryBytes +
+/// sum(Sizes.Packed) == ArchiveBytes, and it matches the StreamSizes
+/// the encoder reported when the archive was produced.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,7 +29,8 @@ namespace cjpack {
 
 /// Wire-level composition of one packed archive.
 struct ArchiveStats {
-  /// Format version byte (FormatVersionSerial or FormatVersionSharded).
+  /// Format version byte (FormatVersionSerial, FormatVersionSharded,
+  /// or FormatVersionIndexed).
   uint8_t Version = 0;
   /// Reference-encoding scheme recorded in the header.
   RefScheme Scheme = RefScheme::MtfTransientsContext;
@@ -42,7 +43,12 @@ struct ArchiveStats {
   /// Fixed header bytes, plus the shard-count varint for version 2 —
   /// framing not attributable to any stream.
   size_t HeaderBytes = 0;
-  /// Serialized shared-dictionary frame (version 2; 0 for version 1)
+  /// Version-3 archives: the per-class index frame including its length
+  /// prefix — every byte that exists only for random access — and the
+  /// class entries it addresses (0 for versions 1/2).
+  size_t IndexBytes = 0;
+  size_t IndexedClasses = 0;
+  /// Serialized shared-dictionary frame (versions 2/3; 0 for version 1)
   /// and the definitions it carries.
   size_t DictionaryBytes = 0;
   size_t DictionaryEntries = 0;

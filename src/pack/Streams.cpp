@@ -187,7 +187,8 @@ std::vector<uint8_t> StreamSet::serialize(bool Compress,
   return W.take();
 }
 
-Error StreamSet::deserialize(ByteReader &R, const DecodeLimits &Limits) {
+Error StreamSet::deserialize(ByteReader &R, const DecodeLimits &Limits,
+                             DecodeBudget *Budget) {
   for (unsigned I = 0; I < NumStreams; ++I) {
     uint8_t Id = R.readU1();
     uint8_t Method = R.readU1();
@@ -210,6 +211,9 @@ Error StreamSet::deserialize(ByteReader &R, const DecodeLimits &Limits) {
     if (R.hasError())
       return R.takeError("streams");
     if (Method == 1) {
+      if (Budget)
+        if (auto E = Budget->chargeInflate(RawLen, "streams"))
+          return E;
       auto Raw = inflateBytes(Stored, RawLen, RawLen ? RawLen : 1);
       if (!Raw)
         return Raw.takeError();

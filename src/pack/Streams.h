@@ -34,11 +34,17 @@ namespace cjpack {
 /// then the shared dictionary frame, then the shards' streams in the
 /// grouped container written by serializeShardedStreams. Single-shard
 /// archives are always written as version 1, so the sharded pipeline at
-/// shard-count 1 is byte-identical to the original format. The
-/// versioning rule: any change to the byte layout bumps the version,
-/// and decoders must reject versions they do not know.
+/// shard-count 1 is byte-identical to the original format. Version 3
+/// (opt-in via PackOptions::RandomAccessIndex) is the random-access
+/// layout: header, then a per-class index frame, then the dictionary
+/// frame, then each shard's streams serialized as an independent blob so
+/// a reader can locate and inflate exactly one shard (ArchiveIndex.h,
+/// ArchiveReader.h). The versioning rule: any change to the byte layout
+/// bumps the version, and decoders must reject versions they do not
+/// know with a typed VersionMismatch error.
 inline constexpr uint8_t FormatVersionSerial = 1;
 inline constexpr uint8_t FormatVersionSharded = 2;
+inline constexpr uint8_t FormatVersionIndexed = 3;
 
 /// Upper bound on shards per archive; a header claiming more is corrupt.
 inline constexpr size_t MaxShards = 4096;
@@ -243,8 +249,13 @@ public:
 
   /// Parses bytes produced by serialize. Declared lengths are checked
   /// against \p Limits.MaxStreamBytes before any allocation, and
-  /// inflation is capped by the declared raw size.
-  Error deserialize(ByteReader &R, const DecodeLimits &Limits = {});
+  /// inflation is capped by the declared raw size. \p Budget, when
+  /// non-null, is charged for every byte of inflate output, so callers
+  /// that decode many stream sets against one archive (the lazy reader)
+  /// share one decompression-bomb bound and can account for how much
+  /// they actually inflated.
+  Error deserialize(ByteReader &R, const DecodeLimits &Limits = {},
+                    DecodeBudget *Budget = nullptr);
 
 private:
   std::array<ByteWriter, NumStreams> Writers;

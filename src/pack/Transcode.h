@@ -186,30 +186,53 @@ public:
           return E;
       return Error::success();
     } else {
-      ByteReader &Counts = C.S.in(StreamId::Counts);
-      size_t Count = static_cast<size_t>(readVarUInt(Counts));
-      if (Counts.hasError())
-        return Counts.takeError("unpack");
-      if (Count > C.Limits.MaxClasses)
-        return makeError(ErrorCode::LimitExceeded,
-                         "unpack: class count over limit");
-      // Every class costs at least five varint bytes from the Counts
-      // stream (versions plus three member counts), so a count the
-      // stream cannot hold is corrupt before anything is reserved.
-      if (Count * 5 > Counts.remaining())
-        return makeError(ErrorCode::Corrupt,
-                         "unpack: class count exceeds stream size");
+      size_t Count = 0;
+      if (auto E = beginArchive(Count))
+        return E;
       Recs.reserve(Count);
       for (size_t I = 0; I < Count; ++I) {
         ClassRec R;
-        if (auto E = xClassRec(R))
+        if (auto E = transcodeOneClass(R))
           return E;
-        if (C.Latch)
-          return std::move(C.Latch);
         Recs.push_back(std::move(R));
       }
       return Error::success();
     }
+  }
+
+  /// Decode side only: reads and validates the archive's class count
+  /// without decoding any record. The adaptive coder state means class
+  /// records are only decodable as a prefix in order, so incremental
+  /// readers call this once and then transcodeOneClass per record.
+  Error beginArchive(size_t &Count) {
+    static_assert(!Ctx::IsEncode,
+                  "beginArchive is for incremental decoding");
+    ByteReader &Counts = C.S.in(StreamId::Counts);
+    Count = static_cast<size_t>(readVarUInt(Counts));
+    if (Counts.hasError())
+      return Counts.takeError("unpack");
+    if (Count > C.Limits.MaxClasses)
+      return makeError(ErrorCode::LimitExceeded,
+                       "unpack: class count over limit");
+    // Every class costs at least five varint bytes from the Counts
+    // stream (versions plus three member counts), so a count the
+    // stream cannot hold is corrupt before anything is reserved.
+    if (Count * 5 > Counts.remaining())
+      return makeError(ErrorCode::Corrupt,
+                       "unpack: class count exceeds stream size");
+    return Error::success();
+  }
+
+  /// Decode side only: decodes the next class record in archive order.
+  /// Valid only after beginArchive, at most Count times.
+  Error transcodeOneClass(ClassRec &R) {
+    static_assert(!Ctx::IsEncode,
+                  "transcodeOneClass is for incremental decoding");
+    if (auto E = xClassRec(R))
+      return E;
+    if (C.Latch)
+      return std::move(C.Latch);
+    return Error::success();
   }
 
 private:

@@ -25,13 +25,16 @@ namespace cjpack {
 
 /// Failure taxonomy of the decode path. Every error produced while
 /// decoding wire input (packed archives, classfiles, zips, compressed
-/// streams) is one of the last three; Other covers non-decode failures
-/// (encoder misuse, unsupported options).
+/// streams) is one of the typed codes after Other; Other covers
+/// non-decode failures (encoder misuse, unsupported options).
 enum class ErrorCode : uint8_t {
-  Other,         ///< not a decode-taxonomy failure
-  Truncated,     ///< input ended before a promised structure
-  Corrupt,       ///< structurally invalid wire data
-  LimitExceeded, ///< input demanded more than a configured resource cap
+  Other,           ///< not a decode-taxonomy failure
+  Truncated,       ///< input ended before a promised structure
+  Corrupt,         ///< structurally invalid wire data
+  LimitExceeded,   ///< input demanded more than a configured resource cap
+  VersionMismatch, ///< well-formed header, but a format version this
+                   ///< reader does not handle (callers can route the
+                   ///< archive to the right reader or report precisely)
 };
 
 /// Printable name of \p C.
@@ -41,6 +44,7 @@ inline const char *errorCodeName(ErrorCode C) {
   case ErrorCode::Truncated: return "Truncated";
   case ErrorCode::Corrupt: return "Corrupt";
   case ErrorCode::LimitExceeded: return "LimitExceeded";
+  case ErrorCode::VersionMismatch: return "VersionMismatch";
   }
   return "?";
 }

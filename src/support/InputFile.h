@@ -1,0 +1,126 @@
+//===- InputFile.h - read-only memory-mapped file --------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A read-only view of a file's bytes, memory-mapped where the platform
+/// allows it. The point of mapping is the lazy-read contract of the
+/// version-3 archive format: PackedArchiveReader opens a multi-megabyte
+/// archive, reads the small index frame, and then touches only the
+/// pages of the shard blobs a request actually decodes — the kernel
+/// never faults in the rest. On platforms without mmap (or when the
+/// map fails, e.g. on a pipe) the whole file is read into an owned
+/// buffer instead; callers see the same span either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_SUPPORT_INPUTFILE_H
+#define CJPACK_SUPPORT_INPUTFILE_H
+
+#include "support/Error.h"
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define CJPACK_HAVE_MMAP 1
+#endif
+
+namespace cjpack {
+
+/// An open read-only file: a stable (data, size) span valid for the
+/// object's lifetime. Movable, not copyable; unmaps/frees on
+/// destruction.
+class InputFile {
+public:
+  InputFile() = default;
+  InputFile(const InputFile &) = delete;
+  InputFile &operator=(const InputFile &) = delete;
+
+  InputFile(InputFile &&Other) noexcept { *this = std::move(Other); }
+  InputFile &operator=(InputFile &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      Mapped = Other.Mapped;
+      MappedSize = Other.MappedSize;
+      Owned = std::move(Other.Owned);
+      Other.Mapped = nullptr;
+      Other.MappedSize = 0;
+    }
+    return *this;
+  }
+
+  ~InputFile() { reset(); }
+
+  /// Opens \p Path read-only. Prefers mmap; falls back to reading the
+  /// file into memory. Fails with a typed Error when the file cannot
+  /// be opened or read.
+  static Expected<InputFile> open(const std::string &Path) {
+    InputFile F;
+#if CJPACK_HAVE_MMAP
+    int Fd = ::open(Path.c_str(), O_RDONLY);
+    if (Fd >= 0) {
+      struct stat St;
+      if (::fstat(Fd, &St) == 0 && S_ISREG(St.st_mode)) {
+        if (St.st_size == 0) {
+          ::close(Fd);
+          return F; // empty file: valid zero-length span
+        }
+        void *P = ::mmap(nullptr, static_cast<size_t>(St.st_size),
+                         PROT_READ, MAP_PRIVATE, Fd, 0);
+        ::close(Fd);
+        if (P != MAP_FAILED) {
+          F.Mapped = P;
+          F.MappedSize = static_cast<size_t>(St.st_size);
+          return F;
+        }
+        // Map failed (e.g. exotic filesystem): fall through to the
+        // buffered path below.
+      } else {
+        ::close(Fd);
+      }
+    }
+#endif
+    std::ifstream In(Path, std::ios::binary);
+    if (!In)
+      return Error::failure("cannot open '" + Path + "'");
+    F.Owned.assign(std::istreambuf_iterator<char>(In),
+                   std::istreambuf_iterator<char>());
+    if (In.bad())
+      return Error::failure("cannot read '" + Path + "'");
+    return F;
+  }
+
+  const uint8_t *data() const {
+    return Mapped ? static_cast<const uint8_t *>(Mapped) : Owned.data();
+  }
+  size_t size() const { return Mapped ? MappedSize : Owned.size(); }
+  bool isMapped() const { return Mapped != nullptr; }
+
+private:
+  void reset() {
+#if CJPACK_HAVE_MMAP
+    if (Mapped)
+      ::munmap(Mapped, MappedSize);
+#endif
+    Mapped = nullptr;
+    MappedSize = 0;
+    Owned.clear();
+  }
+
+  void *Mapped = nullptr;
+  size_t MappedSize = 0;
+  std::vector<uint8_t> Owned;
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_SUPPORT_INPUTFILE_H

@@ -29,7 +29,11 @@
 #include "classfile/ClassFile.h"
 #include "classfile/Reader.h"
 #include "corpus/Corpus.h"
+#include "pack/ArchiveIndex.h"
+#include "pack/ArchiveReader.h"
 #include "pack/Packer.h"
+#include "pack/Streams.h"
+#include "support/VarInt.h"
 #include "zip/ZipFile.h"
 #include <gtest/gtest.h>
 
@@ -88,10 +92,12 @@ std::vector<NamedClass> smallCorpus() {
   return generateCorpus(Spec);
 }
 
-std::vector<uint8_t> packedArchive(unsigned Shards, RefScheme Scheme) {
+std::vector<uint8_t> packedArchive(unsigned Shards, RefScheme Scheme,
+                                   bool Indexed = false) {
   PackOptions Options;
   Options.Shards = Shards;
   Options.Scheme = Scheme;
+  Options.RandomAccessIndex = Indexed;
   auto Packed = packClassBytes(smallCorpus(), Options);
   EXPECT_TRUE(static_cast<bool>(Packed)) << Packed.message();
   return Packed ? Packed->Archive : std::vector<uint8_t>();
@@ -107,6 +113,27 @@ void expectCleanUnpack(const std::vector<uint8_t> &Bytes,
   EXPECT_NE(Classes.code(), ErrorCode::Other)
       << What << " at " << Detail
       << ": decode failure escaped the taxonomy: " << Classes.message();
+}
+
+/// Same contract for the lazy reader: open, list, decode every indexed
+/// class. Success or a typed error, never a crash or OOB read.
+void expectCleanReader(const std::vector<uint8_t> &Bytes, const char *What,
+                       size_t Detail) {
+  auto Reader = PackedArchiveReader::open(Bytes, testLimits());
+  if (!Reader) {
+    EXPECT_NE(Reader.code(), ErrorCode::Other)
+        << What << " at " << Detail
+        << ": reader open failure escaped the taxonomy: "
+        << Reader.message();
+    return;
+  }
+  auto All = Reader->unpackAll();
+  if (!All) {
+    EXPECT_NE(All.code(), ErrorCode::Other)
+        << What << " at " << Detail
+        << ": lazy decode failure escaped the taxonomy: "
+        << All.message();
+  }
 }
 
 void expectCleanClassfile(const std::vector<uint8_t> &Bytes,
@@ -210,6 +237,47 @@ void mutateRandomly(const std::vector<uint8_t> &Valid, CheckFn Check,
   }
 }
 
+/// Re-frames a valid version-3 archive around a tampered index: parses
+/// the real index, lets \p Mutate rewrite it, and splices the new frame
+/// back between the header and the dictionary. Every other byte is
+/// untouched, so the failure the reader reports is attributable to the
+/// index alone.
+std::vector<uint8_t> rebuildWithIndex(const std::vector<uint8_t> &Valid,
+                                      void (*Mutate)(ArchiveIndex &)) {
+  ByteReader R(Valid);
+  R.skip(7);
+  uint64_t IndexLen = readVarUInt(R);
+  EXPECT_FALSE(R.hasError());
+  ByteReader IndexR(Valid.data() + R.position(),
+                    static_cast<size_t>(IndexLen));
+  auto Index = ArchiveIndex::deserialize(IndexR);
+  EXPECT_TRUE(static_cast<bool>(Index)) << Index.message();
+  Mutate(*Index);
+  ByteWriter W;
+  W.writeBytes(Valid.data(), 7);
+  std::vector<uint8_t> Body = Index->serialize();
+  writeVarUInt(W, Body.size());
+  W.writeBytes(Body);
+  size_t Rest = R.position() + static_cast<size_t>(IndexLen);
+  W.writeBytes(Valid.data() + Rest, Valid.size() - Rest);
+  return W.take();
+}
+
+/// Opens + fully decodes a tampered v3 archive and requires the exact
+/// error class the tampering must produce.
+void expectReaderRejects(const std::vector<uint8_t> &Bytes, ErrorCode Code,
+                         const char *What) {
+  auto Reader = PackedArchiveReader::open(Bytes, testLimits());
+  if (!Reader) {
+    EXPECT_EQ(Reader.code(), Code) << What << ": " << Reader.message();
+    return;
+  }
+  auto All = Reader->unpackAll();
+  ASSERT_FALSE(static_cast<bool>(All))
+      << What << ": tampered archive decoded successfully";
+  EXPECT_EQ(All.code(), Code) << What << ": " << All.message();
+}
+
 } // namespace
 
 // Every archive variant of the wire-format matrix survives truncation
@@ -254,6 +322,99 @@ TEST(FaultInjection, RandomMutationsAltSchemes) {
                    /*Seed=*/3 + static_cast<uint64_t>(Scheme),
                    /*Rounds=*/2500);
   }
+}
+
+// The version-3 lazy reader under the same truncation / flip / mutation
+// schedule as the whole-archive decoder.
+TEST(FaultInjection, IndexedArchiveSweeps) {
+  for (unsigned Shards : {1u, 3u}) {
+    auto Archive =
+        packedArchive(Shards, RefScheme::MtfTransientsContext, true);
+    ASSERT_FALSE(Archive.empty());
+    truncateEverywhere(Archive, expectCleanReader);
+    flipEverywhere(Archive, expectCleanReader);
+    mutateRandomly(Archive, expectCleanReader,
+                   /*Seed=*/11 + Shards, /*Rounds=*/5000);
+  }
+}
+
+// Crafted hostile indexes with the exact typed rejection each must
+// produce — the attack surface the v3 format adds over v2.
+TEST(FaultInjection, HostileIndexTyped) {
+  auto Valid = packedArchive(3, RefScheme::MtfTransientsContext, true);
+  ASSERT_FALSE(Valid.empty());
+  // Sanity: the untampered archive decodes.
+  {
+    auto Reader = PackedArchiveReader::open(Valid, testLimits());
+    ASSERT_TRUE(static_cast<bool>(Reader)) << Reader.message();
+    ASSERT_TRUE(static_cast<bool>(Reader->unpackAll()));
+  }
+
+  // Index frame longer than the archive: the length prefix promises
+  // bytes that do not exist.
+  {
+    std::vector<uint8_t> Short(Valid.begin(), Valid.begin() + 10);
+    auto Reader = PackedArchiveReader::open(Short, testLimits());
+    ASSERT_FALSE(static_cast<bool>(Reader));
+    EXPECT_EQ(Reader.code(), ErrorCode::Truncated) << Reader.message();
+  }
+
+  // Shard extent reaching past the end of the archive.
+  expectReaderRejects(
+      rebuildWithIndex(Valid,
+                       [](ArchiveIndex &I) { I.Shards.back().Length += 4; }),
+      ErrorCode::Truncated, "extent past EOF");
+
+  // Overlapping extents: shard 1 aliased onto shard 0's bytes.
+  expectReaderRejects(
+      rebuildWithIndex(Valid,
+                       [](ArchiveIndex &I) { I.Shards[1].Offset = 0; }),
+      ErrorCode::Corrupt, "overlapping extents");
+
+  // A gap between extents.
+  expectReaderRejects(
+      rebuildWithIndex(Valid,
+                       [](ArchiveIndex &I) { I.Shards[1].Offset += 1; }),
+      ErrorCode::Corrupt, "extent gap");
+
+  // Two entries claiming the same (shard, ordinal) slot.
+  expectReaderRejects(rebuildWithIndex(Valid,
+                                       [](ArchiveIndex &I) {
+                                         I.Classes[1].Shard =
+                                             I.Classes[0].Shard;
+                                         I.Classes[1].Ordinal =
+                                             I.Classes[0].Ordinal;
+                                       }),
+                      ErrorCode::Corrupt, "duplicate slot");
+
+  // Duplicate class names.
+  expectReaderRejects(rebuildWithIndex(Valid,
+                                       [](ArchiveIndex &I) {
+                                         I.Classes[1].Name =
+                                             I.Classes[0].Name;
+                                       }),
+                      ErrorCode::Corrupt, "duplicate name");
+
+  // Index claims more classes than the shard's own directory declares.
+  expectReaderRejects(
+      rebuildWithIndex(Valid,
+                       [](ArchiveIndex &I) { I.Classes[0].Ordinal = 99; }),
+      ErrorCode::Corrupt, "ordinal beyond directory");
+
+  // An index entry whose name disagrees with the class decoded at its
+  // slot (two swapped names).
+  expectReaderRejects(rebuildWithIndex(Valid,
+                                       [](ArchiveIndex &I) {
+                                         std::swap(I.Classes[0].Name,
+                                                   I.Classes[1].Name);
+                                       }),
+                      ErrorCode::Corrupt, "name mismatch");
+
+  // An entry naming a shard that does not exist.
+  expectReaderRejects(
+      rebuildWithIndex(Valid,
+                       [](ArchiveIndex &I) { I.Classes[0].Shard = 7; }),
+      ErrorCode::Corrupt, "shard out of range");
 }
 
 // The classfile parser plus bytecode decoder under the same schedule.

@@ -18,12 +18,16 @@
 // key below with Threads=2 and update the table.
 //
 // Also checks here because it shares the corpus: the statPackedArchive
-// sum identity (header + dictionary + per-stream packed == archive
-// bytes) and its agreement with the encoder's own accounting.
+// sum identity (header + index + dictionary + per-stream packed ==
+// archive bytes), its agreement with the encoder's own accounting, and
+// the cross-version decode matrix (each decoder accepts exactly the
+// versions it claims, with typed VersionMismatch otherwise).
 //
 //===----------------------------------------------------------------------===//
 
+#include "classfile/Writer.h"
 #include "corpus/Corpus.h"
+#include "pack/ArchiveReader.h"
 #include "pack/Packer.h"
 #include "pack/Stats.h"
 #include "support/Sha1.h"
@@ -89,6 +93,13 @@ const std::map<std::string, std::string> GoldenHashes = {
      "9d5e3ae13f6e8c67331d1bf67a00e19b8b500c17"},
     {"balanced/s4/scheme-MTF Trans+Ctx",
      "7cad34cc0afbd91947cf1252d73998b88b4e3dca"},
+    // Version-3 indexed archives. These rows pin the v3 layout itself;
+    // the rows above double as proof the v3 code path leaves v1/v2
+    // byte-identical.
+    {"balanced/s1/v3raw", "180936faf6d5b9160b1c22fe49b506f0216dbb69"},
+    {"balanced/s1/v3z", "77a4d2bba68f5724c3c50c81ce7d635db38eb2a0"},
+    {"balanced/s4/v3raw", "acdbc96f64b3d2a5a630525da52e04a94e742414"},
+    {"balanced/s4/v3z", "ceaa75bdc726bae3388669596e68de3c024059f4"},
 };
 
 std::vector<NamedClass> corpusFor(CodeStyle Style) {
@@ -122,10 +133,11 @@ void expectGolden(const std::string &Key,
   auto Stats = statPackedArchive(Packed->Archive);
   ASSERT_TRUE(static_cast<bool>(Stats)) << Key << ": "
                                         << Stats.message();
-  EXPECT_EQ(Stats->HeaderBytes + Stats->DictionaryBytes +
-                Stats->Sizes.totalPacked(),
+  EXPECT_EQ(Stats->HeaderBytes + Stats->IndexBytes +
+                Stats->DictionaryBytes + Stats->Sizes.totalPacked(),
             Packed->Archive.size())
       << Key;
+  EXPECT_EQ(Stats->IndexBytes, Packed->IndexBytes) << Key;
   for (unsigned I = 0; I < NumStreams; ++I) {
     EXPECT_EQ(Stats->Sizes.Raw[I], Packed->Sizes.Raw[I])
         << Key << " raw " << streamName(static_cast<StreamId>(I));
@@ -217,6 +229,92 @@ TEST(WireCompat, EveryReferenceScheme) {
                        refSchemeName(Options.Scheme),
                    Classes, Options);
     }
+  }
+}
+
+TEST(WireCompat, IndexedArchives) {
+  auto Classes = corpusFor(CodeStyle::Balanced);
+  for (unsigned Shards : {1u, 4u}) {
+    PackOptions Raw;
+    Raw.Shards = Shards;
+    Raw.CompressStreams = false;
+    Raw.RandomAccessIndex = true;
+    expectGolden("balanced/s" + std::to_string(Shards) + "/v3raw",
+                 Classes, Raw);
+    PackOptions Z;
+    Z.Shards = Shards;
+    Z.RandomAccessIndex = true;
+    expectGolden("balanced/s" + std::to_string(Shards) + "/v3z", Classes,
+                 Z);
+  }
+}
+
+// Each decoder must accept exactly the versions it claims and reject
+// the rest with a typed VersionMismatch — never a crash, never a decode
+// of bytes laid out for a different version.
+TEST(WireCompat, CrossVersionDecodeMatrix) {
+  auto Classes = corpusFor(CodeStyle::Balanced);
+  PackOptions V1;
+  V1.Shards = 1;
+  PackOptions V2;
+  V2.Shards = 4;
+  V2.Threads = 2;
+  PackOptions V3 = V2;
+  V3.RandomAccessIndex = true;
+  auto P1 = packClassBytes(Classes, V1);
+  auto P2 = packClassBytes(Classes, V2);
+  auto P3 = packClassBytes(Classes, V3);
+  ASSERT_TRUE(P1 && P2 && P3);
+  ASSERT_EQ(P1->Archive[4], FormatVersionSerial);
+  ASSERT_EQ(P2->Archive[4], FormatVersionSharded);
+  ASSERT_EQ(P3->Archive[4], FormatVersionIndexed);
+
+  // The whole-archive decoder handles v1/v2, rejects v3.
+  EXPECT_TRUE(static_cast<bool>(unpackClasses(P1->Archive)));
+  EXPECT_TRUE(static_cast<bool>(unpackClasses(P2->Archive)));
+  auto RejectV3 = unpackClasses(P3->Archive);
+  ASSERT_FALSE(static_cast<bool>(RejectV3));
+  EXPECT_EQ(RejectV3.code(), ErrorCode::VersionMismatch);
+
+  // The lazy reader handles v3, rejects v1/v2.
+  EXPECT_TRUE(static_cast<bool>(PackedArchiveReader::open(P3->Archive)));
+  for (const auto *P : {&P1, &P2}) {
+    auto Reject = PackedArchiveReader::open((*P)->Archive);
+    ASSERT_FALSE(static_cast<bool>(Reject));
+    EXPECT_EQ(Reject.code(), ErrorCode::VersionMismatch);
+  }
+
+  // An unknown future version is VersionMismatch everywhere.
+  std::vector<uint8_t> Future = P1->Archive;
+  Future[4] = 99;
+  auto U = unpackClasses(Future);
+  ASSERT_FALSE(static_cast<bool>(U));
+  EXPECT_EQ(U.code(), ErrorCode::VersionMismatch);
+  auto R = PackedArchiveReader::open(Future);
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.code(), ErrorCode::VersionMismatch);
+  auto S = statPackedArchive(Future);
+  ASSERT_FALSE(static_cast<bool>(S));
+  EXPECT_EQ(S.code(), ErrorCode::VersionMismatch);
+
+  // Stats reads all three real versions.
+  for (const auto *P : {&P1, &P2, &P3})
+    EXPECT_TRUE(static_cast<bool>(statPackedArchive((*P)->Archive)));
+
+  // The decoders agree: all three versions of the same input unpack to
+  // the identical classfiles.
+  auto C1 = unpackClasses(P1->Archive);
+  auto C2 = unpackClasses(P2->Archive, 2u);
+  auto Rd = PackedArchiveReader::open(P3->Archive);
+  ASSERT_TRUE(C1 && C2 && Rd);
+  auto C3 = Rd->unpackAll();
+  ASSERT_TRUE(static_cast<bool>(C3));
+  ASSERT_EQ(C1->size(), Classes.size());
+  ASSERT_EQ(C2->size(), Classes.size());
+  ASSERT_EQ(C3->size(), Classes.size());
+  for (size_t I = 0; I < C1->size(); ++I) {
+    EXPECT_EQ(writeClassFile((*C1)[I]), writeClassFile((*C2)[I])) << I;
+    EXPECT_EQ(writeClassFile((*C2)[I]), writeClassFile((*C3)[I])) << I;
   }
 }
 
