@@ -1,0 +1,164 @@
+//===- bench_backends.cpp - backend tournament smoke + baseline -----------===//
+//
+// Part of cjpack. MIT license.
+//
+// Packs one pinned corpus with every uniform compression backend plus
+// the per-stream tournament winner ("mixed": for each stream, the
+// backend that packed it smallest), round-trips each archive, and
+// reports the sizes as JSON. The corpus is pinned — no CJPACK_SCALE —
+// so the zlib-independent fields are bit-stable and only the rows that
+// contain deflate output move with the zlib version (store / huffman /
+// arith archives are fully deterministic outside the dictionary frame).
+// CI diffs the output against bench/baselines/BENCH_backends.json via
+// compare_bench.py.
+//
+//   bench_backends [--json FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "classfile/Writer.h"
+#include "pack/Backend.h"
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <zlib.h>
+
+using namespace cjpack;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+
+  CorpusSpec Spec;
+  Spec.Name = "backends";
+  Spec.Seed = 1234;
+  Spec.NumClasses = 48;
+  Spec.NumPackages = 4;
+  Spec.MeanMethods = 6;
+  Spec.MeanStatements = 10;
+  BenchData B = loadBench(Spec);
+  size_t InputBytes = totalClassBytes(B.StrippedBytes);
+
+  printf("Backend tournament bench (fixed corpus, %zu classes)\n\n",
+         B.Prepared.size());
+  printf("%-9s %12s %12s %7s %8s %9s\n", "backend", "input(B)",
+         "archive(B)", "ratio", "pack(ms)", "unpack(ms)");
+
+  PackOptions Base;
+  Base.Shards = 4;
+  Base.Threads = 2;
+
+  // One uniform pass per backend; remember the per-stream packed sizes
+  // so the mixed row can pick each stream's winner.
+  std::array<StreamSizes, NumBackends> PerBackend;
+  std::vector<JsonObject> Rows;
+  int Rc = 0;
+
+  auto runOne = [&](const std::string &Name,
+                    const PackOptions &Options) -> const PackResult * {
+    static PackResult Last;
+    auto T0 = std::chrono::steady_clock::now();
+    auto Packed = packClasses(B.Prepared, Options);
+    double PackMs = msSince(T0);
+    if (!Packed) {
+      fprintf(stderr, "%s: pack failed: %s\n", Name.c_str(),
+              Packed.message().c_str());
+      Rc = 1;
+      return nullptr;
+    }
+    T0 = std::chrono::steady_clock::now();
+    auto Restored = unpackClasses(Packed->Archive);
+    double UnpackMs = msSince(T0);
+    if (!Restored) {
+      fprintf(stderr, "%s: unpack failed: %s\n", Name.c_str(),
+              Restored.message().c_str());
+      Rc = 1;
+      return nullptr;
+    }
+    // Round-trip gate: the baseline must never record an archive that
+    // does not restore the prepared classfiles exactly.
+    bool Same = Restored->size() == B.Prepared.size();
+    for (size_t I = 0; Same && I < Restored->size(); ++I)
+      Same = writeClassFile((*Restored)[I]) ==
+             writeClassFile(B.Prepared[I]);
+    if (!Same) {
+      fprintf(stderr, "%s: round-trip mismatch\n", Name.c_str());
+      Rc = 1;
+      return nullptr;
+    }
+
+    printf("%-9s %12zu %12zu %6.1f%% %8.1f %9.1f\n", Name.c_str(),
+           InputBytes, Packed->Archive.size(),
+           100.0 * Packed->Archive.size() / InputBytes, PackMs, UnpackMs);
+
+    JsonObject Row;
+    Row.add("name", Name);
+    Row.add("shards", static_cast<uint64_t>(Base.Shards));
+    Row.add("classes", static_cast<uint64_t>(B.Prepared.size()));
+    Row.add("input_bytes", static_cast<uint64_t>(InputBytes));
+    Row.add("archive_bytes", static_cast<uint64_t>(Packed->Archive.size()));
+    Row.add("raw_stream_bytes",
+            static_cast<uint64_t>(Packed->Sizes.totalRaw()));
+    Row.add("ratio",
+            static_cast<double>(Packed->Archive.size()) / InputBytes);
+    Row.add("pack_ms", PackMs);
+    Row.add("unpack_ms", UnpackMs);
+    Rows.push_back(std::move(Row));
+    Last = std::move(*Packed);
+    return &Last;
+  };
+
+  for (const CompressionBackend &Backend : allBackends()) {
+    PackOptions Options = Base;
+    Options.Backend = Backend.Id;
+    if (const PackResult *R = runOne(Backend.Name, Options))
+      PerBackend[static_cast<uint8_t>(Backend.Id)] = R->Sizes;
+  }
+
+  if (Rc == 0) {
+    // The tournament winner: per stream, the backend whose uniform pass
+    // packed it smallest (registry order breaks ties, like packtool
+    // tune).
+    std::array<BackendId, NumStreams> Winners;
+    for (unsigned I = 0; I < NumStreams; ++I) {
+      unsigned Best = 0;
+      for (unsigned K = 1; K < NumBackends; ++K)
+        if (PerBackend[K].Packed[I] < PerBackend[Best].Packed[I])
+          Best = K;
+      Winners[I] = static_cast<BackendId>(Best);
+    }
+    PackOptions Mixed = Base;
+    Mixed.StreamBackends = Winners;
+    runOne("mixed", Mixed);
+  }
+
+  if (!JsonPath.empty()) {
+    FILE *Out = fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    JsonObject Header;
+    Header.add("bench", "backends");
+    Header.add("zlib", zlibVersion());
+    writeBenchJson(Out, Header, Rows);
+    fclose(Out);
+    printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return Rc;
+}

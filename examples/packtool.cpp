@@ -11,6 +11,7 @@
 //   packtool info <in.cjp|in.jar>             describe an archive
 //   packtool verify <in.class|jar|cjp>        run the bytecode verifier
 //   packtool stats <in.cjp|in.jar> [--json]   per-stream composition
+//   packtool tune <in.jar> <out.cjp>          per-stream backend tournament
 //   packtool selftest <out-dir>               write a demo jar + archive
 //
 // `--threads N` (anywhere on the command line) packs into N shards
@@ -22,6 +23,10 @@
 // `unpack-class` require a version-3 archive — they memory-map it and
 // touch only the index (list) or one shard's blob (unpack-class);
 // unpack/info/verify/stats accept any version.
+//
+// `--backend=<name>` on pack/stats selects the final compression stage
+// (store, zlib, huffman, arith); `tune` packs once per backend and
+// repacks with the smallest backend per stream.
 //
 // `--verify[=warn|strict]` on pack lints every classfile with the
 // flow analyzer first: warn (the default) reports diagnostics and
@@ -61,6 +66,9 @@ bool Indexed = false;
 /// Pre-pack lint mode from --verify[=warn|strict].
 enum class LintMode { Off, Warn, Strict };
 LintMode Lint = LintMode::Off;
+
+/// Final-stage compression backend from --backend=<name>.
+BackendId PackBackend = BackendId::Zlib;
 
 bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
   std::ifstream In(Path, std::ios::binary);
@@ -156,6 +164,7 @@ int cmdPack(const std::string &InPath, const std::string &OutPath) {
   Options.Shards = NumThreads;
   Options.Threads = NumThreads;
   Options.RandomAccessIndex = Indexed;
+  Options.Backend = PackBackend;
   auto Packed = packClassBytes(Classes, Options);
   if (!Packed) {
     fprintf(stderr, "packtool: %s\n", Packed.message().c_str());
@@ -384,6 +393,18 @@ void printStreamTable(const StreamSizes &Sizes, bool HaveItems) {
   }
 }
 
+/// Prints the per-backend packed-byte accounting when any stream used a
+/// non-default backend (or a non-zlib archive code is advertised).
+void printBackendLine(const ArchiveStats &Stats) {
+  printf("  backend %s:", archiveBackendCodeName(Stats.BackendCode));
+  for (unsigned B = 0; B < NumBackends; ++B)
+    if (Stats.BackendStreams[B] != 0)
+      printf(" %s %zu bytes/%zu streams",
+             backendName(static_cast<BackendId>(B)), Stats.BackendPacked[B],
+             Stats.BackendStreams[B]);
+  printf("\n");
+}
+
 /// Emits the machine-readable stats document. The schema is documented
 /// in the README; bench tooling consumes the same shape.
 void printStatsJson(FILE *Out, const std::string &Source,
@@ -402,6 +423,19 @@ void printStatsJson(FILE *Out, const std::string &Source,
           Stats.PreloadStandardRefs ? "true" : "false");
   fprintf(Out, "  \"shards\": %zu,\n  \"archive_bytes\": %zu,\n",
           Stats.Shards, Stats.ArchiveBytes);
+  fprintf(Out, "  \"backend\": \"%s\",\n  \"backends\": [",
+          archiveBackendCodeName(Stats.BackendCode));
+  bool FirstBackend = true;
+  for (unsigned B = 0; B < NumBackends; ++B) {
+    if (Stats.BackendStreams[B] == 0)
+      continue;
+    fprintf(Out, "%s\n    {\"name\": \"%s\", \"packed\": %zu, "
+                 "\"streams\": %zu}",
+            FirstBackend ? "" : ",", backendName(static_cast<BackendId>(B)),
+            Stats.BackendPacked[B], Stats.BackendStreams[B]);
+    FirstBackend = false;
+  }
+  fprintf(Out, "\n  ],\n");
   fprintf(Out,
           "  \"header_bytes\": %zu,\n  \"index_bytes\": %zu,\n"
           "  \"indexed_classes\": %zu,\n  \"dictionary_bytes\": %zu,\n"
@@ -509,6 +543,7 @@ int cmdStats(const std::vector<std::string> &Args) {
     if (Stats->Version == FormatVersionIndexed)
       printf("  index %zu bytes (%zu classes)\n", Stats->IndexBytes,
              Stats->IndexedClasses);
+    printBackendLine(*Stats);
     printStreamTable(Stats->Sizes, /*HaveItems=*/false);
     return 0;
   }
@@ -530,6 +565,7 @@ int cmdStats(const std::vector<std::string> &Args) {
   Options.Shards = NumThreads;
   Options.Threads = NumThreads;
   Options.RandomAccessIndex = Indexed;
+  Options.Backend = PackBackend;
   auto Packed = packClassBytes(Classes, Options);
   if (!Packed) {
     fprintf(stderr, "packtool: %s\n", Packed.message().c_str());
@@ -560,6 +596,7 @@ int cmdStats(const std::vector<std::string> &Args) {
   if (Stats->Version == FormatVersionIndexed)
     printf("  index %zu bytes (%zu classes)\n", Stats->IndexBytes,
            Stats->IndexedClasses);
+  printBackendLine(*Stats);
   printStreamTable(Packed->Sizes, /*HaveItems=*/true);
   const PhaseTimes &P = Packed->Trace.Phases;
   printf("  phases: parse %.3fs, model %.3fs, emit %.3fs, deflate "
@@ -578,6 +615,117 @@ int cmdStats(const std::vector<std::string> &Args) {
              static_cast<unsigned long long>(T.Defs));
     printf(" (refs/defs)\n");
   }
+  return 0;
+}
+
+/// The per-stream backend tournament: pack once per registered backend,
+/// read each stream's packed size off the telemetry, pick the smallest
+/// backend per stream (registry order breaks ties, so store wins when
+/// nothing shrinks a stream), repack with that mixed plan, and verify
+/// the result restores the same classfiles as the default archive.
+int cmdTune(const std::string &InPath, const std::string &OutPath) {
+  std::vector<uint8_t> Bytes;
+  if (!readFile(InPath, Bytes)) {
+    fprintf(stderr, "packtool: cannot read %s\n", InPath.c_str());
+    return 1;
+  }
+  auto Entries = readZip(Bytes);
+  if (!Entries) {
+    fprintf(stderr, "packtool: %s: %s\n", InPath.c_str(),
+            Entries.message().c_str());
+    return 1;
+  }
+  std::vector<NamedClass> Classes;
+  for (ZipEntry &E : *Entries)
+    if (isClassName(E.Name))
+      Classes.push_back(std::move(E));
+
+  PackOptions Base;
+  Base.Shards = NumThreads;
+  Base.Threads = NumThreads;
+  Base.RandomAccessIndex = Indexed;
+
+  std::array<StreamSizes, NumBackends> Sizes;
+  std::array<size_t, NumBackends> ArchiveBytes{};
+  std::vector<uint8_t> DefaultArchive;
+  for (const CompressionBackend &B : allBackends()) {
+    PackOptions Opt = Base;
+    Opt.Backend = B.Id;
+    auto Packed = packClassBytes(Classes, Opt);
+    if (!Packed) {
+      fprintf(stderr, "packtool: %s pack: %s\n", B.Name,
+              Packed.message().c_str());
+      return 1;
+    }
+    unsigned Idx = static_cast<unsigned>(B.Id);
+    Sizes[Idx] = Packed->Sizes;
+    ArchiveBytes[Idx] = Packed->Archive.size();
+    if (B.Id == BackendId::Zlib)
+      DefaultArchive = std::move(Packed->Archive);
+  }
+
+  std::array<BackendId, NumStreams> Winners;
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    unsigned Best = 0;
+    for (unsigned B = 1; B < NumBackends; ++B)
+      if (Sizes[B].Packed[I] < Sizes[Best].Packed[I])
+        Best = B;
+    Winners[I] = static_cast<BackendId>(Best);
+  }
+
+  PackOptions Mixed = Base;
+  Mixed.StreamBackends = Winners;
+  auto Tuned = packClassBytes(Classes, Mixed);
+  if (!Tuned) {
+    fprintf(stderr, "packtool: tuned pack: %s\n", Tuned.message().c_str());
+    return 1;
+  }
+
+  // The tuned archive must restore exactly what the default one does.
+  auto Want = unpackAnyArchive(DefaultArchive);
+  auto Got = unpackAnyArchive(Tuned->Archive);
+  if (!Want || !Got) {
+    fprintf(stderr, "packtool: tune verification unpack failed: %s\n",
+            (!Want ? Want.message() : Got.message()).c_str());
+    return 1;
+  }
+  if (Want->size() != Got->size()) {
+    fprintf(stderr, "packtool: tuned archive restores a different class "
+                    "count; not writing it\n");
+    return 1;
+  }
+  for (size_t I = 0; I < Want->size(); ++I)
+    if ((*Want)[I].Name != (*Got)[I].Name ||
+        (*Want)[I].Data != (*Got)[I].Data) {
+      fprintf(stderr, "packtool: tuned archive restores different bytes "
+                      "for %s; not writing it\n",
+              (*Want)[I].Name.c_str());
+      return 1;
+    }
+
+  printf("  %-18s %10s %10s %10s %10s  winner\n", "stream", "store",
+         "zlib", "huffman", "arith");
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    if (Sizes[0].Raw[I] == 0)
+      continue;
+    printf("  %-18s", streamName(static_cast<StreamId>(I)));
+    for (unsigned B = 0; B < NumBackends; ++B)
+      printf(" %10zu", Sizes[B].Packed[I]);
+    printf("  %s\n", backendName(Winners[I]));
+  }
+  printf("  archives:");
+  for (unsigned B = 0; B < NumBackends; ++B)
+    printf(" %s %zu", backendName(static_cast<BackendId>(B)),
+           ArchiveBytes[B]);
+  printf(" -> tuned %zu bytes\n", Tuned->Archive.size());
+
+  if (!writeFile(OutPath, Tuned->Archive)) {
+    fprintf(stderr, "packtool: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  printf("%s: %zu classes, %zu -> %zu bytes (%.0f%%)\n", OutPath.c_str(),
+         Classes.size(), Bytes.size(), Tuned->Archive.size(),
+         100.0 * Tuned->Archive.size() / Bytes.size());
   return 0;
 }
 
@@ -618,6 +766,20 @@ int main(int Argc, char **Argv) {
       Lint = LintMode::Warn;
     } else if (A == "--verify=strict") {
       Lint = LintMode::Strict;
+    } else if (A == "--backend" && I + 1 < Argc) {
+      const CompressionBackend *B = findBackendByName(Argv[++I]);
+      if (!B) {
+        fprintf(stderr, "packtool: unknown backend '%s'\n", Argv[I]);
+        return 2;
+      }
+      PackBackend = B->Id;
+    } else if (A.rfind("--backend=", 0) == 0) {
+      const CompressionBackend *B = findBackendByName(A.c_str() + 10);
+      if (!B) {
+        fprintf(stderr, "packtool: unknown backend '%s'\n", A.c_str() + 10);
+        return 2;
+      }
+      PackBackend = B->Id;
     } else {
       Args.push_back(std::move(A));
     }
@@ -640,12 +802,14 @@ int main(int Argc, char **Argv) {
     return cmdVerify(Args);
   if (Args.size() >= 2 && Args[0] == "stats")
     return cmdStats(Args);
+  if (Args.size() >= 3 && Args[0] == "tune")
+    return cmdTune(Args[1], Args[2]);
   if (Args.size() >= 2 && Args[0] == "selftest")
     return cmdSelftest(Args[1]);
   if (Args.empty())
     return cmdSelftest("."); // run the demo when invoked bare
   fprintf(stderr,
-          "usage: packtool [--threads N] [--indexed] "
+          "usage: packtool [--threads N] [--indexed] [--backend=NAME] "
           "[--verify[=warn|strict]] pack <in.jar> <out.cjp>\n"
           "       packtool [--threads N] unpack <in.cjp> <out.jar>\n"
           "       packtool list <in.cjp>\n"
@@ -653,6 +817,8 @@ int main(int Argc, char **Argv) {
           "       packtool info <archive>\n"
           "       packtool verify [--warn] <in.class|jar|cjp>\n"
           "       packtool stats [--indexed] <in.cjp|in.jar> [--json]\n"
-          "       packtool selftest <dir>\n");
+          "       packtool tune <in.jar> <out.cjp>\n"
+          "       packtool selftest <dir>\n"
+          "backends: store, zlib (default), huffman, arith\n");
   return 2;
 }

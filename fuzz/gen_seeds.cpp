@@ -15,8 +15,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Corpus.h"
+#include "pack/Backend.h"
 #include "pack/Packer.h"
 #include "zip/ZipFile.h"
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -154,6 +156,24 @@ int main(int Argc, char **Argv) {
                       static_cast<std::ptrdiff_t>(Take));
       writeSeed(Out / "fuzz_coder",
                 "scheme" + std::to_string(Scheme) + ".bin", Seed);
+    }
+  }
+
+  // fuzz_backend: backend id byte + that backend's own compressed
+  // output for a classfile slice, so mutation starts from blobs every
+  // decoder fully walks (Huffman table + bitstream, arithmetic frame,
+  // zlib stream, stored run).
+  {
+    std::vector<uint8_t> Sample(Classes[0].Data.begin(),
+                                Classes[0].Data.begin() +
+                                    std::min<size_t>(
+                                        Classes[0].Data.size(), 1024));
+    for (const CompressionBackend &B : allBackends()) {
+      std::vector<uint8_t> Seed;
+      Seed.push_back(static_cast<uint8_t>(B.Id));
+      std::vector<uint8_t> Stored = B.Compress(Sample);
+      Seed.insert(Seed.end(), Stored.begin(), Stored.end());
+      writeSeed(Out / "fuzz_backend", std::string(B.Name) + ".bin", Seed);
     }
   }
   return 0;

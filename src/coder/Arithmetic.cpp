@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "coder/Arithmetic.h"
+#include "support/ByteBuffer.h"
+#include "support/VarInt.h"
 #include <cassert>
 
 using namespace cjpack;
@@ -165,4 +167,52 @@ uint32_t ArithmeticDecoder::decode(AdaptiveModel &Model) {
   }
   Model.update(Symbol);
   return Symbol;
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-stream codec
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t>
+cjpack::arithCompressBytes(const std::vector<uint8_t> &Raw) {
+  ByteWriter W;
+  writeVarUInt(W, Raw.size());
+  if (Raw.empty())
+    return W.take();
+  AdaptiveModel Model(256);
+  ArithmeticEncoder Enc;
+  for (uint8_t B : Raw)
+    Enc.encode(Model, B);
+  W.writeBytes(Enc.finish());
+  return W.take();
+}
+
+Expected<std::vector<uint8_t>>
+cjpack::arithDecompressBytes(const std::vector<uint8_t> &Stored,
+                             size_t DeclaredRaw) {
+  ByteReader R(Stored);
+  uint64_t RawLen = readVarUInt(R);
+  if (R.hasError())
+    return R.takeError("arith");
+  size_t Cap = DeclaredRaw != 0 ? DeclaredRaw : 1;
+  if (RawLen > Cap)
+    return makeError(ErrorCode::LimitExceeded,
+                     "arith: declared output exceeds the container's "
+                     "raw length");
+  if (RawLen == 0) {
+    if (!R.atEnd())
+      return makeError(ErrorCode::Corrupt,
+                       "arith: trailing bytes after empty blob");
+    return std::vector<uint8_t>();
+  }
+  // The decoder holds a reference to its buffer, so the tail must live
+  // in a local vector for the duration of the decode.
+  std::vector<uint8_t> Tail(Stored.begin() + R.position(), Stored.end());
+  AdaptiveModel Model(256);
+  ArithmeticDecoder Dec(Tail);
+  std::vector<uint8_t> Out;
+  Out.reserve(static_cast<size_t>(RawLen));
+  for (uint64_t I = 0; I < RawLen; ++I)
+    Out.push_back(static_cast<uint8_t>(Dec.decode(Model)));
+  return Out;
 }

@@ -91,6 +91,20 @@ private:
   uint64_t Code = 0;
 };
 
+/// Compresses \p Raw as `varint RawLen` followed by the arithmetic-coded
+/// bytes under an adaptive order-0 byte model. The byte-stream face of
+/// the coder, used as a pluggable backend (pack/Backend.h).
+std::vector<uint8_t> arithCompressBytes(const std::vector<uint8_t> &Raw);
+
+/// Decompresses a blob produced by arithCompressBytes. \p DeclaredRaw is
+/// the raw length the enclosing container promised; a blob declaring
+/// more than max(DeclaredRaw, 1) bytes fails with LimitExceeded. The
+/// coded stream is not self-delimiting, so truncation yields bounded
+/// garbage rather than an error here — the caller's raw-length check
+/// catches the mismatch.
+Expected<std::vector<uint8_t>>
+arithDecompressBytes(const std::vector<uint8_t> &Stored, size_t DeclaredRaw);
+
 } // namespace cjpack
 
 #endif // CJPACK_CODER_ARITHMETIC_H

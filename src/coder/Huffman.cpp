@@ -1,0 +1,296 @@
+//===- Huffman.cpp - canonical Huffman byte codec -------------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coder/Huffman.h"
+#include "support/BitStream.h"
+#include "support/ByteBuffer.h"
+#include "support/VarInt.h"
+#include <algorithm>
+
+using namespace cjpack;
+
+namespace {
+
+/// Optimal Huffman depth per leaf via the classic two-queue merge over
+/// leaves sorted by ascending weight. Ties always prefer the leaf
+/// queue, so the depths are a pure function of the weights.
+std::vector<unsigned> huffmanDepths(const std::vector<uint64_t> &Weights) {
+  struct Node {
+    uint64_t Weight;
+    int Parent = -1;
+  };
+  size_t NumLeaves = Weights.size();
+  std::vector<Node> Nodes;
+  Nodes.reserve(2 * NumLeaves);
+  for (uint64_t W : Weights)
+    Nodes.push_back({W});
+  std::vector<size_t> Internal;
+  Internal.reserve(NumLeaves);
+  size_t Li = 0, Ii = 0;
+  auto TakeMin = [&]() -> size_t {
+    bool HaveLeaf = Li < NumLeaves;
+    bool HaveInternal = Ii < Internal.size();
+    if (HaveLeaf &&
+        (!HaveInternal ||
+         Nodes[Li].Weight <= Nodes[Internal[Ii]].Weight))
+      return Li++;
+    return Internal[Ii++];
+  };
+  for (size_t Merge = 0; Merge + 1 < NumLeaves; ++Merge) {
+    size_t A = TakeMin();
+    size_t B = TakeMin();
+    Nodes.push_back({Nodes[A].Weight + Nodes[B].Weight});
+    Nodes[A].Parent = Nodes[B].Parent =
+        static_cast<int>(Nodes.size() - 1);
+    Internal.push_back(Nodes.size() - 1);
+  }
+  std::vector<unsigned> Depths(NumLeaves, 0);
+  for (size_t I = 0; I < NumLeaves; ++I)
+    for (int P = Nodes[I].Parent; P != -1; P = Nodes[P].Parent)
+      ++Depths[I];
+  return Depths;
+}
+
+/// Canonical codes for a valid length array: shorter codes first, ties
+/// by ascending symbol value.
+std::array<uint16_t, 256>
+canonicalCodes(const std::array<uint8_t, 256> &Lengths) {
+  std::array<uint32_t, MaxHuffmanCodeLen + 1> Count{};
+  for (uint8_t L : Lengths)
+    if (L != 0)
+      ++Count[L];
+  std::array<uint32_t, MaxHuffmanCodeLen + 1> Next{};
+  uint32_t Code = 0;
+  for (unsigned Len = 1; Len <= MaxHuffmanCodeLen; ++Len) {
+    Code = (Code + Count[Len - 1]) << 1;
+    Next[Len] = Code;
+  }
+  std::array<uint16_t, 256> Codes{};
+  for (unsigned Sym = 0; Sym < 256; ++Sym)
+    if (Lengths[Sym] != 0)
+      Codes[Sym] = static_cast<uint16_t>(Next[Lengths[Sym]]++);
+  return Codes;
+}
+
+} // namespace
+
+std::array<uint8_t, 256>
+cjpack::huffmanCodeLengths(const std::array<uint64_t, 256> &Freq) {
+  std::array<uint8_t, 256> Lengths{};
+  // Used symbols sorted by ascending frequency (ties by symbol value):
+  // the order the two-queue merge consumes leaves in.
+  std::vector<std::pair<uint64_t, unsigned>> Used;
+  for (unsigned Sym = 0; Sym < 256; ++Sym)
+    if (Freq[Sym] != 0)
+      Used.push_back({Freq[Sym], Sym});
+  if (Used.size() < 2)
+    return Lengths; // empty / single-symbol inputs carry no tree
+  std::sort(Used.begin(), Used.end());
+
+  std::vector<uint64_t> Weights;
+  Weights.reserve(Used.size());
+  for (const auto &[W, Sym] : Used)
+    Weights.push_back(W);
+  std::vector<unsigned> Depths = huffmanDepths(Weights);
+
+  // Histogram of depths, folding anything beyond the limit into the
+  // deepest bucket, then the standard fixup: shrink the Kraft sum back
+  // to exactly one by repeatedly promoting one deepest code and
+  // demoting a shallower one.
+  std::array<uint32_t, 256> NumCodes{};
+  for (unsigned D : Depths)
+    ++NumCodes[std::min<unsigned>(D, 255)];
+  for (unsigned I = MaxHuffmanCodeLen + 1; I < 256; ++I) {
+    NumCodes[MaxHuffmanCodeLen] += NumCodes[I];
+    NumCodes[I] = 0;
+  }
+  uint64_t Total = 0;
+  for (unsigned I = 1; I <= MaxHuffmanCodeLen; ++I)
+    Total += static_cast<uint64_t>(NumCodes[I])
+             << (MaxHuffmanCodeLen - I);
+  while (Total != (1ull << MaxHuffmanCodeLen)) {
+    --NumCodes[MaxHuffmanCodeLen];
+    for (unsigned I = MaxHuffmanCodeLen - 1; I > 0; --I)
+      if (NumCodes[I] != 0) {
+        --NumCodes[I];
+        NumCodes[I + 1] += 2;
+        break;
+      }
+    --Total;
+  }
+
+  // Reassign lengths to symbols: most frequent symbol gets the
+  // shortest length, ties broken by ascending symbol value, so the
+  // table is deterministic however the tree broke its own ties.
+  std::vector<unsigned> ByFreqDesc;
+  ByFreqDesc.reserve(Used.size());
+  for (auto It = Used.rbegin(); It != Used.rend(); ++It)
+    ByFreqDesc.push_back(It->second);
+  std::stable_sort(ByFreqDesc.begin(), ByFreqDesc.end(),
+                   [&](unsigned A, unsigned B) {
+                     return Freq[A] != Freq[B] ? Freq[A] > Freq[B]
+                                               : A < B;
+                   });
+  size_t K = 0;
+  for (unsigned Len = 1; Len <= MaxHuffmanCodeLen; ++Len)
+    for (uint32_t N = 0; N < NumCodes[Len]; ++N)
+      Lengths[ByFreqDesc[K++]] = static_cast<uint8_t>(Len);
+  return Lengths;
+}
+
+std::vector<uint8_t>
+cjpack::huffmanCompress(const std::vector<uint8_t> &Raw) {
+  ByteWriter W;
+  writeVarUInt(W, Raw.size());
+  if (Raw.empty())
+    return W.take();
+
+  std::array<uint64_t, 256> Freq{};
+  for (uint8_t B : Raw)
+    ++Freq[B];
+  unsigned Distinct = 0;
+  unsigned Only = 0;
+  for (unsigned Sym = 0; Sym < 256; ++Sym)
+    if (Freq[Sym] != 0) {
+      ++Distinct;
+      Only = Sym;
+    }
+  if (Distinct == 1) {
+    W.writeU1(0); // kind: single-symbol run
+    W.writeU1(static_cast<uint8_t>(Only));
+    return W.take();
+  }
+
+  std::array<uint8_t, 256> Lengths = huffmanCodeLengths(Freq);
+  std::array<uint16_t, 256> Codes = canonicalCodes(Lengths);
+  W.writeU1(1); // kind: full table
+  for (unsigned I = 0; I < 128; ++I)
+    W.writeU1(static_cast<uint8_t>(Lengths[2 * I] |
+                                   (Lengths[2 * I + 1] << 4)));
+  BitWriter Bits;
+  for (uint8_t B : Raw) {
+    unsigned Len = Lengths[B];
+    uint16_t Code = Codes[B];
+    for (unsigned Bit = Len; Bit-- > 0;)
+      Bits.writeBit((Code >> Bit) & 1);
+  }
+  W.writeBytes(Bits.finish());
+  return W.take();
+}
+
+Expected<std::vector<uint8_t>>
+cjpack::huffmanDecompress(const std::vector<uint8_t> &Stored,
+                          size_t DeclaredRaw) {
+  ByteReader R(Stored);
+  uint64_t RawLen = readVarUInt(R);
+  if (R.hasError())
+    return R.takeError("huffman");
+  size_t Cap = DeclaredRaw != 0 ? DeclaredRaw : 1;
+  if (RawLen > Cap)
+    return makeError(ErrorCode::LimitExceeded,
+                     "huffman: declared output exceeds the container's "
+                     "raw length");
+  if (RawLen == 0) {
+    if (!R.atEnd())
+      return makeError(ErrorCode::Corrupt,
+                       "huffman: trailing bytes after empty blob");
+    return std::vector<uint8_t>();
+  }
+
+  uint8_t Kind = R.readU1();
+  if (R.hasError())
+    return makeError(ErrorCode::Truncated, "huffman: truncated blob");
+  if (Kind == 0) {
+    uint8_t Sym = R.readU1();
+    if (R.hasError())
+      return makeError(ErrorCode::Truncated, "huffman: truncated blob");
+    if (!R.atEnd())
+      return makeError(ErrorCode::Corrupt,
+                       "huffman: trailing bytes after run blob");
+    return std::vector<uint8_t>(static_cast<size_t>(RawLen), Sym);
+  }
+  if (Kind != 1)
+    return makeError(ErrorCode::Corrupt, "huffman: unknown blob kind");
+
+  std::array<uint8_t, 256> Lengths{};
+  for (unsigned I = 0; I < 128; ++I) {
+    uint8_t Packed = R.readU1();
+    Lengths[2 * I] = Packed & 0xF;
+    Lengths[2 * I + 1] = Packed >> 4;
+  }
+  if (R.hasError())
+    return makeError(ErrorCode::Truncated,
+                     "huffman: truncated code-length table");
+
+  // Strict table validation: at least two symbols, and the Kraft sum
+  // exactly one — an incomplete or oversubscribed code is corrupt, not
+  // something to decode around.
+  std::array<uint32_t, MaxHuffmanCodeLen + 1> Count{};
+  unsigned Distinct = 0;
+  for (uint8_t L : Lengths)
+    if (L != 0) {
+      ++Count[L];
+      ++Distinct;
+    }
+  uint64_t Kraft = 0;
+  for (unsigned Len = 1; Len <= MaxHuffmanCodeLen; ++Len)
+    Kraft += static_cast<uint64_t>(Count[Len])
+             << (MaxHuffmanCodeLen - Len);
+  if (Distinct < 2 || Kraft != (1ull << MaxHuffmanCodeLen))
+    return makeError(ErrorCode::Corrupt,
+                     "huffman: invalid code-length table");
+
+  // Canonical decode tables: the first code and the symbol-table base
+  // per length, plus symbols grouped by (length, symbol value) — the
+  // same order the encoder assigned codes in.
+  std::array<uint32_t, MaxHuffmanCodeLen + 1> First{};
+  std::array<uint32_t, MaxHuffmanCodeLen + 1> Offset{};
+  {
+    uint32_t Code = 0, Index = 0;
+    for (unsigned Len = 1; Len <= MaxHuffmanCodeLen; ++Len) {
+      Code = (Code + Count[Len - 1]) << 1;
+      First[Len] = Code;
+      Offset[Len] = Index;
+      Index += Count[Len];
+    }
+  }
+  std::array<uint8_t, 256> Symbols{};
+  {
+    std::array<uint32_t, MaxHuffmanCodeLen + 1> Fill = Offset;
+    for (unsigned Sym = 0; Sym < 256; ++Sym)
+      if (Lengths[Sym] != 0)
+        Symbols[Fill[Lengths[Sym]]++] = static_cast<uint8_t>(Sym);
+  }
+
+  const uint8_t *Bits = Stored.data() + R.position();
+  size_t NumBits = (Stored.size() - R.position()) * 8;
+  size_t At = 0;
+  std::vector<uint8_t> Out;
+  Out.reserve(static_cast<size_t>(RawLen));
+  while (Out.size() < RawLen) {
+    uint32_t Code = 0;
+    unsigned Len = 0;
+    for (;;) {
+      if (At >= NumBits)
+        return makeError(ErrorCode::Truncated,
+                         "huffman: bit stream ended mid-symbol");
+      Code = Code << 1 | ((Bits[At / 8] >> (7 - At % 8)) & 1);
+      ++At;
+      ++Len;
+      // A complete canonical code resolves every bit path within the
+      // maximum length, so this always lands before Len overruns.
+      if (Count[Len] != 0 && Code - First[Len] < Count[Len]) {
+        Out.push_back(Symbols[Offset[Len] + (Code - First[Len])]);
+        break;
+      }
+    }
+  }
+  // Only the final byte's zero padding may remain.
+  if (NumBits - At >= 8)
+    return makeError(ErrorCode::Corrupt,
+                     "huffman: trailing bytes after bit stream");
+  return Out;
+}

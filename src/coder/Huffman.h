@@ -1,0 +1,74 @@
+//===- Huffman.h - canonical Huffman byte codec ----------------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch canonical Huffman codec over byte streams, used as a
+/// pluggable final-stage compression backend (pack/Backend.h). The
+/// paper's premise is that per-stream modeling leaves skewed byte
+/// distributions; a static order-0 Huffman code is the cheapest coder
+/// that exploits that skew, and its table-driven decode is much faster
+/// than the adaptive arithmetic coder.
+///
+/// Wire format of a compressed blob:
+///
+///   varint RawLen                   decoded byte count
+///   -- end of blob when RawLen == 0 --
+///   u8 kind                         0 = single-symbol run, 1 = table
+///   kind 0: u8 symbol               output is RawLen copies of symbol
+///   kind 1: 128 bytes               4-bit code lengths for symbols
+///                                   0..255, symbol 2i in the low
+///                                   nibble of byte i (0 = unused,
+///                                   else 1..MaxHuffmanCodeLen)
+///           ceil(bits/8) bytes      canonical codes, MSB-first, final
+///                                   byte zero-padded
+///
+/// The code is canonical: lengths determine the codes (shorter lengths
+/// first, ties by symbol value), so the table is just the length array
+/// and two independent encoder runs over the same input are guaranteed
+/// byte-identical. Decoding validates the table strictly — the Kraft
+/// sum must be exactly one (a complete, non-oversubscribed code) — and
+/// fails with typed Truncated/Corrupt errors, never undefined behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_CODER_HUFFMAN_H
+#define CJPACK_CODER_HUFFMAN_H
+
+#include "support/Error.h"
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cjpack {
+
+/// Longest permitted code, chosen so a length fits a nibble and the
+/// canonical decode tables stay tiny.
+inline constexpr unsigned MaxHuffmanCodeLen = 15;
+
+/// Computes canonical code lengths (0 = symbol unused) for a byte
+/// histogram. Lengths are optimal Huffman depths limited to
+/// MaxHuffmanCodeLen, assigned to symbols by descending frequency
+/// (ties by ascending symbol value), so the result is a deterministic
+/// pure function of \p Freq. When fewer than two symbols occur, every
+/// length is zero: such inputs are coded as empty or single-symbol
+/// blobs, not with a tree.
+std::array<uint8_t, 256> huffmanCodeLengths(
+    const std::array<uint64_t, 256> &Freq);
+
+/// Compresses \p Raw into the self-describing blob format above.
+std::vector<uint8_t> huffmanCompress(const std::vector<uint8_t> &Raw);
+
+/// Decompresses a blob produced by huffmanCompress. \p DeclaredRaw is
+/// the raw length the enclosing container promised; output is capped
+/// at max(DeclaredRaw, 1) bytes, so a lying blob cannot out-allocate
+/// its directory entry. Truncated input is Truncated; an invalid table,
+/// a raw-length mismatch, or trailing bytes are Corrupt.
+Expected<std::vector<uint8_t>>
+huffmanDecompress(const std::vector<uint8_t> &Stored, size_t DeclaredRaw);
+
+} // namespace cjpack
+
+#endif // CJPACK_CODER_HUFFMAN_H

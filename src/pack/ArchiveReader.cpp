@@ -76,6 +76,9 @@ PackedArchiveReader::open(const uint8_t *Data, size_t Size,
   if (SchemeByte > static_cast<uint8_t>(RefScheme::MtfTransientsContext))
     return makeError(ErrorCode::Corrupt,
                      "reader: unknown reference scheme");
+  if (((Flags >> BackendFlagShift) & BackendFlagMask) > ArchiveBackendMixed)
+    return makeError(ErrorCode::Corrupt,
+                     "reader: unknown archive backend code");
   Rd.Scheme = static_cast<RefScheme>(SchemeByte);
   Rd.Flags = Flags;
 

@@ -1,0 +1,62 @@
+//===- Backend.cpp - pluggable compression backends -----------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pack/Backend.h"
+#include "coder/Arithmetic.h"
+#include "coder/Huffman.h"
+#include "zip/Zlib.h"
+
+using namespace cjpack;
+
+namespace {
+
+std::vector<uint8_t> storeCompress(const std::vector<uint8_t> &Raw) {
+  return Raw;
+}
+
+Expected<std::vector<uint8_t>>
+storeDecompress(const std::vector<uint8_t> &Stored, size_t DeclaredRaw) {
+  if (Stored.size() > (DeclaredRaw != 0 ? DeclaredRaw : 1))
+    return makeError(ErrorCode::LimitExceeded,
+                     "store: stored bytes exceed the container's raw "
+                     "length");
+  return Stored;
+}
+
+std::vector<uint8_t> zlibCompress(const std::vector<uint8_t> &Raw) {
+  return deflateBytes(Raw);
+}
+
+Expected<std::vector<uint8_t>>
+zlibDecompress(const std::vector<uint8_t> &Stored, size_t DeclaredRaw) {
+  return inflateBytes(Stored, DeclaredRaw, DeclaredRaw != 0 ? DeclaredRaw : 1);
+}
+
+const std::array<CompressionBackend, NumBackends> Registry = {{
+    {BackendId::Store, "store", storeCompress, storeDecompress},
+    {BackendId::Zlib, "zlib", zlibCompress, zlibDecompress},
+    {BackendId::Huffman, "huffman", huffmanCompress, huffmanDecompress},
+    {BackendId::Arith, "arith", arithCompressBytes, arithDecompressBytes},
+}};
+
+} // namespace
+
+const std::array<CompressionBackend, NumBackends> &cjpack::allBackends() {
+  return Registry;
+}
+
+const CompressionBackend *cjpack::findBackend(uint8_t WireId) {
+  if (WireId >= NumBackends)
+    return nullptr;
+  return &Registry[WireId];
+}
+
+const CompressionBackend *cjpack::findBackendByName(std::string_view Name) {
+  for (const CompressionBackend &B : Registry)
+    if (Name == B.Name)
+      return &B;
+  return nullptr;
+}

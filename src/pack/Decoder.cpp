@@ -107,6 +107,9 @@ cjpack::unpackClasses(const std::vector<uint8_t> &Archive,
   if (R.hasError())
     return makeError(ErrorCode::Truncated,
                      "unpack: truncated archive header");
+  if (((Flags >> BackendFlagShift) & BackendFlagMask) > ArchiveBackendMixed)
+    return makeError(ErrorCode::Corrupt,
+                     "unpack: unknown archive backend code");
 
   if (Version == FormatVersionSerial) {
     ByteReader Body(Archive.data() + R.position(), R.remaining());

@@ -594,6 +594,13 @@ void writeArchiveHeader(ByteWriter &W, uint8_t Version,
     Flags |= 2;
   if (Options.PreloadStandardRefs)
     Flags |= 4;
+  // Bits 3..5 advertise the whole-archive backend choice; zlib (the
+  // default) maps to 0, keeping historical archives bit-identical.
+  if (Options.CompressStreams)
+    Flags |= static_cast<uint8_t>(
+        (Options.StreamBackends ? ArchiveBackendMixed
+                                : archiveBackendCode(Options.Backend))
+        << BackendFlagShift);
   W.writeU1(Flags);
 }
 
@@ -674,7 +681,7 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
     Timer.restart();
     ByteWriter W;
     writeArchiveHeader(W, FormatVersionSerial, Options);
-    W.writeBytes(S->serialize(Options.CompressStreams, &Result.Sizes));
+    W.writeBytes(S->serialize(Options.backendPlan(), &Result.Sizes));
     Result.Sizes.Items = Items;
     Result.Archive = W.take();
     Result.Trace.Phases.DeflateSec = Timer.seconds();
@@ -794,7 +801,7 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
     for (size_t K = 0; K < ShardCount; ++K) {
       StreamSizes BlobSizes;
       Blobs.push_back(
-          ShardStreams[K].serialize(Options.CompressStreams, &BlobSizes));
+          ShardStreams[K].serialize(Options.backendPlan(), &BlobSizes));
       Result.Sizes.add(BlobSizes);
       Index.Shards.push_back({Offset, Blobs.back().size()});
       Offset += Blobs.back().size();
@@ -817,8 +824,7 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
     writeArchiveHeader(W, FormatVersionSharded, Options);
     Dict.serialize(W, Options.CompressStreams);
     Result.DictionaryBytes = W.size() - 7;
-    W.writeBytes(serializeShardedStreams(ShardStreams,
-                                         Options.CompressStreams,
+    W.writeBytes(serializeShardedStreams(ShardStreams, Options.backendPlan(),
                                          &Result.Sizes));
   }
   Result.Archive = W.take();

@@ -34,6 +34,7 @@
 #include "zip/Jar.h"
 #include "zip/Manifest.h"
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace cjpack {
@@ -79,6 +80,26 @@ struct PackOptions {
   /// single-class extraction. Off (the default) writes version 1/2
   /// exactly as before. Requires unique class names.
   bool RandomAccessIndex = false;
+  /// Final-stage compression backend applied uniformly to every stream
+  /// (pack/Backend.h). Zlib is the historical default; archives packed
+  /// with it are byte-identical to pre-registry cjpack.
+  BackendId Backend = BackendId::Zlib;
+  /// Per-stream backend overrides (the `packtool tune` tournament
+  /// output). When set, takes precedence over Backend and the archive
+  /// header advertises the mixed code.
+  std::optional<std::array<BackendId, NumStreams>> StreamBackends;
+
+  /// The effective per-stream plan these options describe.
+  BackendPlan backendPlan() const {
+    if (!CompressStreams)
+      return BackendPlan::uniform(BackendId::Store);
+    if (StreamBackends) {
+      BackendPlan P;
+      P.Stream = *StreamBackends;
+      return P;
+    }
+    return BackendPlan::uniform(Backend);
+  }
 };
 
 /// Result of packing: the archive plus per-stream accounting.

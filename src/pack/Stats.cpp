@@ -17,11 +17,12 @@ namespace {
 /// \p ShardCount distinguishes the version-1 layout (one raw length)
 /// from the version-2 joint layout (one raw length per shard).
 Error statStream(ByteReader &R, unsigned Index, size_t ShardCount,
-                 const DecodeLimits &Limits, StreamSizes &Sizes) {
+                 const DecodeLimits &Limits, ArchiveStats &Stats) {
+  StreamSizes &Sizes = Stats.Sizes;
   size_t HeaderStart = R.position();
   uint8_t Id = R.readU1();
   uint8_t Method = R.readU1();
-  if (R.hasError() || Id != Index || Method > 1)
+  if (R.hasError() || Id != Index || !findBackend(Method))
     return makeError(ErrorCode::Corrupt,
                      "stats: corrupt stream header at byte " +
                          std::to_string(R.position()));
@@ -53,6 +54,8 @@ Error statStream(ByteReader &R, unsigned Index, size_t ShardCount,
   // per shard blob and roll the per-stream totals up across blobs.
   Sizes.Raw[Index] += static_cast<size_t>(RawTotal);
   Sizes.Packed[Index] += HeaderLen + static_cast<size_t>(StoredLen);
+  Stats.BackendPacked[Method] += HeaderLen + static_cast<size_t>(StoredLen);
+  Stats.BackendStreams[Method] += 1;
   return Error::success();
 }
 
@@ -86,6 +89,10 @@ cjpack::statPackedArchive(const std::vector<uint8_t> &Archive,
   Stats.CollapseOpcodes = (Flags & 1) != 0;
   Stats.CompressStreams = (Flags & 2) != 0;
   Stats.PreloadStandardRefs = (Flags & 4) != 0;
+  Stats.BackendCode = (Flags >> BackendFlagShift) & BackendFlagMask;
+  if (Stats.BackendCode > ArchiveBackendMixed)
+    return makeError(ErrorCode::Corrupt,
+                     "stats: unknown archive backend code");
   Stats.HeaderBytes = R.position();
 
   if (Stats.Version == FormatVersionIndexed) {
@@ -135,8 +142,7 @@ cjpack::statPackedArchive(const std::vector<uint8_t> &Archive,
       ByteReader Blob(Archive.data() + BlobBase + E.Offset,
                       static_cast<size_t>(E.Length));
       for (unsigned I = 0; I < NumStreams; ++I)
-        if (auto Err =
-                statStream(Blob, I, /*ShardCount=*/1, Limits, Stats.Sizes))
+        if (auto Err = statStream(Blob, I, /*ShardCount=*/1, Limits, Stats))
           return Err;
       if (!Blob.atEnd())
         return makeError(ErrorCode::Corrupt,
@@ -168,7 +174,7 @@ cjpack::statPackedArchive(const std::vector<uint8_t> &Archive,
   }
 
   for (unsigned I = 0; I < NumStreams; ++I)
-    if (auto E = statStream(R, I, Stats.Shards, Limits, Stats.Sizes))
+    if (auto E = statStream(R, I, Stats.Shards, Limits, Stats))
       return E;
 
   if (R.position() != Archive.size())

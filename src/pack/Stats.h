@@ -38,6 +38,9 @@ struct ArchiveStats {
   bool CollapseOpcodes = false;
   bool CompressStreams = false;
   bool PreloadStandardRefs = false;
+  /// Whole-archive backend code from flags bits 3..5 (advisory; see
+  /// archiveBackendCodeName for the printable form).
+  uint8_t BackendCode = 0;
   /// Shard count (1 for version-1 archives).
   size_t Shards = 1;
   /// Fixed header bytes, plus the shard-count varint for version 2 —
@@ -59,6 +62,12 @@ struct ArchiveStats {
   /// packed sizes sum to the archive payload. Items is always zero:
   /// item counts are encoder telemetry, not wire data.
   StreamSizes Sizes;
+  /// Per-backend accounting, keyed by wire method byte: packed bytes
+  /// (stored + directory header, so sum(BackendPacked) ==
+  /// Sizes.totalPacked()) and the number of stream directory entries
+  /// that used each backend.
+  std::array<size_t, NumBackends> BackendPacked{};
+  std::array<size_t, NumBackends> BackendStreams{};
 };
 
 /// Parses the composition of \p Archive. Validates framing with the

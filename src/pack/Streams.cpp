@@ -6,9 +6,55 @@
 
 #include "pack/Streams.h"
 #include "support/VarInt.h"
-#include "zip/Zlib.h"
 
 using namespace cjpack;
+
+namespace {
+
+/// Runs the final compression stage for one stream: try the planned
+/// backend, keep the result only when strictly smaller than raw (the
+/// historical zlib rule, now per backend), else store. Returns the
+/// wire method byte; \p Stored receives the bytes to write.
+uint8_t packStream(BackendId Plan, const std::vector<uint8_t> &Raw,
+                   std::vector<uint8_t> &Stored) {
+  if (Plan != BackendId::Store && !Raw.empty()) {
+    Stored = allBackends()[static_cast<uint8_t>(Plan)].Compress(Raw);
+    if (Stored.size() < Raw.size())
+      return static_cast<uint8_t>(Plan);
+    Stored.clear();
+  }
+  return static_cast<uint8_t>(BackendId::Store);
+}
+
+/// Decodes one stream's stored bytes via its wire method byte. The
+/// declared \p RawLen caps the backend's output (empty-declared
+/// streams get a one-byte cap so a lying header cannot expand
+/// unbounded), and the result must match it exactly — a wrong method
+/// byte shows up here as a size mismatch when the blob even parses.
+Expected<std::vector<uint8_t>>
+unpackStream(uint8_t Method, std::vector<uint8_t> Stored, size_t RawLen,
+             DecodeBudget *Budget) {
+  if (Method == static_cast<uint8_t>(BackendId::Store)) {
+    if (Stored.size() != RawLen)
+      return makeError(ErrorCode::Corrupt, "streams: stored size mismatch");
+    return Stored;
+  }
+  const CompressionBackend *Backend = findBackend(Method);
+  if (!Backend)
+    return makeError(ErrorCode::Corrupt,
+                     "streams: unknown compression backend");
+  if (Budget)
+    if (auto E = Budget->chargeInflate(RawLen, "streams"))
+      return E;
+  auto Raw = Backend->Decompress(Stored, RawLen);
+  if (!Raw)
+    return Raw.takeError();
+  if (Raw->size() != RawLen)
+    return makeError(ErrorCode::Corrupt, "streams: stream size mismatch");
+  return Raw;
+}
+
+} // namespace
 
 size_t StreamSizes::totalRaw() const {
   size_t Total = 0;
@@ -55,7 +101,7 @@ void StreamSet::adopt(StreamId Id, std::vector<uint8_t> Bytes) {
 
 std::vector<uint8_t>
 cjpack::serializeShardedStreams(const std::vector<StreamSet> &Shards,
-                                bool Compress, StreamSizes *Sizes) {
+                                const BackendPlan &Plan, StreamSizes *Sizes) {
   ByteWriter W;
   writeVarUInt(W, Shards.size());
   for (unsigned I = 0; I < NumStreams; ++I) {
@@ -67,14 +113,7 @@ cjpack::serializeShardedStreams(const std::vector<StreamSet> &Shards,
     }
     size_t RawTotal = Joined.size();
     std::vector<uint8_t> Stored;
-    uint8_t Method = 0;
-    if (Compress && !Joined.empty()) {
-      Stored = deflateBytes(Joined);
-      if (Stored.size() < Joined.size())
-        Method = 1;
-      else
-        Stored.clear();
-    }
+    uint8_t Method = packStream(Plan.Stream[I], Joined, Stored);
     if (Method == 0)
       Stored = std::move(Joined);
     size_t HeaderStart = W.size();
@@ -104,7 +143,7 @@ cjpack::deserializeShardedStreams(ByteReader &R, const DecodeLimits &Limits) {
   for (unsigned I = 0; I < NumStreams; ++I) {
     uint8_t Id = R.readU1();
     uint8_t Method = R.readU1();
-    if (R.hasError() || Id != I || Method > 1)
+    if (R.hasError() || Id != I)
       return makeError(ErrorCode::Corrupt,
                        "streams: corrupt stream header at byte " +
                            std::to_string(R.position()));
@@ -127,25 +166,13 @@ cjpack::deserializeShardedStreams(ByteReader &R, const DecodeLimits &Limits) {
     std::vector<uint8_t> Stored = R.readBytes(StoredLen);
     if (R.hasError())
       return R.takeError("streams");
-    std::vector<uint8_t> Joined;
-    if (Method == 1) {
-      // The declared raw total caps inflation; empty-declared streams
-      // get a one-byte cap so a lying header cannot expand unbounded.
-      auto Raw = inflateBytes(Stored, static_cast<size_t>(RawTotal),
-                              RawTotal ? static_cast<size_t>(RawTotal) : 1);
-      if (!Raw)
-        return Raw.takeError();
-      if (Raw->size() != RawTotal)
-        return makeError(ErrorCode::Corrupt, "streams: stream size mismatch");
-      Joined = std::move(*Raw);
-    } else {
-      if (Stored.size() != RawTotal)
-        return makeError(ErrorCode::Corrupt, "streams: stored size mismatch");
-      Joined = std::move(Stored);
-    }
+    auto Joined = unpackStream(Method, std::move(Stored),
+                               static_cast<size_t>(RawTotal), nullptr);
+    if (!Joined)
+      return Joined.takeError();
     size_t Offset = 0;
     for (size_t K = 0; K < Shards.size(); ++K) {
-      const uint8_t *Slice = Joined.data() + Offset;
+      const uint8_t *Slice = Joined->data() + Offset;
       Shards[K].adopt(static_cast<StreamId>(I),
                       std::vector<uint8_t>(Slice, Slice + Lens[K]));
       Offset += Lens[K];
@@ -154,20 +181,13 @@ cjpack::deserializeShardedStreams(ByteReader &R, const DecodeLimits &Limits) {
   return Shards;
 }
 
-std::vector<uint8_t> StreamSet::serialize(bool Compress,
+std::vector<uint8_t> StreamSet::serialize(const BackendPlan &Plan,
                                           StreamSizes *Sizes) const {
   ByteWriter W;
   for (unsigned I = 0; I < NumStreams; ++I) {
     const std::vector<uint8_t> &Raw = Writers[I].data();
     std::vector<uint8_t> Stored;
-    uint8_t Method = 0;
-    if (Compress && !Raw.empty()) {
-      Stored = deflateBytes(Raw);
-      if (Stored.size() < Raw.size())
-        Method = 1;
-      else
-        Stored.clear();
-    }
+    uint8_t Method = packStream(Plan.Stream[I], Raw, Stored);
     if (Method == 0)
       Stored = Raw;
     size_t HeaderStart = W.size();
@@ -210,23 +230,10 @@ Error StreamSet::deserialize(ByteReader &R, const DecodeLimits &Limits,
     std::vector<uint8_t> Stored = R.readBytes(StoredLen);
     if (R.hasError())
       return R.takeError("streams");
-    if (Method == 1) {
-      if (Budget)
-        if (auto E = Budget->chargeInflate(RawLen, "streams"))
-          return E;
-      auto Raw = inflateBytes(Stored, RawLen, RawLen ? RawLen : 1);
-      if (!Raw)
-        return Raw.takeError();
-      if (Raw->size() != RawLen)
-        return makeError(ErrorCode::Corrupt, "streams: stream size mismatch");
-      Buffers[Id] = std::move(*Raw);
-    } else if (Method == 0) {
-      if (Stored.size() != RawLen)
-        return makeError(ErrorCode::Corrupt, "streams: stored size mismatch");
-      Buffers[Id] = std::move(Stored);
-    } else {
-      return makeError(ErrorCode::Corrupt, "streams: unknown stream method");
-    }
+    auto Raw = unpackStream(Method, std::move(Stored), RawLen, Budget);
+    if (!Raw)
+      return Raw.takeError();
+    Buffers[Id] = std::move(*Raw);
     Readers[Id] = std::make_unique<ByteReader>(Buffers[Id]);
   }
   return Error::success();

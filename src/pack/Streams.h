@@ -18,6 +18,7 @@
 #ifndef CJPACK_PACK_STREAMS_H
 #define CJPACK_PACK_STREAMS_H
 
+#include "pack/Backend.h"
 #include "support/ByteBuffer.h"
 #include "support/DecodeLimits.h"
 #include "support/Error.h"
@@ -199,6 +200,22 @@ static_assert(detail::streamsInCategory(StreamCategory::Strings) +
                   NumStreams,
               "every stream must land in exactly one category");
 
+/// Which compression backend each stream's final stage uses. The
+/// serializers keep the "compress only if strictly smaller, else
+/// store" fallback per stream, so a plan is a preference, not a
+/// guarantee — the wire method byte records what actually happened.
+struct BackendPlan {
+  std::array<BackendId, NumStreams> Stream;
+
+  BackendPlan() { Stream.fill(BackendId::Zlib); }
+
+  static BackendPlan uniform(BackendId Id) {
+    BackendPlan P;
+    P.Stream.fill(Id);
+    return P;
+  }
+};
+
 /// Per-stream raw and packed byte counts, filled in by serialization,
 /// plus item counts (varints, strings, fixed-width values written to the
 /// stream) recorded by the encoder's emitting pass.
@@ -242,10 +259,20 @@ public:
   /// buffer back into per-shard stream sets.
   void adopt(StreamId Id, std::vector<uint8_t> Bytes);
 
-  /// Serializes all written streams: per stream a header (id, raw size,
-  /// stored size, method) followed by the deflate-compressed (or, when
-  /// \p Compress is false, raw) bytes. \p Sizes receives the accounting.
-  std::vector<uint8_t> serialize(bool Compress, StreamSizes *Sizes) const;
+  /// Serializes all written streams: per stream a header (id, method,
+  /// raw size, stored size) followed by the bytes as stored by the
+  /// stream's planned backend (falling back to store when compression
+  /// does not strictly shrink). \p Sizes receives the accounting.
+  std::vector<uint8_t> serialize(const BackendPlan &Plan,
+                                 StreamSizes *Sizes) const;
+
+  /// Legacy entry point: \p Compress true is the uniform zlib plan
+  /// (historical behavior, byte-identical), false is all-store.
+  std::vector<uint8_t> serialize(bool Compress, StreamSizes *Sizes) const {
+    return serialize(
+        BackendPlan::uniform(Compress ? BackendId::Zlib : BackendId::Store),
+        Sizes);
+  }
 
   /// Parses bytes produced by serialize. Declared lengths are checked
   /// against \p Limits.MaxStreamBytes before any allocation, and
@@ -274,8 +301,18 @@ private:
 /// shards' contents. \p Sizes receives the per-stream accounting, with
 /// each stream charged its own directory header.
 std::vector<uint8_t> serializeShardedStreams(
-    const std::vector<StreamSet> &Shards, bool Compress,
+    const std::vector<StreamSet> &Shards, const BackendPlan &Plan,
     StreamSizes *Sizes);
+
+/// Legacy entry point; see StreamSet::serialize(bool, ...).
+inline std::vector<uint8_t> serializeShardedStreams(
+    const std::vector<StreamSet> &Shards, bool Compress,
+    StreamSizes *Sizes) {
+  return serializeShardedStreams(
+      Shards,
+      BackendPlan::uniform(Compress ? BackendId::Zlib : BackendId::Store),
+      Sizes);
+}
 
 /// Parses a container written by serializeShardedStreams back into
 /// per-shard stream sets, validating the shard count and every

@@ -31,7 +31,9 @@
 #include "corpus/Corpus.h"
 #include "pack/ArchiveIndex.h"
 #include "pack/ArchiveReader.h"
+#include "pack/Backend.h"
 #include "pack/Packer.h"
+#include "pack/Stats.h"
 #include "pack/Streams.h"
 #include "support/VarInt.h"
 #include "zip/ZipFile.h"
@@ -93,11 +95,13 @@ std::vector<NamedClass> smallCorpus() {
 }
 
 std::vector<uint8_t> packedArchive(unsigned Shards, RefScheme Scheme,
-                                   bool Indexed = false) {
+                                   bool Indexed = false,
+                                   BackendId Backend = BackendId::Zlib) {
   PackOptions Options;
   Options.Shards = Shards;
   Options.Scheme = Scheme;
   Options.RandomAccessIndex = Indexed;
+  Options.Backend = Backend;
   auto Packed = packClassBytes(smallCorpus(), Options);
   EXPECT_TRUE(static_cast<bool>(Packed)) << Packed.message();
   return Packed ? Packed->Archive : std::vector<uint8_t>();
@@ -442,4 +446,151 @@ TEST(FaultInjection, ZipTruncationAndMutation) {
   std::vector<uint8_t> Gz = gzipBytes(Classes[0].Data);
   truncateEverywhere(Gz, expectCleanZip);
   flipEverywhere(Gz, expectCleanZip);
+}
+
+namespace {
+
+/// One stream directory entry of a version-1 archive: where its method
+/// byte sits in the archive and what it says.
+struct StreamEntry {
+  size_t MethodOffset;
+  uint8_t Method;
+};
+
+/// Walks a version-1 archive's stream directory (7-byte header, then
+/// per stream: id byte, method byte, raw-length varint, stored-length
+/// varint, payload) and returns each entry's method-byte location.
+std::vector<StreamEntry> walkV1Streams(const std::vector<uint8_t> &Archive) {
+  std::vector<StreamEntry> Entries;
+  ByteReader R(Archive);
+  R.skip(7);
+  for (unsigned I = 0; I < NumStreams; ++I) {
+    size_t MethodAt = R.position() + 1;
+    R.readU1(); // stream id
+    uint8_t Method = R.readU1();
+    readVarUInt(R); // raw length
+    uint64_t StoredLen = readVarUInt(R);
+    EXPECT_FALSE(R.hasError()) << "stream " << I;
+    if (R.hasError())
+      break;
+    R.skip(static_cast<size_t>(StoredLen));
+    Entries.push_back({MethodAt, Method});
+  }
+  EXPECT_TRUE(R.atEnd());
+  return Entries;
+}
+
+/// unpackClasses + statPackedArchive must both reject \p Bytes with the
+/// exact error class.
+void expectUnpackAndStatsReject(const std::vector<uint8_t> &Bytes,
+                                ErrorCode Code, const char *What) {
+  auto Classes = unpackClasses(Bytes, testOptions());
+  ASSERT_FALSE(static_cast<bool>(Classes))
+      << What << ": tampered archive decoded successfully";
+  EXPECT_EQ(Classes.code(), Code) << What << ": " << Classes.message();
+  auto Stats = statPackedArchive(Bytes, testLimits());
+  ASSERT_FALSE(static_cast<bool>(Stats))
+      << What << ": tampered archive stat'd successfully";
+  EXPECT_EQ(Stats.code(), Code) << What << ": " << Stats.message();
+}
+
+} // namespace
+
+// The non-default backends under the same truncation / flip / mutation
+// schedule as the zlib pipeline: the Huffman and arithmetic decoders
+// face every byte-level fault the container can deliver.
+TEST(FaultInjection, BackendArchiveSweeps) {
+  for (BackendId Backend : {BackendId::Huffman, BackendId::Arith}) {
+    auto Archive = packedArchive(1, RefScheme::MtfTransientsContext,
+                                 /*Indexed=*/false, Backend);
+    ASSERT_FALSE(Archive.empty());
+    truncateEverywhere(Archive, expectCleanUnpack);
+    flipEverywhere(Archive, expectCleanUnpack);
+    mutateRandomly(Archive, expectCleanUnpack,
+                   /*Seed=*/21 + static_cast<uint64_t>(Backend),
+                   /*Rounds=*/4000);
+
+    auto Indexed = packedArchive(3, RefScheme::MtfTransientsContext,
+                                 /*Indexed=*/true, Backend);
+    ASSERT_FALSE(Indexed.empty());
+    truncateEverywhere(Indexed, expectCleanReader);
+    flipEverywhere(Indexed, expectCleanReader);
+    mutateRandomly(Indexed, expectCleanReader,
+                   /*Seed=*/31 + static_cast<uint64_t>(Backend),
+                   /*Rounds=*/2500);
+  }
+}
+
+// Crafted backend-id attacks with the exact typed rejection each must
+// produce — the attack surface the pluggable registry adds.
+TEST(FaultInjection, HostileBackendTyped) {
+  auto Valid = packedArchive(1, RefScheme::MtfTransientsContext,
+                             /*Indexed=*/false, BackendId::Huffman);
+  ASSERT_FALSE(Valid.empty());
+  ASSERT_TRUE(static_cast<bool>(unpackClasses(Valid, testOptions())));
+  std::vector<StreamEntry> Streams = walkV1Streams(Valid);
+  ASSERT_EQ(Streams.size(), NumStreams);
+
+  // Unknown method bytes on every stream: one past the registry and a
+  // far-out value.
+  for (uint8_t Hostile : {uint8_t(NumBackends), uint8_t(0xFF)}) {
+    for (const StreamEntry &E : Streams) {
+      std::vector<uint8_t> Mutant = Valid;
+      Mutant[E.MethodOffset] = Hostile;
+      expectUnpackAndStatsReject(Mutant, ErrorCode::Corrupt,
+                                 "unknown backend id");
+    }
+  }
+
+  // Relabeling a compressed stream as stored breaks the stored-size
+  // invariant (stored length != raw length) and must be Corrupt.
+  for (const StreamEntry &E : Streams) {
+    if (E.Method == static_cast<uint8_t>(BackendId::Store))
+      continue;
+    std::vector<uint8_t> Mutant = Valid;
+    Mutant[E.MethodOffset] = static_cast<uint8_t>(BackendId::Store);
+    expectUnpackAndStatsReject(Mutant, ErrorCode::Corrupt,
+                               "compressed stream relabeled store");
+  }
+
+  // Relabeling across compressed backends (huffman bytes fed to the
+  // zlib or arithmetic decoder and vice versa) cannot promise a
+  // specific code — the payload is garbage to the other decoder — but
+  // must stay inside the taxonomy.
+  for (const StreamEntry &E : Streams) {
+    for (unsigned Method = 1; Method < NumBackends; ++Method) {
+      if (Method == E.Method)
+        continue;
+      std::vector<uint8_t> Mutant = Valid;
+      Mutant[E.MethodOffset] = static_cast<uint8_t>(Method);
+      expectCleanUnpack(Mutant, "backend relabel", E.MethodOffset);
+    }
+  }
+}
+
+// Hostile whole-archive backend codes in the header flags (bits 3..5):
+// every reserved value must be Corrupt from all three decode surfaces.
+TEST(FaultInjection, HostileArchiveBackendCode) {
+  auto V1 = packedArchive(1, RefScheme::MtfTransientsContext);
+  auto V3 = packedArchive(3, RefScheme::MtfTransientsContext, true);
+  ASSERT_FALSE(V1.empty());
+  ASSERT_FALSE(V3.empty());
+  for (uint8_t Code = ArchiveBackendMixed + 1;
+       Code <= BackendFlagMask; ++Code) {
+    std::vector<uint8_t> BadV1 = V1;
+    BadV1[6] = static_cast<uint8_t>(
+        (BadV1[6] & ~(BackendFlagMask << BackendFlagShift)) |
+        (Code << BackendFlagShift));
+    expectUnpackAndStatsReject(BadV1, ErrorCode::Corrupt,
+                               "reserved archive backend code");
+
+    std::vector<uint8_t> BadV3 = V3;
+    BadV3[6] = static_cast<uint8_t>(
+        (BadV3[6] & ~(BackendFlagMask << BackendFlagShift)) |
+        (Code << BackendFlagShift));
+    auto Reader = PackedArchiveReader::open(BadV3, testLimits());
+    ASSERT_FALSE(static_cast<bool>(Reader))
+        << "reader accepted reserved backend code " << unsigned(Code);
+    EXPECT_EQ(Reader.code(), ErrorCode::Corrupt) << Reader.message();
+  }
 }

@@ -43,6 +43,14 @@ namespace {
 /// zlib version the compressed golden hashes were recorded under.
 const char *const GoldenZlib = "1.2.13";
 
+/// zlib version the backend rows' dictionary frames were recorded
+/// under (the backend registry postdates the 1.2.13 rows above).
+const char *const BackendGoldenZlib = "1.3.1";
+
+/// Sentinel for expectGolden: infer the zlib dependence from the pack
+/// options (compressed → GoldenZlib, uncompressed → none).
+const char *const InferZlibDep = "";
+
 /// Golden SHA-1 of the archive bytes for each (corpus, options) key.
 const std::map<std::string, std::string> GoldenHashes = {
     {"balanced/s1/raw", "bf33effb4a399a16d75c0880ebb68608fd348ab8"},
@@ -100,6 +108,16 @@ const std::map<std::string, std::string> GoldenHashes = {
     {"balanced/s1/v3z", "77a4d2bba68f5724c3c50c81ce7d635db38eb2a0"},
     {"balanced/s4/v3raw", "acdbc96f64b3d2a5a630525da52e04a94e742414"},
     {"balanced/s4/v3z", "ceaa75bdc726bae3388669596e68de3c024059f4"},
+    // Non-default compression backends. The s1 rows are zlib-free (a
+    // version-1 archive has no dictionary frame), so they hold under
+    // any zlib; the s4 rows deflate the dictionary and are pinned to
+    // BackendGoldenZlib.
+    {"balanced/s1/b-store", "8e2e977765132ab6626d7fd1d278444ee34e587d"},
+    {"balanced/s1/b-huffman",
+     "358f66e9215dc23689a47fe115bfcc16c04b9f2a"},
+    {"balanced/s4/b-store", "03f11144bdf4f19fd423aad32f98845e192babc9"},
+    {"balanced/s4/b-huffman",
+     "6671f354536aad39321bdbf58e8ddb3b160d4084"},
 };
 
 std::vector<NamedClass> corpusFor(CodeStyle Style) {
@@ -114,15 +132,16 @@ std::vector<NamedClass> corpusFor(CodeStyle Style) {
   return generateCorpus(Spec);
 }
 
-bool zlibMatchesGolden() {
-  return std::string(zlibVersion()) == GoldenZlib;
-}
-
 /// Packs (Threads=2, like the recording run) and checks the archive
 /// hash against the golden table, plus the stats sum identity.
+/// \p RequiredZlib names the zlib version the row's bytes depend on:
+/// InferZlibDep derives it from the options (the historical rows),
+/// nullptr asserts the archive contains no zlib output at all, so the
+/// hash holds under any zlib.
 void expectGolden(const std::string &Key,
                   const std::vector<NamedClass> &Classes,
-                  PackOptions Options) {
+                  PackOptions Options,
+                  const char *RequiredZlib = InferZlibDep) {
   Options.Threads = 2;
   auto Packed = packClassBytes(Classes, Options);
   ASSERT_TRUE(static_cast<bool>(Packed)) << Key << ": "
@@ -145,10 +164,11 @@ void expectGolden(const std::string &Key,
         << Key << " packed " << streamName(static_cast<StreamId>(I));
   }
 
-  bool Compressed = Options.CompressStreams;
-  if (Compressed && !zlibMatchesGolden())
-    GTEST_SKIP() << "compressed goldens recorded under zlib "
-                 << GoldenZlib << ", running " << zlibVersion();
+  if (RequiredZlib == InferZlibDep)
+    RequiredZlib = Options.CompressStreams ? GoldenZlib : nullptr;
+  if (RequiredZlib && std::string(zlibVersion()) != RequiredZlib)
+    GTEST_SKIP() << "golden recorded under zlib " << RequiredZlib
+                 << ", running " << zlibVersion();
   auto It = GoldenHashes.find(Key);
   ASSERT_NE(It, GoldenHashes.end()) << "no golden hash for " << Key;
   EXPECT_EQ(sha1Hex(Packed->Archive), It->second)
@@ -246,6 +266,25 @@ TEST(WireCompat, IndexedArchives) {
     Z.RandomAccessIndex = true;
     expectGolden("balanced/s" + std::to_string(Shards) + "/v3z", Classes,
                  Z);
+  }
+}
+
+// The pluggable backends pin their own wire bytes: the per-stream
+// method bytes, the header backend code, and the codec output itself.
+// (The zlib rows above double as proof the registry leaves the default
+// pipeline byte-identical.)
+TEST(WireCompat, BackendArchives) {
+  auto Classes = corpusFor(CodeStyle::Balanced);
+  for (unsigned Shards : {1u, 4u}) {
+    for (BackendId Backend : {BackendId::Store, BackendId::Huffman}) {
+      PackOptions Options;
+      Options.Shards = Shards;
+      Options.Backend = Backend;
+      expectGolden("balanced/s" + std::to_string(Shards) + "/b-" +
+                       backendName(Backend),
+                   Classes, Options,
+                   Shards == 1 ? nullptr : BackendGoldenZlib);
+    }
   }
 }
 
