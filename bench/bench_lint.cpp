@@ -1,0 +1,176 @@
+//===- bench_lint.cpp - whole-archive analysis smoke + baseline -----------===//
+//
+// Part of cjpack. MIT license.
+//
+// Measures the whole-archive analyzer (ArchiveAnalysis.h) on pinned
+// corpora: one per code style, plus a variant seeded with inherited
+// refs and dead members through the corpus knobs. For each it records
+// the resolution census (every ref resolved or provably external, zero
+// structural diagnostics — the analyzer's false-positive guarantee as
+// a regression check) and the dead weight found; the knobbed corpus is
+// also packed with and without StripUnreferenced to pin what stripping
+// removes and saves. Corpora are pinned — no CJPACK_SCALE — so all
+// counts are bit-stable across machines and CI diffs the output
+// against bench/baselines/BENCH_lint.json via compare_bench.py; only
+// the stripped archive_bytes (zlib output) gets drift tolerance, and
+// timings are informational.
+//
+//   bench_lint [--json FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "analysis/ArchiveAnalysis.h"
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <zlib.h>
+
+using namespace cjpack;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+CorpusSpec lintSpec(const char *Name, CodeStyle Style, uint64_t Seed) {
+  CorpusSpec Spec;
+  Spec.Name = Name;
+  Spec.Seed = Seed;
+  Spec.NumClasses = 48;
+  Spec.NumPackages = 4;
+  Spec.MeanMethods = 6;
+  Spec.MeanStatements = 10;
+  Spec.Code = Style;
+  return Spec;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+
+  CorpusSpec Knobbed = lintSpec("knobbed", CodeStyle::Balanced, 4242);
+  Knobbed.PctInheritedRefs = 35;
+  Knobbed.DeadMembersPerClass = 2;
+  const CorpusSpec Specs[] = {
+      lintSpec("balanced", CodeStyle::Balanced, 1234),
+      lintSpec("numeric", CodeStyle::Numeric, 1234),
+      lintSpec("stringheavy", CodeStyle::StringHeavy, 1234),
+      Knobbed,
+  };
+
+  printf("Whole-archive analysis bench (pinned corpora)\n\n");
+  printf("%-12s %8s %8s %9s %9s %6s %6s %6s %9s\n", "corpus", "classes",
+         "refs", "resolved", "external", "diags", "deadM", "deadCP",
+         "lint(ms)");
+
+  std::vector<JsonObject> Rows;
+  int Rc = 0;
+  for (const CorpusSpec &Spec : Specs) {
+    BenchData B = loadBench(Spec);
+
+    auto T0 = std::chrono::steady_clock::now();
+    analysis::ArchiveAnalysisReport R = analysis::analyzeArchive(B.Prepared);
+    double LintMs = msSince(T0);
+
+    if (!R.clean()) {
+      fprintf(stderr, "%s: analyzer reported %zu structural diagnostics "
+              "on a generated corpus (false positives)\n",
+              Spec.Name.c_str(), R.Diags.size());
+      Rc = 1;
+    }
+    if (R.RefsChecked != R.RefsResolved + R.RefsExternal) {
+      fprintf(stderr, "%s: %zu refs neither resolved nor external\n",
+              Spec.Name.c_str(),
+              R.RefsChecked - R.RefsResolved - R.RefsExternal);
+      Rc = 1;
+    }
+
+    printf("%-12s %8zu %8zu %9zu %9zu %6zu %6zu %6zu %9.1f\n",
+           Spec.Name.c_str(), B.Prepared.size(), R.RefsChecked,
+           R.RefsResolved, R.RefsExternal, R.Diags.size(),
+           R.DeadMembers.size(), R.DeadPoolEntries, LintMs);
+
+    JsonObject Row;
+    Row.add("name", Spec.Name + "/lint");
+    Row.add("classes", static_cast<uint64_t>(B.Prepared.size()));
+    Row.add("input_bytes",
+            static_cast<uint64_t>(totalClassBytes(B.StrippedBytes)));
+    Row.add("refs_checked", static_cast<uint64_t>(R.RefsChecked));
+    Row.add("refs_resolved", static_cast<uint64_t>(R.RefsResolved));
+    Row.add("refs_external", static_cast<uint64_t>(R.RefsExternal));
+    Row.add("diagnostics", static_cast<uint64_t>(R.Diags.size()));
+    Row.add("dead_members", static_cast<uint64_t>(R.DeadMembers.size()));
+    Row.add("dead_pool_entries", static_cast<uint64_t>(R.DeadPoolEntries));
+    Row.add("lint_ms", LintMs);
+    Rows.push_back(std::move(Row));
+  }
+
+  // Strip differential on the knobbed corpus: what StripUnreferenced
+  // removes and what it saves on the wire.
+  {
+    BenchData B = loadBench(Knobbed);
+    PackOptions Plain;
+    auto Default = packClassBytes(B.RawClasses, Plain);
+    PackOptions Strip;
+    Strip.StripUnreferenced = true;
+    auto T0 = std::chrono::steady_clock::now();
+    auto Stripped = packClassBytes(B.RawClasses, Strip);
+    double StripMs = msSince(T0);
+    if (!Default || !Stripped) {
+      fprintf(stderr, "strip differential pack failed: %s\n",
+              (!Default ? Default.message() : Stripped.message()).c_str());
+      Rc = 1;
+    } else {
+      if (Stripped->Archive.size() >= Default->Archive.size()) {
+        fprintf(stderr, "stripped archive not smaller (%zu >= %zu)\n",
+                Stripped->Archive.size(), Default->Archive.size());
+        Rc = 1;
+      }
+      printf("\nstrip: %zu dead fields + %zu dead methods removed, "
+             "%zu -> %zu bytes (%.1f ms)\n",
+             Stripped->StrippedFields, Stripped->StrippedMethods,
+             Default->Archive.size(), Stripped->Archive.size(), StripMs);
+
+      JsonObject Row;
+      Row.add("name", std::string("knobbed/strip"));
+      Row.add("classes", static_cast<uint64_t>(B.Prepared.size()));
+      Row.add("stripped_fields",
+              static_cast<uint64_t>(Stripped->StrippedFields));
+      Row.add("stripped_methods",
+              static_cast<uint64_t>(Stripped->StrippedMethods));
+      Row.add("raw_stream_bytes",
+              static_cast<uint64_t>(Stripped->Sizes.totalRaw()));
+      Row.add("archive_bytes",
+              static_cast<uint64_t>(Stripped->Archive.size()));
+      Row.add("default_archive_bytes",
+              static_cast<uint64_t>(Default->Archive.size()));
+      Row.add("strip_pack_ms", StripMs);
+      Rows.push_back(std::move(Row));
+    }
+  }
+
+  if (!JsonPath.empty()) {
+    FILE *Out = fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    JsonObject Header;
+    Header.add("bench", "lint");
+    Header.add("zlib", zlibVersion());
+    writeBenchJson(Out, Header, Rows);
+    fclose(Out);
+    printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return Rc;
+}

@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""Diff a bench_pack JSON report against the committed baseline.
+"""Diff a bench JSON report against its committed baseline.
 
 Usage: compare_bench.py BASELINE.json CURRENT.json
 
 Row-by-row (matched on "name"):
-  - exact match required on the zlib-independent fields:
-    shards, classes, input_bytes, raw_stream_bytes
-  - archive_bytes must stay within TOLERANCE of the baseline (the
-    deflate output legitimately drifts a little across zlib versions)
-  - timings (pack_ms / unpack_ms), ratio, and the per-category packed
-    byte split are informational and never compared
+  - exact match required on the zlib-independent fields a row carries
+    (pack rows: shards/classes/input_bytes/raw_stream_bytes; lint rows
+    add the reference census, diagnostics, and dead-weight counts;
+    strip rows add the removed-member counts) — fields absent from the
+    baseline row are skipped, so old baselines keep comparing
+  - compressed sizes (archive_bytes, default_archive_bytes) must stay
+    within TOLERANCE of the baseline (the deflate output legitimately
+    drifts a little across zlib versions)
+  - timings (pack_ms / unpack_ms / lint_ms), ratio, and the
+    per-category packed byte split are informational and never compared
 
 Exits nonzero with a per-field report on any mismatch. To accept an
 intended change, regenerate the baseline:
@@ -20,9 +24,24 @@ intended change, regenerate the baseline:
 import json
 import sys
 
-TOLERANCE = 0.05  # fraction of the baseline archive_bytes
+TOLERANCE = 0.05  # fraction of the baseline compressed size
 
-EXACT_FIELDS = ("shards", "classes", "input_bytes", "raw_stream_bytes")
+EXACT_FIELDS = (
+    "shards",
+    "classes",
+    "input_bytes",
+    "raw_stream_bytes",
+    "refs_checked",
+    "refs_resolved",
+    "refs_external",
+    "diagnostics",
+    "dead_members",
+    "dead_pool_entries",
+    "stripped_fields",
+    "stripped_methods",
+)
+
+SIZE_FIELDS = ("archive_bytes", "default_archive_bytes")
 
 
 def main():
@@ -50,17 +69,27 @@ def main():
         if c is None:
             continue
         for field in EXACT_FIELDS:
-            if b[field] != c[field]:
+            if field not in b:
+                continue
+            if field not in c:
+                failures.append(f"{name}: {field} missing from current row")
+            elif b[field] != c[field]:
                 failures.append(
                     f"{name}: {field} changed {b[field]} -> {c[field]}"
                 )
-        drift = abs(c["archive_bytes"] - b["archive_bytes"])
-        limit = TOLERANCE * b["archive_bytes"]
-        if drift > limit:
-            failures.append(
-                f"{name}: archive_bytes {b['archive_bytes']} -> "
-                f"{c['archive_bytes']} (drift {drift}, limit {limit:.0f})"
-            )
+        for field in SIZE_FIELDS:
+            if field not in b:
+                continue
+            if field not in c:
+                failures.append(f"{name}: {field} missing from current row")
+                continue
+            drift = abs(c[field] - b[field])
+            limit = TOLERANCE * b[field]
+            if drift > limit:
+                failures.append(
+                    f"{name}: {field} {b[field]} -> {c[field]} "
+                    f"(drift {drift}, limit {limit:.0f})"
+                )
 
     if failures:
         print(f"bench baseline comparison FAILED ({len(failures)} issues):")

@@ -10,6 +10,7 @@
 //   packtool unpack-class <in.cjp> <name>     extract one class lazily
 //   packtool info <in.cjp|in.jar>             describe an archive
 //   packtool verify <in.class|jar|cjp>        run the bytecode verifier
+//   packtool lint <in.class|jar|cjp>          whole-archive static analysis
 //   packtool stats <in.cjp|in.jar> [--json]   per-stream composition
 //   packtool tune <in.jar> <out.cjp>          per-stream backend tournament
 //   packtool selftest <out-dir>               write a demo jar + archive
@@ -31,13 +32,28 @@
 // `--verify[=warn|strict]` on pack lints every classfile with the
 // flow analyzer first: warn (the default) reports diagnostics and
 // packs anyway, strict refuses to pack a flagged input. The standalone
-// `verify` command exits nonzero on any diagnostic unless --warn.
+// `verify` command exits nonzero on any diagnostic unless --warn; on
+// whole-archive inputs it builds the class hierarchy first so joins
+// track least-common-superclass reference types.
+//
+// `lint` resolves every member reference against the archive's class
+// hierarchy and reports cycles, missing ancestors, duplicate classes,
+// and dangling/ambiguous/kind-mismatched references, plus counts of
+// unreferenced private members and dead constant-pool entries. `--json`
+// emits a machine-readable report; `--strict` exits nonzero on any
+// structural diagnostic (dead weight never affects the exit code).
+//
+// `--strip-unreferenced` on pack drops those dead private members (and
+// their pool entries) before encoding; the result is gated by a
+// restore-then-verify pass in the library and pack fails loudly if the
+// stripped archive does not restore cleanly.
 //
 // Non-class members of the input jar are carried in a side jar, as §12
 // prescribes (the packed format handles classfiles only).
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/ArchiveAnalysis.h"
 #include "analysis/Verifier.h"
 #include "classfile/Reader.h"
 #include "classfile/Writer.h"
@@ -69,6 +85,9 @@ LintMode Lint = LintMode::Off;
 
 /// Final-stage compression backend from --backend=<name>.
 BackendId PackBackend = BackendId::Zlib;
+
+/// --strip-unreferenced: pack drops dead private members pre-encode.
+bool StripUnreferenced = false;
 
 bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
   std::ifstream In(Path, std::ios::binary);
@@ -128,6 +147,86 @@ size_t verifyOneClass(const std::string &Name,
   return R.Diags.size();
 }
 
+/// Parses \p Classes, reporting parse failures as diagnostics into
+/// \p Diags (stamped with the source name); parsed classes land in
+/// \p Parsed with their source names parallel in \p Names.
+void parseClassSet(const std::vector<NamedClass> &Classes,
+                   std::vector<ClassFile> &Parsed,
+                   std::vector<std::string> &Names,
+                   std::vector<analysis::Diagnostic> &Diags) {
+  for (const NamedClass &C : Classes) {
+    auto CF = parseClassFile(C.Data);
+    if (!CF) {
+      Diags.push_back({analysis::DiagKind::MalformedCode, C.Name,
+                       analysis::NoOffset,
+                       "classfile does not parse: " + CF.message()});
+      continue;
+    }
+    Parsed.push_back(std::move(*CF));
+    Names.push_back(C.Name);
+  }
+}
+
+/// Whole-archive verification: builds the class hierarchy over every
+/// parseable class so reference joins track least-common-superclass
+/// types, then verifies each class. Prints diagnostics; returns the
+/// total count.
+size_t verifyClassSet(const std::vector<NamedClass> &Classes) {
+  std::vector<ClassFile> Parsed;
+  std::vector<std::string> Names;
+  std::vector<analysis::Diagnostic> ParseDiags;
+  parseClassSet(Classes, Parsed, Names, ParseDiags);
+  size_t NumDiags = ParseDiags.size();
+  for (const analysis::Diagnostic &D : ParseDiags)
+    fprintf(stderr, "packtool: %s: %s\n", D.Method.c_str(),
+            analysis::formatDiagnostic(D).c_str());
+  analysis::ClassHierarchy H = analysis::ClassHierarchy::build(Parsed);
+  for (size_t K = 0; K < Parsed.size(); ++K) {
+    analysis::VerifyResult R = analysis::verifyClass(Parsed[K], &H);
+    for (const analysis::Diagnostic &D : R.Diags)
+      fprintf(stderr, "packtool: %s: %s\n", Names[K].c_str(),
+              analysis::formatDiagnostic(D).c_str());
+    NumDiags += R.Diags.size();
+  }
+  return NumDiags;
+}
+
+/// Loads every classfile of a .class / .jar / .cjp input as named raw
+/// bytes. Prints a message and returns false on a hard error.
+bool loadClassInputs(const std::string &InPath,
+                     const std::vector<uint8_t> &Bytes,
+                     std::vector<NamedClass> &Out) {
+  if (Bytes.size() >= 4 && Bytes[0] == 0xCA && Bytes[1] == 0xFE &&
+      Bytes[2] == 0xBA && Bytes[3] == 0xBE) {
+    NamedClass C;
+    C.Name = InPath;
+    C.Data = Bytes;
+    Out.push_back(std::move(C));
+    return true;
+  }
+  if (Bytes.size() >= 4 && Bytes[0] == 'C' && Bytes[1] == 'J') {
+    auto Classes = unpackAnyArchive(Bytes);
+    if (!Classes) {
+      fprintf(stderr, "packtool: %s\n", Classes.message().c_str());
+      return false;
+    }
+    Out = std::move(*Classes);
+    return true;
+  }
+  auto Entries = readZip(Bytes);
+  if (!Entries) {
+    fprintf(stderr,
+            "packtool: %s is neither a classfile, a packed archive, "
+            "nor a zip\n",
+            InPath.c_str());
+    return false;
+  }
+  for (ZipEntry &E : *Entries)
+    if (isClassName(E.Name))
+      Out.push_back(std::move(E));
+  return true;
+}
+
 int cmdPack(const std::string &InPath, const std::string &OutPath) {
   std::vector<uint8_t> Bytes;
   if (!readFile(InPath, Bytes)) {
@@ -165,6 +264,7 @@ int cmdPack(const std::string &InPath, const std::string &OutPath) {
   Options.Threads = NumThreads;
   Options.RandomAccessIndex = Indexed;
   Options.Backend = PackBackend;
+  Options.StripUnreferenced = StripUnreferenced;
   auto Packed = packClassBytes(Classes, Options);
   if (!Packed) {
     fprintf(stderr, "packtool: %s\n", Packed.message().c_str());
@@ -177,6 +277,10 @@ int cmdPack(const std::string &InPath, const std::string &OutPath) {
   printf("%s: %zu classes, %zu -> %zu bytes (%.0f%%)\n", OutPath.c_str(),
          Classes.size(), Bytes.size(), Packed->Archive.size(),
          100.0 * Packed->Archive.size() / Bytes.size());
+  if (StripUnreferenced)
+    printf("stripped %zu dead fields, %zu dead methods (restore "
+           "verified)\n",
+           Packed->StrippedFields, Packed->StrippedMethods);
   if (!Others.empty()) {
     std::string SidePath = OutPath + ".resources.jar";
     writeFile(SidePath, writeZip(Others, ZipMethod::Deflated));
@@ -324,41 +428,106 @@ int cmdVerify(const std::vector<std::string> &Args) {
     fprintf(stderr, "packtool: cannot read %s\n", InPath.c_str());
     return 1;
   }
-  size_t NumClasses = 0;
-  size_t NumDiags = 0;
-  if (Bytes.size() >= 4 && Bytes[0] == 0xCA && Bytes[1] == 0xFE &&
-      Bytes[2] == 0xBA && Bytes[3] == 0xBE) {
-    NumClasses = 1;
-    NumDiags = verifyOneClass(InPath, Bytes);
-  } else if (Bytes.size() >= 4 && Bytes[0] == 'C' && Bytes[1] == 'J') {
-    auto Classes = unpackAnyArchive(Bytes);
-    if (!Classes) {
-      fprintf(stderr, "packtool: %s\n", Classes.message().c_str());
-      return 1;
-    }
-    for (const NamedClass &C : *Classes) {
-      ++NumClasses;
-      NumDiags += verifyOneClass(C.Name, C.Data);
-    }
-  } else {
-    auto Entries = readZip(Bytes);
-    if (!Entries) {
-      fprintf(stderr,
-              "packtool: %s is neither a classfile, a packed archive, "
-              "nor a zip\n",
-              InPath.c_str());
-      return 1;
-    }
-    for (const ZipEntry &E : *Entries) {
-      if (!isClassName(E.Name))
-        continue;
-      ++NumClasses;
-      NumDiags += verifyOneClass(E.Name, E.Data);
-    }
-  }
+  std::vector<NamedClass> Classes;
+  if (!loadClassInputs(InPath, Bytes, Classes))
+    return 1;
+  size_t NumDiags = verifyClassSet(Classes);
   printf("%s: %zu classes verified, %zu diagnostics\n", InPath.c_str(),
-         NumClasses, NumDiags);
+         Classes.size(), NumDiags);
   return (NumDiags == 0 || WarnOnly) ? 0 : 1;
+}
+
+/// Escapes \p S for a JSON string literal.
+void printJsonString(FILE *Out, const std::string &S) {
+  fputc('"', Out);
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      fprintf(Out, "\\%c", C);
+    else if (static_cast<unsigned char>(C) < 0x20)
+      fprintf(Out, "\\u%04x", C);
+    else
+      fputc(C, Out);
+  }
+  fputc('"', Out);
+}
+
+/// `packtool lint`: whole-archive static analysis. Structural findings
+/// (cycles, missing ancestors, duplicates, unresolvable references)
+/// print as diagnostics and, under --strict, fail the exit code; dead
+/// members and dead pool entries are reported as counts only — they are
+/// a size opportunity for --strip-unreferenced, not defects.
+int cmdLint(const std::vector<std::string> &Args) {
+  bool Json = false;
+  bool Strict = false;
+  std::string InPath;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "--json")
+      Json = true;
+    else if (Args[I] == "--strict")
+      Strict = true;
+    else
+      InPath = Args[I];
+  }
+  if (InPath.empty()) {
+    fprintf(stderr,
+            "usage: packtool lint [--json] [--strict] <in.class|jar|cjp>\n");
+    return 2;
+  }
+  std::vector<uint8_t> Bytes;
+  if (!readFile(InPath, Bytes)) {
+    fprintf(stderr, "packtool: cannot read %s\n", InPath.c_str());
+    return 1;
+  }
+  std::vector<NamedClass> Classes;
+  if (!loadClassInputs(InPath, Bytes, Classes))
+    return 1;
+  std::vector<ClassFile> Parsed;
+  std::vector<std::string> Names;
+  std::vector<analysis::Diagnostic> Diags;
+  parseClassSet(Classes, Parsed, Names, Diags);
+  analysis::ArchiveAnalysisReport Report = analysis::analyzeArchive(Parsed);
+  Diags.insert(Diags.end(), Report.Diags.begin(), Report.Diags.end());
+
+  if (Json) {
+    printf("{\n  \"source\": ");
+    printJsonString(stdout, InPath);
+    printf(",\n  \"classes\": %zu,\n", Report.ClassesAnalyzed);
+    printf("  \"refs\": {\"checked\": %zu, \"resolved\": %zu, "
+           "\"external\": %zu},\n",
+           Report.RefsChecked, Report.RefsResolved, Report.RefsExternal);
+    printf("  \"dead_members\": %zu,\n  \"dead_pool_entries\": %zu,\n",
+           Report.DeadMembers.size(), Report.DeadPoolEntries);
+    printf("  \"diagnostics\": [");
+    for (size_t K = 0; K < Diags.size(); ++K) {
+      const analysis::Diagnostic &D = Diags[K];
+      printf("%s\n    {\"kind\": \"%s\", \"context\": ", K ? "," : "",
+             analysis::diagKindName(D.Kind));
+      printJsonString(stdout, D.Method);
+      printf(", \"offset\": ");
+      if (D.Offset == analysis::NoOffset)
+        printf("null");
+      else
+        printf("%u", D.Offset);
+      printf(", \"message\": ");
+      printJsonString(stdout, D.Message);
+      printf("}");
+    }
+    printf("%s],\n  \"clean\": %s\n}\n", Diags.empty() ? "" : "\n  ",
+           Diags.empty() ? "true" : "false");
+  } else {
+    for (const analysis::Diagnostic &D : Diags)
+      fprintf(stderr, "packtool: %s\n",
+              analysis::formatDiagnostic(D).c_str());
+    printf("%s: %zu classes, %zu refs (%zu resolved, %zu external), "
+           "%zu diagnostics\n",
+           InPath.c_str(), Report.ClassesAnalyzed, Report.RefsChecked,
+           Report.RefsResolved, Report.RefsExternal, Diags.size());
+    if (!Report.DeadMembers.empty() || Report.DeadPoolEntries != 0)
+      printf("  %zu unreferenced private members, %zu dead constant-pool "
+             "entries (pack --strip-unreferenced removes them)\n",
+             Report.DeadMembers.size(), Report.DeadPoolEntries);
+  }
+  return (Strict && !Diags.empty()) ? 1 : 0;
 }
 
 /// Prints the per-stream composition table shared by both stats inputs.
@@ -762,6 +931,8 @@ int main(int Argc, char **Argv) {
       NumThreads = static_cast<unsigned>(std::atoi(A.c_str() + 10));
     } else if (A == "--indexed") {
       Indexed = true;
+    } else if (A == "--strip-unreferenced") {
+      StripUnreferenced = true;
     } else if (A == "--verify" || A == "--verify=warn") {
       Lint = LintMode::Warn;
     } else if (A == "--verify=strict") {
@@ -800,6 +971,8 @@ int main(int Argc, char **Argv) {
     return cmdInfo(Args[1]);
   if (Args.size() >= 2 && Args[0] == "verify")
     return cmdVerify(Args);
+  if (Args.size() >= 2 && Args[0] == "lint")
+    return cmdLint(Args);
   if (Args.size() >= 2 && Args[0] == "stats")
     return cmdStats(Args);
   if (Args.size() >= 3 && Args[0] == "tune")
@@ -810,12 +983,14 @@ int main(int Argc, char **Argv) {
     return cmdSelftest("."); // run the demo when invoked bare
   fprintf(stderr,
           "usage: packtool [--threads N] [--indexed] [--backend=NAME] "
-          "[--verify[=warn|strict]] pack <in.jar> <out.cjp>\n"
+          "[--verify[=warn|strict]] [--strip-unreferenced] "
+          "pack <in.jar> <out.cjp>\n"
           "       packtool [--threads N] unpack <in.cjp> <out.jar>\n"
           "       packtool list <in.cjp>\n"
           "       packtool unpack-class <in.cjp> <pkg/Name> [out.class]\n"
           "       packtool info <archive>\n"
           "       packtool verify [--warn] <in.class|jar|cjp>\n"
+          "       packtool lint [--json] [--strict] <in.class|jar|cjp>\n"
           "       packtool stats [--indexed] <in.cjp|in.jar> [--json]\n"
           "       packtool tune <in.jar> <out.cjp>\n"
           "       packtool selftest <dir>\n"

@@ -1,0 +1,51 @@
+//===- fuzz_lint.cpp - fuzz the whole-archive analyzer --------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives analyzeArchive — hierarchy construction, cycle detection,
+// reference resolution, and the dead-member/dead-pool reachability
+// pass — over hostile input, the same surface `packtool lint` exposes.
+// Input that decodes as a packed archive is analyzed as one; anything
+// else is parsed as a single classfile and analyzed twice-over (the
+// duplicate-class path included). Analysis must be total: diagnostics,
+// never crashes, and every diagnostic must format.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ArchiveAnalysis.h"
+#include "classfile/Reader.h"
+#include "pack/Packer.h"
+
+using namespace cjpack;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::vector<uint8_t> Bytes(Data, Data + Size);
+
+  std::vector<ClassFile> Classes;
+  UnpackOptions Options;
+  // One thread keeps iterations deterministic; tightened limits bound
+  // what a hostile archive header can allocate per iteration.
+  Options.Threads = 1;
+  Options.Limits.MaxClasses = 1u << 10;
+  Options.Limits.MaxStreamBytes = 1u << 22;
+  Options.Limits.MaxInflateBytes = 1u << 24;
+  if (auto Unpacked = unpackClasses(Bytes, Options)) {
+    Classes = std::move(*Unpacked);
+  } else if (auto CF = parseClassFile(Bytes)) {
+    // A lone classfile, doubled: the analyzer must survive duplicate
+    // internal names (and diagnose them) as well as self-referential
+    // hierarchies.
+    Classes.push_back(std::move(*CF));
+    if (auto Again = parseClassFile(Bytes))
+      Classes.push_back(std::move(*Again));
+  } else {
+    return 0; // neither an archive nor a classfile — nothing to lint
+  }
+
+  analysis::ArchiveAnalysisReport R = analysis::analyzeArchive(Classes);
+  for (const analysis::Diagnostic &D : R.Diags)
+    (void)analysis::formatDiagnostic(D);
+  return 0;
+}

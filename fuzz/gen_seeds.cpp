@@ -176,5 +176,24 @@ int main(int Argc, char **Argv) {
       writeSeed(Out / "fuzz_backend", std::string(B.Name) + ".bin", Seed);
     }
   }
+
+  // fuzz_lint: inputs for the whole-archive analyzer — a packed archive
+  // whose corpus exercises inherited refs and seeded dead members, plus
+  // a lone classfile for the single-class (duplicate-name) path.
+  {
+    CorpusSpec Spec = smallSpec(13);
+    Spec.PctInheritedRefs = 30;
+    Spec.DeadMembersPerClass = 1;
+    std::vector<NamedClass> LintClasses = generateCorpus(Spec);
+    PackOptions Options;
+    auto Packed = packClassBytes(LintClasses, Options);
+    if (!Packed) {
+      fprintf(stderr, "pack for lint seed failed: %s\n",
+              Packed.message().c_str());
+      return 1;
+    }
+    writeSeed(Out / "fuzz_lint", "archive.cjp", Packed->Archive);
+    writeSeed(Out / "fuzz_lint", "class0.bin", LintClasses[0].Data);
+  }
   return 0;
 }

@@ -19,7 +19,9 @@
 
 namespace cjpack::analysis {
 
-/// The defect classes the analyzer can report.
+/// The defect classes the analyzer can report. The first group comes
+/// from the per-method bytecode verifier (Verifier.h); the second from
+/// the whole-archive analyzer (ArchiveAnalysis.h).
 enum class DiagKind : uint8_t {
   MalformedCode,       ///< unparseable attribute, bad cp ref, bad descriptor
   StackUnderflow,      ///< pop from an empty operand stack
@@ -31,6 +33,12 @@ enum class DiagKind : uint8_t {
   UnreachableCode,     ///< block no execution path reaches
   InvalidBranchTarget, ///< branch/switch target not at an instruction
   InvalidHandlerRange, ///< exception entry with a bogus range or handler pc
+  SuperclassCycle,     ///< class on a superclass/superinterface cycle
+  MissingAncestor,     ///< ancestor neither in the archive nor a platform class
+  DuplicateClass,      ///< two archive classes share one internal name
+  DanglingRef,         ///< member ref with no target anywhere in the archive
+  AmbiguousRef,        ///< ref matching several unrelated default methods
+  RefKindMismatch,     ///< Methodref on an interface, or the reverse
 };
 
 /// Stable lowercase name for \p K (e.g. "stack-underflow").

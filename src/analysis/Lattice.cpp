@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lattice.h"
+#include "analysis/ArchiveAnalysis.h"
 #include <cassert>
 
 using namespace cjpack;
@@ -25,7 +26,8 @@ const char *cjpack::analysis::atypeName(AType T) {
   return "?";
 }
 
-MergeOutcome cjpack::analysis::mergeFrame(Frame &Into, const Frame &From) {
+MergeOutcome cjpack::analysis::mergeFrame(Frame &Into, const Frame &From,
+                                          const ClassHierarchy *H) {
   if (Into.Stack.size() != From.Stack.size())
     return MergeOutcome::DepthMismatch;
   assert(Into.Locals.size() == From.Locals.size() &&
@@ -42,6 +44,32 @@ MergeOutcome cjpack::analysis::mergeFrame(Frame &Into, const Frame &From) {
     MergeInto(Into.Stack[K], From.Stack[K]);
   for (size_t K = 0; K < Into.Locals.size(); ++K)
     MergeInto(Into.Locals[K], From.Locals[K]);
+  if (H) {
+    auto MergeCls = [&](std::vector<int32_t> &IntoCls,
+                        const std::vector<int32_t> &FromCls,
+                        const std::vector<AType> &Types) {
+      if (IntoCls.size() != Types.size() || FromCls.size() != Types.size()) {
+        // One side never tracked classes; drop tracking rather than
+        // invent precision.
+        if (!IntoCls.empty()) {
+          IntoCls.clear();
+          Changed = true;
+        }
+        return;
+      }
+      for (size_t K = 0; K < IntoCls.size(); ++K) {
+        int32_t Joined = Types[K] == AType::Ref
+                             ? H->joinRefClasses(IntoCls[K], FromCls[K])
+                             : ClassNone;
+        if (Joined != IntoCls[K]) {
+          IntoCls[K] = Joined;
+          Changed = true;
+        }
+      }
+    };
+    MergeCls(Into.StackCls, From.StackCls, Into.Stack);
+    MergeCls(Into.LocalCls, From.LocalCls, Into.Locals);
+  }
   return Changed ? MergeOutcome::Changed : MergeOutcome::Unchanged;
 }
 

@@ -54,11 +54,23 @@ inline bool isCat2Second(AType T) {
 /// anything else conflicts to Top.
 inline AType mergeSlot(AType A, AType B) { return A == B ? A : AType::Top; }
 
+class ClassHierarchy;
+
 /// A verification frame: operand-stack slots (bottom of stack first) and
 /// local-variable slots (always exactly max_locals entries).
+///
+/// When the verifier runs with a ClassHierarchy (whole-archive mode),
+/// StackCls/LocalCls run parallel to Stack/Locals and refine each Ref
+/// slot with a hierarchy node id (ArchiveAnalysis.h's ClassNone for an
+/// untyped reference, ClassNull for aconst_null): joins then meet two
+/// in-archive references at their least common superclass instead of
+/// collapsing to the untyped Ref. Without a hierarchy both vectors stay
+/// empty and frames behave exactly as before.
 struct Frame {
   std::vector<AType> Stack;
   std::vector<AType> Locals;
+  std::vector<int32_t> StackCls;
+  std::vector<int32_t> LocalCls;
 
   bool operator==(const Frame &) const = default;
 };
@@ -72,8 +84,11 @@ enum class MergeOutcome : uint8_t {
 
 /// Merges \p From into \p Into slotwise. Local arrays must be the same
 /// length (both are max_locals); stack depth differences are reported,
-/// not merged.
-MergeOutcome mergeFrame(Frame &Into, const Frame &From);
+/// not merged. With \p H, Ref slots additionally join their tracked
+/// classes at the least common superclass (a widening on the finite
+/// superclass chain, so the fixpoint still terminates).
+MergeOutcome mergeFrame(Frame &Into, const Frame &From,
+                        const ClassHierarchy *H = nullptr);
 
 /// Appends the slot expansion of coarse type \p T to \p Out (category-2
 /// types append their pair; Void appends nothing).

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Verifier.h"
+#include "analysis/ArchiveAnalysis.h"
 #include "classfile/Descriptor.h"
 #include "classfile/Reader.h"
 #include <array>
@@ -26,6 +27,12 @@ const char *cjpack::analysis::diagKindName(DiagKind K) {
   case DiagKind::UnreachableCode: return "unreachable-code";
   case DiagKind::InvalidBranchTarget: return "invalid-branch-target";
   case DiagKind::InvalidHandlerRange: return "invalid-handler-range";
+  case DiagKind::SuperclassCycle: return "superclass-cycle";
+  case DiagKind::MissingAncestor: return "missing-ancestor";
+  case DiagKind::DuplicateClass: return "duplicate-class";
+  case DiagKind::DanglingRef: return "dangling-ref";
+  case DiagKind::AmbiguousRef: return "ambiguous-ref";
+  case DiagKind::RefKindMismatch: return "ref-kind-mismatch";
   }
   return "?";
 }
@@ -103,6 +110,13 @@ struct Interp {
   uint32_t MaxLocals;
   const std::string &Method;
   std::vector<Diagnostic> *Sink = nullptr;
+  /// Non-null in whole-archive mode: Ref slots then carry hierarchy ids
+  /// in Frame::StackCls/LocalCls, parallel to Stack/Locals.
+  const ClassHierarchy *H = nullptr;
+  /// Class id of the slot popSlot most recently removed (typed mode).
+  int32_t PoppedCls = ClassNone;
+
+  bool typed() const { return H != nullptr; }
 
   bool fail(DiagKind K, const Insn &I, std::string Msg) {
     if (Sink)
@@ -119,6 +133,11 @@ struct Interp {
       return fail(DiagKind::StackUnderflow, I, "pop from an empty stack");
     Out = F.Stack.back();
     F.Stack.pop_back();
+    if (typed()) {
+      PoppedCls = F.StackCls.empty() ? ClassNone : F.StackCls.back();
+      if (!F.StackCls.empty())
+        F.StackCls.pop_back();
+    }
     return true;
   }
 
@@ -180,10 +199,16 @@ struct Interp {
   void pushPair2(Frame &F, const std::array<AType, 2> &G) {
     F.Stack.push_back(G[1]);
     F.Stack.push_back(G[0]);
+    if (typed()) {
+      F.StackCls.push_back(ClassNone);
+      F.StackCls.push_back(ClassNone);
+    }
   }
 
-  bool push(Frame &F, const Insn &I, AType T) {
+  bool push(Frame &F, const Insn &I, AType T, int32_t Cls = ClassNone) {
     F.Stack.push_back(T);
+    if (typed())
+      F.StackCls.push_back(T == AType::Ref ? Cls : ClassNone);
     if (F.Stack.size() > MaxStack)
       return fail(DiagKind::StackOverflow, I,
                   "operand stack exceeds max_stack " +
@@ -191,11 +216,11 @@ struct Interp {
     return true;
   }
 
-  bool pushValue(Frame &F, const Insn &I, VType T) {
+  bool pushValue(Frame &F, const Insn &I, VType T, int32_t Cls = ClassNone) {
     switch (T) {
     case VType::Int: return push(F, I, AType::Int);
     case VType::Float: return push(F, I, AType::Float);
-    case VType::Ref: return push(F, I, AType::Ref);
+    case VType::Ref: return push(F, I, AType::Ref, Cls);
     case VType::Long:
       return push(F, I, AType::Long) && push(F, I, AType::Long2);
     case VType::Double:
@@ -221,12 +246,21 @@ struct Interp {
 
   /// Writes \p T to local \p Idx, invalidating any category-2 pair the
   /// write tears apart.
-  void writeLocal(Frame &F, uint32_t Idx, AType T) {
-    if (isCat2Second(F.Locals[Idx]) && Idx > 0)
+  void writeLocal(Frame &F, uint32_t Idx, AType T, int32_t Cls = ClassNone) {
+    bool Track = typed() && F.LocalCls.size() == F.Locals.size();
+    if (isCat2Second(F.Locals[Idx]) && Idx > 0) {
       F.Locals[Idx - 1] = AType::Top;
-    if (isCat2Start(F.Locals[Idx]) && Idx + 1 < F.Locals.size())
+      if (Track)
+        F.LocalCls[Idx - 1] = ClassNone;
+    }
+    if (isCat2Start(F.Locals[Idx]) && Idx + 1 < F.Locals.size()) {
       F.Locals[Idx + 1] = AType::Top;
+      if (Track)
+        F.LocalCls[Idx + 1] = ClassNone;
+    }
     F.Locals[Idx] = T;
+    if (Track)
+      F.LocalCls[Idx] = T == AType::Ref ? Cls : ClassNone;
   }
 
   bool localIndexOf(const Insn &I, uint32_t &Idx) {
@@ -247,7 +281,10 @@ struct Interp {
                     "load expects " + std::string(atypeName(Want[K])) +
                         " in local " + std::to_string(Idx + K) + ", found " +
                         atypeName(F.Locals[Idx + K]));
-    return pushValue(F, I, T);
+    int32_t Cls = ClassNone;
+    if (typed() && T == VType::Ref && Idx < F.LocalCls.size())
+      Cls = F.LocalCls[Idx];
+    return pushValue(F, I, T, Cls);
   }
 
   bool doStore(Frame &F, const Insn &I, VType T, uint32_t Idx) {
@@ -261,7 +298,7 @@ struct Interp {
       if (Got != AType::Ref && Got != AType::RetAddr)
         return fail(DiagKind::TypeClash, I,
                     std::string("astore of ") + atypeName(Got));
-      writeLocal(F, Idx, Got);
+      writeLocal(F, Idx, Got, PoppedCls);
       return true;
     }
     if (!popValue(F, I, T))
@@ -295,6 +332,39 @@ struct Interp {
       return nullptr;
     const CpEntry *Desc = cpAt(NT->Ref2, {CpTag::Utf8});
     return Desc ? &Desc->Text : nullptr;
+  }
+
+  //===------------------------------------------------------------===//
+  // Typed-reference helpers (whole-archive mode only)
+  //===------------------------------------------------------------===//
+
+  /// Hierarchy id of the class named by Class entry \p Idx; ClassNone
+  /// for arrays, malformed links, or classes the archive never mentions.
+  int32_t classOfCpClass(uint16_t Idx) {
+    const CpEntry *E = cpAt(Idx, {CpTag::Class});
+    if (!E)
+      return ClassNone;
+    const CpEntry *N = cpAt(E->Ref1, {CpTag::Utf8});
+    if (!N || N->Text.empty() || N->Text[0] == '[')
+      return ClassNone;
+    return H->lookup(N->Text);
+  }
+
+  /// Hierarchy id of a non-array class type, ClassNone otherwise.
+  int32_t classOfType(const TypeDesc &T) {
+    if (T.Dims != 0 || !T.isClass())
+      return ClassNone;
+    return H->lookup(T.ClassName);
+  }
+
+  int32_t classOfFieldDesc(const std::string &Desc) {
+    auto T = parseFieldDescriptor(Desc);
+    return T ? classOfType(*T) : ClassNone;
+  }
+
+  int32_t classOfMethodReturn(const std::string &Desc) {
+    auto M = parseMethodDescriptor(Desc);
+    return M ? classOfType(M->Ret) : ClassNone;
   }
 
   //===------------------------------------------------------------===//
@@ -368,13 +438,18 @@ struct Interp {
       AType T;
       if (!popCat1(F, I, T))
         return false;
-      return push(F, I, T) && push(F, I, T);
+      int32_t C = PoppedCls;
+      return push(F, I, T, C) && push(F, I, T, C);
     }
     case Op::DupX1: {
       AType V1, V2;
-      if (!popCat1(F, I, V1) || !popCat1(F, I, V2))
+      if (!popCat1(F, I, V1))
         return false;
-      return push(F, I, V1) && push(F, I, V2) && push(F, I, V1);
+      int32_t C1 = PoppedCls;
+      if (!popCat1(F, I, V2))
+        return false;
+      int32_t C2 = PoppedCls;
+      return push(F, I, V1, C1) && push(F, I, V2, C2) && push(F, I, V1, C1);
     }
     case Op::DupX2: {
       AType V1;
@@ -429,9 +504,13 @@ struct Interp {
     }
     case Op::Swap: {
       AType V1, V2;
-      if (!popCat1(F, I, V1) || !popCat1(F, I, V2))
+      if (!popCat1(F, I, V1))
         return false;
-      return push(F, I, V1) && push(F, I, V2);
+      int32_t C1 = PoppedCls;
+      if (!popCat1(F, I, V2))
+        return false;
+      int32_t C2 = PoppedCls;
+      return push(F, I, V1, C1) && push(F, I, V2, C2);
     }
 
     case Op::GetField:
@@ -447,7 +526,9 @@ struct Interp {
       if (I.Opcode == Op::GetField || I.Opcode == Op::GetStatic) {
         if (I.Opcode == Op::GetField && !popExpect(F, I, AType::Ref))
           return false;
-        return pushValue(F, I, T);
+        int32_t Cls =
+            typed() && T == VType::Ref ? classOfFieldDesc(*Desc) : ClassNone;
+        return pushValue(F, I, T, Cls);
       }
       if (!popValue(F, I, T))
         return false;
@@ -481,7 +562,9 @@ struct Interp {
       if (I.Opcode != Op::InvokeStatic && I.Opcode != Op::InvokeDynamic &&
           !popExpect(F, I, AType::Ref))
         return false;
-      return pushValue(F, I, Ret);
+      int32_t RetCls =
+          typed() && Ret == VType::Ref ? classOfMethodReturn(*Desc) : ClassNone;
+      return pushValue(F, I, Ret, RetCls);
     }
 
     case Op::MultiANewArray: {
@@ -532,8 +615,15 @@ struct Interp {
     for (size_t K = L; K > 0; --K)
       if (!popValue(F, I, charVType(Info.Pops[K - 1])))
         return false;
+    int32_t PushCls = ClassNone;
+    if (typed()) {
+      if (I.Opcode == Op::AConstNull)
+        PushCls = ClassNull;
+      else if (I.Opcode == Op::New || I.Opcode == Op::CheckCast)
+        PushCls = classOfCpClass(I.CpIndex);
+    }
     for (const char *P = Info.Pushes; *P; ++P)
-      if (!pushValue(F, I, charVType(*P)))
+      if (!pushValue(F, I, charVType(*P), PushCls))
         return false;
     return true;
   }
@@ -556,7 +646,8 @@ std::string safeClassName(const ConstantPool &CP, uint16_t Idx) {
 
 MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
                                                const MemberInfo &M,
-                                               const std::string &Method) {
+                                               const std::string &Method,
+                                               const ClassHierarchy *H) {
   MethodAnalysis R;
   auto Diag = [&](DiagKind K, uint32_t Offset, std::string Msg) {
     R.Diags.push_back({K, Method, Offset, std::move(Msg)});
@@ -611,6 +702,20 @@ MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
     return R;
   }
   std::copy(ParamSlots.begin(), ParamSlots.end(), Entry.Locals.begin());
+  if (H) {
+    // Seed the typed-reference tracking: `this` is the current class,
+    // reference parameters carry their descriptor's class.
+    Entry.LocalCls.assign(Entry.Locals.size(), ClassNone);
+    size_t Slot = 0;
+    if (!(M.AccessFlags & AccStatic))
+      Entry.LocalCls[Slot++] = H->lookup(safeClassName(CF.CP, CF.ThisClass));
+    if (auto MD = parseMethodDescriptor(Desc))
+      for (const TypeDesc &P : MD->Params) {
+        if (P.Dims == 0 && P.isClass())
+          Entry.LocalCls[Slot] = H->lookup(P.ClassName);
+        Slot += slotWidth(vtypeOf(P));
+      }
+  }
 
   // Worklist fixpoint. The silent interpreter drives it; diagnostics
   // come from a deterministic reporting pass over the final frames so
@@ -633,7 +738,7 @@ MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
       Enqueue(To);
       return;
     }
-    switch (mergeFrame(*R.BlockEntry[To], F)) {
+    switch (mergeFrame(*R.BlockEntry[To], F, H)) {
     case MergeOutcome::Changed:
       Enqueue(To);
       break;
@@ -645,7 +750,7 @@ MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
     }
   };
 
-  Interp Silent{CF, Code->MaxStack, Code->MaxLocals, Method, nullptr};
+  Interp Silent{CF, Code->MaxStack, Code->MaxLocals, Method, nullptr, H};
   R.BlockEntry[0] = std::move(Entry);
   Enqueue(0);
   auto RunBlock = [&](Interp &In, uint32_t BId, bool PropagateOut) {
@@ -655,11 +760,16 @@ MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
       if (PropagateOut)
         // Any instruction here can throw: the handler sees this point's
         // locals with just the thrown reference on the stack.
-        for (uint32_t H : B.Handlers) {
+        for (uint32_t HId : B.Handlers) {
           Frame HF;
           HF.Stack.push_back(AType::Ref);
           HF.Locals = F.Locals;
-          Propagate(H, HF, R.Insns[K].Offset);
+          if (H) {
+            // The thrown reference's class is not modelled.
+            HF.StackCls.push_back(ClassNone);
+            HF.LocalCls = F.LocalCls;
+          }
+          Propagate(HId, HF, R.Insns[K].Offset);
         }
       if (!In.step(F, R.Insns[K]))
         return;
@@ -671,8 +781,11 @@ MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
       Frame Out = F;
       if ((Last.Opcode == Op::Jsr || Last.Opcode == Op::JsrW) &&
           R.Graph.Blocks[S].StartOffset ==
-              static_cast<uint32_t>(Last.BranchTarget))
+              static_cast<uint32_t>(Last.BranchTarget)) {
         Out.Stack.push_back(AType::RetAddr);
+        if (H)
+          Out.StackCls.push_back(ClassNone);
+      }
       Propagate(S, Out, Last.Offset);
     }
   };
@@ -684,7 +797,7 @@ MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
   }
 
   // Reporting pass over the fixpoint frames.
-  Interp Loud{CF, Code->MaxStack, Code->MaxLocals, Method, &R.Diags};
+  Interp Loud{CF, Code->MaxStack, Code->MaxLocals, Method, &R.Diags, H};
   for (uint32_t BId = 0; BId < NB; ++BId) {
     if (!R.BlockEntry[BId]) {
       Diag(DiagKind::UnreachableCode, R.Graph.Blocks[BId].StartOffset,
@@ -704,7 +817,8 @@ MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
   return R;
 }
 
-VerifyResult cjpack::analysis::verifyClass(const ClassFile &CF) {
+VerifyResult cjpack::analysis::verifyClass(const ClassFile &CF,
+                                           const ClassHierarchy *H) {
   VerifyResult R;
   std::string ClassName = safeClassName(CF.CP, CF.ThisClass);
   if (ClassName.empty())
@@ -714,7 +828,7 @@ VerifyResult cjpack::analysis::verifyClass(const ClassFile &CF) {
     std::string Desc = safeUtf8(CF.CP, M.DescriptorIndex);
     std::string Method = ClassName + "." + (Name.empty() ? "<method>" : Name) +
                          Desc;
-    MethodAnalysis A = analyzeMethod(CF, M, Method);
+    MethodAnalysis A = analyzeMethod(CF, M, Method, H);
     if (A.HasCode)
       ++R.MethodsAnalyzed;
     R.Diags.insert(R.Diags.end(), A.Diags.begin(), A.Diags.end());

@@ -15,7 +15,11 @@
 ///
 /// verifyClass is the packer's pre-pack lint (packtool verify) and the
 /// regression oracle the corpus and round-trip tests run every class
-/// through.
+/// through. With a ClassHierarchy (whole-archive mode) frames also track
+/// which in-archive class each Ref slot holds, and joins meet two
+/// references at their least common superclass instead of the untyped
+/// Ref; without one, behavior is bit-identical to the standalone
+/// verifier.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,9 +52,11 @@ struct MethodAnalysis {
 };
 
 /// Runs the dataflow analysis over method \p M of \p CF. \p Method is
-/// the human-readable context stamped into diagnostics.
+/// the human-readable context stamped into diagnostics. A non-null \p H
+/// enables typed-reference tracking (Frame::StackCls/LocalCls).
 MethodAnalysis analyzeMethod(const ClassFile &CF, const MemberInfo &M,
-                             const std::string &Method);
+                             const std::string &Method,
+                             const ClassHierarchy *H = nullptr);
 
 /// Aggregate verification result for a class.
 struct VerifyResult {
@@ -59,8 +65,10 @@ struct VerifyResult {
   bool clean() const { return Diags.empty(); }
 };
 
-/// Analyzes every method body of \p CF.
-VerifyResult verifyClass(const ClassFile &CF);
+/// Analyzes every method body of \p CF, optionally with hierarchy-
+/// informed typed-reference joins (see analyzeMethod).
+VerifyResult verifyClass(const ClassFile &CF,
+                         const ClassHierarchy *H = nullptr);
 
 /// Parses \p Bytes as a classfile and verifies it; a parse failure
 /// becomes a MalformedCode diagnostic (never an exception or crash).

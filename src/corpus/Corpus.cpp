@@ -29,6 +29,15 @@ struct FieldSig {
   int64_t ConstInt = 0;       ///< Integer/Long constant payload
   std::string ConstString;    ///< String constant payload
   char ConstKindChar = 0;     ///< 'I','J','F','D','S' when HasConst
+  /// With the lint/strip knobs on, visibility is decided up front (so
+  /// inherited-ref emission can respect it) instead of drawn in
+  /// buildClass; PrivacyDecided distinguishes the two regimes so the
+  /// default draw sequence is untouched.
+  bool IsPrivate = false;
+  bool PrivacyDecided = false;
+  /// Seeded by CorpusSpec::DeadMembersPerClass; excluded from every
+  /// reference-emitting picker so it stays genuinely unreferenced.
+  bool IsDead = false;
 };
 
 struct MethodSig {
@@ -36,6 +45,8 @@ struct MethodSig {
   std::string Desc;
   bool IsStatic = false;
   bool IsAbstract = false;
+  bool IsPrivate = false; ///< only seeded dead methods are private
+  bool IsDead = false;    ///< see FieldSig::IsDead
 };
 
 struct Skeleton {
@@ -236,6 +247,39 @@ private:
         MS.IsStatic = !Sk.IsInterface && R.chance(18);
         MS.IsAbstract = Sk.IsInterface;
         Sk.Methods.push_back(std::move(MS));
+      }
+
+      // Lint/strip knobs. Every draw below is gated on a knob being
+      // non-zero, so default specs keep the historical draw sequence
+      // (and therefore the golden wire hashes) bit-for-bit.
+      bool Knobs =
+          Spec.PctInheritedRefs > 0 || Spec.DeadMembersPerClass > 0;
+      if (Knobs && !Sk.IsInterface) {
+        // Inherited-ref emission must know which ancestor members are
+        // visible, so visibility is decided here rather than drawn in
+        // buildClass.
+        for (FieldSig &FS : Sk.Fields) {
+          FS.IsPrivate = R.chance(60);
+          FS.PrivacyDecided = true;
+        }
+        for (unsigned D = 0; D < Spec.DeadMembersPerClass; ++D) {
+          if (R.chance(50)) {
+            FieldSig FS;
+            FS.Name = Names.fieldName();
+            FS.Desc = randomFieldDesc();
+            FS.IsPrivate = true;
+            FS.PrivacyDecided = true;
+            FS.IsDead = true;
+            Sk.Fields.push_back(std::move(FS));
+          } else {
+            MethodSig MS;
+            MS.Name = Names.methodName();
+            MS.Desc = randomMethodDesc();
+            MS.IsPrivate = true;
+            MS.IsDead = true;
+            Sk.Methods.push_back(std::move(MS));
+          }
+        }
       }
 
       if (Sk.IsInterface)
@@ -487,7 +531,76 @@ private:
     return nullptr;
   }
 
+  /// Visits every generated ancestor of \p Sk (superclass chain plus
+  /// the full interface closure), excluding \p Sk itself.
+  template <typename Fn> void forEachAncestor(const Skeleton &Sk, Fn Visit) {
+    std::vector<const Skeleton *> Work;
+    std::set<const Skeleton *> Seen;
+    auto Push = [&](const std::string &Name) {
+      const Skeleton *S = findSkeleton(Name);
+      if (S && Seen.insert(S).second)
+        Work.push_back(S);
+    };
+    Push(Sk.Super);
+    for (const std::string &I : Sk.Interfaces)
+      Push(I);
+    while (!Work.empty()) {
+      const Skeleton *S = Work.back();
+      Work.pop_back();
+      Visit(*S);
+      Push(S->Super);
+      for (const std::string &I : S->Interfaces)
+        Push(I);
+    }
+  }
+
+  /// Calls a method the enclosing class inherits, naming the *subclass*
+  /// as the constant-pool owner — exactly what javac emits, and the
+  /// case that forces reference resolution to walk the superclass chain
+  /// or interface closure. Returns false (emitting nothing) when no
+  /// generated ancestor contributes a visible instance method.
+  bool emitInheritedCall(BodyCtx &C) {
+    std::vector<const MethodSig *> Cands;
+    forEachAncestor(*C.Self, [&](const Skeleton &A) {
+      for (const MethodSig &MS : A.Methods)
+        if (!MS.IsStatic && !MS.IsDead && !MS.IsPrivate)
+          Cands.push_back(&MS);
+    });
+    if (Cands.empty())
+      return false;
+    const MethodSig *MS = Cands[R.below(Cands.size())];
+    C.B->loadLocal(VType::Ref, 0);
+    pushArgsFor(C, MS->Desc);
+    C.B->invoke(Op::InvokeVirtual, C.Self->Internal, MS->Name, MS->Desc);
+    disposeResult(C, parseMethodDescriptor(MS->Desc)->Ret);
+    return true;
+  }
+
+  /// Reads a field the enclosing class inherits, again owned by the
+  /// subclass in the emitted ref. Visible non-constant ancestor fields
+  /// only; interface constants are excluded like own constants are.
+  bool emitInheritedGet(BodyCtx &C) {
+    std::vector<const FieldSig *> Cands;
+    forEachAncestor(*C.Self, [&](const Skeleton &A) {
+      for (const FieldSig &F : A.Fields)
+        if (!F.HasConst && !F.IsDead && !F.IsPrivate &&
+            vtypeOfFieldDescriptor(F.Desc) != VType::Unknown)
+          Cands.push_back(&F);
+    });
+    if (Cands.empty())
+      return false;
+    const FieldSig *F = Cands[R.below(Cands.size())];
+    if (!F->IsStatic)
+      C.B->loadLocal(VType::Ref, 0);
+    C.B->getField(C.Self->Internal, F->Name, F->Desc, F->IsStatic);
+    disposeResult(C, *parseFieldDescriptor(F->Desc));
+    return true;
+  }
+
   void stmtCall(BodyCtx &C) {
+    if (Spec.PctInheritedRefs > 0 && !C.IsStatic &&
+        R.chance(Spec.PctInheritedRefs) && emitInheritedCall(C))
+      return;
     // Candidates: own methods (via this), methods on typed ref locals,
     // known static calls, constructing a generated class.
     unsigned P = static_cast<unsigned>(R.below(100));
@@ -500,19 +613,28 @@ private:
       return;
     }
     if (P < 55 && !C.IsStatic && !C.Self->Methods.empty()) {
-      // this.someOwnMethod(...)
-      const MethodSig &MS =
-          C.Self->Methods[R.zipf(C.Self->Methods.size())];
-      if (!MS.IsStatic) {
-        C.B->loadLocal(VType::Ref, 0);
-        pushArgsFor(C, MS.Desc);
-        C.B->invoke(Op::InvokeVirtual, C.Self->Internal, MS.Name, MS.Desc);
-      } else {
-        pushArgsFor(C, MS.Desc);
-        C.B->invoke(Op::InvokeStatic, C.Self->Internal, MS.Name, MS.Desc);
+      // this.someOwnMethod(...) — seeded dead members are excluded so
+      // they stay genuinely unreferenced. With the knobs off the
+      // filtered list equals Methods, so the zipf draw is unchanged.
+      std::vector<const MethodSig *> Own;
+      for (const MethodSig &MS : C.Self->Methods)
+        if (!MS.IsDead)
+          Own.push_back(&MS);
+      if (!Own.empty()) {
+        const MethodSig &MS = *Own[R.zipf(Own.size())];
+        if (!MS.IsStatic) {
+          C.B->loadLocal(VType::Ref, 0);
+          pushArgsFor(C, MS.Desc);
+          C.B->invoke(Op::InvokeVirtual, C.Self->Internal, MS.Name,
+                      MS.Desc);
+        } else {
+          pushArgsFor(C, MS.Desc);
+          C.B->invoke(Op::InvokeStatic, C.Self->Internal, MS.Name,
+                      MS.Desc);
+        }
+        disposeResult(C, parseMethodDescriptor(MS.Desc)->Ret);
+        return;
       }
-      disposeResult(C, parseMethodDescriptor(MS.Desc)->Ret);
-      return;
     }
     if (P < 80) {
       // Call through a typed ref local when we have one.
@@ -526,7 +648,7 @@ private:
         const Skeleton *Target = findSkeleton(Recv->RefClass);
         std::vector<const MethodSig *> Callable;
         for (const MethodSig &MS : Target->Methods)
-          if (!MS.IsStatic)
+          if (!MS.IsStatic && !MS.IsDead && !MS.IsPrivate)
             Callable.push_back(&MS);
         if (!Callable.empty()) {
           const MethodSig *MS = Callable[R.zipf(Callable.size())];
@@ -554,9 +676,12 @@ private:
   }
 
   void stmtFieldAccess(BodyCtx &C, const Skeleton &Sk) {
+    if (Spec.PctInheritedRefs > 0 && !C.IsStatic &&
+        R.chance(Spec.PctInheritedRefs) && emitInheritedGet(C))
+      return;
     std::vector<const FieldSig *> Usable;
     for (const FieldSig &F : Sk.Fields)
-      if (!F.HasConst && (F.IsStatic || !C.IsStatic))
+      if (!F.HasConst && !F.IsDead && (F.IsStatic || !C.IsStatic))
         Usable.push_back(&F);
     if (Usable.empty())
       return;
@@ -828,9 +953,10 @@ private:
     BytecodeBuilder B(CP, 1);
     B.loadLocal(VType::Ref, 0);
     B.invoke(Op::InvokeSpecial, Sk.Super, "<init>", "()V");
-    // Initialize a few instance fields.
+    // Initialize a few instance fields (never seeded dead ones — a
+    // putfield here would make them reachable).
     for (const FieldSig &F : Sk.Fields) {
-      if (F.IsStatic || !R.chance(50))
+      if (F.IsStatic || F.IsDead || !R.chance(50))
         continue;
       VType T = vtypeOfFieldDescriptor(F.Desc);
       B.loadLocal(VType::Ref, 0);
@@ -874,8 +1000,11 @@ private:
       MemberInfo MI;
       MI.AccessFlags = static_cast<uint16_t>(
           (F.IsStatic ? AccStatic : 0) |
-          (Sk.IsInterface ? (AccPublic | AccFinal | AccStatic)
-                          : (R.chance(60) ? AccPrivate : AccPublic)));
+          (Sk.IsInterface
+               ? (AccPublic | AccFinal | AccStatic)
+               : (F.PrivacyDecided
+                      ? (F.IsPrivate ? AccPrivate : AccPublic)
+                      : (R.chance(60) ? AccPrivate : AccPublic))));
       if (F.HasConst)
         MI.AccessFlags |= AccFinal;
       MI.NameIndex = CF.CP.addUtf8(F.Name);
@@ -919,7 +1048,8 @@ private:
     for (const MethodSig &MS : Sk.Methods) {
       MemberInfo MI;
       MI.AccessFlags = static_cast<uint16_t>(
-          AccPublic | (MS.IsStatic ? AccStatic : 0) |
+          (MS.IsPrivate ? AccPrivate : AccPublic) |
+          (MS.IsStatic ? AccStatic : 0) |
           (MS.IsAbstract ? AccAbstract : 0));
       MI.NameIndex = CF.CP.addUtf8(MS.Name);
       MI.DescriptorIndex = CF.CP.addUtf8(MS.Desc);

@@ -54,6 +54,18 @@ struct CorpusSpec {
   /// Emit SourceFile, LineNumberTable, and LocalVariableTable attributes,
   /// as compilers do by default — the debug information §2 strips.
   bool EmitDebugInfo = true;
+  /// Percent of call/field-access statements emitted against the
+  /// *subclass* as owner while the member is defined on a generated
+  /// superclass or interface, so reference resolution must walk the
+  /// hierarchy (what javac emits for inherited members). 0 — the
+  /// default — draws nothing from the RNG, keeping the wire-format
+  /// golden hashes valid.
+  unsigned PctInheritedRefs = 0;
+  /// Dead private members (fields and methods no reference in the
+  /// corpus targets) seeded per concrete class, as food for
+  /// `packtool lint` dead-weight reporting and
+  /// PackOptions::StripUnreferenced. 0 — the default — draws nothing.
+  unsigned DeadMembersPerClass = 0;
 };
 
 /// Generates the classfiles of \p Spec (parsed model form).

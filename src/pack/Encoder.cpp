@@ -17,14 +17,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/ArchiveAnalysis.h"
+#include "analysis/Verifier.h"
 #include "classfile/Reader.h"
 #include "classfile/Transform.h"
+#include "classfile/Writer.h"
 #include "pack/ArchiveIndex.h"
 #include "pack/ClassOrder.h"
 #include "pack/Dictionary.h"
 #include "pack/Packer.h"
 #include "pack/Preload.h"
 #include "pack/Transcode.h"
+#include "support/Sha1.h"
 #include "support/ThreadPool.h"
 #include "support/VarInt.h"
 #include <algorithm>
@@ -837,6 +841,49 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
   return Result;
 }
 
+namespace {
+
+/// The StripUnreferenced gate: the packed archive must restore exactly
+/// the stripped classes (order-independent byte comparison, since
+/// packing may reorder) and stripping must not have introduced verifier
+/// diagnostics beyond \p BaselineDiags.
+Error verifyStrippedArchive(const std::vector<ClassFile> &Stripped,
+                            const std::vector<uint8_t> &Archive,
+                            unsigned Threads, size_t BaselineDiags) {
+  auto Restored = unpackClasses(Archive, Threads);
+  if (!Restored)
+    return Error::failure("strip-unreferenced gate: archive does not "
+                          "restore: " +
+                          Restored.message());
+  if (Restored->size() != Stripped.size())
+    return Error::failure("strip-unreferenced gate: restored " +
+                          std::to_string(Restored->size()) + " classes, "
+                          "expected " +
+                          std::to_string(Stripped.size()));
+  std::vector<std::array<uint8_t, 20>> Want, Got;
+  Want.reserve(Stripped.size());
+  Got.reserve(Stripped.size());
+  for (const ClassFile &CF : Stripped)
+    Want.push_back(sha1Of(writeClassFile(CF)));
+  size_t RestoredDiags = 0;
+  for (const ClassFile &CF : *Restored) {
+    Got.push_back(sha1Of(writeClassFile(CF)));
+    RestoredDiags += analysis::verifyClass(CF).Diags.size();
+  }
+  std::sort(Want.begin(), Want.end());
+  std::sort(Got.begin(), Got.end());
+  if (Want != Got)
+    return Error::failure("strip-unreferenced gate: restored classes "
+                          "differ from the stripped input");
+  if (RestoredDiags > BaselineDiags)
+    return Error::failure("strip-unreferenced gate: stripping introduced " +
+                          std::to_string(RestoredDiags - BaselineDiags) +
+                          " verifier diagnostics");
+  return Error::success();
+}
+
+} // namespace
+
 Expected<PackResult>
 cjpack::packClassBytes(const std::vector<NamedClass> &Classes,
                        const PackOptions &Options) {
@@ -851,8 +898,25 @@ cjpack::packClassBytes(const std::vector<NamedClass> &Classes,
       return Error::failure(C.Name + ": " + E.message());
     Parsed.push_back(std::move(*CF));
   }
+  analysis::StripStats Strip;
+  size_t BaselineDiags = 0;
+  if (Options.StripUnreferenced) {
+    for (const ClassFile &CF : Parsed)
+      BaselineDiags += analysis::verifyClass(CF).Diags.size();
+    auto Stats = analysis::stripUnreferencedMembers(Parsed);
+    if (!Stats)
+      return Error::failure("strip-unreferenced: " + Stats.message());
+    Strip = *Stats;
+  }
   double ParseSec = ParseTimer.seconds();
   auto Result = packClasses(Parsed, Options);
+  if (Result && Options.StripUnreferenced) {
+    if (auto E = verifyStrippedArchive(Parsed, Result->Archive,
+                                       Options.Threads, BaselineDiags))
+      return E;
+    Result->StrippedFields = Strip.FieldsRemoved;
+    Result->StrippedMethods = Strip.MethodsRemoved;
+  }
   if (Result)
     Result->Trace.Phases.ParseSec = ParseSec;
   return Result;

@@ -72,6 +72,15 @@ struct PackOptions {
   /// Worker threads used to encode shards (0 = one per hardware
   /// thread). Has no effect on the output bytes.
   unsigned Threads = 0;
+  /// Drop private members (and, via re-canonicalization, their
+  /// constant-pool entries) that no reference anywhere in the archive
+  /// resolves to, before encoding (analysis/ArchiveAnalysis.h). The
+  /// output is gated: the packed archive is unpacked again and every
+  /// restored class must be byte-identical to its stripped input and
+  /// introduce no new verifier diagnostics, or packing fails with a
+  /// typed error. Off by default — stripped archives are smaller but no
+  /// longer restore the dead members.
+  bool StripUnreferenced = false;
   /// Write the version-3 random-access layout: a per-class index after
   /// the header, and each shard's streams serialized as an independent
   /// blob so PackedArchiveReader can locate, inflate, and decode a
@@ -115,6 +124,9 @@ struct PackResult {
   /// Version-3 archives only: bytes of the per-class index frame
   /// (including its length prefix), the random-access overhead.
   size_t IndexBytes = 0;
+  /// StripUnreferenced only: dead private members dropped pre-encode.
+  size_t StrippedFields = 0;
+  size_t StrippedMethods = 0;
   /// Telemetry from this run: per-phase wall times, per-shard timings,
   /// and per-pool coder tallies. Observational only — the archive bytes
   /// are independent of anything recorded here.
