@@ -39,7 +39,7 @@ BenchData cjpack::loadBench(const CorpusSpec &Spec) {
       exit(1);
     }
     B.StrippedBytes.push_back(
-        {CF->thisClassName() + ".class", writeClassFile(*CF)});
+        {std::string(CF->thisClassName()) + ".class", writeClassFile(*CF)});
     B.Prepared.push_back(std::move(*CF));
   }
   return B;

@@ -33,9 +33,9 @@ size_t attrBytes(const AttributeInfo &A) { return 6 + A.Bytes.size(); }
 
 Breakdown analyze(const BenchData &B) {
   Breakdown Out;
-  std::set<std::string> SharedTexts;
+  std::set<std::string, std::less<>> SharedTexts;
   size_t StringConstChars = 0;
-  std::set<std::string> SeenStringConsts;
+  std::set<std::string, std::less<>> SeenStringConsts;
 
   for (size_t C = 0; C < B.Prepared.size(); ++C) {
     const ClassFile &CF = B.Prepared[C];
@@ -63,7 +63,7 @@ Breakdown analyze(const BenchData &B) {
       switch (E.Tag) {
       case CpTag::Utf8:
         Out.Utf8 += 3 + E.Text.size();
-        SharedTexts.insert(E.Text);
+        SharedTexts.emplace(E.Text);
         break;
       case CpTag::Integer:
       case CpTag::Float:
@@ -82,7 +82,7 @@ Breakdown analyze(const BenchData &B) {
         break;
       }
       if (E.Tag == CpTag::String &&
-          SeenStringConsts.insert(CF.CP.utf8(E.Ref1)).second)
+          SeenStringConsts.emplace(CF.CP.utf8(E.Ref1)).second)
         StringConstChars += CF.CP.utf8(E.Ref1).size();
     }
   }
@@ -95,11 +95,11 @@ Breakdown analyze(const BenchData &B) {
   // distinct string constants. Descriptor strings vanish entirely —
   // they become arrays of class references.
   size_t Chars = StringConstChars;
-  std::set<std::string> Pkgs, Simples, FieldNames, MethodNames;
+  std::set<std::string, std::less<>> Pkgs, Simples, FieldNames, MethodNames;
   for (size_t C = 0; C < B.Prepared.size(); ++C) {
     const ClassFile &CF = B.Prepared[C];
-    auto NoteClass = [&](const std::string &Internal) {
-      std::string Name = Internal;
+    auto NoteClass = [&](std::string_view Internal) {
+      std::string Name(Internal);
       while (!Name.empty() && Name[0] == '[')
         Name.erase(Name.begin());
       if (!Name.empty() && Name[0] == 'L')
@@ -115,7 +115,7 @@ Breakdown analyze(const BenchData &B) {
         Simples.insert(Name.substr(Slash + 1));
       }
     };
-    auto NoteDesc = [&](const std::string &Desc) {
+    auto NoteDesc = [&](std::string_view Desc) {
       auto M = parseMethodDescriptor(Desc);
       if (M) {
         for (const TypeDesc &P : M->Params)
@@ -139,11 +139,11 @@ Breakdown analyze(const BenchData &B) {
         NoteDesc(CF.CP.utf8(E.Ref2));
     }
     for (const MemberInfo &F : CF.Fields) {
-      FieldNames.insert(CF.CP.utf8(F.NameIndex));
+      FieldNames.emplace(CF.CP.utf8(F.NameIndex));
       NoteDesc(CF.CP.utf8(F.DescriptorIndex));
     }
     for (const MemberInfo &M : CF.Methods) {
-      MethodNames.insert(CF.CP.utf8(M.NameIndex));
+      MethodNames.emplace(CF.CP.utf8(M.NameIndex));
       NoteDesc(CF.CP.utf8(M.DescriptorIndex));
     }
     for (uint16_t I = 1; I < CF.CP.count(); ++I) {
@@ -154,9 +154,9 @@ Breakdown analyze(const BenchData &B) {
           E.Tag == CpTag::InterfaceMethodRef) {
         const CpEntry &NT = CF.CP.entry(E.Ref2);
         if (E.Tag == CpTag::FieldRef)
-          FieldNames.insert(CF.CP.utf8(NT.Ref1));
+          FieldNames.emplace(CF.CP.utf8(NT.Ref1));
         else
-          MethodNames.insert(CF.CP.utf8(NT.Ref1));
+          MethodNames.emplace(CF.CP.utf8(NT.Ref1));
       }
     }
   }

@@ -7,7 +7,8 @@ Row-by-row (matched on "name"):
   - exact match required on the zlib-independent fields a row carries
     (pack rows: shards/classes/input_bytes/raw_stream_bytes; lint rows
     add the reference census, diagnostics, and dead-weight counts;
-    strip rows add the removed-member counts) — fields absent from the
+    strip rows add the removed-member counts; scale parse rows add the
+    arena counters and view census) — fields absent from the
     baseline row are skipped, so old baselines keep comparing
   - compressed sizes (archive_bytes, default_archive_bytes) must stay
     within TOLERANCE of the baseline (the deflate output legitimately
@@ -39,6 +40,9 @@ EXACT_FIELDS = (
     "dead_pool_entries",
     "stripped_fields",
     "stripped_methods",
+    "arena_allocations",
+    "arena_bytes",
+    "model_views",
 )
 
 SIZE_FIELDS = ("archive_bytes", "default_archive_bytes")

@@ -64,10 +64,10 @@ int main() {
   }
   printf("\neager class loading (par. 11): defining classes as their\n"
          "bytes arrive...\n");
-  std::set<std::string> Defined;
+  std::set<std::string, std::less<>> Defined;
   size_t Loadable = 0;
   for (const ClassFile &CF : *Restored) {
-    auto Available = [&](const std::string &Name) {
+    auto Available = [&](std::string_view Name) {
       // A supertype is available if already defined from this archive
       // or not part of the archive at all (e.g. java/lang/Object).
       if (Defined.count(Name))
@@ -82,10 +82,10 @@ int main() {
       Ok = Ok && Available(CF.CP.className(I));
     if (!Ok) {
       printf("  %s arrived before its supertypes — would block!\n",
-             CF.thisClassName().c_str());
+             std::string(CF.thisClassName()).c_str());
       return 1;
     }
-    Defined.insert(CF.thisClassName());
+    Defined.emplace(CF.thisClassName());
     ++Loadable;
   }
   printf("  all %zu classes were defineClass-able on arrival\n",

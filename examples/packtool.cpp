@@ -18,6 +18,10 @@
 // `--threads N` (anywhere on the command line) packs into N shards
 // encoded on N worker threads, and unpacks sharded archives on N
 // threads. The default (1) writes the classic single-shard format.
+// `--shards=N` overrides the shard count independently of the worker
+// count; `--shards=auto` lets the library pick from the class count
+// and hardware concurrency (autoShardCount), which trades
+// cross-machine reproducibility for scaling on big inputs.
 //
 // `--indexed` on pack/stats writes the version-3 random-access layout
 // (per-class index + independently compressed shard blobs). `list` and
@@ -73,8 +77,18 @@ using namespace cjpack;
 
 namespace {
 
-/// Worker-thread count from --threads (also the pack shard count).
+/// Worker-thread count from --threads (also the pack shard count
+/// unless --shards overrides it).
 unsigned NumThreads = 1;
+
+/// Shard count from --shards: -1 follows --threads, 0 is auto
+/// (PackOptions::Shards = 0), positive is an explicit count.
+int ShardsOpt = -1;
+
+/// The pack shard count the command line asked for.
+unsigned shardCount() {
+  return ShardsOpt < 0 ? NumThreads : static_cast<unsigned>(ShardsOpt);
+}
 
 /// --indexed: pack/stats write the version-3 random-access layout.
 bool Indexed = false;
@@ -128,7 +142,7 @@ unpackAnyArchive(const std::vector<uint8_t> &Bytes) {
     Out.reserve(Classes->size());
     for (const ClassFile &CF : *Classes) {
       NamedClass C;
-      C.Name = CF.thisClassName() + ".class";
+      C.Name = std::string(CF.thisClassName()) + ".class";
       C.Data = writeClassFile(CF);
       Out.push_back(std::move(C));
     }
@@ -260,7 +274,7 @@ int cmdPack(const std::string &InPath, const std::string &OutPath) {
     }
   }
   PackOptions Options;
-  Options.Shards = NumThreads;
+  Options.Shards = shardCount();
   Options.Threads = NumThreads;
   Options.RandomAccessIndex = Indexed;
   Options.Backend = PackBackend;
@@ -731,7 +745,7 @@ int cmdStats(const std::vector<std::string> &Args) {
     if (isClassName(E.Name))
       Classes.push_back(std::move(E));
   PackOptions Options;
-  Options.Shards = NumThreads;
+  Options.Shards = shardCount();
   Options.Threads = NumThreads;
   Options.RandomAccessIndex = Indexed;
   Options.Backend = PackBackend;
@@ -810,7 +824,7 @@ int cmdTune(const std::string &InPath, const std::string &OutPath) {
       Classes.push_back(std::move(E));
 
   PackOptions Base;
-  Base.Shards = NumThreads;
+  Base.Shards = shardCount();
   Base.Threads = NumThreads;
   Base.RandomAccessIndex = Indexed;
 
@@ -929,6 +943,15 @@ int main(int Argc, char **Argv) {
       NumThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (A.rfind("--threads=", 0) == 0) {
       NumThreads = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+    } else if (A == "--shards=auto") {
+      ShardsOpt = 0;
+    } else if (A.rfind("--shards=", 0) == 0) {
+      ShardsOpt = std::atoi(A.c_str() + 9);
+      if (ShardsOpt <= 0) {
+        fprintf(stderr, "packtool: --shards wants a positive count or "
+                        "'auto'\n");
+        return 2;
+      }
     } else if (A == "--indexed") {
       Indexed = true;
     } else if (A == "--strip-unreferenced") {
@@ -982,7 +1005,8 @@ int main(int Argc, char **Argv) {
   if (Args.empty())
     return cmdSelftest("."); // run the demo when invoked bare
   fprintf(stderr,
-          "usage: packtool [--threads N] [--indexed] [--backend=NAME] "
+          "usage: packtool [--threads N] [--shards=N|auto] [--indexed] "
+          "[--backend=NAME] "
           "[--verify[=warn|strict]] [--strip-unreferenced] "
           "pack <in.jar> <out.cjp>\n"
           "       packtool [--threads N] unpack <in.cjp> <out.jar>\n"

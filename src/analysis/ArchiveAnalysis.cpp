@@ -26,13 +26,13 @@ const char *cjpack::analysis::refVerdictName(RefVerdict V) {
   return "?";
 }
 
-bool cjpack::analysis::isPlatformClassName(const std::string &Name) {
+bool cjpack::analysis::isPlatformClassName(std::string_view Name) {
   return Name.starts_with("java/") || Name.starts_with("javax/") ||
          Name.starts_with("jdk/") || Name.starts_with("sun/");
 }
 
-bool cjpack::analysis::isKnownObjectMethod(const std::string &Name,
-                                           const std::string &Desc) {
+bool cjpack::analysis::isKnownObjectMethod(std::string_view Name,
+                                           std::string_view Desc) {
   // java/lang/Object's inheritable methods, fixed since JDK 1.0: the
   // public set plus the protected clone/finalize. <init> is never
   // inherited and registerNatives is private, so neither is listed.
@@ -60,14 +60,14 @@ namespace {
 /// Utf8 text at \p Index, or nullptr when the slot is missing or holds
 /// another tag. All constant-pool access below goes through these
 /// checked helpers — analysis input may be hostile.
-const std::string *utf8At(const ConstantPool &CP, uint16_t Index) {
+const std::string_view *utf8At(const ConstantPool &CP, uint16_t Index) {
   if (!CP.isValidIndex(Index) || CP.entry(Index).Tag != CpTag::Utf8)
     return nullptr;
   return &CP.entry(Index).Text;
 }
 
 /// Internal name of the Class entry at \p Index, or nullptr.
-const std::string *classNameAt(const ConstantPool &CP, uint16_t Index) {
+const std::string_view *classNameAt(const ConstantPool &CP, uint16_t Index) {
   if (!CP.isValidIndex(Index) || CP.entry(Index).Tag != CpTag::Class)
     return nullptr;
   return utf8At(CP, CP.entry(Index).Ref1);
@@ -76,9 +76,9 @@ const std::string *classNameAt(const ConstantPool &CP, uint16_t Index) {
 /// A decoded Fieldref/Methodref/InterfaceMethodref.
 struct MemberRefParts {
   CpTag Tag = CpTag::None;
-  const std::string *Owner = nullptr;
-  const std::string *Name = nullptr;
-  const std::string *Desc = nullptr;
+  const std::string_view *Owner = nullptr;
+  const std::string_view *Name = nullptr;
+  const std::string_view *Desc = nullptr;
 };
 
 /// Decodes the member ref at \p Index; nullopt when the slot holds a
@@ -103,20 +103,20 @@ std::optional<MemberRefParts> memberRefAt(const ConstantPool &CP,
   return P;
 }
 
-const std::string *memberName(const ClassFile &CF, const MemberInfo &M) {
+const std::string_view *memberName(const ClassFile &CF, const MemberInfo &M) {
   return utf8At(CF.CP, M.NameIndex);
 }
 
-const std::string *memberDesc(const ClassFile &CF, const MemberInfo &M) {
+const std::string_view *memberDesc(const ClassFile &CF, const MemberInfo &M) {
   return utf8At(CF.CP, M.DescriptorIndex);
 }
 
 /// Finds the member named \p Name:\p Desc in \p List, or -1.
 int32_t findMember(const ClassFile &CF, const std::vector<MemberInfo> &List,
-                   const std::string &Name, const std::string &Desc) {
+                   std::string_view Name, std::string_view Desc) {
   for (size_t K = 0; K < List.size(); ++K) {
-    const std::string *N = memberName(CF, List[K]);
-    const std::string *D = memberDesc(CF, List[K]);
+    const std::string_view *N = memberName(CF, List[K]);
+    const std::string_view *D = memberDesc(CF, List[K]);
     if (N && D && *N == Name && *D == Desc)
       return static_cast<int32_t>(K);
   }
@@ -129,7 +129,7 @@ int32_t findMember(const ClassFile &CF, const std::vector<MemberInfo> &List,
 // ClassHierarchy
 //===----------------------------------------------------------------------===//
 
-int32_t ClassHierarchy::internNode(const std::string &Name) {
+int32_t ClassHierarchy::internNode(std::string_view Name) {
   auto [It, Inserted] =
       ByName.try_emplace(Name, static_cast<int32_t>(Nodes.size()));
   if (Inserted) {
@@ -140,7 +140,7 @@ int32_t ClassHierarchy::internNode(const std::string &Name) {
   return It->second;
 }
 
-int32_t ClassHierarchy::lookup(const std::string &Name) const {
+int32_t ClassHierarchy::lookup(std::string_view Name) const {
   auto It = ByName.find(Name);
   return It == ByName.end() ? ClassNone : It->second;
 }
@@ -152,7 +152,7 @@ ClassHierarchy ClassHierarchy::build(const std::vector<ClassFile> &Classes) {
   // regardless of input order.
   for (size_t K = 0; K < Classes.size(); ++K) {
     const ClassFile &CF = Classes[K];
-    const std::string *Name = classNameAt(CF.CP, CF.ThisClass);
+    const std::string_view *Name = classNameAt(CF.CP, CF.ThisClass);
     if (!Name) {
       H.Malformed.push_back(static_cast<int32_t>(K));
       continue;
@@ -177,12 +177,12 @@ ClassHierarchy ClassHierarchy::build(const std::vector<ClassFile> &Classes) {
       continue;
     const ClassFile &CF = *H.Nodes[K].Def;
     if (CF.SuperClass != 0)
-      if (const std::string *Super = classNameAt(CF.CP, CF.SuperClass)) {
+      if (const std::string_view *Super = classNameAt(CF.CP, CF.SuperClass)) {
         int32_t Id = H.internNode(*Super);
         H.Nodes[K].Super = Id;
       }
     for (uint16_t I : CF.Interfaces)
-      if (const std::string *Iface = classNameAt(CF.CP, I)) {
+      if (const std::string_view *Iface = classNameAt(CF.CP, I)) {
         int32_t Id = H.internNode(*Iface);
         H.Nodes[K].Interfaces.push_back(Id);
       }
@@ -374,9 +374,9 @@ static void interfaceClosure(const ClassHierarchy &H, int32_t Start,
     Out.push_back(Start);
 }
 
-RefResolution ClassHierarchy::resolveField(const std::string &OwnerName,
-                                           const std::string &Name,
-                                           const std::string &Desc) const {
+RefResolution ClassHierarchy::resolveField(std::string_view OwnerName,
+                                           std::string_view Name,
+                                           std::string_view Desc) const {
   RefResolution R;
   if (OwnerName.starts_with("[")) // arrays declare no fields; the ref
     return R;                     // targets the runtime, not the archive
@@ -428,9 +428,9 @@ RefResolution ClassHierarchy::resolveField(const std::string &OwnerName,
   return R;
 }
 
-RefResolution ClassHierarchy::resolveMethod(const std::string &OwnerName,
-                                            const std::string &Name,
-                                            const std::string &Desc,
+RefResolution ClassHierarchy::resolveMethod(std::string_view OwnerName,
+                                            std::string_view Name,
+                                            std::string_view Desc,
                                             bool InterfaceKind) const {
   RefResolution R;
   if (OwnerName.starts_with("[")) // arrays answer Object's methods plus
@@ -630,7 +630,7 @@ private:
     mark(M.NameIndex);
     mark(M.DescriptorIndex);
     for (const AttributeInfo &A : M.Attributes)
-      AttrNames.insert(A.Name);
+      AttrNames.emplace(A.Name);
     if (!markAttributes(M.Attributes))
       return Error::success();
     for (const AttributeInfo &A : M.Attributes) {
@@ -640,7 +640,7 @@ private:
       if (!Code)
         return Code.takeError();
       for (const AttributeInfo &Nested : Code->Attributes)
-        AttrNames.insert(Nested.Name);
+        AttrNames.emplace(Nested.Name);
       if (!markAttributes(Code->Attributes))
         return Error::success();
       for (const ExceptionTableEntry &E : Code->ExceptionTable)
@@ -695,7 +695,7 @@ private:
   const std::vector<bool> &FieldLive;
   const std::vector<bool> &MethodLive;
   std::set<uint16_t> Reachable;
-  std::set<std::string> AttrNames{"Code"};
+  std::set<std::string, std::less<>> AttrNames{"Code"};
   bool Known = true;
 };
 
@@ -722,8 +722,8 @@ cjpack::analysis::analyzeArchive(const std::vector<ClassFile> &Classes) {
          "unusable this_class entry");
   for (int32_t K : H.duplicates()) {
     const ClassFile &CF = Classes[static_cast<size_t>(K)];
-    const std::string *Name = classNameAt(CF.CP, CF.ThisClass);
-    Diag(DiagKind::DuplicateClass, Name ? *Name : "?", NoOffset,
+    const std::string_view *Name = classNameAt(CF.CP, CF.ThisClass);
+    Diag(DiagKind::DuplicateClass, Name ? std::string(*Name) : "?", NoOffset,
          "several classes in the archive share this internal name");
   }
 
@@ -733,7 +733,7 @@ cjpack::analysis::analyzeArchive(const std::vector<ClassFile> &Classes) {
     if (!N.Def)
       continue;
     if (N.OnCycle)
-      Diag(DiagKind::SuperclassCycle, N.Name, NoOffset,
+      Diag(DiagKind::SuperclassCycle, std::string(N.Name), NoOffset,
            "class sits on a superclass/interface cycle");
     std::set<int32_t> Seen;
     std::vector<int32_t> Work(N.Interfaces);
@@ -747,8 +747,8 @@ cjpack::analysis::analyzeArchive(const std::vector<ClassFile> &Classes) {
       const HierarchyNode &A = H.node(C);
       if (!A.Def) {
         if (!isPlatformClassName(A.Name))
-          Diag(DiagKind::MissingAncestor, N.Name, NoOffset,
-               "ancestor " + A.Name + " is not in the archive");
+          Diag(DiagKind::MissingAncestor, std::string(N.Name), NoOffset,
+               "ancestor " + std::string(A.Name) + " is not in the archive");
         continue;
       }
       if (A.OnCycle)
@@ -775,7 +775,7 @@ cjpack::analysis::analyzeArchive(const std::vector<ClassFile> &Classes) {
       std::vector<bool> Live(List.size());
       for (size_t K = 0; K < List.size(); ++K) {
         const MemberInfo &M = List[K];
-        const std::string *Name = memberName(CF, M);
+        const std::string_view *Name = memberName(CF, M);
         bool Exported = !(M.AccessFlags & AccPrivate) || !Name ||
                         !memberDesc(CF, M) ||
                         (!IsField && (*Name == "<init>" || *Name == "<clinit>"));
@@ -791,8 +791,9 @@ cjpack::analysis::analyzeArchive(const std::vector<ClassFile> &Classes) {
   // Cross-reference resolution over every member ref in every class.
   for (size_t K = 0; K < Classes.size(); ++K) {
     const ClassFile &CF = Classes[K];
-    const std::string *Self = classNameAt(CF.CP, CF.ThisClass);
-    std::string Ctx = Self ? *Self : "class #" + std::to_string(K);
+    const std::string_view *Self = classNameAt(CF.CP, CF.ThisClass);
+    std::string Ctx =
+        Self ? std::string(*Self) : "class #" + std::to_string(K);
     for (uint16_t I = 1; I < CF.CP.count(); ++I) {
       auto P = memberRefAt(CF.CP, I);
       if (!P)
@@ -808,8 +809,13 @@ cjpack::analysis::analyzeArchive(const std::vector<ClassFile> &Classes) {
               ? H.resolveField(*P->Owner, *P->Name, *P->Desc)
               : H.resolveMethod(*P->Owner, *P->Name, *P->Desc,
                                 P->Tag == CpTag::InterfaceMethodRef);
-      std::string Ref = std::string(cpTagName(P->Tag)) + " " + *P->Owner +
-                        "." + *P->Name + ":" + *P->Desc;
+      std::string Ref = cpTagName(P->Tag);
+      Ref += ' ';
+      Ref += *P->Owner;
+      Ref += '.';
+      Ref += *P->Name;
+      Ref += ':';
+      Ref += *P->Desc;
       switch (R.Verdict) {
       case RefVerdict::Resolved:
         ++Rep.RefsResolved;
@@ -860,7 +866,7 @@ cjpack::analysis::analyzeArchive(const std::vector<ClassFile> &Classes) {
     auto Dead =
         DeadPoolCounter(*N.Def, FieldLive[Input], MethodLive[Input]).run();
     if (!Dead) {
-      Diag(DiagKind::MalformedCode, N.Name, NoOffset,
+      Diag(DiagKind::MalformedCode, std::string(N.Name), NoOffset,
            "reachability pass failed: " + Dead.message());
       continue;
     }

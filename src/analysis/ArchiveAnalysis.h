@@ -30,7 +30,7 @@
 #include "classfile/ClassFile.h"
 #include "support/Error.h"
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -45,7 +45,7 @@ inline constexpr int32_t ClassNull = -2; ///< aconst_null (join identity)
 /// archive (Def non-null) or external — mentioned as a superclass,
 /// interface, or reference owner but not present.
 struct HierarchyNode {
-  std::string Name;
+  std::string_view Name; ///< borrowed from the defining class's pool
   int32_t Super = ClassNone; ///< node id; ClassNone for roots/unknown
   std::vector<int32_t> Interfaces;
   const ClassFile *Def = nullptr; ///< null for external classes
@@ -98,7 +98,7 @@ public:
 
   /// Node id of \p Name, or ClassNone when the archive neither defines
   /// nor mentions it.
-  int32_t lookup(const std::string &Name) const;
+  int32_t lookup(std::string_view Name) const;
 
   /// True when \p Id names a class the archive defines.
   bool isDefined(int32_t Id) const {
@@ -128,26 +128,26 @@ public:
   /// Resolves a Fieldref named \p OwnerName.\p Name:\p Desc following
   /// JVMS 5.4.3.2: the owner's own fields, then superinterfaces, then
   /// the superclass chain.
-  RefResolution resolveField(const std::string &OwnerName,
-                             const std::string &Name,
-                             const std::string &Desc) const;
+  RefResolution resolveField(std::string_view OwnerName,
+                             std::string_view Name,
+                             std::string_view Desc) const;
 
   /// Resolves a Methodref (\p InterfaceKind false) or InterfaceMethodref
   /// (true) following JVMS 5.4.3.3/5.4.3.4: kind check against the
   /// owner, the superclass chain, then maximally-specific superinterface
   /// methods. java/lang/Object's public methods are known by name, so
   /// Object-rooted searches can still prove a reference dangling.
-  RefResolution resolveMethod(const std::string &OwnerName,
-                              const std::string &Name,
-                              const std::string &Desc,
+  RefResolution resolveMethod(std::string_view OwnerName,
+                              std::string_view Name,
+                              std::string_view Desc,
                               bool InterfaceKind) const;
 
 private:
-  int32_t internNode(const std::string &Name);
+  int32_t internNode(std::string_view Name);
   void computeCycles();
 
   std::vector<HierarchyNode> Nodes;
-  std::unordered_map<std::string, int32_t> ByName;
+  std::unordered_map<std::string_view, int32_t> ByName;
   std::vector<int32_t> Duplicates;
   std::vector<int32_t> Malformed;
 };
@@ -207,12 +207,12 @@ Expected<StripStats> stripUnreferencedMembers(std::vector<ClassFile> &Classes);
 /// True for names under the platform namespaces (java/, javax/, jdk/,
 /// sun/) that an archive legitimately references without defining;
 /// everything else missing from the archive is a missing ancestor.
-bool isPlatformClassName(const std::string &Name);
+bool isPlatformClassName(std::string_view Name);
 
 /// True when \p Name:\p Desc is one of java/lang/Object's fixed public/
 /// protected methods — the one external class resolution must know to
 /// call a search at an Object boundary complete.
-bool isKnownObjectMethod(const std::string &Name, const std::string &Desc);
+bool isKnownObjectMethod(std::string_view Name, std::string_view Desc);
 
 } // namespace cjpack::analysis
 

@@ -326,7 +326,7 @@ struct Interp {
 
   /// Descriptor text of a member / invokedynamic reference, via its
   /// NameAndType; null when any link is malformed.
-  const std::string *memberDesc(const CpEntry &Ref) {
+  const std::string_view *memberDesc(const CpEntry &Ref) {
     const CpEntry *NT = cpAt(Ref.Ref2, {CpTag::NameAndType});
     if (!NT)
       return nullptr;
@@ -357,12 +357,12 @@ struct Interp {
     return H->lookup(T.ClassName);
   }
 
-  int32_t classOfFieldDesc(const std::string &Desc) {
+  int32_t classOfFieldDesc(std::string_view Desc) {
     auto T = parseFieldDescriptor(Desc);
     return T ? classOfType(*T) : ClassNone;
   }
 
-  int32_t classOfMethodReturn(const std::string &Desc) {
+  int32_t classOfMethodReturn(std::string_view Desc) {
     auto M = parseMethodDescriptor(Desc);
     return M ? classOfType(M->Ret) : ClassNone;
   }
@@ -518,7 +518,7 @@ struct Interp {
     case Op::PutField:
     case Op::PutStatic: {
       const CpEntry *Ref = cpAt(I.CpIndex, {CpTag::FieldRef});
-      const std::string *Desc = Ref ? memberDesc(*Ref) : nullptr;
+      const std::string_view *Desc = Ref ? memberDesc(*Ref) : nullptr;
       VType T = Desc ? vtypeOfFieldDescriptor(*Desc) : VType::Unknown;
       if (T == VType::Unknown || T == VType::Void)
         return fail(DiagKind::MalformedCode, I,
@@ -550,7 +550,7 @@ struct Interp {
       else
         Ref = cpAt(I.CpIndex,
                    {CpTag::MethodRef, CpTag::InterfaceMethodRef});
-      const std::string *Desc = Ref ? memberDesc(*Ref) : nullptr;
+      const std::string_view *Desc = Ref ? memberDesc(*Ref) : nullptr;
       std::vector<VType> Args;
       VType Ret = VType::Void;
       if (!Desc || !vtypesOfMethodDescriptor(*Desc, Args, Ret))
@@ -630,15 +630,15 @@ struct Interp {
 };
 
 /// Guarded utf8 fetch (empty string on malformed links).
-std::string safeUtf8(const ConstantPool &CP, uint16_t Idx) {
+std::string_view safeUtf8(const ConstantPool &CP, uint16_t Idx) {
   if (!CP.isValidIndex(Idx) || CP.entry(Idx).Tag != CpTag::Utf8)
-    return std::string();
+    return {};
   return CP.entry(Idx).Text;
 }
 
-std::string safeClassName(const ConstantPool &CP, uint16_t Idx) {
+std::string_view safeClassName(const ConstantPool &CP, uint16_t Idx) {
   if (!CP.isValidIndex(Idx) || CP.entry(Idx).Tag != CpTag::Class)
-    return std::string();
+    return {};
   return safeUtf8(CP, CP.entry(Idx).Ref1);
 }
 
@@ -686,10 +686,10 @@ MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
     ParamSlots.push_back(AType::Ref);
   std::vector<VType> Args;
   VType Ret = VType::Void;
-  std::string Desc = safeUtf8(CF.CP, M.DescriptorIndex);
+  std::string_view Desc = safeUtf8(CF.CP, M.DescriptorIndex);
   if (!vtypesOfMethodDescriptor(Desc, Args, Ret)) {
     Diag(DiagKind::MalformedCode, NoOffset,
-         "method descriptor does not parse: " + Desc);
+         "method descriptor does not parse: " + std::string(Desc));
     return R;
   }
   for (VType A : Args)
@@ -820,14 +820,16 @@ MethodAnalysis cjpack::analysis::analyzeMethod(const ClassFile &CF,
 VerifyResult cjpack::analysis::verifyClass(const ClassFile &CF,
                                            const ClassHierarchy *H) {
   VerifyResult R;
-  std::string ClassName = safeClassName(CF.CP, CF.ThisClass);
+  std::string_view ClassName = safeClassName(CF.CP, CF.ThisClass);
   if (ClassName.empty())
     ClassName = "<class>";
   for (const MemberInfo &M : CF.Methods) {
-    std::string Name = safeUtf8(CF.CP, M.NameIndex);
-    std::string Desc = safeUtf8(CF.CP, M.DescriptorIndex);
-    std::string Method = ClassName + "." + (Name.empty() ? "<method>" : Name) +
-                         Desc;
+    std::string_view Name = safeUtf8(CF.CP, M.NameIndex);
+    std::string_view Desc = safeUtf8(CF.CP, M.DescriptorIndex);
+    std::string Method(ClassName);
+    Method += '.';
+    Method += Name.empty() ? std::string_view("<method>") : Name;
+    Method += Desc;
     MethodAnalysis A = analyzeMethod(CF, M, Method, H);
     if (A.HasCode)
       ++R.MethodsAnalyzed;
@@ -838,7 +840,9 @@ VerifyResult cjpack::analysis::verifyClass(const ClassFile &CF,
 
 VerifyResult
 cjpack::analysis::verifyClassBytes(const std::vector<uint8_t> &Bytes) {
-  auto CF = parseClassFile(Bytes);
+  // Borrowed parse: Bytes outlives this frame's ClassFile, so nothing
+  // needs copying.
+  auto CF = parseClassFile(Bytes, {}, ParseMode::Borrowed);
   if (!CF) {
     VerifyResult R;
     R.Diags.push_back({DiagKind::MalformedCode, std::string(), NoOffset,

@@ -14,7 +14,7 @@ namespace {
 /// Cursor over a code array with signed reads and error tracking.
 class CodeCursor {
 public:
-  explicit CodeCursor(const std::vector<uint8_t> &Code) : R(Code) {}
+  explicit CodeCursor(std::span<const uint8_t> Code) : R(Code) {}
 
   uint8_t u1() { return R.readU1(); }
   int8_t s1() { return static_cast<int8_t>(R.readU1()); }
@@ -57,7 +57,7 @@ Error checkTarget(int64_t Target, size_t CodeLen, uint32_t At) {
 } // namespace
 
 Expected<std::vector<Insn>> cjpack::decodeCode(
-    const std::vector<uint8_t> &Code) {
+    std::span<const uint8_t> Code) {
   std::vector<Insn> Out;
   CodeCursor C(Code);
   while (!C.atEnd()) {

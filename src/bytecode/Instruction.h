@@ -20,6 +20,7 @@
 #include "support/ByteBuffer.h"
 #include "support/Error.h"
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace cjpack {
@@ -57,7 +58,7 @@ struct Insn {
 
 /// Decodes a full code array into instructions. Fails on truncated or
 /// undefined opcodes.
-Expected<std::vector<Insn>> decodeCode(const std::vector<uint8_t> &Code);
+Expected<std::vector<Insn>> decodeCode(std::span<const uint8_t> Code);
 
 /// Re-encodes instructions; instruction offsets must match what encoding
 /// produces (they do for a vector straight out of decodeCode, and for

@@ -11,7 +11,7 @@ using namespace cjpack;
 
 const AttributeInfo *
 cjpack::findAttribute(const std::vector<AttributeInfo> &Attrs,
-                      const std::string &Name) {
+                      std::string_view Name) {
   for (const AttributeInfo &A : Attrs)
     if (A.Name == Name)
       return &A;
@@ -30,7 +30,7 @@ cjpack::parseCodeAttribute(const AttributeInfo &Attr,
   if (CodeLen > R.remaining())
     return Error::failure(ErrorCode::Corrupt,
                           "Code attribute: code_length overruns attribute");
-  Out.Code = R.readBytes(CodeLen);
+  Out.Code = R.readSpan(CodeLen);
   uint16_t ExcCount = R.readU2();
   Out.ExceptionTable.reserve(ExcCount);
   for (uint16_t I = 0; I < ExcCount; ++I) {
@@ -50,8 +50,8 @@ cjpack::parseCodeAttribute(const AttributeInfo &Attr,
                             "Code attribute: bad nested attribute header");
     AttributeInfo Nested;
     Nested.Name = CP.utf8(NameIdx);
-    Nested.Bytes = R.readBytes(Len);
-    Out.Attributes.push_back(std::move(Nested));
+    Nested.Bytes = R.readSpan(Len);
+    Out.Attributes.push_back(Nested);
   }
   if (auto E = R.takeError("Code attribute"))
     return E;
@@ -80,6 +80,8 @@ AttributeInfo cjpack::encodeCodeAttribute(const CodeAttribute &Code,
   }
   AttributeInfo Out;
   Out.Name = "Code";
-  Out.Bytes = W.take();
+  // The writer's buffer dies with this frame; park the encoded body in
+  // the pool's arena so the returned view survives.
+  Out.Bytes = CP.arena().copy(W.data());
   return Out;
 }

@@ -18,7 +18,8 @@
 
 #include "classfile/ConstantPool.h"
 #include <cstdint>
-#include <string>
+#include <span>
+#include <string_view>
 #include <vector>
 
 namespace cjpack {
@@ -40,10 +41,13 @@ enum AccessFlag : uint16_t {
 };
 
 /// A raw attribute: resolved name plus its info bytes (which may contain
-/// constant-pool indices interpreted per attribute kind).
+/// constant-pool indices interpreted per attribute kind). Both fields
+/// are views: into the input buffer for borrowed parses, into the
+/// class's arena for owning parses and synthesized attributes, or into
+/// static storage for literal names.
 struct AttributeInfo {
-  std::string Name;
-  std::vector<uint8_t> Bytes;
+  std::string_view Name;
+  std::span<const uint8_t> Bytes;
 };
 
 /// A field_info or method_info structure.
@@ -62,11 +66,12 @@ struct ExceptionTableEntry {
   uint16_t CatchType = 0; ///< Class cp index, or 0 for catch-all
 };
 
-/// Parsed view of a Code attribute.
+/// Parsed view of a Code attribute. Code is a subspan of the enclosing
+/// attribute's bytes (no copy); re-encoded code lands in the arena.
 struct CodeAttribute {
   uint16_t MaxStack = 0;
   uint16_t MaxLocals = 0;
-  std::vector<uint8_t> Code;
+  std::span<const uint8_t> Code;
   std::vector<ExceptionTableEntry> ExceptionTable;
   std::vector<AttributeInfo> Attributes;
 };
@@ -85,17 +90,22 @@ struct ClassFile {
   std::vector<AttributeInfo> Attributes;
 
   /// Internal name of this class (e.g. "java/util/HashMap").
-  const std::string &thisClassName() const { return CP.className(ThisClass); }
+  std::string_view thisClassName() const { return CP.className(ThisClass); }
 
   /// Internal name of the superclass, or "" for java/lang/Object's 0.
-  std::string superClassName() const {
-    return SuperClass == 0 ? std::string() : CP.className(SuperClass);
+  std::string_view superClassName() const {
+    return SuperClass == 0 ? std::string_view() : CP.className(SuperClass);
   }
+
+  /// The arena backing this class's owned strings and payloads; shared
+  /// with (and stored on) the constant pool so pool swaps and copies
+  /// keep the storage alive.
+  Arena &arena() { return CP.arena(); }
 };
 
 /// Finds the attribute named \p Name in \p Attrs, or nullptr.
 const AttributeInfo *findAttribute(const std::vector<AttributeInfo> &Attrs,
-                                   const std::string &Name);
+                                   std::string_view Name);
 
 /// Parses a Code attribute's info bytes; \p CP resolves nested attribute
 /// names.

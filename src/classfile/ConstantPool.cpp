@@ -72,6 +72,10 @@ uint16_t ConstantPool::addKeyed(CpEntry E) {
   auto It = Dedup.find(Key);
   if (It != Dedup.end())
     return It->second;
+  // The caller's Text view may be transient (a temporary, a buffer the
+  // pool does not own); intern the copy that the entry will keep.
+  if (E.Tag == CpTag::Utf8)
+    E.Text = arena().internString(E.Text);
   uint16_t Index = appendRaw(std::move(E));
   Dedup.emplace(std::move(Key), Index);
   return Index;
@@ -84,10 +88,12 @@ void ConstantPool::rebuildIndex() {
       Dedup.emplace(keyOf(Entries[I]), I);
 }
 
-uint16_t ConstantPool::addUtf8(const std::string &Text) {
+uint16_t ConstantPool::addUtf8(std::string_view Text) {
   CpEntry E;
   E.Tag = CpTag::Utf8;
   E.Text = Text;
+  // Dedup hit returns the existing entry; only a genuinely new string
+  // is interned into the arena (addKeyed copies E.Text before insert).
   return addKeyed(std::move(E));
 }
 
@@ -119,22 +125,22 @@ uint16_t ConstantPool::addDouble(uint64_t RawBits) {
   return addKeyed(std::move(E));
 }
 
-uint16_t ConstantPool::addClass(const std::string &InternalName) {
+uint16_t ConstantPool::addClass(std::string_view InternalName) {
   CpEntry E;
   E.Tag = CpTag::Class;
   E.Ref1 = addUtf8(InternalName);
   return addKeyed(std::move(E));
 }
 
-uint16_t ConstantPool::addString(const std::string &Value) {
+uint16_t ConstantPool::addString(std::string_view Value) {
   CpEntry E;
   E.Tag = CpTag::String;
   E.Ref1 = addUtf8(Value);
   return addKeyed(std::move(E));
 }
 
-uint16_t ConstantPool::addNameAndType(const std::string &Name,
-                                      const std::string &Desc) {
+uint16_t ConstantPool::addNameAndType(std::string_view Name,
+                                      std::string_view Desc) {
   CpEntry E;
   E.Tag = CpTag::NameAndType;
   E.Ref1 = addUtf8(Name);
@@ -142,9 +148,8 @@ uint16_t ConstantPool::addNameAndType(const std::string &Name,
   return addKeyed(std::move(E));
 }
 
-uint16_t ConstantPool::addRef(CpTag Kind, const std::string &ClassName,
-                              const std::string &Name,
-                              const std::string &Desc) {
+uint16_t ConstantPool::addRef(CpTag Kind, std::string_view ClassName,
+                              std::string_view Name, std::string_view Desc) {
   assert((Kind == CpTag::FieldRef || Kind == CpTag::MethodRef ||
           Kind == CpTag::InterfaceMethodRef) &&
          "addRef takes a member-reference tag");
@@ -155,13 +160,13 @@ uint16_t ConstantPool::addRef(CpTag Kind, const std::string &ClassName,
   return addKeyed(std::move(E));
 }
 
-const std::string &ConstantPool::utf8(uint16_t Index) const {
+std::string_view ConstantPool::utf8(uint16_t Index) const {
   const CpEntry &E = entry(Index);
   assert(E.Tag == CpTag::Utf8 && "expected a Utf8 entry");
   return E.Text;
 }
 
-const std::string &ConstantPool::className(uint16_t Index) const {
+std::string_view ConstantPool::className(uint16_t Index) const {
   const CpEntry &E = entry(Index);
   assert(E.Tag == CpTag::Class && "expected a Class entry");
   return utf8(E.Ref1);

@@ -10,14 +10,24 @@
 /// occupy two slots, the second slot holding a None placeholder, exactly
 /// as the classfile format numbers them.
 ///
+/// Utf8 text is stored as std::string_view. In borrowed mode (parsing
+/// over an mmapped jar or archive slice) views point into the caller's
+/// buffer and the pool allocates nothing; in owning mode new text is
+/// interned into the pool's Arena, which is shared — via shared_ptr —
+/// with every copy of the pool and with the ClassFile that embeds it,
+/// so views stay valid as long as any owner is alive.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CJPACK_CLASSFILE_CONSTANTPOOL_H
 #define CJPACK_CLASSFILE_CONSTANTPOOL_H
 
+#include "support/Arena.h"
 #include "support/Error.h"
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -49,7 +59,7 @@ enum class CpTag : uint8_t {
 const char *cpTagName(CpTag Tag);
 
 /// One constant-pool entry. Which fields are meaningful depends on Tag:
-///  * Utf8: Text
+///  * Utf8: Text (a view into the input mapping or the pool's arena)
 ///  * Integer/Float/Long/Double: Bits (raw IEEE/two's-complement bits)
 ///  * Class/String/MethodType/Module/Package: Ref1 (a Utf8 index)
 ///  * FieldRef/MethodRef/InterfaceMethodRef: Ref1 = Class, Ref2 = N&T
@@ -62,7 +72,7 @@ struct CpEntry {
   uint16_t Ref2 = 0;
   uint64_t Bits = 0;
   uint8_t RefKind = 0;
-  std::string Text;
+  std::string_view Text;
 
   bool isWide() const { return Tag == CpTag::Long || Tag == CpTag::Double; }
 };
@@ -71,6 +81,13 @@ struct CpEntry {
 class ConstantPool {
 public:
   ConstantPool() { Entries.emplace_back(); }
+
+  /// Constructs a pool sharing \p Mem, so entries copied from another
+  /// pool backed by the same arena stay valid after the swap
+  /// (canonicalization rebuilds pools this way).
+  explicit ConstantPool(std::shared_ptr<Arena> Mem) : Mem(std::move(Mem)) {
+    Entries.emplace_back();
+  }
 
   /// The classfile constant_pool_count (number of slots including slot 0).
   uint16_t count() const { return static_cast<uint16_t>(Entries.size()); }
@@ -92,33 +109,51 @@ public:
   }
 
   /// Appends \p E without deduplication (parser path). Long/Double consume
-  /// the following slot too. Returns the entry's index.
+  /// the following slot too. Returns the entry's index. The caller
+  /// guarantees E.Text outlives the pool (input mapping or this pool's
+  /// arena).
   uint16_t appendRaw(CpEntry E);
 
   /// \name Deduplicating builders
   /// Each returns the index of an existing equal entry or appends one.
+  /// Newly inserted text is interned into the pool's arena, so the
+  /// argument view may be transient.
   /// @{
-  uint16_t addUtf8(const std::string &Text);
+  uint16_t addUtf8(std::string_view Text);
   uint16_t addInteger(int32_t Value);
   uint16_t addFloat(uint32_t RawBits);
   uint16_t addLong(int64_t Value);
   uint16_t addDouble(uint64_t RawBits);
-  uint16_t addClass(const std::string &InternalName);
-  uint16_t addString(const std::string &Value);
-  uint16_t addNameAndType(const std::string &Name, const std::string &Desc);
-  uint16_t addRef(CpTag Kind, const std::string &ClassName,
-                  const std::string &Name, const std::string &Desc);
+  uint16_t addClass(std::string_view InternalName);
+  uint16_t addString(std::string_view Value);
+  uint16_t addNameAndType(std::string_view Name, std::string_view Desc);
+  uint16_t addRef(CpTag Kind, std::string_view ClassName,
+                  std::string_view Name, std::string_view Desc);
   /// @}
 
   /// Text of the Utf8 entry at \p Index (asserts tag).
-  const std::string &utf8(uint16_t Index) const;
+  std::string_view utf8(uint16_t Index) const;
 
   /// Internal name (e.g. "java/lang/String") of the Class entry at
   /// \p Index.
-  const std::string &className(uint16_t Index) const;
+  std::string_view className(uint16_t Index) const;
 
   /// Rebuilds the dedup maps after entries are replaced wholesale.
   void rebuildIndex();
+
+  /// The arena owning this pool's interned text (created lazily).
+  /// Shared by every copy of the pool; appending is safe because
+  /// existing views never move.
+  Arena &arena() {
+    if (!Mem)
+      Mem = std::make_shared<Arena>();
+    return *Mem;
+  }
+
+  /// The shared handle itself (may be null if nothing was ever
+  /// interned). Pass to the ConstantPool(shared_ptr) constructor to
+  /// build a replacement pool over the same storage.
+  const std::shared_ptr<Arena> &arenaPtr() const { return Mem; }
 
 private:
   uint16_t addKeyed(CpEntry E);
@@ -126,6 +161,7 @@ private:
 
   std::vector<CpEntry> Entries;
   std::unordered_map<std::string, uint16_t> Dedup;
+  std::shared_ptr<Arena> Mem;
 };
 
 } // namespace cjpack

@@ -9,7 +9,7 @@
 using namespace cjpack;
 
 /// Parses one type starting at Desc[Pos]; advances Pos past it.
-static Expected<TypeDesc> parseOne(const std::string &Desc, size_t &Pos,
+static Expected<TypeDesc> parseOne(std::string_view Desc, size_t &Pos,
                                    bool AllowVoid) {
   TypeDesc T;
   while (Pos < Desc.size() && Desc[Pos] == '[') {
@@ -19,7 +19,8 @@ static Expected<TypeDesc> parseOne(const std::string &Desc, size_t &Pos,
       return Error::failure("descriptor: too many array dimensions");
   }
   if (Pos >= Desc.size())
-    return Error::failure("descriptor: truncated type in '" + Desc + "'");
+    return Error::failure("descriptor: truncated type in '" +
+                          std::string(Desc) + "'");
   char C = Desc[Pos++];
   switch (C) {
   case 'B': case 'C': case 'D': case 'F': case 'I': case 'J': case 'S':
@@ -33,11 +34,11 @@ static Expected<TypeDesc> parseOne(const std::string &Desc, size_t &Pos,
     return T;
   case 'L': {
     size_t End = Desc.find(';', Pos);
-    if (End == std::string::npos)
+    if (End == std::string_view::npos)
       return Error::failure("descriptor: unterminated class name in '" +
-                            Desc + "'");
+                            std::string(Desc) + "'");
     T.Base = 'L';
-    T.ClassName = Desc.substr(Pos, End - Pos);
+    T.ClassName = std::string(Desc.substr(Pos, End - Pos));
     if (T.ClassName.empty())
       return Error::failure("descriptor: empty class name");
     Pos = End + 1;
@@ -45,26 +46,26 @@ static Expected<TypeDesc> parseOne(const std::string &Desc, size_t &Pos,
   }
   default:
     return Error::failure(std::string("descriptor: bad base type '") + C +
-                          "' in '" + Desc + "'");
+                          "' in '" + std::string(Desc) + "'");
   }
 }
 
-Expected<TypeDesc> cjpack::parseFieldDescriptor(const std::string &Desc) {
+Expected<TypeDesc> cjpack::parseFieldDescriptor(std::string_view Desc) {
   size_t Pos = 0;
   auto T = parseOne(Desc, Pos, /*AllowVoid=*/false);
   if (!T)
     return T;
   if (Pos != Desc.size())
-    return Error::failure("descriptor: trailing characters in '" + Desc +
-                          "'");
+    return Error::failure("descriptor: trailing characters in '" +
+                          std::string(Desc) + "'");
   return T;
 }
 
-Expected<MethodDesc> cjpack::parseMethodDescriptor(const std::string &Desc) {
+Expected<MethodDesc> cjpack::parseMethodDescriptor(std::string_view Desc) {
   if (Desc.empty() || Desc[0] != '(')
     return Error::failure("descriptor: method descriptor must start with "
                           "'(': '" +
-                          Desc + "'");
+                          std::string(Desc) + "'");
   MethodDesc M;
   size_t Pos = 1;
   while (Pos < Desc.size() && Desc[Pos] != ')') {
@@ -74,14 +75,15 @@ Expected<MethodDesc> cjpack::parseMethodDescriptor(const std::string &Desc) {
     M.Params.push_back(std::move(*T));
   }
   if (Pos >= Desc.size())
-    return Error::failure("descriptor: missing ')' in '" + Desc + "'");
+    return Error::failure("descriptor: missing ')' in '" + std::string(Desc) +
+                          "'");
   ++Pos; // consume ')'
   auto Ret = parseOne(Desc, Pos, /*AllowVoid=*/true);
   if (!Ret)
     return Ret.takeError();
   if (Pos != Desc.size())
-    return Error::failure("descriptor: trailing characters in '" + Desc +
-                          "'");
+    return Error::failure("descriptor: trailing characters in '" +
+                          std::string(Desc) + "'");
   M.Ret = std::move(*Ret);
   return M;
 }
@@ -126,14 +128,14 @@ VType cjpack::vtypeOf(const TypeDesc &T) {
   }
 }
 
-VType cjpack::vtypeOfFieldDescriptor(const std::string &Desc) {
+VType cjpack::vtypeOfFieldDescriptor(std::string_view Desc) {
   auto T = parseFieldDescriptor(Desc);
   if (!T)
     return VType::Unknown;
   return vtypeOf(*T);
 }
 
-bool cjpack::vtypesOfMethodDescriptor(const std::string &Desc,
+bool cjpack::vtypesOfMethodDescriptor(std::string_view Desc,
                                       std::vector<VType> &Args, VType &Ret) {
   auto M = parseMethodDescriptor(Desc);
   if (!M)

@@ -18,6 +18,7 @@
 #include "bytecode/StackState.h"
 #include "support/Error.h"
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cjpack {
@@ -45,10 +46,10 @@ struct MethodDesc {
 };
 
 /// Parses a field descriptor such as "[[Ljava/lang/String;".
-Expected<TypeDesc> parseFieldDescriptor(const std::string &Desc);
+Expected<TypeDesc> parseFieldDescriptor(std::string_view Desc);
 
 /// Parses a method descriptor such as "(I[J)Ljava/lang/Object;".
-Expected<MethodDesc> parseMethodDescriptor(const std::string &Desc);
+Expected<MethodDesc> parseMethodDescriptor(std::string_view Desc);
 
 /// Prints \p T back into descriptor syntax.
 std::string printTypeDesc(const TypeDesc &T);
@@ -62,11 +63,11 @@ VType vtypeOf(const TypeDesc &T);
 
 /// Stack-machine type for a field descriptor string; Unknown on parse
 /// failure.
-VType vtypeOfFieldDescriptor(const std::string &Desc);
+VType vtypeOfFieldDescriptor(std::string_view Desc);
 
 /// Argument/return stack-machine types for a method descriptor string.
 /// Returns false on parse failure.
-bool vtypesOfMethodDescriptor(const std::string &Desc,
+bool vtypesOfMethodDescriptor(std::string_view Desc,
                               std::vector<VType> &Args, VType &Ret);
 
 } // namespace cjpack

@@ -14,8 +14,17 @@ namespace {
 
 class ClassParser {
 public:
-  ClassParser(const std::vector<uint8_t> &Bytes, const DecodeLimits &Limits)
-      : R(Bytes), Limits(Limits) {}
+  /// Borrowed parse over \p Bytes; Owning mode first lands the whole
+  /// input in CF's arena with one bulk copy and borrows from that.
+  /// (CF is declared before R so the arena exists when R is built.)
+  ClassParser(std::span<const uint8_t> Bytes, const DecodeLimits &Limits,
+              ParseMode Mode)
+      : R(Mode == ParseMode::Owning ? CF.arena().copy(Bytes) : Bytes),
+        Limits(Limits) {}
+
+  /// Zero-copy owning parse: adopt the caller's buffer into the arena.
+  ClassParser(std::vector<uint8_t> &&Bytes, const DecodeLimits &Limits)
+      : R(CF.arena().adopt(std::move(Bytes))), Limits(Limits) {}
 
   Expected<ClassFile> parse() {
     if (R.readU4() != 0xCAFEBABEu)
@@ -74,7 +83,7 @@ private:
       switch (E.Tag) {
       case CpTag::Utf8: {
         uint16_t Len = R.readU2();
-        E.Text = R.readString(Len);
+        E.Text = R.readStringView(Len);
         break;
       }
       case CpTag::Integer:
@@ -144,8 +153,8 @@ private:
                              std::to_string(R.position()));
       AttributeInfo A;
       A.Name = CF.CP.utf8(NameIdx);
-      A.Bytes = R.readBytes(Len);
-      Out.push_back(std::move(A));
+      A.Bytes = R.readSpan(Len);
+      Out.push_back(A);
     }
     return R.takeError("classfile attributes");
   }
@@ -164,15 +173,20 @@ private:
     return R.takeError("classfile members");
   }
 
+  ClassFile CF;
   ByteReader R;
   DecodeLimits Limits;
-  ClassFile CF;
 };
 
 } // namespace
 
 Expected<ClassFile>
-cjpack::parseClassFile(const std::vector<uint8_t> &Bytes,
-                       const DecodeLimits &Limits) {
-  return ClassParser(Bytes, Limits).parse();
+cjpack::parseClassFile(std::span<const uint8_t> Bytes,
+                       const DecodeLimits &Limits, ParseMode Mode) {
+  return ClassParser(Bytes, Limits, Mode).parse();
+}
+
+Expected<ClassFile> cjpack::parseClassFile(std::vector<uint8_t> &&Bytes,
+                                           const DecodeLimits &Limits) {
+  return ClassParser(std::move(Bytes), Limits).parse();
 }

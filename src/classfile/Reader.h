@@ -8,6 +8,17 @@
 /// Parses standard .class bytes into the ClassFile model. Fails with a
 /// descriptive error on truncated or structurally invalid input.
 ///
+/// The model borrows: Utf8 text and attribute payloads are views into
+/// the bytes being parsed. ParseMode picks who keeps those bytes alive:
+///
+///  * Owning (the default): the input is landed in the class's arena
+///    exactly once — either by a single bulk copy, or for the
+///    rvalue-vector overload by adopting the caller's buffer with no
+///    copy at all — and the ClassFile is self-contained.
+///  * Borrowed: nothing is copied; every view points into the caller's
+///    buffer (an mmapped jar, an archive slice), which MUST outlive the
+///    ClassFile and everything derived from it that holds views.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CJPACK_CLASSFILE_READER_H
@@ -17,15 +28,30 @@
 #include "support/DecodeLimits.h"
 #include "support/Error.h"
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace cjpack {
+
+/// Who owns the bytes a parsed ClassFile's views point into.
+enum class ParseMode {
+  /// The ClassFile owns them (arena). Safe for any caller.
+  Owning,
+  /// The caller's buffer backs every view and must outlive the class.
+  Borrowed,
+};
 
 /// Parses \p Bytes as a classfile. Every length and count read from the
 /// wire is bounds-checked against the remaining input and \p Limits, so
 /// hostile bytes produce a typed Error (Truncated / Corrupt /
 /// LimitExceeded), never an overread.
-Expected<ClassFile> parseClassFile(const std::vector<uint8_t> &Bytes,
+Expected<ClassFile> parseClassFile(std::span<const uint8_t> Bytes,
+                                   const DecodeLimits &Limits = {},
+                                   ParseMode Mode = ParseMode::Owning);
+
+/// Zero-copy owning parse: \p Bytes is donated to the class's arena, so
+/// the result is self-contained without any bulk copy.
+Expected<ClassFile> parseClassFile(std::vector<uint8_t> &&Bytes,
                                    const DecodeLimits &Limits = {});
 
 } // namespace cjpack

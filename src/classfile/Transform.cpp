@@ -13,12 +13,12 @@
 
 using namespace cjpack;
 
-bool cjpack::isRecognizedAttribute(const std::string &Name) {
+bool cjpack::isRecognizedAttribute(std::string_view Name) {
   return Name == "Code" || Name == "ConstantValue" || Name == "Exceptions" ||
          Name == "Synthetic" || Name == "Deprecated";
 }
 
-static bool isDebugAttribute(const std::string &Name) {
+static bool isDebugAttribute(std::string_view Name) {
   return Name == "LineNumberTable" || Name == "LocalVariableTable" ||
          Name == "SourceFile";
 }
@@ -226,10 +226,9 @@ private:
       for (int Shift = 56; Shift >= 0; Shift -= 8)
         Key.push_back(static_cast<char>(V >> Shift));
     };
-    auto Utf8At = [&](uint16_t Ref) -> const std::string & {
-      static const std::string Empty;
+    auto Utf8At = [&](uint16_t Ref) -> std::string_view {
       if (!CF.CP.isValidIndex(Ref) || CF.CP.entry(Ref).Tag != CpTag::Utf8)
-        return Empty;
+        return {};
       return CF.CP.utf8(Ref);
     };
     switch (E.Tag) {
@@ -282,10 +281,10 @@ private:
   Error assignNewIndices() {
     // Attribute names must live in the pool; synthesize Utf8 entries for
     // any not already reachable so they participate in the sorted block.
-    std::set<std::string> AttrNames;
+    std::set<std::string, std::less<>> AttrNames;
     auto Collect = [&](const std::vector<AttributeInfo> &Attrs) {
       for (const AttributeInfo &A : Attrs)
-        AttrNames.insert(A.Name);
+        AttrNames.emplace(A.Name);
     };
     Collect(CF.Attributes);
     for (const MemberInfo &F : CF.Fields)
@@ -294,10 +293,10 @@ private:
       Collect(M.Attributes);
     for (const DecodedMethod &D : Methods)
       Collect(D.Code.Attributes);
-    std::set<std::string> ReachableTexts;
+    std::set<std::string, std::less<>> ReachableTexts;
     for (uint16_t I : Reachable)
       if (CF.CP.isValidIndex(I) && CF.CP.entry(I).Tag == CpTag::Utf8)
-        ReachableTexts.insert(CF.CP.utf8(I));
+        ReachableTexts.emplace(CF.CP.utf8(I));
     for (const std::string &Name : AttrNames)
       if (!ReachableTexts.count(Name))
         SynthesizedTexts.push_back(Name);
@@ -368,12 +367,16 @@ private:
   }
 
   void rebuildPool() {
-    ConstantPool NewCP;
+    // The replacement pool must share the class's arena: copied entries
+    // keep views into it, and the synthesized texts below are interned
+    // into it (SynthesizedTexts itself dies with this canonicalizer).
+    CF.arena();
+    ConstantPool NewCP(CF.CP.arenaPtr());
     for (const auto &[OldIndex, SynthText] : NewOrder) {
       if (SynthText) {
         CpEntry E;
         E.Tag = CpTag::Utf8;
-        E.Text = *SynthText;
+        E.Text = CF.arena().internString(*SynthText);
         NewCP.appendRaw(std::move(E));
         continue;
       }
@@ -419,7 +422,7 @@ private:
           uint16_t V = remap(R.readU2());
           ByteWriter W;
           W.writeU2(V);
-          A.Bytes = W.take();
+          A.Bytes = CF.arena().copy(W.data());
         } else if (A.Name == "Exceptions") {
           ByteReader R(A.Bytes);
           uint16_t N = R.readU2();
@@ -427,7 +430,7 @@ private:
           W.writeU2(N);
           for (uint16_t K = 0; K < N; ++K)
             W.writeU2(remap(R.readU2()));
-          A.Bytes = W.take();
+          A.Bytes = CF.arena().copy(W.data());
         }
       }
     };
@@ -441,7 +444,7 @@ private:
       for (Insn &I : D.Insns)
         if (I.hasCpOperand())
           I.CpIndex = remap(I.CpIndex);
-      D.Code.Code = encodeCode(D.Insns);
+      D.Code.Code = CF.arena().adopt(encodeCode(D.Insns));
       *D.Attr = encodeCodeAttribute(D.Code, CF.CP);
     }
   }
@@ -463,8 +466,8 @@ Error cjpack::canonicalizeConstantPool(ClassFile &CF) {
       [&](const std::vector<AttributeInfo> &Attrs) -> Error {
     for (const AttributeInfo &A : Attrs)
       if (!isRecognizedAttribute(A.Name))
-        return makeError("canonicalize: unrecognized attribute '" + A.Name +
-                         "' (strip first)");
+        return makeError("canonicalize: unrecognized attribute '" +
+                         std::string(A.Name) + "' (strip first)");
     return Error::success();
   };
   if (auto E = CheckRecognized(CF.Attributes))

@@ -30,7 +30,7 @@ namespace cjpack {
 
 /// Attributes the packed format understands; everything else is dropped
 /// by stripForPacking.
-bool isRecognizedAttribute(const std::string &Name);
+bool isRecognizedAttribute(std::string_view Name);
 
 /// Removes debug attributes (LineNumberTable, LocalVariableTable,
 /// SourceFile) and, when \p DropUnrecognized, every attribute outside

@@ -132,7 +132,7 @@ std::vector<uint8_t> ArithmeticEncoder::finish() {
 // ArithmeticDecoder
 //===----------------------------------------------------------------------===//
 
-ArithmeticDecoder::ArithmeticDecoder(const std::vector<uint8_t> &Bytes)
+ArithmeticDecoder::ArithmeticDecoder(std::span<const uint8_t> Bytes)
     : Bits(Bytes) {
   for (int I = 0; I < 32; ++I)
     Code = Code << 1 | (Bits.readBit() ? 1 : 0);
@@ -174,7 +174,7 @@ uint32_t ArithmeticDecoder::decode(AdaptiveModel &Model) {
 //===----------------------------------------------------------------------===//
 
 std::vector<uint8_t>
-cjpack::arithCompressBytes(const std::vector<uint8_t> &Raw) {
+cjpack::arithCompressBytes(std::span<const uint8_t> Raw) {
   ByteWriter W;
   writeVarUInt(W, Raw.size());
   if (Raw.empty())
@@ -188,7 +188,7 @@ cjpack::arithCompressBytes(const std::vector<uint8_t> &Raw) {
 }
 
 Expected<std::vector<uint8_t>>
-cjpack::arithDecompressBytes(const std::vector<uint8_t> &Stored,
+cjpack::arithDecompressBytes(std::span<const uint8_t> Stored,
                              size_t DeclaredRaw) {
   ByteReader R(Stored);
   uint64_t RawLen = readVarUInt(R);
@@ -205,11 +205,8 @@ cjpack::arithDecompressBytes(const std::vector<uint8_t> &Stored,
                        "arith: trailing bytes after empty blob");
     return std::vector<uint8_t>();
   }
-  // The decoder holds a reference to its buffer, so the tail must live
-  // in a local vector for the duration of the decode.
-  std::vector<uint8_t> Tail(Stored.begin() + R.position(), Stored.end());
   AdaptiveModel Model(256);
-  ArithmeticDecoder Dec(Tail);
+  ArithmeticDecoder Dec(Stored.subspan(R.position()));
   std::vector<uint8_t> Out;
   Out.reserve(static_cast<size_t>(RawLen));
   for (uint64_t I = 0; I < RawLen; ++I)

@@ -23,6 +23,7 @@
 #include "support/BitStream.h"
 #include "support/Error.h"
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace cjpack {
@@ -79,7 +80,7 @@ private:
 /// Arithmetic decoder reading from a byte buffer.
 class ArithmeticDecoder {
 public:
-  explicit ArithmeticDecoder(const std::vector<uint8_t> &Bytes);
+  explicit ArithmeticDecoder(std::span<const uint8_t> Bytes);
 
   /// Decodes one symbol under \p Model (which is updated).
   uint32_t decode(AdaptiveModel &Model);
@@ -94,7 +95,7 @@ private:
 /// Compresses \p Raw as `varint RawLen` followed by the arithmetic-coded
 /// bytes under an adaptive order-0 byte model. The byte-stream face of
 /// the coder, used as a pluggable backend (pack/Backend.h).
-std::vector<uint8_t> arithCompressBytes(const std::vector<uint8_t> &Raw);
+std::vector<uint8_t> arithCompressBytes(std::span<const uint8_t> Raw);
 
 /// Decompresses a blob produced by arithCompressBytes. \p DeclaredRaw is
 /// the raw length the enclosing container promised; a blob declaring
@@ -103,7 +104,7 @@ std::vector<uint8_t> arithCompressBytes(const std::vector<uint8_t> &Raw);
 /// garbage rather than an error here — the caller's raw-length check
 /// catches the mismatch.
 Expected<std::vector<uint8_t>>
-arithDecompressBytes(const std::vector<uint8_t> &Stored, size_t DeclaredRaw);
+arithDecompressBytes(std::span<const uint8_t> Stored, size_t DeclaredRaw);
 
 } // namespace cjpack
 

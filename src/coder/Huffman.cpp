@@ -142,7 +142,7 @@ cjpack::huffmanCodeLengths(const std::array<uint64_t, 256> &Freq) {
 }
 
 std::vector<uint8_t>
-cjpack::huffmanCompress(const std::vector<uint8_t> &Raw) {
+cjpack::huffmanCompress(std::span<const uint8_t> Raw) {
   ByteWriter W;
   writeVarUInt(W, Raw.size());
   if (Raw.empty())
@@ -182,7 +182,7 @@ cjpack::huffmanCompress(const std::vector<uint8_t> &Raw) {
 }
 
 Expected<std::vector<uint8_t>>
-cjpack::huffmanDecompress(const std::vector<uint8_t> &Stored,
+cjpack::huffmanDecompress(std::span<const uint8_t> Stored,
                           size_t DeclaredRaw) {
   ByteReader R(Stored);
   uint64_t RawLen = readVarUInt(R);

@@ -40,6 +40,7 @@
 #include "support/Error.h"
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace cjpack {
@@ -59,7 +60,7 @@ std::array<uint8_t, 256> huffmanCodeLengths(
     const std::array<uint64_t, 256> &Freq);
 
 /// Compresses \p Raw into the self-describing blob format above.
-std::vector<uint8_t> huffmanCompress(const std::vector<uint8_t> &Raw);
+std::vector<uint8_t> huffmanCompress(std::span<const uint8_t> Raw);
 
 /// Decompresses a blob produced by huffmanCompress. \p DeclaredRaw is
 /// the raw length the enclosing container promised; output is capped
@@ -67,7 +68,7 @@ std::vector<uint8_t> huffmanCompress(const std::vector<uint8_t> &Raw);
 /// its directory entry. Truncated input is Truncated; an invalid table,
 /// a raw-length mismatch, or trailing bytes are Corrupt.
 Expected<std::vector<uint8_t>>
-huffmanDecompress(const std::vector<uint8_t> &Stored, size_t DeclaredRaw);
+huffmanDecompress(std::span<const uint8_t> Stored, size_t DeclaredRaw);
 
 } // namespace cjpack
 

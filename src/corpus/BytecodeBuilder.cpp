@@ -420,7 +420,7 @@ CodeAttribute BytecodeBuilder::finish() {
   CodeAttribute Out;
   Out.MaxStack = static_cast<uint16_t>(MaxStack);
   Out.MaxLocals = static_cast<uint16_t>(MaxLocals);
-  Out.Code = Code.take();
+  Out.Code = CP.arena().adopt(Code.take());
   for (const Region &R : Regions) {
     ExceptionTableEntry E;
     E.StartPc = static_cast<uint16_t>(LabelOffsets[R.Start]);

@@ -1027,7 +1027,8 @@ private:
         if (CIdx != 0) {
           ByteWriter W;
           W.writeU2(CIdx);
-          MI.Attributes.push_back({"ConstantValue", W.take()});
+          MI.Attributes.push_back(
+              {"ConstantValue", CF.arena().adopt(W.take())});
         }
       }
       CF.Fields.push_back(std::move(MI));
@@ -1063,7 +1064,8 @@ private:
           ByteWriter W;
           W.writeU2(1);
           W.writeU2(CF.CP.addClass("java/io/IOException"));
-          MI.Attributes.push_back({"Exceptions", W.take()});
+          MI.Attributes.push_back(
+              {"Exceptions", CF.arena().adopt(W.take())});
         }
       }
       CF.Methods.push_back(std::move(MI));
@@ -1076,7 +1078,7 @@ private:
                                : Sk.Internal.substr(Slash + 1);
       ByteWriter W;
       W.writeU2(CF.CP.addUtf8(Simple + ".java"));
-      CF.Attributes.push_back({"SourceFile", W.take()});
+      CF.Attributes.push_back({"SourceFile", CF.arena().adopt(W.take())});
     }
     return CF;
   }
@@ -1100,7 +1102,8 @@ private:
     }
     LNT.writeU2(Entries);
     LNT.writeBytes(Body.data());
-    Code.Attributes.push_back({"LineNumberTable", LNT.take()});
+    Code.Attributes.push_back(
+        {"LineNumberTable", CP.arena().adopt(LNT.take())});
 
     if (R.chance(55)) {
       ByteWriter LVT;
@@ -1116,7 +1119,8 @@ private:
                                    : "I"));
         LVT.writeU2(K);
       }
-      Code.Attributes.push_back({"LocalVariableTable", LVT.take()});
+      Code.Attributes.push_back(
+          {"LocalVariableTable", CP.arena().adopt(LVT.take())});
     }
   }
 
@@ -1143,7 +1147,7 @@ std::vector<NamedClass> cjpack::generateCorpus(const CorpusSpec &Spec) {
   Out.reserve(Classes.size());
   for (const ClassFile &CF : Classes) {
     NamedClass C;
-    C.Name = CF.thisClassName() + ".class";
+    C.Name = std::string(CF.thisClassName()) + ".class";
     C.Data = writeClassFile(CF);
     Out.push_back(std::move(C));
   }
@@ -1211,6 +1215,22 @@ std::vector<CorpusSpec> cjpack::paperBenchmarks(double Scale) {
       Mk("jack", "SPEC 228: parser generator (PCCTS)", 119, 27, 2, 8, 9,
          NameStyle::Normal, CodeStyle::StringHeavy, "spec/jack"),
   };
+}
+
+CorpusSpec cjpack::scaleBenchmark(unsigned NumClasses) {
+  CorpusSpec S;
+  S.Name = "scale" + std::to_string(NumClasses);
+  S.Description = "scale campaign corpus";
+  S.Seed = 9001;
+  S.NumClasses = NumClasses;
+  // ~50 classes per package keeps the package pool realistic for big
+  // jars (rt.jar-era layouts) without degenerating to one package.
+  S.NumPackages = std::max(1u, NumClasses / 50);
+  S.MeanMethods = 10;
+  S.MeanFields = 6;
+  S.MeanStatements = 14;
+  S.Vendor = "com/scale";
+  return S;
 }
 
 CorpusSpec cjpack::paperBenchmark(const std::string &Name, double Scale) {

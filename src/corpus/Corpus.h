@@ -81,6 +81,14 @@ std::vector<CorpusSpec> paperBenchmarks(double Scale = 1.0);
 /// Looks up one paper benchmark by name (e.g. "javac", "rt").
 CorpusSpec paperBenchmark(const std::string &Name, double Scale = 1.0);
 
+/// The scale-campaign corpus: \p NumClasses classes (default 10000)
+/// with realistic method/field/debug-info weight, sized so the default
+/// lands well past 50 MB of classfile bytes — an order of magnitude
+/// beyond the paper's largest benchmark (rt at ~1500 classes). Used by
+/// the scale smoke test and bench_scale to exercise arena allocation,
+/// shard autotuning, and parallel throughput at modern jar sizes.
+CorpusSpec scaleBenchmark(unsigned NumClasses = 10000);
+
 } // namespace cjpack
 
 #endif // CJPACK_CORPUS_CORPUS_H

@@ -62,14 +62,22 @@ public:
     return Id;
   }
 
-  uint32_t utf8(const std::string &S) { return internInto(UtfIds, Utfs, S); }
+  uint32_t utf8(std::string_view S) {
+    auto It = UtfIds.find(S);
+    if (It != UtfIds.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Utfs.size());
+    Utfs.emplace_back(S);
+    UtfIds.emplace(S, Id);
+    return Id;
+  }
   uint32_t loadable(const JLoadable &L) {
     return internInto(LoadIds, Loads, L);
   }
-  uint32_t classEntry(const std::string &Name) {
+  uint32_t classEntry(std::string_view Name) {
     return internInto(ClassIds, Classes, utf8(Name));
   }
-  uint32_t nat(const std::string &Name, const std::string &Desc) {
+  uint32_t nat(std::string_view Name, std::string_view Desc) {
     return internInto(NatIds, Nats, JNat{utf8(Name), utf8(Desc)});
   }
   uint32_t fieldRef(uint32_t Cls, uint32_t Nat) {
@@ -86,7 +94,7 @@ public:
   std::vector<JMember> Fields, Methods;
 
 private:
-  std::map<std::string, uint32_t> UtfIds;
+  std::map<std::string, uint32_t, std::less<>> UtfIds;
   std::map<JLoadable, uint32_t> LoadIds;
   std::map<uint32_t, uint32_t> ClassIds;
   std::map<JNat, uint32_t> NatIds;
@@ -667,7 +675,7 @@ private:
       if (F.HasConst) {
         ByteWriter W;
         W.writeU2(materializeLoadable(CF, F.Const));
-        MI.Attributes.push_back({"ConstantValue", W.take()});
+        MI.Attributes.push_back({"ConstantValue", CF.arena().adopt(W.take())});
       }
       if (F.Flags & PackedFlagSynthetic)
         MI.Attributes.push_back({"Synthetic", {}});
@@ -721,7 +729,8 @@ private:
           }
           }
         }
-        Code.Code = encodeCode(DM.Insns);
+        std::vector<uint8_t> CodeBytes = encodeCode(DM.Insns);
+        Code.Code = CodeBytes;
         for (const MethodRec::Exc &E : DM.Table) {
           ExceptionTableEntry T;
           T.StartPc = static_cast<uint16_t>(E.Start);
@@ -738,7 +747,7 @@ private:
         W.writeU2(static_cast<uint16_t>(DM.Exceptions.size()));
         for (uint32_t C : DM.Exceptions)
           W.writeU2(CF.CP.addClass(classNameOf(C)));
-        MI.Attributes.push_back({"Exceptions", W.take()});
+        MI.Attributes.push_back({"Exceptions", CF.arena().adopt(W.take())});
       }
       if (DM.Flags & PackedFlagSynthetic)
         MI.Attributes.push_back({"Synthetic", {}});
@@ -845,7 +854,7 @@ private:
   }
 
   JazzModel M;
-  std::map<std::string, uint32_t> UtfIds;
+  std::map<std::string, uint32_t, std::less<>> UtfIds;
   std::unique_ptr<RefDecoder> Dec;
 };
 

@@ -13,25 +13,25 @@ using namespace cjpack;
 
 namespace {
 
-std::vector<uint8_t> storeCompress(const std::vector<uint8_t> &Raw) {
-  return Raw;
+std::vector<uint8_t> storeCompress(std::span<const uint8_t> Raw) {
+  return {Raw.begin(), Raw.end()};
 }
 
 Expected<std::vector<uint8_t>>
-storeDecompress(const std::vector<uint8_t> &Stored, size_t DeclaredRaw) {
+storeDecompress(std::span<const uint8_t> Stored, size_t DeclaredRaw) {
   if (Stored.size() > (DeclaredRaw != 0 ? DeclaredRaw : 1))
     return makeError(ErrorCode::LimitExceeded,
                      "store: stored bytes exceed the container's raw "
                      "length");
-  return Stored;
+  return std::vector<uint8_t>(Stored.begin(), Stored.end());
 }
 
-std::vector<uint8_t> zlibCompress(const std::vector<uint8_t> &Raw) {
+std::vector<uint8_t> zlibCompress(std::span<const uint8_t> Raw) {
   return deflateBytes(Raw);
 }
 
 Expected<std::vector<uint8_t>>
-zlibDecompress(const std::vector<uint8_t> &Stored, size_t DeclaredRaw) {
+zlibDecompress(std::span<const uint8_t> Stored, size_t DeclaredRaw) {
   return inflateBytes(Stored, DeclaredRaw, DeclaredRaw != 0 ? DeclaredRaw : 1);
 }
 

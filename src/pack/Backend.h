@@ -39,6 +39,7 @@
 #include "support/Error.h"
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -72,12 +73,14 @@ constexpr const char *backendName(BackendId Id) {
 /// encoder's smaller-than-raw check discards the result); Decompress
 /// must cap its output at max(DeclaredRaw, 1) bytes and fail with
 /// typed Truncated/Corrupt/LimitExceeded errors on hostile input.
+/// Both sides take borrowed spans so decoders can hand archive slices
+/// straight to a backend without an intermediate copy.
 struct CompressionBackend {
   BackendId Id;
   const char *Name;
-  std::vector<uint8_t> (*Compress)(const std::vector<uint8_t> &Raw);
-  Expected<std::vector<uint8_t>> (*Decompress)(
-      const std::vector<uint8_t> &Stored, size_t DeclaredRaw);
+  std::vector<uint8_t> (*Compress)(std::span<const uint8_t> Raw);
+  Expected<std::vector<uint8_t>> (*Decompress)(std::span<const uint8_t> Stored,
+                                               size_t DeclaredRaw);
 };
 
 /// All registered backends, indexed by wire id.

@@ -7,6 +7,7 @@
 #include "pack/ClassOrder.h"
 #include <map>
 #include <string>
+#include <string_view>
 
 using namespace cjpack;
 
@@ -14,7 +15,7 @@ namespace {
 
 struct OrderBuilder {
   const std::vector<ClassFile> &Classes;
-  std::map<std::string, size_t> ByName;
+  std::map<std::string, size_t, std::less<>> ByName;
   std::vector<uint8_t> State; ///< 0 unvisited, 1 on stack, 2 done
   std::vector<size_t> Order;
 
@@ -24,7 +25,7 @@ struct OrderBuilder {
       ByName.emplace(Classes[I].thisClassName(), I);
   }
 
-  void visitName(const std::string &Name) {
+  void visitName(std::string_view Name) {
     auto It = ByName.find(Name);
     if (It != ByName.end())
       visit(It->second);
@@ -55,10 +56,10 @@ cjpack::eagerLoadOrder(const std::vector<ClassFile> &Classes) {
 }
 
 bool cjpack::isEagerLoadable(const std::vector<ClassFile> &Classes) {
-  std::map<std::string, size_t> ByName;
+  std::map<std::string, size_t, std::less<>> ByName;
   for (size_t I = 0; I < Classes.size(); ++I)
     ByName.emplace(Classes[I].thisClassName(), I);
-  auto DefinedBefore = [&](const std::string &Name, size_t I) {
+  auto DefinedBefore = [&](std::string_view Name, size_t I) {
     auto It = ByName.find(Name);
     return It == ByName.end() || It->second < I;
   };

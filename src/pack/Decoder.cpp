@@ -75,7 +75,7 @@ decodeShardStreams(StreamSet &S, RefScheme Scheme, uint8_t Flags,
 } // namespace
 
 Expected<std::vector<ClassFile>>
-cjpack::unpackClasses(const std::vector<uint8_t> &Archive,
+cjpack::unpackClasses(std::span<const uint8_t> Archive,
                       unsigned Threads) {
   UnpackOptions Options;
   Options.Threads = Threads;
@@ -83,7 +83,7 @@ cjpack::unpackClasses(const std::vector<uint8_t> &Archive,
 }
 
 Expected<std::vector<ClassFile>>
-cjpack::unpackClasses(const std::vector<uint8_t> &Archive,
+cjpack::unpackClasses(std::span<const uint8_t> Archive,
                       const UnpackOptions &Options) {
   const DecodeLimits &Limits = Options.Limits;
   ByteReader R(Archive);
@@ -158,7 +158,7 @@ cjpack::unpackClasses(const std::vector<uint8_t> &Archive,
 }
 
 Expected<Manifest>
-cjpack::manifestForPackedArchive(const std::vector<uint8_t> &Archive) {
+cjpack::manifestForPackedArchive(std::span<const uint8_t> Archive) {
   auto Classes = unpackArchive(Archive);
   if (!Classes)
     return Classes.takeError();
@@ -166,7 +166,7 @@ cjpack::manifestForPackedArchive(const std::vector<uint8_t> &Archive) {
 }
 
 Expected<std::vector<NamedClass>>
-cjpack::unpackArchive(const std::vector<uint8_t> &Archive,
+cjpack::unpackArchive(std::span<const uint8_t> Archive,
                       unsigned Threads) {
   UnpackOptions Options;
   Options.Threads = Threads;
@@ -174,7 +174,7 @@ cjpack::unpackArchive(const std::vector<uint8_t> &Archive,
 }
 
 Expected<std::vector<NamedClass>>
-cjpack::unpackArchive(const std::vector<uint8_t> &Archive,
+cjpack::unpackArchive(std::span<const uint8_t> Archive,
                       const UnpackOptions &Options) {
   auto Classes = unpackClasses(Archive, Options);
   if (!Classes)
@@ -183,7 +183,7 @@ cjpack::unpackArchive(const std::vector<uint8_t> &Archive,
   Out.reserve(Classes->size());
   for (const ClassFile &CF : *Classes) {
     NamedClass C;
-    C.Name = CF.thisClassName() + ".class";
+    C.Name = std::string(CF.thisClassName()) + ".class";
     C.Data = writeClassFile(CF);
     Out.push_back(std::move(C));
   }

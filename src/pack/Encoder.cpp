@@ -34,6 +34,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <thread>
 
 using namespace cjpack;
 
@@ -610,6 +611,19 @@ void writeArchiveHeader(ByteWriter &W, uint8_t Version,
 
 } // namespace
 
+size_t cjpack::autoShardCount(size_t ClassCount) {
+  // Serial floor: below two shards' worth of classes the sharded
+  // container's dictionary and per-shard stream headers cost more than
+  // the parallelism buys, so stay on the single-shard format.
+  if (ClassCount < 2 * AutoShardClassesPerShard)
+    return 1;
+  size_t ByWork = ClassCount / AutoShardClassesPerShard;
+  size_t Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    Hw = 1;
+  return std::min({ByWork, Hw, MaxShards});
+}
+
 Expected<PackResult>
 cjpack::packClasses(const std::vector<ClassFile> &Classes,
                     const PackOptions &Options) {
@@ -618,7 +632,8 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
     auto Check = [&](const std::vector<AttributeInfo> &Attrs) -> Error {
       for (const AttributeInfo &A : Attrs)
         if (!isRecognizedAttribute(A.Name))
-          return makeError("pack: unrecognized attribute '" + A.Name +
+          return makeError("pack: unrecognized attribute '" +
+                           std::string(A.Name) +
                            "' (run prepareForPacking first)");
       return Error::success();
     };
@@ -643,8 +658,10 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
 
   // Shard assignment is by stable class order: contiguous, balanced
   // slices of the ordered list. Never let scheduling pick — the archive
-  // must be a pure function of (input, options, shard count).
-  size_t ShardCount = Options.Shards == 0 ? 1 : Options.Shards;
+  // must be a pure function of (input, options, shard count); Shards=0
+  // delegates the count to the autotuner.
+  size_t ShardCount =
+      Options.Shards == 0 ? autoShardCount(Ordered.size()) : Options.Shards;
   ShardCount = std::min(ShardCount, std::max<size_t>(Ordered.size(), 1));
   ShardCount = std::min(ShardCount, MaxShards);
 
@@ -655,11 +672,11 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
   // v3 archive cannot hold two classes with the same name. (v1/v2
   // archives can — they are positional — so this is checked only here.)
   if (Options.RandomAccessIndex) {
-    std::set<std::string> Names;
+    std::set<std::string, std::less<>> Names;
     for (const ClassFile *CF : Ordered)
-      if (!Names.insert(CF->thisClassName()).second)
+      if (!Names.emplace(CF->thisClassName()).second)
         return Error::failure("pack: duplicate class name '" +
-                              CF->thisClassName() +
+                              std::string(CF->thisClassName()) +
                               "' not representable in an indexed archive");
   }
 
@@ -810,7 +827,7 @@ cjpack::packClasses(const std::vector<ClassFile> &Classes,
       Index.Shards.push_back({Offset, Blobs.back().size()});
       Offset += Blobs.back().size();
       for (size_t I = 0; I < Slices[K].size(); ++I)
-        Index.Classes.push_back({Slices[K][I]->thisClassName(),
+        Index.Classes.push_back({std::string(Slices[K][I]->thisClassName()),
                                  static_cast<uint32_t>(K),
                                  static_cast<uint32_t>(I)});
     }

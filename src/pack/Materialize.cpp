@@ -100,7 +100,7 @@ private:
       uint16_t CpIdx = addConst(CF, F.Const);
       ByteWriter W;
       W.writeU2(CpIdx);
-      MI.Attributes.push_back({"ConstantValue", W.take()});
+      MI.Attributes.push_back({"ConstantValue", CF.arena().adopt(W.take())});
     }
     addMemberMarkers(MI, F.Flags);
     return MI;
@@ -124,7 +124,7 @@ private:
       W.writeU2(static_cast<uint16_t>(DM.Exceptions.size()));
       for (uint32_t C : DM.Exceptions)
         W.writeU2(CF.CP.addClass(M.classRefInternalName(C)));
-      MI.Attributes.push_back({"Exceptions", W.take()});
+      MI.Attributes.push_back({"Exceptions", CF.arena().adopt(W.take())});
     }
     addMemberMarkers(MI, DM.Flags);
     return MI;
@@ -177,7 +177,8 @@ private:
                          "unpack: ldc constant escaped the low "
                          "constant-pool indices");
     }
-    Code.Code = encodeCode(Insns);
+    std::vector<uint8_t> CodeBytes = encodeCode(Insns);
+    Code.Code = CodeBytes;
 
     for (const CodeRec::Handler &E : DC.Table) {
       ExceptionTableEntry T;

@@ -8,10 +8,10 @@
 
 using namespace cjpack;
 
-void cjpack::splitClassName(const std::string &Internal,
+void cjpack::splitClassName(std::string_view Internal,
                             std::string &Package, std::string &Simple) {
   size_t Slash = Internal.rfind('/');
-  if (Slash == std::string::npos) {
+  if (Slash == std::string_view::npos) {
     Package.clear();
     Simple = Internal;
   } else {
@@ -28,26 +28,26 @@ uint32_t internInto(MapT &Ids, VecT &Items, const KeyT &Key) {
   if (It != Ids.end())
     return It->second;
   uint32_t Id = static_cast<uint32_t>(Items.size());
-  Items.push_back(Key);
+  Items.emplace_back(Key);
   Ids.emplace(Key, Id);
   return Id;
 }
 
 } // namespace
 
-uint32_t Model::internPackage(const std::string &Name) {
+uint32_t Model::internPackage(std::string_view Name) {
   return internInto(PackageIds, Packages, Name);
 }
-uint32_t Model::internSimpleName(const std::string &Name) {
+uint32_t Model::internSimpleName(std::string_view Name) {
   return internInto(SimpleIds, Simples, Name);
 }
-uint32_t Model::internFieldName(const std::string &Name) {
+uint32_t Model::internFieldName(std::string_view Name) {
   return internInto(FieldNameIds, FieldNames, Name);
 }
-uint32_t Model::internMethodName(const std::string &Name) {
+uint32_t Model::internMethodName(std::string_view Name) {
   return internInto(MethodNameIds, MethodNames, Name);
 }
-uint32_t Model::internStringConst(const std::string &Value) {
+uint32_t Model::internStringConst(std::string_view Value) {
   return internInto(StringIds, Strings, Value);
 }
 uint32_t Model::internClassRef(const MClassRef &Ref) {
@@ -61,7 +61,7 @@ uint32_t Model::internMethodRef(const MMethodRef &Ref) {
 }
 
 Expected<uint32_t>
-Model::internClassByInternalName(const std::string &Name) {
+Model::internClassByInternalName(std::string_view Name) {
   if (!Name.empty() && Name[0] == '[') {
     auto T = parseFieldDescriptor(Name);
     if (!T)
@@ -90,7 +90,7 @@ uint32_t Model::internTypeDesc(const TypeDesc &T) {
 }
 
 Expected<std::vector<uint32_t>>
-Model::internSignature(const std::string &Desc) {
+Model::internSignature(std::string_view Desc) {
   auto M = parseMethodDescriptor(Desc);
   if (!M)
     return M.takeError();

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cjpack {
@@ -115,24 +116,24 @@ class Model {
 public:
   /// \name Interning (compressor side; idempotent)
   /// @{
-  uint32_t internPackage(const std::string &Name);
-  uint32_t internSimpleName(const std::string &Name);
-  uint32_t internFieldName(const std::string &Name);
-  uint32_t internMethodName(const std::string &Name);
-  uint32_t internStringConst(const std::string &Value);
+  uint32_t internPackage(std::string_view Name);
+  uint32_t internSimpleName(std::string_view Name);
+  uint32_t internFieldName(std::string_view Name);
+  uint32_t internMethodName(std::string_view Name);
+  uint32_t internStringConst(std::string_view Value);
   uint32_t internClassRef(const MClassRef &Ref);
   uint32_t internFieldRef(const MFieldRef &Ref);
   uint32_t internMethodRef(const MMethodRef &Ref);
 
   /// Interns the class named by a Class constant-pool entry's name,
   /// which may be a plain internal name or an array descriptor.
-  Expected<uint32_t> internClassByInternalName(const std::string &Name);
+  Expected<uint32_t> internClassByInternalName(std::string_view Name);
 
   /// Interns the class reference for a field/parameter type.
   uint32_t internTypeDesc(const TypeDesc &T);
 
   /// Interns a method descriptor as [return, args...] class refs.
-  Expected<std::vector<uint32_t>> internSignature(const std::string &Desc);
+  Expected<std::vector<uint32_t>> internSignature(std::string_view Desc);
   /// @}
 
   /// \name Appending (decompressor side: ids assigned in decode order)
@@ -197,8 +198,8 @@ private:
   std::vector<MFieldRef> FieldRefs;
   std::vector<MMethodRef> MethodRefs;
 
-  std::map<std::string, uint32_t> PackageIds, SimpleIds, FieldNameIds,
-      MethodNameIds, StringIds;
+  std::map<std::string, uint32_t, std::less<>> PackageIds, SimpleIds,
+      FieldNameIds, MethodNameIds, StringIds;
   std::map<MClassRef, uint32_t> ClassRefIds;
   std::map<MFieldRef, uint32_t> FieldRefIds;
   std::map<MMethodRef, uint32_t> MethodRefIds;
@@ -206,7 +207,7 @@ private:
 
 /// Splits an internal class name into package and simple name ("" for
 /// the default package).
-void splitClassName(const std::string &Internal, std::string &Package,
+void splitClassName(std::string_view Internal, std::string &Package,
                     std::string &Simple);
 
 } // namespace cjpack

@@ -35,6 +35,7 @@
 #include "zip/Manifest.h"
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace cjpack {
@@ -68,6 +69,13 @@ struct PackOptions {
   /// definitions shared across shards are factored into a dictionary
   /// and each stream's shard slices are compressed jointly, so
   /// sharding costs little compression. Clamped to the class count.
+  ///
+  /// 0 selects autotuning (autoShardCount): the count is derived from
+  /// the class count and hardware concurrency, with a serial floor so
+  /// tiny corpora keep the single-shard format. Autotuned output is
+  /// still deterministic for a fixed machine, but depends on
+  /// hardware_concurrency — use an explicit count when archives must
+  /// reproduce across machines.
   unsigned Shards = 1;
   /// Worker threads used to encode shards (0 = one per hardware
   /// thread). Has no effect on the output bytes.
@@ -133,6 +141,17 @@ struct PackResult {
   PackTrace Trace;
 };
 
+/// The shard count PackOptions::Shards = 0 resolves to: roughly one
+/// shard per AutoShardClassesPerShard classes, clamped to the hardware
+/// thread count and MaxShards, with a serial floor — corpora under two
+/// shards' worth of classes stay single-shard, since dictionary/joint
+/// compression overheads only pay for themselves at scale. Pure
+/// function of (ClassCount, hardware_concurrency).
+size_t autoShardCount(size_t ClassCount);
+
+/// Target classes per shard for autoShardCount.
+inline constexpr size_t AutoShardClassesPerShard = 256;
+
 /// Packs already-parsed classfiles. Inputs must have been run through
 /// prepareForPacking (unrecognized attributes are a hard error).
 Expected<PackResult> packClasses(const std::vector<ClassFile> &Classes,
@@ -161,17 +180,22 @@ struct UnpackOptions {
 /// from the wire is validated before use, so a corrupt or truncated
 /// archive yields a typed Error (Truncated / Corrupt / LimitExceeded),
 /// never undefined behavior or an unbounded allocation.
+///
+/// \p Archive is borrowed for the duration of the call only (stream
+/// payloads are decoded from slices of it without a staging copy), so
+/// a memory-mapped file can be unpacked without ever materializing the
+/// archive in a vector.
 Expected<std::vector<ClassFile>>
-unpackClasses(const std::vector<uint8_t> &Archive, unsigned Threads = 0);
+unpackClasses(std::span<const uint8_t> Archive, unsigned Threads = 0);
 Expected<std::vector<ClassFile>>
-unpackClasses(const std::vector<uint8_t> &Archive,
+unpackClasses(std::span<const uint8_t> Archive,
               const UnpackOptions &Options);
 
 /// Unpacks an archive into named classfile bytes ("pkg/Name.class").
 Expected<std::vector<NamedClass>>
-unpackArchive(const std::vector<uint8_t> &Archive, unsigned Threads = 0);
+unpackArchive(std::span<const uint8_t> Archive, unsigned Threads = 0);
 Expected<std::vector<NamedClass>>
-unpackArchive(const std::vector<uint8_t> &Archive,
+unpackArchive(std::span<const uint8_t> Archive,
               const UnpackOptions &Options);
 
 /// The §12 signing workflow: decompresses \p Archive and digests the
@@ -180,7 +204,7 @@ unpackArchive(const std::vector<uint8_t> &Archive,
 /// same function and compares — deterministic decompression makes the
 /// digests reproducible even though packing renumbered constant pools.
 Expected<Manifest>
-manifestForPackedArchive(const std::vector<uint8_t> &Archive);
+manifestForPackedArchive(std::span<const uint8_t> Archive);
 
 } // namespace cjpack
 

@@ -32,12 +32,12 @@ uint8_t packStream(BackendId Plan, const std::vector<uint8_t> &Raw,
 /// unbounded), and the result must match it exactly — a wrong method
 /// byte shows up here as a size mismatch when the blob even parses.
 Expected<std::vector<uint8_t>>
-unpackStream(uint8_t Method, std::vector<uint8_t> Stored, size_t RawLen,
+unpackStream(uint8_t Method, std::span<const uint8_t> Stored, size_t RawLen,
              DecodeBudget *Budget) {
   if (Method == static_cast<uint8_t>(BackendId::Store)) {
     if (Stored.size() != RawLen)
       return makeError(ErrorCode::Corrupt, "streams: stored size mismatch");
-    return Stored;
+    return std::vector<uint8_t>(Stored.begin(), Stored.end());
   }
   const CompressionBackend *Backend = findBackend(Method);
   if (!Backend)
@@ -163,10 +163,10 @@ cjpack::deserializeShardedStreams(ByteReader &R, const DecodeLimits &Limits) {
       return makeError(ErrorCode::LimitExceeded,
                        "streams: joint stream length over limit at byte " +
                            std::to_string(R.position()));
-    std::vector<uint8_t> Stored = R.readBytes(StoredLen);
+    std::span<const uint8_t> Stored = R.readSpan(StoredLen);
     if (R.hasError())
       return R.takeError("streams");
-    auto Joined = unpackStream(Method, std::move(Stored),
+    auto Joined = unpackStream(Method, Stored,
                                static_cast<size_t>(RawTotal), nullptr);
     if (!Joined)
       return Joined.takeError();
@@ -227,10 +227,10 @@ Error StreamSet::deserialize(ByteReader &R, const DecodeLimits &Limits,
                        "streams: stream length over limit at byte " +
                            std::to_string(R.position()));
     size_t RawLen = static_cast<size_t>(RawLen64);
-    std::vector<uint8_t> Stored = R.readBytes(StoredLen);
+    std::span<const uint8_t> Stored = R.readSpan(StoredLen);
     if (R.hasError())
       return R.takeError("streams");
-    auto Raw = unpackStream(Method, std::move(Stored), RawLen, Budget);
+    auto Raw = unpackStream(Method, Stored, RawLen, Budget);
     if (!Raw)
       return Raw.takeError();
     Buffers[Id] = std::move(*Raw);

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace cjpack {
@@ -50,7 +51,7 @@ private:
 /// the arithmetic decoder's convention).
 class BitReader {
 public:
-  explicit BitReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+  explicit BitReader(std::span<const uint8_t> Bytes) : Bytes(Bytes) {}
 
   bool readBit() {
     if (At >= Bytes.size() * 8)
@@ -61,7 +62,7 @@ public:
   }
 
 private:
-  const std::vector<uint8_t> &Bytes;
+  std::span<const uint8_t> Bytes;
   size_t At = 0;
 };
 

@@ -19,7 +19,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace cjpack {
@@ -52,7 +54,11 @@ public:
     Bytes.insert(Bytes.end(), Data.begin(), Data.end());
   }
 
-  void writeString(const std::string &S) {
+  void writeBytes(std::span<const uint8_t> Data) {
+    Bytes.insert(Bytes.end(), Data.begin(), Data.end());
+  }
+
+  void writeString(std::string_view S) {
     writeBytes(reinterpret_cast<const uint8_t *>(S.data()), S.size());
   }
 
@@ -88,6 +94,8 @@ class ByteReader {
 public:
   ByteReader(const uint8_t *Data, size_t Len) : Data(Data), Len(Len) {}
   explicit ByteReader(const std::vector<uint8_t> &Buf)
+      : Data(Buf.data()), Len(Buf.size()) {}
+  explicit ByteReader(std::span<const uint8_t> Buf)
       : Data(Buf.data()), Len(Buf.size()) {}
 
   uint8_t readU1() {
@@ -126,6 +134,27 @@ public:
     if (!require(N))
       return {};
     std::vector<uint8_t> Out(Data + Pos, Data + Pos + N);
+    Pos += N;
+    return Out;
+  }
+
+  /// Reads \p N raw bytes as a borrowed view of the underlying buffer
+  /// (no copy); empty + error flag on overrun. The view is valid as
+  /// long as the buffer this reader was constructed over.
+  std::span<const uint8_t> readSpan(size_t N) {
+    if (!require(N))
+      return {};
+    std::span<const uint8_t> Out(Data + Pos, N);
+    Pos += N;
+    return Out;
+  }
+
+  /// Reads \p N bytes as a borrowed string view (no copy); same
+  /// lifetime rule as readSpan.
+  std::string_view readStringView(size_t N) {
+    if (!require(N))
+      return {};
+    std::string_view Out(reinterpret_cast<const char *>(Data + Pos), N);
     Pos += N;
     return Out;
   }

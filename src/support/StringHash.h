@@ -1,0 +1,32 @@
+//===- StringHash.h - heterogeneous string-keyed lookup --------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transparent hash/equality for std::string-keyed unordered containers,
+/// so a std::string_view (e.g. borrowed classfile text) probes without
+/// materializing a temporary std::string. Use as
+///   std::unordered_map<std::string, V, StringHash, std::equal_to<>>
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_SUPPORT_STRINGHASH_H
+#define CJPACK_SUPPORT_STRINGHASH_H
+
+#include <functional>
+#include <string_view>
+
+namespace cjpack {
+
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view S) const noexcept {
+    return std::hash<std::string_view>{}(S);
+  }
+};
+
+} // namespace cjpack
+
+#endif // CJPACK_SUPPORT_STRINGHASH_H

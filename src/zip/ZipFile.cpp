@@ -24,11 +24,11 @@ void putU4(std::vector<uint8_t> &B, uint32_t V) {
   putU2(B, static_cast<uint16_t>(V >> 16));
 }
 
-uint16_t getU2(const std::vector<uint8_t> &B, size_t At) {
+uint16_t getU2(std::span<const uint8_t> B, size_t At) {
   return static_cast<uint16_t>(B[At] | B[At + 1] << 8);
 }
 
-uint32_t getU4(const std::vector<uint8_t> &B, size_t At) {
+uint32_t getU4(std::span<const uint8_t> B, size_t At) {
   return static_cast<uint32_t>(B[At]) |
          static_cast<uint32_t>(B[At + 1]) << 8 |
          static_cast<uint32_t>(B[At + 2]) << 16 |
@@ -121,7 +121,7 @@ std::vector<uint8_t> cjpack::writeZip(const std::vector<ZipEntry> &Entries,
 }
 
 Expected<std::vector<ZipEntry>>
-cjpack::readZip(const std::vector<uint8_t> &Bytes,
+cjpack::readZip(std::span<const uint8_t> Bytes,
                 const DecodeLimits &Limits) {
   // Find the end-of-central-directory record (no comment support needed
   // for archives we produce, but scan backwards anyway to be tolerant).
@@ -193,16 +193,15 @@ cjpack::readZip(const std::vector<uint8_t> &Bytes,
     if (auto E = Budget.chargeInflate(RawSize, "zip"))
       return E;
 
-    std::vector<uint8_t> Comp(Bytes.begin() + static_cast<size_t>(DataAt),
-                              Bytes.begin() +
-                                  static_cast<size_t>(DataAt + CompSize));
+    std::span<const uint8_t> Comp =
+        Bytes.subspan(static_cast<size_t>(DataAt), CompSize);
     ZipEntry E;
     E.Name = std::move(Name);
     if (Method == static_cast<uint16_t>(ZipMethod::Stored)) {
       if (CompSize != RawSize)
         return makeError(ErrorCode::Corrupt,
                          "zip: stored member size mismatch for " + E.Name);
-      E.Data = std::move(Comp);
+      E.Data.assign(Comp.begin(), Comp.end());
     } else if (Method == static_cast<uint16_t>(ZipMethod::Deflated)) {
       // MaxOutput 0 would mean "uncapped"; a declared-empty member still
       // gets a one-byte cap so a lying header cannot expand unbounded.
@@ -224,7 +223,7 @@ cjpack::readZip(const std::vector<uint8_t> &Bytes,
   return Entries;
 }
 
-std::vector<uint8_t> cjpack::gzipBytes(const std::vector<uint8_t> &Data) {
+std::vector<uint8_t> cjpack::gzipBytes(std::span<const uint8_t> Data) {
   std::vector<uint8_t> Out = {0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 255};
   std::vector<uint8_t> Comp = deflateBytes(Data);
   Out.insert(Out.end(), Comp.begin(), Comp.end());
@@ -234,7 +233,7 @@ std::vector<uint8_t> cjpack::gzipBytes(const std::vector<uint8_t> &Data) {
 }
 
 Expected<std::vector<uint8_t>>
-cjpack::gunzipBytes(const std::vector<uint8_t> &Data,
+cjpack::gunzipBytes(std::span<const uint8_t> Data,
                     const DecodeLimits &Limits) {
   if (Data.size() < 18 || Data[0] != 0x1f || Data[1] != 0x8b || Data[2] != 8)
     return makeError(ErrorCode::Corrupt, "gzip: bad header");
@@ -245,7 +244,7 @@ cjpack::gunzipBytes(const std::vector<uint8_t> &Data,
   if (Size > Limits.MaxInflateBytes)
     return makeError(ErrorCode::LimitExceeded,
                      "gzip: declared size over inflate budget");
-  std::vector<uint8_t> Comp(Data.begin() + 10, Data.end() - 8);
+  std::span<const uint8_t> Comp = Data.subspan(10, Data.size() - 18);
   // The trailer's size field caps inflation, so a lying frame fails
   // instead of expanding unbounded (declared-empty frames get a
   // one-byte cap: MaxOutput 0 would mean "uncapped").

@@ -19,6 +19,7 @@
 #include "support/DecodeLimits.h"
 #include "support/Error.h"
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,17 +49,19 @@ std::vector<uint8_t> writeZip(const std::vector<ZipEntry> &Entries,
 /// inflation is capped by the declared uncompressed size, and the total
 /// decompressed output is charged against \p Limits.MaxInflateBytes, so
 /// a crafted archive yields a typed Error rather than an overread or a
-/// decompression bomb.
-Expected<std::vector<ZipEntry>> readZip(const std::vector<uint8_t> &Bytes,
+/// decompression bomb. \p Bytes is borrowed for the duration of the
+/// call only; member payloads are inflated (or copied, when stored)
+/// straight from slices of it, with no whole-member staging copy.
+Expected<std::vector<ZipEntry>> readZip(std::span<const uint8_t> Bytes,
                                         const DecodeLimits &Limits = {});
 
 /// Wraps \p Data in a gzip frame (header + deflate + crc/size trailer).
-std::vector<uint8_t> gzipBytes(const std::vector<uint8_t> &Data);
+std::vector<uint8_t> gzipBytes(std::span<const uint8_t> Data);
 
 /// Unwraps a gzip frame, validating magic and crc; inflation is capped
 /// by the trailer's declared size, which must itself fit in
 /// \p Limits.MaxInflateBytes (the trailer is attacker-controlled).
-Expected<std::vector<uint8_t>> gunzipBytes(const std::vector<uint8_t> &Data,
+Expected<std::vector<uint8_t>> gunzipBytes(std::span<const uint8_t> Data,
                                            const DecodeLimits &Limits = {});
 
 } // namespace cjpack

@@ -9,7 +9,7 @@
 
 using namespace cjpack;
 
-std::vector<uint8_t> cjpack::deflateBytes(const std::vector<uint8_t> &Data,
+std::vector<uint8_t> cjpack::deflateBytes(std::span<const uint8_t> Data,
                                           int Level) {
   z_stream S{};
   // windowBits = -15 selects raw deflate (no zlib header/trailer).
@@ -29,7 +29,7 @@ std::vector<uint8_t> cjpack::deflateBytes(const std::vector<uint8_t> &Data,
 }
 
 Expected<std::vector<uint8_t>>
-cjpack::inflateBytes(const std::vector<uint8_t> &Data, size_t ExpectedSize,
+cjpack::inflateBytes(std::span<const uint8_t> Data, size_t ExpectedSize,
                      size_t MaxOutput) {
   z_stream S{};
   if (inflateInit2(&S, -15) != Z_OK)
@@ -86,7 +86,7 @@ cjpack::inflateBytes(const std::vector<uint8_t> &Data, size_t ExpectedSize,
   return Out;
 }
 
-uint32_t cjpack::crc32Of(const std::vector<uint8_t> &Data) {
+uint32_t cjpack::crc32Of(std::span<const uint8_t> Data) {
   return static_cast<uint32_t>(
       crc32(0L, Data.data(), static_cast<uInt>(Data.size())));
 }

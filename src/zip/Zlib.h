@@ -17,12 +17,13 @@
 
 #include "support/Error.h"
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace cjpack {
 
 /// Compresses \p Data with raw deflate at \p Level (1..9).
-std::vector<uint8_t> deflateBytes(const std::vector<uint8_t> &Data,
+std::vector<uint8_t> deflateBytes(std::span<const uint8_t> Data,
                                   int Level = 9);
 
 /// Decompresses raw-deflate \p Data; \p ExpectedSize is a sizing hint
@@ -31,12 +32,12 @@ std::vector<uint8_t> deflateBytes(const std::vector<uint8_t> &Data,
 /// with a LimitExceeded error, so a deflate bomb costs at most
 /// MaxOutput bytes of memory. Callers that know the exact declared
 /// size should pass it as both arguments.
-Expected<std::vector<uint8_t>> inflateBytes(const std::vector<uint8_t> &Data,
+Expected<std::vector<uint8_t>> inflateBytes(std::span<const uint8_t> Data,
                                             size_t ExpectedSize = 0,
                                             size_t MaxOutput = 0);
 
 /// CRC-32 of \p Data (the zip/gzip polynomial).
-uint32_t crc32Of(const std::vector<uint8_t> &Data);
+uint32_t crc32Of(std::span<const uint8_t> Data);
 
 } // namespace cjpack
 

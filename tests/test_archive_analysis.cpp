@@ -73,7 +73,7 @@ void addMethod(ClassFile &CF, const std::string &Name,
 
 /// Name of member \p M in \p CF's pool.
 std::string memberName(const ClassFile &CF, const MemberInfo &M) {
-  return CF.CP.entry(M.NameIndex).Text;
+  return std::string(CF.CP.entry(M.NameIndex).Text);
 }
 
 size_t countKind(const std::vector<Diagnostic> &Diags, DiagKind K) {
@@ -438,11 +438,11 @@ TEST(CorpusLint, InheritedRefKnobEmitsHierarchyWalkingRefs) {
       const CpEntry &E = CF.CP.entry(I);
       if (E.Tag != CpTag::FieldRef && E.Tag != CpTag::MethodRef)
         continue;
-      const std::string &Owner =
+      std::string_view Owner =
           CF.CP.entry(CF.CP.entry(E.Ref1).Ref1).Text;
       const CpEntry &NT = CF.CP.entry(E.Ref2);
-      const std::string &Name = CF.CP.entry(NT.Ref1).Text;
-      const std::string &Desc = CF.CP.entry(NT.Ref2).Text;
+      std::string_view Name = CF.CP.entry(NT.Ref1).Text;
+      std::string_view Desc = CF.CP.entry(NT.Ref2).Text;
       RefResolution RR =
           E.Tag == CpTag::FieldRef
               ? H.resolveField(Owner, Name, Desc)

@@ -55,7 +55,8 @@ std::vector<NamedClass> restoreAll(const std::vector<uint8_t> &Archive) {
     if (!Classes)
       return Out;
     for (const ClassFile &CF : *Classes)
-      Out.push_back({CF.thisClassName() + ".class", writeClassFile(CF)});
+      Out.push_back(
+          {std::string(CF.thisClassName()) + ".class", writeClassFile(CF)});
     return Out;
   }
   auto Classes = unpackArchive(Archive, 2u);

@@ -20,7 +20,8 @@ std::vector<uint8_t> buildCode(
   ConstantPool CP;
   BytecodeBuilder B(CP, 1);
   Fn(B);
-  return B.finish().Code;
+  std::span<const uint8_t> Code = B.finish().Code;
+  return {Code.begin(), Code.end()};
 }
 
 } // namespace

@@ -9,6 +9,7 @@
 #include "classfile/Transform.h"
 #include "classfile/Writer.h"
 #include "corpus/BytecodeBuilder.h"
+#include <algorithm>
 #include <gtest/gtest.h>
 
 using namespace cjpack;
@@ -30,7 +31,7 @@ ClassFile makeSampleClass() {
   {
     ByteWriter W;
     W.writeU2(CF.CP.addInteger(1000000));
-    Field.Attributes.push_back({"ConstantValue", W.take()});
+    Field.Attributes.push_back({"ConstantValue", CF.arena().adopt(W.take())});
   }
   CF.Fields.push_back(std::move(Field));
 
@@ -163,8 +164,10 @@ TEST(Descriptor, RejectsMalformed) {
 
 TEST(Transform, StripRemovesDebugAttributes) {
   ClassFile CF = makeSampleClass();
-  CF.Attributes.push_back({"SourceFile", {0, 1}});
-  CF.Methods[0].Attributes.push_back({"UnknownFancyAttr", {1, 2, 3}});
+  static constexpr uint8_t SourceFileBytes[] = {0, 1};
+  static constexpr uint8_t FancyBytes[] = {1, 2, 3};
+  CF.Attributes.push_back({"SourceFile", SourceFileBytes});
+  CF.Methods[0].Attributes.push_back({"UnknownFancyAttr", FancyBytes});
   stripDebugInfo(CF);
   EXPECT_EQ(findAttribute(CF.Attributes, "SourceFile"), nullptr);
   EXPECT_EQ(findAttribute(CF.Methods[0].Attributes, "UnknownFancyAttr"),
@@ -222,14 +225,15 @@ TEST(Transform, SortsUtf8ByContent) {
   std::vector<std::string> Texts;
   for (uint16_t I = 1; I < CF.CP.count(); ++I)
     if (CF.CP.isValidIndex(I) && CF.CP.entry(I).Tag == CpTag::Utf8)
-      Texts.push_back(CF.CP.utf8(I));
+      Texts.emplace_back(CF.CP.utf8(I));
   ASSERT_FALSE(Texts.empty());
   EXPECT_TRUE(std::is_sorted(Texts.begin(), Texts.end()));
 }
 
 TEST(Transform, CanonicalizeRejectsUnknownAttributes) {
   ClassFile CF = makeSampleClass();
-  CF.Attributes.push_back({"MysteryAttr", {9, 9}});
+  static constexpr uint8_t MysteryBytes[] = {9, 9};
+  CF.Attributes.push_back({"MysteryAttr", MysteryBytes});
   EXPECT_TRUE(static_cast<bool>(canonicalizeConstantPool(CF)));
 }
 
@@ -240,5 +244,6 @@ TEST(CodeAttribute, ParseEncodeRoundTrip) {
   auto Code = parseCodeAttribute(*A, CF.CP);
   ASSERT_TRUE(static_cast<bool>(Code));
   AttributeInfo Re = encodeCodeAttribute(*Code, CF.CP);
-  EXPECT_EQ(Re.Bytes, A->Bytes);
+  EXPECT_TRUE(std::equal(Re.Bytes.begin(), Re.Bytes.end(), A->Bytes.begin(),
+                         A->Bytes.end()));
 }

@@ -48,7 +48,7 @@ std::vector<std::string> namesOf(const std::vector<ClassFile> &Classes,
                                  const std::vector<size_t> &Order) {
   std::vector<std::string> Out;
   for (size_t I : Order)
-    Out.push_back(Classes[I].thisClassName());
+    Out.emplace_back(Classes[I].thisClassName());
   return Out;
 }
 

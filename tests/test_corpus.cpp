@@ -10,6 +10,7 @@
 #include "bytecode/Instruction.h"
 #include "corpus/Corpus.h"
 #include "pack/ClassOrder.h"
+#include <algorithm>
 #include <gtest/gtest.h>
 #include <set>
 
@@ -37,7 +38,7 @@ TEST(Corpus, GeneratesParsableClasses) {
   for (const NamedClass &C : Classes) {
     auto CF = parseClassFile(C.Data);
     ASSERT_TRUE(static_cast<bool>(CF)) << C.Name << ": " << CF.message();
-    EXPECT_EQ(CF->thisClassName() + ".class", C.Name);
+    EXPECT_EQ(std::string(CF->thisClassName()) + ".class", C.Name);
   }
 }
 
@@ -72,7 +73,9 @@ TEST(Corpus, AllBytecodeDecodes) {
         ASSERT_TRUE(static_cast<bool>(Code)) << Code.message();
         auto Insns = decodeCode(Code->Code);
         ASSERT_TRUE(static_cast<bool>(Insns)) << Insns.message();
-        EXPECT_EQ(encodeCode(*Insns), Code->Code);
+        std::vector<uint8_t> Re = encodeCode(*Insns);
+        EXPECT_TRUE(std::equal(Re.begin(), Re.end(), Code->Code.begin(),
+                               Code->Code.end()));
         ++Methods;
       }
     }
@@ -92,9 +95,9 @@ TEST(Corpus, ClassesSurvivePrepareForPacking) {
 
 TEST(Corpus, HierarchyReferencesGeneratedClasses) {
   std::vector<ClassFile> Classes = generateCorpusClasses(smallSpec(17));
-  std::set<std::string> Names;
+  std::set<std::string, std::less<>> Names;
   for (const ClassFile &CF : Classes)
-    Names.insert(CF.thisClassName());
+    Names.emplace(CF.thisClassName());
   unsigned InternalSupers = 0, Interfaces = 0;
   for (const ClassFile &CF : Classes) {
     if (Names.count(CF.superClassName()))

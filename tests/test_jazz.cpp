@@ -37,7 +37,7 @@ void expectJazzRoundTrip(uint64_t Seed, unsigned N, CodeStyle Style) {
   std::vector<ClassFile> Classes = preparedCorpus(Seed, N, Style);
   std::map<std::string, std::vector<uint8_t>> Want;
   for (const ClassFile &CF : Classes)
-    Want[CF.thisClassName()] = writeClassFile(CF);
+    Want[std::string(CF.thisClassName())] = writeClassFile(CF);
 
   auto Archive = jazzPack(Classes);
   ASSERT_TRUE(static_cast<bool>(Archive)) << Archive.message();
@@ -45,7 +45,7 @@ void expectJazzRoundTrip(uint64_t Seed, unsigned N, CodeStyle Style) {
   ASSERT_TRUE(static_cast<bool>(Back)) << Back.message();
   ASSERT_EQ(Back->size(), Classes.size());
   for (const ClassFile &CF : *Back)
-    EXPECT_EQ(writeClassFile(CF), Want[CF.thisClassName()])
+    EXPECT_EQ(writeClassFile(CF), Want[std::string(CF.thisClassName())])
         << CF.thisClassName();
 }
 

@@ -45,7 +45,7 @@ std::map<std::string, std::vector<uint8_t>>
 preparedBytes(const std::vector<ClassFile> &Classes) {
   std::map<std::string, std::vector<uint8_t>> Out;
   for (const ClassFile &CF : Classes)
-    Out[CF.thisClassName()] = writeClassFile(CF);
+    Out[std::string(CF.thisClassName())] = writeClassFile(CF);
   return Out;
 }
 
@@ -65,7 +65,7 @@ void expectRoundTrip(const PackOptions &Options, uint64_t Seed,
   ASSERT_EQ(Unpacked->size(), Classes.size());
 
   for (const ClassFile &CF : *Unpacked) {
-    auto It = Want.find(CF.thisClassName());
+    auto It = Want.find(std::string(CF.thisClassName()));
     ASSERT_NE(It, Want.end()) << CF.thisClassName();
     EXPECT_EQ(writeClassFile(CF), It->second)
         << "byte mismatch for " << CF.thisClassName();
@@ -189,7 +189,8 @@ TEST(PackCompression, BeatsJarAndJ0rGz) {
   }
   std::vector<NamedClass> Stripped;
   for (const ClassFile &CF : Prepared)
-    Stripped.push_back({CF.thisClassName() + ".class", writeClassFile(CF)});
+    Stripped.push_back(
+        {std::string(CF.thisClassName()) + ".class", writeClassFile(CF)});
 
   size_t Jar = buildJar(Stripped).size();
   size_t J0rGz = buildJ0rGz(Stripped).size();
@@ -238,7 +239,8 @@ TEST(PackErrors, RejectsCorruptArchive) {
 TEST(PackErrors, RejectsUnpreparedClasses) {
   std::vector<ClassFile> Classes =
       generateCorpusClasses(testSpec(1800, CodeStyle::Balanced, 3));
-  Classes[0].Attributes.push_back({"SourceFile", {0, 0}});
+  static constexpr uint8_t SourceFileBytes[] = {0, 0};
+  Classes[0].Attributes.push_back({"SourceFile", SourceFileBytes});
   auto Packed = packClasses(Classes, PackOptions());
   EXPECT_FALSE(static_cast<bool>(Packed));
 }
@@ -274,13 +276,14 @@ TEST(Jazz, RoundTripsAndLandsBetweenBaselines) {
   ASSERT_TRUE(static_cast<bool>(Back)) << Back.message();
   ASSERT_EQ(Back->size(), Prepared.size());
   for (const ClassFile &CF : *Back)
-    EXPECT_EQ(writeClassFile(CF), Want[CF.thisClassName()])
+    EXPECT_EQ(writeClassFile(CF), Want[std::string(CF.thisClassName())])
         << CF.thisClassName();
 
   // Size ordering on a realistic corpus: Packed < Jazz < jar.
   std::vector<NamedClass> Stripped;
   for (const ClassFile &CF : Prepared)
-    Stripped.push_back({CF.thisClassName() + ".class", writeClassFile(CF)});
+    Stripped.push_back(
+        {std::string(CF.thisClassName()) + ".class", writeClassFile(CF)});
   auto Packed = packClasses(Prepared, PackOptions());
   ASSERT_TRUE(static_cast<bool>(Packed));
   EXPECT_LT(Packed->Archive.size(), Jazz->size());

@@ -44,7 +44,7 @@ std::map<std::string, std::vector<uint8_t>>
 bytesByName(const std::vector<ClassFile> &Classes) {
   std::map<std::string, std::vector<uint8_t>> Out;
   for (const ClassFile &CF : Classes)
-    Out[CF.thisClassName()] = writeClassFile(CF);
+    Out[std::string(CF.thisClassName())] = writeClassFile(CF);
   return Out;
 }
 

@@ -151,9 +151,9 @@ TEST(Preload, RoundTripsAtShardCounts1And4) {
     ASSERT_EQ(Unpacked->size(), Classes.size());
     std::map<std::string, std::vector<uint8_t>> Want;
     for (const ClassFile &CF : Classes)
-      Want[CF.thisClassName()] = writeClassFile(CF);
+      Want[std::string(CF.thisClassName())] = writeClassFile(CF);
     for (const ClassFile &CF : *Unpacked)
-      EXPECT_EQ(writeClassFile(CF), Want[CF.thisClassName()])
+      EXPECT_EQ(writeClassFile(CF), Want[std::string(CF.thisClassName())])
           << CF.thisClassName() << " at " << Shards << " shards";
   }
 }
