@@ -1,0 +1,297 @@
+//===- bench_serve.cpp - cjpackd serving latency + throughput ------------===//
+//
+// Part of cjpack. MIT license.
+//
+// Measures what the hot-archive cache buys: an in-process Server on a
+// unix-domain socket serves `unpack-class` against a fixed indexed
+// corpus, and every request goes through the real stack — client
+// framing, the accept/reader/writer threads, the shared pool, the
+// cache. Three measurements:
+//
+//   cold   every fetch preceded by a cache flush, so each pays the
+//          open + mmap + index-parse + shard-inflate cold path
+//   hot    cache warmed once, then the same fetches hit the cached
+//          reader's already-decoded shard state
+//   load   1/4/16 concurrent clients hammering hot fetches, for
+//          throughput scaling
+//
+// The corpus is pinned — no CJPACK_SCALE — so the count fields
+// (classes, requests, cache hits/misses) are bit-stable and CI diffs
+// them against bench/baselines/BENCH_serve.json via compare_bench.py.
+// Latency percentiles and throughput are informational (recorded for
+// trend, never compared); archive_bytes gets the usual zlib-drift
+// tolerance.
+//
+//   bench_serve [--json FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+#include <zlib.h>
+
+using namespace cjpack;
+using namespace cjpack::serve;
+
+namespace {
+
+double usSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+double percentile(std::vector<double> Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Rank = static_cast<size_t>(Q * static_cast<double>(Sorted.size()));
+  if (Rank >= Sorted.size())
+    Rank = Sorted.size() - 1;
+  return Sorted[Rank];
+}
+
+double mean(const std::vector<double> &V) {
+  if (V.empty())
+    return 0;
+  double Sum = 0;
+  for (double X : V)
+    Sum += X;
+  return Sum / static_cast<double>(V.size());
+}
+
+std::string tempName(const char *Suffix) {
+  return "/tmp/cjpack_bench_serve_" + std::to_string(::getpid()) + Suffix;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+
+  // Fixed corpus: big enough that shard decode dominates the cold
+  // path, small enough to keep the bench under a second hot.
+  CorpusSpec Spec;
+  Spec.Name = "serve";
+  Spec.Seed = 4242;
+  Spec.NumClasses = 96;
+  Spec.NumPackages = 6;
+  Spec.MeanMethods = 6;
+  Spec.MeanStatements = 10;
+  BenchData B = loadBench(Spec);
+
+  PackOptions Options;
+  Options.Shards = 4;
+  Options.Threads = 2;
+  Options.RandomAccessIndex = true;
+  auto Packed = packClasses(B.Prepared, Options);
+  if (!Packed) {
+    fprintf(stderr, "pack failed: %s\n", Packed.message().c_str());
+    return 1;
+  }
+  std::string CjpPath = tempName(".cjp");
+  {
+    std::ofstream Out(CjpPath, std::ios::binary);
+    Out.write(reinterpret_cast<const char *>(Packed->Archive.data()),
+              static_cast<std::streamsize>(Packed->Archive.size()));
+    if (!Out) {
+      fprintf(stderr, "cannot write %s\n", CjpPath.c_str());
+      return 1;
+    }
+  }
+
+  ServerConfig Config;
+  Config.UnixSocketPath = tempName(".sock");
+  Config.Threads = 4;
+  auto Srv = Server::start(Config);
+  if (!Srv) {
+    fprintf(stderr, "server: %s\n", Srv.message().c_str());
+    return 1;
+  }
+
+  auto Conn = Client::connectUnix(Config.UnixSocketPath);
+  if (!Conn) {
+    fprintf(stderr, "connect: %s\n", Conn.message().c_str());
+    return 1;
+  }
+
+  // Class names straight from a local reader (no server round-trip).
+  auto Ref = PackedArchiveReader::open(Packed->Archive);
+  if (!Ref) {
+    fprintf(stderr, "reader: %s\n", Ref.message().c_str());
+    return 1;
+  }
+  std::vector<std::string> Names = Ref->classNames();
+  constexpr size_t NumFetches = 48;
+
+  auto Fetch = [&](Client &C, const std::string &Name) -> bool {
+    auto R = C.call(Opcode::UnpackClass, {CjpPath, Name});
+    return R && R->St == Status::Ok && !R->Body.empty();
+  };
+
+  int Rc = 0;
+  std::vector<JsonObject> Rows;
+  printf("Serving bench (%zu classes, 4 shards, %zu-byte archive)\n\n",
+         Names.size(), Packed->Archive.size());
+  printf("%-16s %9s %10s %10s %10s %10s\n", "mode", "requests",
+         "p50(us)", "p99(us)", "mean(us)", "hits/miss");
+
+  // Cold: flush before every fetch, so each request pays the whole
+  // open + index parse + shard inflate path.
+  CacheStats Before = (*Srv)->cache().stats();
+  std::vector<double> ColdUs;
+  for (size_t I = 0; I < NumFetches; ++I) {
+    auto Fl = Conn->call(Opcode::CacheFlush);
+    if (!Fl || Fl->St != Status::Ok) {
+      fprintf(stderr, "flush failed\n");
+      return 1;
+    }
+    auto T0 = std::chrono::steady_clock::now();
+    if (!Fetch(*Conn, Names[I % Names.size()])) {
+      fprintf(stderr, "cold fetch failed\n");
+      Rc = 1;
+    }
+    ColdUs.push_back(usSince(T0));
+  }
+  CacheStats AfterCold = (*Srv)->cache().stats();
+  uint64_t ColdHits = AfterCold.Hits - Before.Hits;
+  uint64_t ColdMisses = AfterCold.Misses - Before.Misses;
+  printf("%-16s %9zu %10.0f %10.0f %10.0f %6llu/%llu\n", "serve/cold",
+         NumFetches, percentile(ColdUs, 0.50), percentile(ColdUs, 0.99),
+         mean(ColdUs), static_cast<unsigned long long>(ColdHits),
+         static_cast<unsigned long long>(ColdMisses));
+
+  // Hot: warm the cache once, then the same fetch mix.
+  if (!Fetch(*Conn, Names[0])) {
+    fprintf(stderr, "warm fetch failed\n");
+    Rc = 1;
+  }
+  CacheStats BeforeHot = (*Srv)->cache().stats();
+  std::vector<double> HotUs;
+  for (size_t I = 0; I < NumFetches; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    if (!Fetch(*Conn, Names[I % Names.size()])) {
+      fprintf(stderr, "hot fetch failed\n");
+      Rc = 1;
+    }
+    HotUs.push_back(usSince(T0));
+  }
+  CacheStats AfterHot = (*Srv)->cache().stats();
+  uint64_t HotHits = AfterHot.Hits - BeforeHot.Hits;
+  uint64_t HotMisses = AfterHot.Misses - BeforeHot.Misses;
+  printf("%-16s %9zu %10.0f %10.0f %10.0f %6llu/%llu\n", "serve/hot",
+         NumFetches, percentile(HotUs, 0.50), percentile(HotUs, 0.99),
+         mean(HotUs), static_cast<unsigned long long>(HotHits),
+         static_cast<unsigned long long>(HotMisses));
+
+  double Speedup = mean(HotUs) > 0 ? mean(ColdUs) / mean(HotUs) : 0;
+  printf("\nhot fetch is %.1fx faster than cold (mean %0.f us vs "
+         "%.0f us)\n\n",
+         Speedup, mean(HotUs), mean(ColdUs));
+
+  {
+    JsonObject Row;
+    Row.add("name", "serve/cold");
+    Row.add("classes", static_cast<uint64_t>(Names.size()));
+    Row.add("requests", static_cast<uint64_t>(NumFetches));
+    Row.add("cache_hits", ColdHits);
+    Row.add("cache_misses", ColdMisses);
+    Row.add("archive_bytes", static_cast<uint64_t>(Packed->Archive.size()));
+    Row.add("p50_us", percentile(ColdUs, 0.50));
+    Row.add("p99_us", percentile(ColdUs, 0.99));
+    Row.add("mean_us", mean(ColdUs));
+    Rows.push_back(std::move(Row));
+  }
+  {
+    JsonObject Row;
+    Row.add("name", "serve/hot");
+    Row.add("classes", static_cast<uint64_t>(Names.size()));
+    Row.add("requests", static_cast<uint64_t>(NumFetches));
+    Row.add("cache_hits", HotHits);
+    Row.add("cache_misses", HotMisses);
+    Row.add("archive_bytes", static_cast<uint64_t>(Packed->Archive.size()));
+    Row.add("p50_us", percentile(HotUs, 0.50));
+    Row.add("p99_us", percentile(HotUs, 0.99));
+    Row.add("mean_us", mean(HotUs));
+    Row.add("speedup_vs_cold", Speedup);
+    Rows.push_back(std::move(Row));
+  }
+
+  // Throughput: concurrent clients, hot cache, fixed total requests.
+  printf("%-16s %9s %10s %10s\n", "load", "requests", "wall(ms)", "req/s");
+  for (unsigned Clients : {1u, 4u, 16u}) {
+    constexpr unsigned PerClient = 32;
+    std::vector<std::thread> Threads;
+    std::vector<unsigned> Failures(Clients, 0);
+    auto T0 = std::chrono::steady_clock::now();
+    for (unsigned K = 0; K < Clients; ++K) {
+      Threads.emplace_back([&, K] {
+        auto C = Client::connectUnix(Config.UnixSocketPath);
+        if (!C) {
+          Failures[K] = PerClient;
+          return;
+        }
+        for (unsigned I = 0; I < PerClient; ++I)
+          if (!Fetch(*C, Names[(K * 13 + I) % Names.size()]))
+            ++Failures[K];
+      });
+    }
+    for (std::thread &Th : Threads)
+      Th.join();
+    double WallMs = usSince(T0) / 1000.0;
+    unsigned Total = Clients * PerClient;
+    unsigned Failed = 0;
+    for (unsigned F : Failures)
+      Failed += F;
+    if (Failed) {
+      fprintf(stderr, "clients%u: %u failed fetches\n", Clients, Failed);
+      Rc = 1;
+    }
+    double Rps = WallMs > 0 ? 1000.0 * Total / WallMs : 0;
+    printf("%-16s %9u %10.1f %10.0f\n",
+           ("serve/clients" + std::to_string(Clients)).c_str(), Total,
+           WallMs, Rps);
+
+    JsonObject Row;
+    Row.add("name", "serve/clients" + std::to_string(Clients));
+    Row.add("clients", static_cast<uint64_t>(Clients));
+    Row.add("requests", static_cast<uint64_t>(Total));
+    Row.add("failed", static_cast<uint64_t>(Failed));
+    Row.add("wall_ms", WallMs);
+    Row.add("req_per_sec", Rps);
+    Rows.push_back(std::move(Row));
+  }
+
+  (*Srv)->requestStop();
+  (*Srv)->wait();
+  ::remove(CjpPath.c_str());
+
+  if (!JsonPath.empty()) {
+    FILE *Out = fopen(JsonPath.c_str(), "w");
+    if (!Out) {
+      fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    JsonObject Header;
+    Header.add("bench", "serve");
+    Header.add("zlib", zlibVersion());
+    writeBenchJson(Out, Header, Rows);
+    fclose(Out);
+    printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return Rc;
+}

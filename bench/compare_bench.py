@@ -8,13 +8,18 @@ Row-by-row (matched on "name"):
     (pack rows: shards/classes/input_bytes/raw_stream_bytes; lint rows
     add the reference census, diagnostics, and dead-weight counts;
     strip rows add the removed-member counts; scale parse rows add the
-    arena counters and view census) — fields absent from the
+    arena counters and view census; serve rows add the request and
+    cache-hit/miss counts) — fields absent from the
     baseline row are skipped, so old baselines keep comparing
   - compressed sizes (archive_bytes, default_archive_bytes) must stay
     within TOLERANCE of the baseline (the deflate output legitimately
     drifts a little across zlib versions)
   - timings (pack_ms / unpack_ms / lint_ms), ratio, and the
     per-category packed byte split are informational and never compared
+  - latency percentiles (p50_us / p99_us) are likewise never compared,
+    but when a row carries them in both reports the relative change is
+    printed as a non-failing trend note, so serving-latency drift is
+    visible in CI logs without making wall-clock a gating signal
 
 Exits nonzero with a per-field report on any mismatch. To accept an
 intended change, regenerate the baseline:
@@ -43,9 +48,15 @@ EXACT_FIELDS = (
     "arena_allocations",
     "arena_bytes",
     "model_views",
+    "requests",
+    "cache_hits",
+    "cache_misses",
 )
 
 SIZE_FIELDS = ("archive_bytes", "default_archive_bytes")
+
+# Informational only: reported as a trend note, never a failure.
+LATENCY_FIELDS = ("p50_us", "p99_us")
 
 
 def main():
@@ -95,6 +106,20 @@ def main():
                     f"(drift {drift}, limit {limit:.0f})"
                 )
 
+    trends = []
+    for name, b in sorted(base_rows.items()):
+        c = cur_rows.get(name)
+        if c is None:
+            continue
+        for field in LATENCY_FIELDS:
+            if field not in b or field not in c or not b[field]:
+                continue
+            delta = 100.0 * (c[field] - b[field]) / b[field]
+            trends.append(
+                f"{name}: {field} {b[field]:.0f} -> {c[field]:.0f} us "
+                f"({delta:+.0f}%)"
+            )
+
     if failures:
         print(f"bench baseline comparison FAILED ({len(failures)} issues):")
         for f in failures:
@@ -110,6 +135,10 @@ def main():
             f"note: zlib {base.get('zlib')} (baseline) vs "
             f"{cur.get('zlib')} (current); sizes within tolerance"
         )
+    if trends:
+        print("latency trend (informational, never gating):")
+        for t in trends:
+            print(f"  {t}")
     print(f"bench baseline comparison OK ({len(base_rows)} rows)")
     return 0
 

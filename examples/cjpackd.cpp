@@ -1,0 +1,149 @@
+//===- cjpackd.cpp - the cjpack archive server daemon ----------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+// A long-running archive server over the serve library:
+//
+//   cjpackd --socket /run/cjpackd.sock [--tcp PORT] [--threads N]
+//           [--cache-mb N] [--max-inflight N] [--timeout SEC]
+//
+// It serves pack/unpack/unpack-class/stat/verify/lint requests on a
+// unix-domain socket (and optionally TCP loopback), keeping hot
+// archives open in an LRU cache so repeated single-class extraction
+// skips the open/parse/inflate cold path. Drive it with
+// `packtool client <socket> <cmd> ...`.
+//
+// SIGTERM/SIGINT begin a graceful drain: in-flight requests finish and
+// flush, then the daemon prints its final metrics and exits 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+
+using namespace cjpack;
+using namespace cjpack::serve;
+
+namespace {
+
+// Signal handlers may only touch async-signal-safe state: write one
+// byte into a pipe the main thread blocks on.
+int StopPipe[2] = {-1, -1};
+
+void onStopSignal(int) {
+  char B = 1;
+  [[maybe_unused]] ssize_t W = ::write(StopPipe[1], &B, 1);
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: cjpackd --socket PATH [--tcp PORT] [--threads N]\n"
+      "               [--cache-mb N] [--max-inflight N] [--timeout SEC]\n"
+      "\n"
+      "  --socket PATH     unix-domain socket to listen on (required)\n"
+      "  --tcp PORT        also listen on loopback TCP (0 = ephemeral)\n"
+      "  --threads N       handler threads (default: hardware)\n"
+      "  --cache-mb N      hot-archive cache capacity (default 256)\n"
+      "  --max-inflight N  per-connection request window (default 4)\n"
+      "  --timeout SEC     idle read timeout, 0 = none (default 60)\n");
+  return 2;
+}
+
+bool parseUnsigned(const char *S, long &Out) {
+  char *End = nullptr;
+  Out = std::strtol(S, &End, 10);
+  return End != S && *End == '\0' && Out >= 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerConfig Config;
+  Config.TcpPort = -1;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto Value = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    long N = 0;
+    if (std::strcmp(A, "--socket") == 0) {
+      const char *V = Value();
+      if (!V)
+        return usage();
+      Config.UnixSocketPath = V;
+    } else if (std::strcmp(A, "--tcp") == 0) {
+      const char *V = Value();
+      if (!V || !parseUnsigned(V, N) || N > 65535)
+        return usage();
+      Config.TcpPort = static_cast<int>(N);
+    } else if (std::strcmp(A, "--threads") == 0) {
+      const char *V = Value();
+      if (!V || !parseUnsigned(V, N))
+        return usage();
+      Config.Threads = static_cast<unsigned>(N);
+    } else if (std::strcmp(A, "--cache-mb") == 0) {
+      const char *V = Value();
+      if (!V || !parseUnsigned(V, N))
+        return usage();
+      Config.CacheBytes = static_cast<size_t>(N) << 20;
+    } else if (std::strcmp(A, "--max-inflight") == 0) {
+      const char *V = Value();
+      if (!V || !parseUnsigned(V, N) || N == 0)
+        return usage();
+      Config.MaxInFlightPerConn = static_cast<unsigned>(N);
+    } else if (std::strcmp(A, "--timeout") == 0) {
+      const char *V = Value();
+      if (!V || !parseUnsigned(V, N))
+        return usage();
+      Config.ReadTimeoutSec = static_cast<unsigned>(N);
+    } else {
+      std::fprintf(stderr, "cjpackd: unknown option '%s'\n", A);
+      return usage();
+    }
+  }
+  if (Config.UnixSocketPath.empty())
+    return usage();
+
+  if (::pipe(StopPipe) != 0) {
+    std::perror("cjpackd: pipe");
+    return 1;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction Sa = {};
+  Sa.sa_handler = onStopSignal;
+  ::sigaction(SIGTERM, &Sa, nullptr);
+  ::sigaction(SIGINT, &Sa, nullptr);
+
+  auto Srv = Server::start(Config);
+  if (!Srv) {
+    std::fprintf(stderr, "cjpackd: %s\n", Srv.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "cjpackd: listening on %s",
+               Config.UnixSocketPath.c_str());
+  if (Config.TcpPort >= 0)
+    std::fprintf(stderr, " and loopback:%d", (*Srv)->tcpPort());
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+
+  // Block until a stop signal lands.
+  char B = 0;
+  while (::read(StopPipe[0], &B, 1) < 0 && errno == EINTR)
+    ;
+
+  std::fprintf(stderr, "cjpackd: draining\n");
+  (*Srv)->requestStop();
+  (*Srv)->wait();
+
+  std::string Final = (*Srv)->metrics().render((*Srv)->cache().stats());
+  std::fwrite(Final.data(), 1, Final.size(), stderr);
+  std::fprintf(stderr, "cjpackd: bye\n");
+  return 0;
+}

@@ -13,6 +13,7 @@
 //   packtool lint <in.class|jar|cjp>          whole-archive static analysis
 //   packtool stats <in.cjp|in.jar> [--json]   per-stream composition
 //   packtool tune <in.jar> <out.cjp>          per-stream backend tournament
+//   packtool client <socket|port> <cmd> ...   drive a running cjpackd
 //   packtool selftest <out-dir>               write a demo jar + archive
 //
 // `--threads N` (anywhere on the command line) packs into N shards
@@ -31,7 +32,10 @@
 //
 // `--backend=<name>` on pack/stats selects the final compression stage
 // (store, zlib, huffman, arith); `tune` packs once per backend and
-// repacks with the smallest backend per stream.
+// repacks with the winning backend per stream. `--tune-for=size`
+// (default) scores by packed bytes alone; `speed` and `balanced` fold
+// each backend's measured encode+decode cost into the score, trading
+// bytes for cheaper round-trips (machine-dependent output).
 //
 // `--verify[=warn|strict]` on pack lints every classfile with the
 // flow analyzer first: warn (the default) reports diagnostics and
@@ -66,8 +70,12 @@
 #include "pack/Model.h"
 #include "pack/Packer.h"
 #include "pack/Stats.h"
+#include "serve/Client.h"
 #include "support/InputFile.h"
 #include "zip/Jar.h"
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -103,6 +111,14 @@ BackendId PackBackend = BackendId::Zlib;
 /// --strip-unreferenced: pack drops dead private members pre-encode.
 bool StripUnreferenced = false;
 
+/// --tune-for=<goal>: what the tune tournament optimizes per stream.
+/// Size is the historical pure-bytes winner (deterministic across
+/// machines); speed and balanced fold measured per-backend encode +
+/// decode cost into the score, so their output depends on the machine
+/// that ran the tournament.
+enum class TuneGoal { Size, Speed, Balanced };
+TuneGoal TuneFor = TuneGoal::Size;
+
 bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
   std::ifstream In(Path, std::ios::binary);
   if (!In)
@@ -126,29 +142,14 @@ bool isClassName(const std::string &Name) {
          Name.compare(Name.size() - 6, 6, ".class") == 0;
 }
 
-/// Unpacks an archive of any format version into named classfiles:
-/// version-3 archives route through PackedArchiveReader, versions 1/2
-/// through the whole-archive decoder.
+/// Unpacks an archive of any format version into named classfiles via
+/// the library's version dispatch (cjpack::unpackAnyArchive), on the
+/// command line's worker count.
 Expected<std::vector<NamedClass>>
 unpackAnyArchive(const std::vector<uint8_t> &Bytes) {
-  if (Bytes.size() > 4 && Bytes[4] == FormatVersionIndexed) {
-    auto Reader = PackedArchiveReader::open(Bytes);
-    if (!Reader)
-      return Reader.takeError();
-    auto Classes = Reader->unpackAll();
-    if (!Classes)
-      return Classes.takeError();
-    std::vector<NamedClass> Out;
-    Out.reserve(Classes->size());
-    for (const ClassFile &CF : *Classes) {
-      NamedClass C;
-      C.Name = std::string(CF.thisClassName()) + ".class";
-      C.Data = writeClassFile(CF);
-      Out.push_back(std::move(C));
-    }
-    return Out;
-  }
-  return unpackArchive(Bytes, NumThreads);
+  UnpackOptions Options;
+  Options.Threads = NumThreads;
+  return cjpack::unpackAnyArchive(Bytes, Options);
 }
 
 /// Verifies one classfile, printing each diagnostic; returns the count.
@@ -802,10 +803,18 @@ int cmdStats(const std::vector<std::string> &Args) {
 }
 
 /// The per-stream backend tournament: pack once per registered backend,
-/// read each stream's packed size off the telemetry, pick the smallest
-/// backend per stream (registry order breaks ties, so store wins when
-/// nothing shrinks a stream), repack with that mixed plan, and verify
-/// the result restores the same classfiles as the default archive.
+/// read each stream's packed size off the telemetry, score each
+/// backend per stream, pick the winner (registry order breaks ties, so
+/// store wins when nothing beats it), repack with that mixed plan, and
+/// verify the result restores the same classfiles as the default
+/// archive.
+///
+/// The score depends on --tune-for. `size` (the default) is packed
+/// bytes alone. `speed` and `balanced` multiply the bytes by a
+/// measured cost factor — each backend's deflate-phase telemetry plus
+/// a timed unpack, normalized to cost-per-packed-byte against the
+/// cheapest backend — linearly (speed) or by its square root
+/// (balanced), trading some compression for cheaper round-trips.
 int cmdTune(const std::string &InPath, const std::string &OutPath) {
   std::vector<uint8_t> Bytes;
   if (!readFile(InPath, Bytes)) {
@@ -830,6 +839,7 @@ int cmdTune(const std::string &InPath, const std::string &OutPath) {
 
   std::array<StreamSizes, NumBackends> Sizes;
   std::array<size_t, NumBackends> ArchiveBytes{};
+  std::array<double, NumBackends> CostPerByte{};
   std::vector<uint8_t> DefaultArchive;
   for (const CompressionBackend &B : allBackends()) {
     PackOptions Opt = Base;
@@ -843,15 +853,50 @@ int cmdTune(const std::string &InPath, const std::string &OutPath) {
     unsigned Idx = static_cast<unsigned>(B.Id);
     Sizes[Idx] = Packed->Sizes;
     ArchiveBytes[Idx] = Packed->Archive.size();
+    if (TuneFor != TuneGoal::Size) {
+      // Cost = backend-stage encode time (the deflate-phase telemetry;
+      // parse/model/emit are backend-independent) plus a timed unpack,
+      // per packed byte so backends compete on rate, not output size.
+      auto T0 = std::chrono::steady_clock::now();
+      auto Restored = unpackAnyArchive(Packed->Archive);
+      double DecodeSec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - T0)
+                             .count();
+      if (!Restored) {
+        fprintf(stderr, "packtool: %s unpack: %s\n", B.Name,
+                Restored.message().c_str());
+        return 1;
+      }
+      size_t PackedBytes = Sizes[Idx].totalPacked();
+      CostPerByte[Idx] = (Packed->Trace.Phases.DeflateSec + DecodeSec) /
+                         static_cast<double>(PackedBytes ? PackedBytes : 1);
+    }
     if (B.Id == BackendId::Zlib)
       DefaultArchive = std::move(Packed->Archive);
+  }
+
+  // Normalize measured cost against the cheapest backend; 1.0 for all
+  // under --tune-for=size, so the score degenerates to packed bytes.
+  std::array<double, NumBackends> CostFactor;
+  CostFactor.fill(1.0);
+  if (TuneFor != TuneGoal::Size) {
+    double Cheapest = CostPerByte[0];
+    for (unsigned B = 1; B < NumBackends; ++B)
+      Cheapest = std::min(Cheapest, CostPerByte[B]);
+    if (Cheapest <= 0)
+      Cheapest = 1e-12; // degenerate timer resolution: fall back to size
+    for (unsigned B = 0; B < NumBackends; ++B) {
+      double F = CostPerByte[B] / Cheapest;
+      CostFactor[B] = TuneFor == TuneGoal::Speed ? F : std::sqrt(F);
+    }
   }
 
   std::array<BackendId, NumStreams> Winners;
   for (unsigned I = 0; I < NumStreams; ++I) {
     unsigned Best = 0;
     for (unsigned B = 1; B < NumBackends; ++B)
-      if (Sizes[B].Packed[I] < Sizes[Best].Packed[I])
+      if (static_cast<double>(Sizes[B].Packed[I]) * CostFactor[B] <
+          static_cast<double>(Sizes[Best].Packed[I]) * CostFactor[Best])
         Best = B;
     Winners[I] = static_cast<BackendId>(Best);
   }
@@ -912,6 +957,71 @@ int cmdTune(const std::string &InPath, const std::string &OutPath) {
   return 0;
 }
 
+/// `packtool client <endpoint> <cmd> [args...]`: drive a running
+/// cjpackd. The endpoint is a TCP loopback port when it is all digits,
+/// a unix-domain socket path otherwise. Commands are the wire opcode
+/// names (ping, pack, unpack, unpack-class, stat, verify, lint,
+/// metrics, flush); unpack-class takes an optional trailing output
+/// path (stdout otherwise).
+int cmdClient(const std::vector<std::string> &Args) {
+  if (Args.size() < 3) {
+    fprintf(stderr,
+            "usage: packtool client <socket|port> <cmd> [args...]\n");
+    return 2;
+  }
+  const std::string &Endpoint = Args[1];
+  const serve::Opcode *Op = serve::findOpcodeByName(Args[2]);
+  if (!Op) {
+    fprintf(stderr, "packtool: unknown server command '%s'\n",
+            Args[2].c_str());
+    return 2;
+  }
+  std::vector<std::string> OpArgs(Args.begin() + 3, Args.end());
+
+  // unpack-class [out.class]: the third operand is a local output
+  // path, not a request argument.
+  std::string OutPath;
+  if (*Op == serve::Opcode::UnpackClass && OpArgs.size() == 3) {
+    OutPath = std::move(OpArgs.back());
+    OpArgs.pop_back();
+  }
+
+  bool IsPort = !Endpoint.empty() &&
+                Endpoint.find_first_not_of("0123456789") == std::string::npos;
+  auto Conn = IsPort ? serve::Client::connectTcp(std::atoi(Endpoint.c_str()))
+                     : serve::Client::connectUnix(Endpoint);
+  if (!Conn) {
+    fprintf(stderr, "packtool: %s\n", Conn.message().c_str());
+    return 1;
+  }
+  auto Resp = Conn->call(*Op, std::move(OpArgs));
+  if (!Resp) {
+    fprintf(stderr, "packtool: %s\n", Resp.message().c_str());
+    return 1;
+  }
+  if (Resp->St != serve::Status::Ok) {
+    fprintf(stderr, "packtool: server: %s: %s\n",
+            serve::statusName(Resp->St), Resp->text().c_str());
+    return 1;
+  }
+  if (*Op == serve::Opcode::UnpackClass) {
+    if (OutPath.empty()) {
+      fwrite(Resp->Body.data(), 1, Resp->Body.size(), stdout);
+    } else if (!writeFile(OutPath, Resp->Body)) {
+      fprintf(stderr, "packtool: cannot write %s\n", OutPath.c_str());
+      return 1;
+    } else {
+      printf("%s: %zu bytes\n", OutPath.c_str(), Resp->Body.size());
+    }
+    return 0;
+  }
+  std::string Text = Resp->text();
+  fwrite(Text.data(), 1, Text.size(), stdout);
+  if (!Text.empty() && Text.back() != '\n')
+    printf("\n");
+  return 0;
+}
+
 int cmdSelftest(const std::string &Dir) {
   CorpusSpec Spec;
   Spec.Name = "selftest";
@@ -954,6 +1064,19 @@ int main(int Argc, char **Argv) {
       }
     } else if (A == "--indexed") {
       Indexed = true;
+    } else if (A.rfind("--tune-for=", 0) == 0) {
+      std::string Goal = A.substr(11);
+      if (Goal == "size") {
+        TuneFor = TuneGoal::Size;
+      } else if (Goal == "speed") {
+        TuneFor = TuneGoal::Speed;
+      } else if (Goal == "balanced") {
+        TuneFor = TuneGoal::Balanced;
+      } else {
+        fprintf(stderr, "packtool: --tune-for wants size, speed, or "
+                        "balanced\n");
+        return 2;
+      }
     } else if (A == "--strip-unreferenced") {
       StripUnreferenced = true;
     } else if (A == "--verify" || A == "--verify=warn") {
@@ -1000,6 +1123,8 @@ int main(int Argc, char **Argv) {
     return cmdStats(Args);
   if (Args.size() >= 3 && Args[0] == "tune")
     return cmdTune(Args[1], Args[2]);
+  if (Args.size() >= 1 && Args[0] == "client")
+    return cmdClient(Args);
   if (Args.size() >= 2 && Args[0] == "selftest")
     return cmdSelftest(Args[1]);
   if (Args.empty())
@@ -1016,8 +1141,12 @@ int main(int Argc, char **Argv) {
           "       packtool verify [--warn] <in.class|jar|cjp>\n"
           "       packtool lint [--json] [--strict] <in.class|jar|cjp>\n"
           "       packtool stats [--indexed] <in.cjp|in.jar> [--json]\n"
-          "       packtool tune <in.jar> <out.cjp>\n"
+          "       packtool [--tune-for=size|speed|balanced] tune "
+          "<in.jar> <out.cjp>\n"
+          "       packtool client <socket|port> <cmd> [args...]\n"
           "       packtool selftest <dir>\n"
-          "backends: store, zlib (default), huffman, arith\n");
+          "backends: store, zlib (default), huffman, arith\n"
+          "client commands: ping, pack, unpack, unpack-class, stat, "
+          "verify, lint, metrics, flush\n");
   return 2;
 }

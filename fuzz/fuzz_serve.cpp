@@ -1,0 +1,46 @@
+//===- fuzz_serve.cpp - fuzz the cjpackd wire protocol --------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Feeds arbitrary bytes to the serve protocol parsers — the surface a
+// hostile client controls byte-for-byte. Covers request payload parsing
+// (opcode, argument table, varint lengths), response parsing, frame
+// length validation on the leading four bytes, and the encode/reparse
+// round-trip invariant for every successfully parsed request. Any
+// outcome but a typed Error or a faithful round-trip is a bug.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  using namespace cjpack::serve;
+  std::span<const uint8_t> Input(Data, Size);
+
+  // The first four bytes as a frame header: validation must be total.
+  if (Size >= 4) {
+    uint32_t Len = (static_cast<uint32_t>(Data[0]) << 24) |
+                   (static_cast<uint32_t>(Data[1]) << 16) |
+                   (static_cast<uint32_t>(Data[2]) << 8) |
+                   static_cast<uint32_t>(Data[3]);
+    (void)static_cast<bool>(validateFrameLength(Len, MaxRequestPayload));
+  }
+
+  // Request payload parsing, then the encode/reparse round-trip: a
+  // request the parser accepts must survive re-encoding unchanged.
+  if (auto Req = parseRequest(Input)) {
+    auto Again = parseRequest(encodeRequest(*Req));
+    if (!Again || Again->Op != Req->Op || Again->Args != Req->Args)
+      __builtin_trap();
+  }
+
+  // Response payload parsing and its round-trip.
+  if (auto Resp = parseResponse(Input)) {
+    auto Again = parseResponse(encodeResponse(*Resp));
+    if (!Again || Again->St != Resp->St || Again->Body != Resp->Body)
+      __builtin_trap();
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "corpus/Corpus.h"
 #include "pack/Backend.h"
 #include "pack/Packer.h"
+#include "serve/Protocol.h"
 #include "zip/ZipFile.h"
 #include <algorithm>
 #include <cstdio>
@@ -194,6 +195,39 @@ int main(int Argc, char **Argv) {
     }
     writeSeed(Out / "fuzz_lint", "archive.cjp", Packed->Archive);
     writeSeed(Out / "fuzz_lint", "class0.bin", LintClasses[0].Data);
+  }
+
+  // fuzz_serve: encoded wire-protocol requests across the opcode and
+  // argument-shape matrix, plus a response payload, so mutation starts
+  // from inputs every protocol branch accepts.
+  {
+    using namespace cjpack::serve;
+    struct {
+      const char *Name;
+      Opcode Op;
+      std::vector<std::string> Args;
+    } Requests[] = {
+        {"ping.bin", Opcode::Ping, {}},
+        {"pack.bin", Opcode::Pack, {"/tmp/in.jar", "/tmp/out.cjp"}},
+        {"unpack_class.bin",
+         Opcode::UnpackClass,
+         {"/tmp/app.cjp", "com/example/Main"}},
+        {"stat.bin", Opcode::Stat, {"/tmp/app.cjp"}},
+        {"metrics.bin", Opcode::Metrics, {}},
+        {"empty_arg.bin", Opcode::Verify, {""}},
+    };
+    for (auto &R : Requests) {
+      Request Req;
+      Req.Op = R.Op;
+      Req.Args = R.Args;
+      writeSeed(Out / "fuzz_serve", R.Name, encodeRequest(Req));
+    }
+    Response Resp = Response::ok("requests 3\ncache_hits 2\n");
+    writeSeed(Out / "fuzz_serve", "response_ok.bin",
+              encodeResponse(Resp));
+    writeSeed(Out / "fuzz_serve", "response_fail.bin",
+              encodeResponse(Response::fail(Status::LimitExceeded,
+                                            "frame over cap")));
   }
   return 0;
 }

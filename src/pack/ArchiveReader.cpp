@@ -17,6 +17,12 @@ using namespace cjpack;
 /// and never moved, so the DecodeContext's references into it stay
 /// valid for the reader's lifetime.
 struct PackedArchiveReader::ShardState {
+  /// Serializes preparation, decode, and materialization against this
+  /// shard: the adaptive coder state is sequential by construction and
+  /// materialization reads the model another decode could be growing.
+  std::mutex Mu;
+  /// True once prepareShardLocked ran (successfully or not).
+  bool Prepared = false;
   StreamSet S;
   Model M;
   std::unique_ptr<RefDecoder> Dec;
@@ -52,6 +58,7 @@ PackedArchiveReader::open(const uint8_t *Data, size_t Size,
   Rd.Size = Size;
   Rd.Limits = Limits;
   Rd.Budget.reset(new DecodeBudget(Limits));
+  Rd.StatesMu.reset(new std::mutex());
 
   ByteReader R(Data, Size);
   if (R.readU4() != 0x434A504Bu)
@@ -122,39 +129,34 @@ PackedArchiveReader::open(const uint8_t *Data, size_t Size,
   return Rd;
 }
 
-Expected<PackedArchiveReader::ShardState *>
-PackedArchiveReader::shard(size_t K) {
-  if (!States[K]) {
-    auto St = std::unique_ptr<ShardState>(new ShardState());
-    const ArchiveIndex::ShardExtent &E = Index.Shards[K];
-    ByteReader R(Data + BlobBase + E.Offset,
-                 static_cast<size_t>(E.Length));
-    auto Setup = [&](ShardState &S) -> Error {
-      if (auto Err = S.S.deserialize(R, Limits, Budget.get()))
-        return Err;
-      if (!R.atEnd())
-        return makeError(ErrorCode::Corrupt,
-                         "reader: trailing bytes in shard blob");
-      S.Dec = makeRefDecoder(Scheme);
-      if (Flags & 4)
-        if (!preloadStandardRefs(S.M, *S.Dec, Scheme))
-          return makeError(ErrorCode::Corrupt,
-                           "reader: archive needs preloaded references "
-                           "the scheme cannot provide");
-      if (!Dict.empty() && !preloadDictionary(S.M, *S.Dec, Dict))
-        return makeError(ErrorCode::Corrupt,
-                         "reader: archive dictionary needs a scheme "
-                         "that supports preloaded references");
-      S.Ctx.reset(new DecodeContext{S.M, *S.Dec, S.S, Scheme, Limits});
-      S.T.reset(new Transcriber<DecodeContext>(*S.Ctx));
-      return S.T->beginArchive(S.Declared);
-    };
-    St->Fail = Setup(*St);
-    States[K] = std::move(St);
-  }
-  if (States[K]->Fail)
-    return States[K]->Fail;
+PackedArchiveReader::ShardState *PackedArchiveReader::shardSlot(size_t K) {
+  std::lock_guard<std::mutex> Lock(*StatesMu);
+  if (!States[K])
+    States[K].reset(new ShardState());
   return States[K].get();
+}
+
+Error PackedArchiveReader::prepareShardLocked(ShardState &St, size_t K) {
+  const ArchiveIndex::ShardExtent &E = Index.Shards[K];
+  ByteReader R(Data + BlobBase + E.Offset, static_cast<size_t>(E.Length));
+  if (auto Err = St.S.deserialize(R, Limits, Budget.get()))
+    return Err;
+  if (!R.atEnd())
+    return makeError(ErrorCode::Corrupt,
+                     "reader: trailing bytes in shard blob");
+  St.Dec = makeRefDecoder(Scheme);
+  if (Flags & 4)
+    if (!preloadStandardRefs(St.M, *St.Dec, Scheme))
+      return makeError(ErrorCode::Corrupt,
+                       "reader: archive needs preloaded references "
+                       "the scheme cannot provide");
+  if (!Dict.empty() && !preloadDictionary(St.M, *St.Dec, Dict))
+    return makeError(ErrorCode::Corrupt,
+                     "reader: archive dictionary needs a scheme "
+                     "that supports preloaded references");
+  St.Ctx.reset(new DecodeContext{St.M, *St.Dec, St.S, Scheme, Limits});
+  St.T.reset(new Transcriber<DecodeContext>(*St.Ctx));
+  return St.T->beginArchive(St.Declared);
 }
 
 Error PackedArchiveReader::decodeUpTo(ShardState &St, uint32_t Ordinal) {
@@ -171,10 +173,17 @@ Error PackedArchiveReader::decodeUpTo(ShardState &St, uint32_t Ordinal) {
 
 Expected<ClassFile>
 PackedArchiveReader::materializeEntry(const ArchiveIndex::ClassEntry &E) {
-  auto StOr = shard(E.Shard);
-  if (!StOr)
-    return StOr.takeError();
-  ShardState &St = **StOr;
+  ShardState &St = *shardSlot(E.Shard);
+  // Hold the shard lock through materialization: another thread's
+  // decodeUpTo on this shard grows St.M and St.Recs, which
+  // materializeClass reads.
+  std::lock_guard<std::mutex> Lock(St.Mu);
+  if (!St.Prepared) {
+    St.Fail = prepareShardLocked(St, E.Shard);
+    St.Prepared = true;
+  }
+  if (St.Fail)
+    return St.Fail;
   if (E.Ordinal >= St.Declared)
     return makeError(ErrorCode::Corrupt,
                      "reader: index claims more classes than the shard "

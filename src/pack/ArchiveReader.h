@@ -36,6 +36,17 @@
 /// The reader does not own the archive bytes; they must stay valid and
 /// unchanged for the reader's lifetime.
 ///
+/// Thread safety: unpackClass() and unpackAll() may be called
+/// concurrently from any number of threads over one shared reader (the
+/// cjpackd archive cache shares hot readers across request threads).
+/// Shard decode state is created under a reader-level mutex and each
+/// shard's lazy decode is serialized by a per-shard mutex — the
+/// adaptive coder state is inherently sequential — so requests against
+/// different shards proceed in parallel while requests against the
+/// same shard queue behind its decode. The budget counter is atomic.
+/// Moving or destroying the reader itself concurrently with requests
+/// remains undefined, as for any object.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CJPACK_PACK_ARCHIVEREADER_H
@@ -49,6 +60,7 @@
 #include "support/Error.h"
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -105,11 +117,17 @@ private:
 
   PackedArchiveReader();
 
-  /// Returns shard \p K's decode state, deserializing and preparing
-  /// the blob on first use.
-  Expected<ShardState *> shard(size_t K);
+  /// Returns shard \p K's state slot, allocating the (empty, unprepared)
+  /// state on first use under the reader-level mutex. Cheap; never
+  /// decodes.
+  ShardState *shardSlot(size_t K);
+
+  /// Deserializes and prepares shard \p K's blob into \p St. Caller
+  /// holds St's mutex.
+  Error prepareShardLocked(ShardState &St, size_t K);
 
   /// Decodes records of shard \p St up to and including \p Ordinal.
+  /// Caller holds St's mutex.
   Error decodeUpTo(ShardState &St, uint32_t Ordinal);
 
   /// Materializes one indexed class entry from its decoded record.
@@ -125,6 +143,9 @@ private:
   SharedDictionary Dict;
   /// unique_ptr because the spend counter is atomic (not movable).
   std::unique_ptr<DecodeBudget> Budget;
+  /// Guards lazy creation of States slots (unique_ptr so the reader
+  /// stays movable; the shard states themselves carry their own mutex).
+  std::unique_ptr<std::mutex> StatesMu;
   std::vector<std::unique_ptr<ShardState>> States;
 };
 

@@ -19,6 +19,7 @@
 
 #include "classfile/Transform.h"
 #include "classfile/Writer.h"
+#include "pack/ArchiveReader.h"
 #include "pack/Dictionary.h"
 #include "pack/Materialize.h"
 #include "pack/Packer.h"
@@ -188,4 +189,28 @@ cjpack::unpackArchive(std::span<const uint8_t> Archive,
     Out.push_back(std::move(C));
   }
   return Out;
+}
+
+Expected<std::vector<NamedClass>>
+cjpack::unpackAnyArchive(std::span<const uint8_t> Archive,
+                         const UnpackOptions &Options) {
+  if (Archive.size() > 4 && Archive[4] == FormatVersionIndexed) {
+    auto Reader = PackedArchiveReader::open(Archive.data(), Archive.size(),
+                                            Options.Limits);
+    if (!Reader)
+      return Reader.takeError();
+    auto Classes = Reader->unpackAll();
+    if (!Classes)
+      return Classes.takeError();
+    std::vector<NamedClass> Out;
+    Out.reserve(Classes->size());
+    for (const ClassFile &CF : *Classes) {
+      NamedClass C;
+      C.Name = std::string(CF.thisClassName()) + ".class";
+      C.Data = writeClassFile(CF);
+      Out.push_back(std::move(C));
+    }
+    return Out;
+  }
+  return unpackArchive(Archive, Options);
 }

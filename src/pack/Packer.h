@@ -198,6 +198,16 @@ Expected<std::vector<NamedClass>>
 unpackArchive(std::span<const uint8_t> Archive,
               const UnpackOptions &Options);
 
+/// Unpacks an archive of any format version into named classfile
+/// bytes: version-3 archives route through PackedArchiveReader (so the
+/// indexed layout decodes without the whole-archive path rejecting it),
+/// versions 1/2 through unpackArchive. The version dispatch shared by
+/// packtool and the cjpackd request handlers; \p Options.Limits bound
+/// both paths.
+Expected<std::vector<NamedClass>>
+unpackAnyArchive(std::span<const uint8_t> Archive,
+                 const UnpackOptions &Options = {});
+
 /// The §12 signing workflow: decompresses \p Archive and digests the
 /// resulting classfiles into a manifest. The sender runs this right
 /// after packing and signs/ships the manifest; the receiver runs the

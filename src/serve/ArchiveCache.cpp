@@ -1,0 +1,131 @@
+//===- ArchiveCache.cpp - LRU cache of hot open archives ------------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ArchiveCache.h"
+#include <sys/stat.h>
+
+using namespace cjpack;
+using namespace cjpack::serve;
+
+Expected<ArchiveCache::FileId> ArchiveCache::identify(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return Error::failure("cannot stat '" + Path + "'");
+  if (!S_ISREG(St.st_mode))
+    return Error::failure("'" + Path + "' is not a regular file");
+  FileId Id;
+#if defined(__APPLE__)
+  Id.MtimeSec = St.st_mtimespec.tv_sec;
+  Id.MtimeNsec = St.st_mtimespec.tv_nsec;
+#else
+  Id.MtimeSec = St.st_mtim.tv_sec;
+  Id.MtimeNsec = St.st_mtim.tv_nsec;
+#endif
+  Id.Size = static_cast<uint64_t>(St.st_size);
+  return Id;
+}
+
+void ArchiveCache::eraseLocked(
+    std::unordered_map<std::string, Slot>::iterator It) {
+  BytesCached -= It->second.Bytes;
+  Lru.erase(It->second.LruIt);
+  Map.erase(It);
+}
+
+void ArchiveCache::enforceCapacityLocked() {
+  // Always keep the most recent entry even when it alone exceeds the
+  // capacity — evicting the archive we are about to serve from would
+  // make every request to it a miss.
+  while (BytesCached > Capacity && Map.size() > 1) {
+    auto It = Map.find(Lru.back());
+    eraseLocked(It);
+    ++Evictions;
+  }
+}
+
+Expected<std::shared_ptr<CachedArchive>>
+ArchiveCache::get(const std::string &Path) {
+  auto Id = identify(Path);
+  if (!Id) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++OpenFailures;
+    return Id.takeError();
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Map.find(Path);
+    if (It != Map.end()) {
+      if (It->second.Id == *Id) {
+        ++Hits;
+        Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+        return It->second.Arch;
+      }
+      // The file changed under the cached entry: drop the dead state
+      // and fall through to a fresh open.
+      eraseLocked(It);
+      ++Evictions;
+    }
+    ++Misses;
+  }
+
+  auto File = InputFile::open(Path);
+  if (!File) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++OpenFailures;
+    return File.takeError();
+  }
+  auto Reader = PackedArchiveReader::open(File->data(), File->size(), Limits);
+  if (!Reader) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++OpenFailures;
+    return Reader.takeError();
+  }
+  // InputFile's span is stable under move (the mapping or owned buffer
+  // does not relocate), so the reader's borrowed pointers survive the
+  // moves into the cached entry.
+  auto Arch = std::make_shared<CachedArchive>(std::move(*File),
+                                              std::move(*Reader));
+  size_t Bytes = Arch->File.size();
+
+  if (Capacity == 0)
+    return Arch; // caching disabled: serve the entry, cache nothing
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Path);
+  if (It != Map.end())
+    eraseLocked(It); // raced with another miss; last insert wins
+  Lru.push_front(Path);
+  Slot S;
+  S.Id = *Id;
+  S.Arch = Arch;
+  S.Bytes = Bytes;
+  S.LruIt = Lru.begin();
+  Map.emplace(Path, std::move(S));
+  BytesCached += Bytes;
+  enforceCapacityLocked();
+  return Arch;
+}
+
+void ArchiveCache::flush() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Evictions += Map.size();
+  Map.clear();
+  Lru.clear();
+  BytesCached = 0;
+}
+
+CacheStats ArchiveCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  CacheStats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Evictions = Evictions;
+  S.OpenFailures = OpenFailures;
+  S.Entries = Map.size();
+  S.Bytes = BytesCached;
+  return S;
+}

@@ -1,0 +1,129 @@
+//===- Client.cpp - a blocking client for the cjpackd protocol ------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace cjpack;
+using namespace cjpack::serve;
+
+namespace {
+
+Error errnoError(const std::string &What) {
+  return Error::failure(What + ": " + std::strerror(errno));
+}
+
+bool readFull(int Fd, uint8_t *Buf, size_t N) {
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::recv(Fd, Buf + Got, N - Got, 0);
+    if (R <= 0) {
+      if (R < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Got += static_cast<size_t>(R);
+  }
+  return true;
+}
+
+bool writeFull(int Fd, const std::vector<uint8_t> &Data) {
+  size_t Sent = 0;
+  while (Sent < Data.size()) {
+    ssize_t W = ::send(Fd, Data.data() + Sent, Data.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+} // namespace
+
+Expected<Client> Client::connectUnix(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return errnoError("socket(AF_UNIX)");
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Fd);
+    return Error::failure("unix socket path too long: '" + Path + "'");
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error E = errnoError("connect('" + Path + "')");
+    ::close(Fd);
+    return E;
+  }
+  return Client(Fd);
+}
+
+Expected<Client> Client::connectTcp(int Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return errnoError("socket(AF_INET)");
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error E = errnoError("connect(loopback:" + std::to_string(Port) + ")");
+    ::close(Fd);
+    return E;
+  }
+  return Client(Fd);
+}
+
+void Client::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+bool Client::sendRaw(const std::vector<uint8_t> &Bytes) {
+  return writeFull(Fd, Bytes);
+}
+
+void Client::shutdownWrite() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_WR);
+}
+
+Expected<Response> Client::readResponse() {
+  uint8_t Header[4];
+  if (!readFull(Fd, Header, 4))
+    return Error::failure("connection closed while reading response header");
+  uint32_t Len = (static_cast<uint32_t>(Header[0]) << 24) |
+                 (static_cast<uint32_t>(Header[1]) << 16) |
+                 (static_cast<uint32_t>(Header[2]) << 8) |
+                 static_cast<uint32_t>(Header[3]);
+  if (auto E = validateFrameLength(Len, MaxResponsePayload))
+    return E;
+  std::vector<uint8_t> Payload(Len);
+  if (Len > 0 && !readFull(Fd, Payload.data(), Len))
+    return Error::failure("connection closed mid-response");
+  return parseResponse(Payload);
+}
+
+Expected<Response> Client::call(Opcode Op, std::vector<std::string> Args) {
+  Request Req;
+  Req.Op = Op;
+  Req.Args = std::move(Args);
+  if (!sendRaw(frame(encodeRequest(Req))))
+    return Error::failure("connection closed while sending request");
+  return readResponse();
+}

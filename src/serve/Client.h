@@ -1,0 +1,75 @@
+//===- Client.h - a blocking client for the cjpackd protocol ---*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client over the framed protocol: connect to a
+/// cjpackd unix socket (or TCP loopback port), issue one request at a
+/// time, read the framed response. `packtool client` and the serving
+/// bench are the callers; both want strict bounds on what the server
+/// may send back, so the response frame length is validated against
+/// MaxResponsePayload before allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_SERVE_CLIENT_H
+#define CJPACK_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cjpack::serve {
+
+/// A connected client. Movable, not copyable; closes on destruction.
+class Client {
+public:
+  /// Connects to a unix-domain socket.
+  static Expected<Client> connectUnix(const std::string &Path);
+
+  /// Connects to a TCP port on the loopback interface.
+  static Expected<Client> connectTcp(int Port);
+
+  Client(Client &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Client &operator=(Client &&O) noexcept {
+    if (this != &O) {
+      close();
+      Fd = O.Fd;
+      O.Fd = -1;
+    }
+    return *this;
+  }
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  ~Client() { close(); }
+
+  /// Sends one request and blocks for its response. A failure Error
+  /// means the transport broke (connect/read/write); a server-side
+  /// failure comes back as a Response with a non-Ok status.
+  Expected<Response> call(Opcode Op, std::vector<std::string> Args = {});
+
+  /// Sends raw bytes as-is — the fault-injection tests' hostile-client
+  /// primitive. Returns false when the peer has already hung up.
+  bool sendRaw(const std::vector<uint8_t> &Bytes);
+
+  /// Reads one framed response (without sending anything first).
+  Expected<Response> readResponse();
+
+  /// Half-closes the write side, signalling end-of-requests.
+  void shutdownWrite();
+
+  int fd() const { return Fd; }
+
+private:
+  explicit Client(int Fd) : Fd(Fd) {}
+  void close();
+
+  int Fd = -1;
+};
+
+} // namespace cjpack::serve
+
+#endif // CJPACK_SERVE_CLIENT_H

@@ -1,0 +1,104 @@
+//===- Metrics.cpp - cjpackd serving counters and latency -----------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Metrics.h"
+#include "serve/ArchiveCache.h"
+#include <algorithm>
+#include <cstdio>
+
+using namespace cjpack;
+using namespace cjpack::serve;
+
+void ServerMetrics::noteRequest(Opcode Op, Status St, uint64_t In,
+                                uint64_t Out, double Micros) {
+  Requests.fetch_add(1, RelaxedOrder);
+  if (St != Status::Ok)
+    Errors.fetch_add(1, RelaxedOrder);
+  BytesIn.fetch_add(In, RelaxedOrder);
+  BytesOut.fetch_add(Out, RelaxedOrder);
+  PerOp[static_cast<unsigned>(Op)].fetch_add(1, RelaxedOrder);
+
+  std::lock_guard<std::mutex> Lock(RingMu);
+  if (Ring.size() < RingCapacity) {
+    Ring.push_back(Micros);
+  } else {
+    Ring[RingNext] = Micros;
+    RingNext = (RingNext + 1) % RingCapacity;
+  }
+}
+
+namespace {
+
+/// Nearest-rank percentile over \p Sorted (ascending, non-empty).
+double percentile(const std::vector<double> &Sorted, double Q) {
+  size_t Rank = static_cast<size_t>(Q * static_cast<double>(Sorted.size()));
+  if (Rank >= Sorted.size())
+    Rank = Sorted.size() - 1;
+  return Sorted[Rank];
+}
+
+} // namespace
+
+LatencySummary ServerMetrics::latency() const {
+  std::vector<double> Samples;
+  {
+    std::lock_guard<std::mutex> Lock(RingMu);
+    Samples = Ring;
+  }
+  LatencySummary S;
+  S.Samples = Samples.size();
+  if (Samples.empty())
+    return S;
+  std::sort(Samples.begin(), Samples.end());
+  S.P50Us = percentile(Samples, 0.50);
+  S.P90Us = percentile(Samples, 0.90);
+  S.P99Us = percentile(Samples, 0.99);
+  S.MaxUs = Samples.back();
+  return S;
+}
+
+std::string ServerMetrics::render(const CacheStats &Cache) const {
+  std::string Out;
+  auto Line = [&Out](const char *Key, uint64_t V) {
+    Out += Key;
+    Out += ' ';
+    Out += std::to_string(V);
+    Out += '\n';
+  };
+  auto LineF = [&Out](const char *Key, double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%s %.1f\n", Key, V);
+    Out += Buf;
+  };
+
+  Line("requests", requests());
+  Line("errors", errors());
+  Line("connections", connections());
+  Line("protocol_errors", protocolErrors());
+  Line("bytes_in", bytesIn());
+  Line("bytes_out", bytesOut());
+  for (unsigned I = 0; I < NumOpcodes; ++I) {
+    Out += "op ";
+    Out += opcodeName(static_cast<Opcode>(I));
+    Out += ' ';
+    Out += std::to_string(PerOp[I].load(RelaxedOrder));
+    Out += '\n';
+  }
+  Line("cache_hits", Cache.Hits);
+  Line("cache_misses", Cache.Misses);
+  Line("cache_evictions", Cache.Evictions);
+  Line("cache_open_failures", Cache.OpenFailures);
+  Line("cache_entries", Cache.Entries);
+  Line("cache_bytes", Cache.Bytes);
+
+  LatencySummary L = latency();
+  Line("latency_samples", L.Samples);
+  LineF("p50_us", L.P50Us);
+  LineF("p90_us", L.P90Us);
+  LineF("p99_us", L.P99Us);
+  LineF("max_us", L.MaxUs);
+  return Out;
+}

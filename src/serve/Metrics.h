@@ -1,0 +1,96 @@
+//===- Metrics.h - cjpackd serving counters and latency --------*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability for the archive server: lock-free request/byte/error
+/// counters (per opcode and total) and a fixed-size ring of recent
+/// request latencies from which p50/p90/p99 are computed on demand.
+/// Everything is observational — nothing here feeds back into request
+/// handling — and every mutation is either atomic or under the ring's
+/// own mutex, so request threads never contend beyond one short lock.
+///
+/// The `metrics` request renders the counters plus the cache's stats as
+/// stable `key value` text lines, one metric per line, so shell smoke
+/// tests and the bench harness parse them with nothing fancier than
+/// grep/awk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_SERVE_METRICS_H
+#define CJPACK_SERVE_METRICS_H
+
+#include "serve/Protocol.h"
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cjpack::serve {
+
+struct CacheStats; // ArchiveCache.h
+
+/// Percentiles over the latency ring's current samples.
+struct LatencySummary {
+  size_t Samples = 0;
+  double P50Us = 0;
+  double P90Us = 0;
+  double P99Us = 0;
+  double MaxUs = 0;
+};
+
+class ServerMetrics {
+public:
+  /// Records one completed request: its opcode, outcome, frame sizes,
+  /// and wall-clock service time in microseconds.
+  void noteRequest(Opcode Op, Status St, uint64_t BytesIn,
+                   uint64_t BytesOut, double Micros);
+
+  /// Records a connection accepted / a protocol-level reject (a frame
+  /// the server answered without a parsable opcode).
+  void noteConnection() { Connections.fetch_add(1, RelaxedOrder); }
+  void noteProtocolError() { ProtocolErrors.fetch_add(1, RelaxedOrder); }
+
+  uint64_t requests() const { return Requests.load(RelaxedOrder); }
+  uint64_t errors() const { return Errors.load(RelaxedOrder); }
+  uint64_t connections() const { return Connections.load(RelaxedOrder); }
+  uint64_t protocolErrors() const {
+    return ProtocolErrors.load(RelaxedOrder);
+  }
+  uint64_t bytesIn() const { return BytesIn.load(RelaxedOrder); }
+  uint64_t bytesOut() const { return BytesOut.load(RelaxedOrder); }
+  uint64_t requestsFor(Opcode Op) const {
+    return PerOp[static_cast<unsigned>(Op)].load(RelaxedOrder);
+  }
+
+  /// Percentiles over the ring (sorted copy; cheap at ring size 4096).
+  LatencySummary latency() const;
+
+  /// Renders every counter, the cache stats, and the latency summary as
+  /// `key value` lines — the metrics response body.
+  std::string render(const CacheStats &Cache) const;
+
+private:
+  static constexpr std::memory_order RelaxedOrder =
+      std::memory_order_relaxed;
+  static constexpr size_t RingCapacity = 4096;
+
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> Errors{0};
+  std::atomic<uint64_t> Connections{0};
+  std::atomic<uint64_t> ProtocolErrors{0};
+  std::atomic<uint64_t> BytesIn{0};
+  std::atomic<uint64_t> BytesOut{0};
+  std::atomic<uint64_t> PerOp[NumOpcodes] = {};
+
+  mutable std::mutex RingMu;
+  std::vector<double> Ring; ///< guarded by RingMu; wraps at capacity
+  size_t RingNext = 0;      ///< guarded by RingMu
+};
+
+} // namespace cjpack::serve
+
+#endif // CJPACK_SERVE_METRICS_H

@@ -1,0 +1,158 @@
+//===- Protocol.cpp - cjpackd request/response wire protocol --------------===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+#include "support/ByteBuffer.h"
+#include "support/VarInt.h"
+
+using namespace cjpack;
+using namespace cjpack::serve;
+
+const char *cjpack::serve::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Ping: return "ping";
+  case Opcode::Pack: return "pack";
+  case Opcode::Unpack: return "unpack";
+  case Opcode::UnpackClass: return "unpack-class";
+  case Opcode::Stat: return "stat";
+  case Opcode::Verify: return "verify";
+  case Opcode::Lint: return "lint";
+  case Opcode::Metrics: return "metrics";
+  case Opcode::CacheFlush: return "flush";
+  }
+  return "?";
+}
+
+const Opcode *cjpack::serve::findOpcodeByName(const std::string &Name) {
+  static const Opcode All[NumOpcodes] = {
+      Opcode::Ping,   Opcode::Pack,    Opcode::Unpack,
+      Opcode::UnpackClass, Opcode::Stat, Opcode::Verify,
+      Opcode::Lint,   Opcode::Metrics, Opcode::CacheFlush,
+  };
+  for (const Opcode &Op : All)
+    if (Name == opcodeName(Op))
+      return &Op;
+  return nullptr;
+}
+
+const char *cjpack::serve::statusName(Status St) {
+  switch (St) {
+  case Status::Ok: return "ok";
+  case Status::BadRequest: return "bad-request";
+  case Status::Truncated: return "truncated";
+  case Status::Corrupt: return "corrupt";
+  case Status::LimitExceeded: return "limit-exceeded";
+  case Status::VersionMismatch: return "version-mismatch";
+  case Status::Failed: return "failed";
+  case Status::ShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+Status cjpack::serve::statusForError(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Truncated: return Status::Truncated;
+  case ErrorCode::Corrupt: return Status::Corrupt;
+  case ErrorCode::LimitExceeded: return Status::LimitExceeded;
+  case ErrorCode::VersionMismatch: return Status::VersionMismatch;
+  case ErrorCode::Other: return Status::Failed;
+  }
+  return Status::Failed;
+}
+
+std::vector<uint8_t> cjpack::serve::encodeRequest(const Request &R) {
+  ByteWriter W;
+  W.writeU1(static_cast<uint8_t>(R.Op));
+  W.writeU1(static_cast<uint8_t>(R.Args.size()));
+  for (const std::string &A : R.Args) {
+    writeVarUInt(W, A.size());
+    W.writeString(A);
+  }
+  return W.take();
+}
+
+Expected<Request> cjpack::serve::parseRequest(std::span<const uint8_t> Payload,
+                                              const ProtocolLimits &Limits) {
+  ByteReader R(Payload);
+  uint8_t OpByte = R.readU1();
+  uint8_t Argc = R.readU1();
+  if (R.hasError())
+    return makeError(ErrorCode::Truncated,
+                     "protocol: request payload shorter than its fixed "
+                     "header");
+  if (OpByte >= NumOpcodes)
+    return makeError(ErrorCode::Corrupt,
+                     "protocol: unknown opcode " + std::to_string(OpByte));
+  if (Argc > Limits.MaxArgs)
+    return makeError(ErrorCode::LimitExceeded,
+                     "protocol: " + std::to_string(Argc) +
+                         " arguments over the per-request cap");
+  Request Req;
+  Req.Op = static_cast<Opcode>(OpByte);
+  Req.Args.reserve(Argc);
+  for (unsigned I = 0; I < Argc; ++I) {
+    uint64_t Len = readVarUInt(R);
+    if (R.hasError())
+      return R.takeError("protocol: argument length");
+    if (Len > Limits.MaxArgBytes)
+      return makeError(ErrorCode::LimitExceeded,
+                       "protocol: argument of " + std::to_string(Len) +
+                           " bytes over the per-argument cap");
+    if (Len > R.remaining())
+      return makeError(ErrorCode::Truncated,
+                       "protocol: argument extends past end of payload");
+    Req.Args.push_back(R.readString(static_cast<size_t>(Len)));
+  }
+  if (!R.atEnd())
+    return makeError(ErrorCode::Corrupt,
+                     "protocol: trailing bytes after last argument");
+  return Req;
+}
+
+std::vector<uint8_t> cjpack::serve::encodeResponse(const Response &R) {
+  std::vector<uint8_t> Out;
+  Out.reserve(1 + R.Body.size());
+  Out.push_back(static_cast<uint8_t>(R.St));
+  Out.insert(Out.end(), R.Body.begin(), R.Body.end());
+  return Out;
+}
+
+Expected<Response> cjpack::serve::parseResponse(
+    std::span<const uint8_t> Payload) {
+  if (Payload.empty())
+    return makeError(ErrorCode::Truncated,
+                     "protocol: empty response payload");
+  uint8_t St = Payload[0];
+  if (St > static_cast<uint8_t>(Status::ShuttingDown))
+    return makeError(ErrorCode::Corrupt,
+                     "protocol: unknown response status " +
+                         std::to_string(St));
+  Response R;
+  R.St = static_cast<Status>(St);
+  R.Body.assign(Payload.begin() + 1, Payload.end());
+  return R;
+}
+
+Error cjpack::serve::validateFrameLength(uint32_t Len, uint32_t MaxPayload) {
+  if (Len > MaxPayload)
+    return makeError(ErrorCode::LimitExceeded,
+                     "protocol: frame of " + std::to_string(Len) +
+                         " bytes over the " + std::to_string(MaxPayload) +
+                         "-byte payload cap");
+  return Error::success();
+}
+
+std::vector<uint8_t> cjpack::serve::frame(std::span<const uint8_t> Payload) {
+  std::vector<uint8_t> Out;
+  Out.reserve(4 + Payload.size());
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Out.push_back(static_cast<uint8_t>(Len >> 24));
+  Out.push_back(static_cast<uint8_t>(Len >> 16));
+  Out.push_back(static_cast<uint8_t>(Len >> 8));
+  Out.push_back(static_cast<uint8_t>(Len));
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  return Out;
+}

@@ -1,0 +1,172 @@
+//===- Protocol.h - cjpackd request/response wire protocol -----*- C++ -*-===//
+//
+// Part of cjpack. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed request protocol spoken between `packtool client` and the
+/// cjpackd archive server. Every message — request or response — is one
+/// frame:
+///
+///   u4  payload length (big-endian, bounded by the receiver)
+///   ... payload
+///
+/// A request payload is an opcode plus counted string arguments:
+///
+///   u1  opcode
+///   u1  argument count
+///   per argument: varint length, then that many bytes
+///
+/// and must consume the payload exactly. A response payload is a status
+/// byte followed by the body (UTF-8 text for most operations, raw
+/// classfile bytes for unpack-class, the error message for failures).
+///
+/// The parser is a decode surface for hostile clients, so it follows the
+/// repo-wide hardening contract: every length and count is validated
+/// before allocation or indexing, failures are typed Truncated /
+/// Corrupt / LimitExceeded errors, and `fuzz_serve` drives it from a
+/// seed corpus. Framing errors the server cannot resync from (an
+/// oversized length prefix) close the connection after a typed error
+/// response; payload-level errors (garbage opcode, malformed argument
+/// table) leave the connection usable because the frame boundary is
+/// still trustworthy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CJPACK_SERVE_PROTOCOL_H
+#define CJPACK_SERVE_PROTOCOL_H
+
+#include "support/Error.h"
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cjpack::serve {
+
+/// Request operations. The wire value is the enum value; unknown bytes
+/// are a typed Corrupt error from parseRequest.
+enum class Opcode : uint8_t {
+  Ping = 0,     ///< liveness probe; body "pong"
+  Pack,         ///< args [in.jar, out.cjp]: pack a server-side jar
+  Unpack,       ///< args [in.cjp, out.jar]: restore a server-side archive
+  UnpackClass,  ///< args [archive, name]: one class via the hot cache
+  Stat,         ///< args [archive]: wire-level composition summary
+  Verify,       ///< args [path]: flow-verify a class/jar/archive
+  Lint,         ///< args [path]: whole-archive static analysis summary
+  Metrics,      ///< no args: server counters, cache stats, latency
+  CacheFlush,   ///< no args: drop every cached archive (bench cold mode)
+};
+
+inline constexpr unsigned NumOpcodes = 9;
+
+/// Printable name of \p Op ("unpack-class" style, as the client spells
+/// commands).
+const char *opcodeName(Opcode Op);
+
+/// Reverse of opcodeName; nullptr for unknown names.
+const Opcode *findOpcodeByName(const std::string &Name);
+
+/// Response status. Ok carries an operation body; everything else
+/// carries the error message. The decode-taxonomy statuses mirror
+/// ErrorCode so a client sees the same classification the library
+/// reports.
+enum class Status : uint8_t {
+  Ok = 0,
+  BadRequest,      ///< wrong argument count / unknown operation
+  Truncated,       ///< ErrorCode::Truncated from the handler or parser
+  Corrupt,         ///< ErrorCode::Corrupt
+  LimitExceeded,   ///< ErrorCode::LimitExceeded (budget exhausted)
+  VersionMismatch, ///< ErrorCode::VersionMismatch
+  Failed,          ///< any other failure (unreadable file, unknown class)
+  ShuttingDown,    ///< server is draining; retry elsewhere
+};
+
+/// Printable name of \p St.
+const char *statusName(Status St);
+
+/// Maps the library's error taxonomy onto the wire status.
+Status statusForError(ErrorCode Code);
+
+/// Caps enforced while parsing a request payload (the frame length cap
+/// lives in the server/client configs, since the two directions differ).
+struct ProtocolLimits {
+  /// Arguments per request; every defined operation takes at most 3.
+  uint32_t MaxArgs = 8;
+  /// Bytes per argument (paths and class names; nowhere near this).
+  uint64_t MaxArgBytes = 1u << 16;
+};
+
+/// Default bound on a request frame's payload (requests carry paths and
+/// names, never bulk data).
+inline constexpr uint32_t MaxRequestPayload = 1u << 20;
+
+/// Default bound on a response frame's payload (unpack-class bodies are
+/// whole classfiles; metrics and diagnostics are text).
+inline constexpr uint32_t MaxResponsePayload = 1u << 28;
+
+/// One parsed request.
+struct Request {
+  Opcode Op = Opcode::Ping;
+  std::vector<std::string> Args;
+};
+
+/// One response.
+struct Response {
+  Status St = Status::Ok;
+  std::vector<uint8_t> Body;
+
+  static Response ok(std::string Text) {
+    Response R;
+    R.Body.assign(Text.begin(), Text.end());
+    return R;
+  }
+  static Response okBytes(std::vector<uint8_t> Bytes) {
+    Response R;
+    R.Body = std::move(Bytes);
+    return R;
+  }
+  static Response fail(Status St, const std::string &Msg) {
+    Response R;
+    R.St = St;
+    R.Body.assign(Msg.begin(), Msg.end());
+    return R;
+  }
+  static Response fail(const Error &E) {
+    return fail(statusForError(E.code()), E.message());
+  }
+
+  /// The body as text (error message, or a text operation's output).
+  std::string text() const {
+    return std::string(Body.begin(), Body.end());
+  }
+};
+
+/// Serializes a request payload (no frame header).
+std::vector<uint8_t> encodeRequest(const Request &R);
+
+/// Parses a request payload. Typed errors: Truncated when the payload
+/// ends before a promised field, Corrupt for unknown opcodes /
+/// non-canonical varints / trailing bytes, LimitExceeded when a count
+/// or length crosses \p Limits.
+Expected<Request> parseRequest(std::span<const uint8_t> Payload,
+                               const ProtocolLimits &Limits = {});
+
+/// Serializes a response payload (no frame header).
+std::vector<uint8_t> encodeResponse(const Response &R);
+
+/// Parses a response payload (status byte + body).
+Expected<Response> parseResponse(std::span<const uint8_t> Payload);
+
+/// Validates a frame's declared payload length against \p MaxPayload.
+/// An oversized declaration is the one framing error the receiver
+/// cannot skip past, so callers close the connection after reporting it.
+Error validateFrameLength(uint32_t Len, uint32_t MaxPayload);
+
+/// Prepends the u4 big-endian frame header to \p Payload.
+std::vector<uint8_t> frame(std::span<const uint8_t> Payload);
+
+} // namespace cjpack::serve
+
+#endif // CJPACK_SERVE_PROTOCOL_H

@@ -19,8 +19,13 @@
 #include "pack/Packer.h"
 #include "pack/Stats.h"
 #include "support/InputFile.h"
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <gtest/gtest.h>
+#include <map>
+#include <random>
+#include <thread>
 
 using namespace cjpack;
 
@@ -220,4 +225,59 @@ TEST(ArchiveReader, MemoryMappedFileEndToEnd) {
   remove(Path.c_str());
 
   EXPECT_FALSE(static_cast<bool>(InputFile::open(Path + ".missing")));
+}
+
+// The thread-safety contract: many threads hammering one shared reader
+// (all classes, shuffled per thread) must each see exactly the bytes
+// the whole-archive decoder produces, with no torn shard state. Run
+// under TSan in CI, this is the proof behind sharing hot readers
+// across cjpackd request threads.
+TEST(ArchiveReader, ConcurrentUnpackOverSharedReader) {
+  auto Classes = readerCorpus();
+  auto Packed = packIndexed(Classes, 4);
+  ASSERT_TRUE(static_cast<bool>(Packed)) << Packed.message();
+
+  auto Reader = PackedArchiveReader::open(Packed->Archive);
+  ASSERT_TRUE(static_cast<bool>(Reader)) << Reader.message();
+  std::vector<std::string> Names = Reader->classNames();
+  ASSERT_EQ(Names.size(), Classes.size());
+
+  // Reference bytes from a fresh, serial reader.
+  std::map<std::string, std::vector<uint8_t>> Want;
+  {
+    auto Ref = PackedArchiveReader::open(Packed->Archive);
+    ASSERT_TRUE(static_cast<bool>(Ref));
+    for (const std::string &N : Names) {
+      auto CF = Ref->unpackClass(N);
+      ASSERT_TRUE(static_cast<bool>(CF)) << CF.message();
+      Want[N] = writeClassFile(*CF);
+    }
+  }
+
+  constexpr unsigned NumThreads = 8;
+  std::atomic<unsigned> Mismatches{0};
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      // A different traversal order per thread, so threads contend on
+      // different shards at different times.
+      std::vector<std::string> Order = Names;
+      std::mt19937 Rng(1234 + T);
+      std::shuffle(Order.begin(), Order.end(), Rng);
+      for (const std::string &N : Order) {
+        auto CF = Reader->unpackClass(N);
+        if (!CF) {
+          Failures.fetch_add(1);
+          continue;
+        }
+        if (writeClassFile(*CF) != Want[N])
+          Mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Mismatches.load(), 0u);
 }
